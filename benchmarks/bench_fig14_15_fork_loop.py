@@ -1,0 +1,155 @@
+"""Figs. 14 & 15: forks vs loops.
+
+The paper fixes a 100-edge specification (r = 0.5) annotated with 5 forks
+and 5 loops, sets prob_p = 1 and maxF = maxL = 20, and sweeps the fork /
+loop probability from 0 to 1, comparing three run-pair kinds:
+
+* Fork vs Fork — both runs replicate forks only;
+* Fork vs Loop — one of each;
+* Loop vs Loop — both runs iterate loops only.
+
+Fig. 14 (time): fork-heavy pairs are by far the most expensive — fork
+copies are paired with a minimum-cost bipartite (Hungarian) matching and
+every copy pair needs a recursive mapping cost, whereas ordered loop
+iterations use the cheaper non-crossing DP, and mixed pairs produce tiny
+matching instances (fork copies never match loop copies).  Fig. 15
+(distance): FF and LL distances drop to **zero** as the probability
+reaches one (every fork/loop replicates exactly its maximum, so the runs
+coincide), while the FL distance grows monotonically.
+
+Scaled reproduction: 60-edge spec (r = 1 so enough series runs exist for
+*balanced* fork/loop elements — see
+``balanced_fork_loop_specification``), maxF = maxL = 10, probabilities
+{0.2, 0.5, 0.8, 1.0}, 3 samples per point.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.costs.standard import UnitCost
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import balanced_fork_loop_specification
+
+from _workloads import emit, scaled, timed
+
+SPEC_EDGES = scaled(60)
+MAX_COPIES = 10
+PROBABILITIES = [0.2, 0.5, 0.8, 1.0]
+SAMPLES = 3
+KINDS = ["Fork vs Fork", "Fork vs Loop", "Loop vs Loop"]
+
+
+def make_spec(sample):
+    return balanced_fork_loop_specification(
+        SPEC_EDGES, 1.0, num_forks=5, num_loops=5, seed=sample
+    )
+
+
+def fork_params(probability):
+    return ExecutionParams(
+        prob_parallel=1.0,
+        max_fork=MAX_COPIES,
+        prob_fork=probability,
+        max_loop=1,
+        prob_loop=0.0,
+    )
+
+
+def loop_params(probability):
+    return ExecutionParams(
+        prob_parallel=1.0,
+        max_fork=1,
+        prob_fork=0.0,
+        max_loop=MAX_COPIES,
+        prob_loop=probability,
+    )
+
+
+def run_kind(spec, kind, probability, seed):
+    if kind == "Fork vs Fork":
+        params = (fork_params(probability), fork_params(probability))
+    elif kind == "Loop vs Loop":
+        params = (loop_params(probability), loop_params(probability))
+    else:
+        params = (fork_params(probability), loop_params(probability))
+    one = execute_workflow(spec, params[0], seed=seed)
+    two = execute_workflow(spec, params[1], seed=seed + 5000)
+    return one, two
+
+
+def sweep():
+    rows = []
+    for kind in KINDS:
+        for probability in PROBABILITIES:
+            times = []
+            distances = []
+            totals = []
+            for sample in range(SAMPLES):
+                spec = make_spec(sample)
+                one, two = run_kind(
+                    spec, kind, probability, seed=sample * 31 + 3
+                )
+                elapsed, result = timed(
+                    diff_runs, one, two, cost=UnitCost(), with_script=False
+                )
+                times.append(elapsed)
+                distances.append(result.distance)
+                totals.append(one.num_edges + two.num_edges)
+            rows.append(
+                (
+                    kind,
+                    probability,
+                    statistics.mean(times),
+                    statistics.mean(distances),
+                    int(statistics.mean(totals)),
+                )
+            )
+    return rows
+
+
+def test_fig14_15_fork_vs_loop(benchmark):
+    rows = sweep()
+
+    lines = [
+        "Figs. 14/15: fork vs loop (unit cost, prob_p = 1, "
+        f"maxF = maxL = {MAX_COPIES}, balanced elements)",
+        f"{'kind':14s} {'prob':>5} {'seconds':>9} {'distance':>9} "
+        f"{'edges':>6}",
+    ]
+    for kind, probability, seconds, distance, total in rows:
+        lines.append(
+            f"{kind:14s} {probability:>5.1f} {seconds:>9.4f} "
+            f"{distance:>9.2f} {total:>6}"
+        )
+    emit("fig14_15", lines)
+
+    table = {
+        (kind, probability): (seconds, distance)
+        for kind, probability, seconds, distance, _ in rows
+    }
+    # Fig. 14 claims at full replication: fork-fork pairing dominates.
+    assert table[("Fork vs Fork", 1.0)][0] >= table[("Loop vs Loop", 1.0)][0]
+    assert table[("Fork vs Fork", 1.0)][0] >= table[("Fork vs Loop", 1.0)][0]
+    # Fig. 15 claims: FF and LL distances vanish at probability 1 (every
+    # fork/loop replicates exactly MAX_COPIES, so the runs coincide)...
+    assert table[("Fork vs Fork", 1.0)][1] == 0.0
+    assert table[("Loop vs Loop", 1.0)][1] == 0.0
+    # ... while mixed pairs keep growing with the probability.
+    assert (
+        table[("Fork vs Loop", 1.0)][1]
+        >= table[("Fork vs Loop", 0.2)][1]
+    )
+    assert table[("Fork vs Loop", 1.0)][1] > 0.0
+
+    # Benchmark the expensive corner: fork-vs-fork at probability 1.
+    spec = make_spec(0)
+    one, two = run_kind(spec, "Fork vs Fork", 1.0, seed=77)
+    benchmark.pedantic(
+        diff_runs,
+        args=(one, two),
+        kwargs={"cost": UnitCost(), "with_script": False},
+        rounds=3,
+        iterations=1,
+    )

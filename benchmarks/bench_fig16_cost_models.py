@@ -1,0 +1,115 @@
+"""Fig. 16: influence of the cost model on the produced edit script.
+
+The paper's last experiment uses the Fig. 17(b) specification — a fork
+connecting u and v by 10 parallel paths, the i-th of length i² — with
+maxF = 5, probF = 1 and prob_p = 0.5, so each run holds exactly 5 fork
+copies over random path subsets.  For ε from 0 to 1 it computes the
+minimum-cost script under γ(l) = l^ε, re-prices that script under the
+unit (ε = 0) and length (ε = 1) models, and reports the average and
+worst-case percent error versus the respective optima over 100 pairs.
+
+Paper numbers: the length-optimal script averages 14% (worst 50%) error
+under unit cost; the unit-optimal script averages 16% (worst 64%) under
+length cost; intermediate ε trade the two off monotonically.
+
+Scaled reproduction: 6 paths (lengths 1..36), 12 pairs, ε ∈
+{0, 0.25, 0.5, 0.75, 1}.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.costs.standard import PowerCost
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import fig17b_specification
+
+from _workloads import emit, scaled
+
+NUM_PATHS = 6
+PAIRS = scaled(12, minimum=4)
+EPSILONS = [0.0, 0.25, 0.5, 0.75, 1.0]
+PARAMS = ExecutionParams(prob_parallel=0.5, max_fork=5, prob_fork=1.0)
+
+
+def reprice(operations, cost) -> float:
+    return sum(
+        cost.path_cost(op.length, op.source_label, op.sink_label)
+        for op in operations
+    )
+
+
+def sweep():
+    spec = fig17b_specification(NUM_PATHS)
+    unit = PowerCost(0.0)
+    length = PowerCost(1.0)
+    errors = {eps: {"unit": [], "length": []} for eps in EPSILONS}
+    for pair_index in range(PAIRS):
+        one = execute_workflow(spec, PARAMS, seed=2 * pair_index)
+        two = execute_workflow(spec, PARAMS, seed=2 * pair_index + 1)
+        unit_optimum = diff_runs(one, two, cost=unit).distance
+        length_optimum = diff_runs(one, two, cost=length).distance
+        for eps in EPSILONS:
+            script = diff_runs(one, two, cost=PowerCost(eps)).script
+            as_unit = reprice(script.operations, unit)
+            as_length = reprice(script.operations, length)
+            if unit_optimum > 0:
+                errors[eps]["unit"].append(
+                    100.0 * (as_unit - unit_optimum) / unit_optimum
+                )
+            if length_optimum > 0:
+                errors[eps]["length"].append(
+                    100.0 * (as_length - length_optimum) / length_optimum
+                )
+    return errors
+
+
+def test_fig16_cost_model_errors(benchmark):
+    errors = sweep()
+
+    lines = [
+        "Fig. 16: percent error of minimum-cost scripts re-priced under "
+        "the unit and length models",
+        f"{'ε':>5} {'avg unit-err%':>14} {'max unit-err%':>14} "
+        f"{'avg len-err%':>13} {'max len-err%':>13}",
+    ]
+    summary = {}
+    for eps in EPSILONS:
+        unit_errors = errors[eps]["unit"] or [0.0]
+        length_errors = errors[eps]["length"] or [0.0]
+        summary[eps] = (
+            statistics.mean(unit_errors),
+            max(unit_errors),
+            statistics.mean(length_errors),
+            max(length_errors),
+        )
+        lines.append(
+            f"{eps:>5.2f} {summary[eps][0]:>14.1f} {summary[eps][1]:>14.1f} "
+            f"{summary[eps][2]:>13.1f} {summary[eps][3]:>13.1f}"
+        )
+    emit("fig16", lines)
+
+    # The ε-optimal script is exact under its own model...
+    assert summary[0.0][0] == pytest.approx(0.0, abs=1e-9)
+    assert summary[1.0][2] == pytest.approx(0.0, abs=1e-9)
+    # ... and the cross-model errors are non-trivial at the extremes
+    # (the paper reports 14-16% averages; shapes, not magnitudes, are the
+    # claim at this scale).
+    assert summary[1.0][0] > 0.0, "length-optimal script should err under unit"
+    assert summary[0.0][2] > 0.0, "unit-optimal script should err under length"
+    # Monotone trade-off across ε (allowing small sampling noise).
+    assert summary[1.0][0] >= summary[0.0][0] - 1e-9
+    assert summary[0.0][2] >= summary[1.0][2] - 1e-9
+
+    # Benchmark one full diff on this workload.
+    spec = fig17b_specification(NUM_PATHS)
+    one = execute_workflow(spec, PARAMS, seed=100)
+    two = execute_workflow(spec, PARAMS, seed=101)
+    benchmark.pedantic(
+        diff_runs,
+        args=(one, two),
+        kwargs={"cost": PowerCost(0.5)},
+        rounds=3,
+        iterations=1,
+    )

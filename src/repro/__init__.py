@@ -1,0 +1,98 @@
+"""Reproduction of *Differencing Provenance in Scientific Workflows*.
+
+Bao, Cohen-Boulakia, Davidson, Eyal, Khanna (ICDE 2009 / UPenn TR
+MS-CIS-08-04).  The library implements the SP-workflow model (series-
+parallel specifications overlaid with well-nested forks and loops), the
+polynomial-time run-differencing algorithms (annotated SP-trees, subtree
+deletion DP, Hungarian and non-crossing matchings), minimum-cost edit
+scripts with valid intermediates, and the PDiffView prototype.
+
+Quickstart
+----------
+>>> from repro import protein_annotation, execute_workflow, diff_runs
+>>> spec = protein_annotation()
+>>> run1 = execute_workflow(spec, seed=1)
+>>> run2 = execute_workflow(spec, seed=2)
+>>> result = diff_runs(run1, run2)
+>>> result.distance >= 0
+True
+"""
+
+from repro.core.api import DiffResult, diff_runs, edit_distance
+from repro.core.verify import VerificationReport, verify_diff
+from repro.costs.base import CostModel
+from repro.costs.standard import (
+    CallableCost,
+    LabelWeightedCost,
+    LengthCost,
+    PowerCost,
+    UnitCost,
+)
+from repro.errors import (
+    CostModelError,
+    EditScriptError,
+    GraphStructureError,
+    InvalidRunError,
+    MatchingError,
+    NotSeriesParallelError,
+    ReproError,
+    SpecificationError,
+)
+from repro.graphs.flow_network import FlowNetwork
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import (
+    random_run_pair,
+    random_sp_graph,
+    random_specification,
+)
+from repro.workflow.real_workflows import (
+    all_real_workflows,
+    baidd,
+    emboss,
+    mb,
+    pgaq,
+    protein_annotation,
+    saxpf,
+)
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "diff_runs",
+    "edit_distance",
+    "DiffResult",
+    "verify_diff",
+    "VerificationReport",
+    "FlowNetwork",
+    "WorkflowSpecification",
+    "WorkflowRun",
+    "ExecutionParams",
+    "execute_workflow",
+    "CostModel",
+    "UnitCost",
+    "LengthCost",
+    "PowerCost",
+    "LabelWeightedCost",
+    "CallableCost",
+    "random_sp_graph",
+    "random_specification",
+    "random_run_pair",
+    "all_real_workflows",
+    "protein_annotation",
+    "emboss",
+    "saxpf",
+    "mb",
+    "pgaq",
+    "baidd",
+    "ReproError",
+    "GraphStructureError",
+    "NotSeriesParallelError",
+    "SpecificationError",
+    "InvalidRunError",
+    "CostModelError",
+    "EditScriptError",
+    "MatchingError",
+]

@@ -1,0 +1,241 @@
+"""Exact brute-force differencing — the test oracle for Algorithm 4.
+
+The edit distance has a clean semantics: the shortest path between the two
+runs in the (infinite) graph whose vertices are all valid runs of the
+specification and whose edges are single elementary path operations
+(Section III-C).  This module searches that space directly with Dijkstra's
+algorithm, merging runs up to ``≡`` (instance renaming / P-F reorder).
+
+This is exponential and only usable on small instances, but it makes no
+use of the SP-tree DP machinery beyond tree construction — an independent
+implementation of the *definition* — which makes it the strongest oracle
+for the polynomial algorithm in the test suite.
+
+Successor generation:
+
+* **deletions/contractions** — any subtree that is branch-free with a true
+  P/F/L parent (i.e. any elementary subtree, Definition 4.1);
+* **insertions/expansions** — any branch-free run of a specification
+  subtree attached under a P node (absent branches only), an F node (any
+  number of copies), or an L node (at every iteration position).
+
+Search is bounded by a leaf budget and a state cap to stay finite.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.apply import IdAllocator, MirrorFreezer, MNode, build_mirror
+from repro.costs.base import CostModel
+from repro.costs.standard import UnitCost
+from repro.errors import ReproError
+from repro.sptree.nodes import NodeType, SPTree
+from repro.workflow.run import WorkflowRun
+
+
+def enumerate_branch_free_fragments(
+    spec_node: SPTree, limit: int = 64
+) -> List[MNode]:
+    """All distinct branch-free runs of ``TG[spec_node]`` (as mirrors).
+
+    Enumerates every source-sink path shape: P nodes pick one branch,
+    F and L nodes execute once.  Capped at ``limit`` fragments.
+    """
+
+    def build(node: SPTree) -> List[MNode]:
+        if node.kind is NodeType.Q:
+            return [
+                MNode(
+                    NodeType.Q,
+                    node,
+                    node.source_label,
+                    node.sink_label,
+                )
+            ]
+        if node.kind is NodeType.S:
+            options = [build(child) for child in node.children]
+            results: List[MNode] = []
+            for combo in itertools.product(*options):
+                wrapper = MNode(
+                    NodeType.S, node, node.source_label, node.sink_label
+                )
+                for part in combo:
+                    wrapper.attach(_clone(part))
+                results.append(wrapper)
+                if len(results) >= limit:
+                    break
+            return results
+        if node.kind is NodeType.P:
+            results = []
+            for child in node.children:
+                for inner in build(child):
+                    wrapper = MNode(
+                        NodeType.P, node, node.source_label, node.sink_label
+                    )
+                    wrapper.attach(inner)
+                    results.append(wrapper)
+                    if len(results) >= limit:
+                        return results
+            return results
+        # F or L: single copy / iteration.
+        results = []
+        for inner in build(node.children[0]):
+            wrapper = MNode(
+                node.kind, node, node.source_label, node.sink_label
+            )
+            wrapper.attach(inner)
+            results.append(wrapper)
+            if len(results) >= limit:
+                break
+        return results
+
+    return build(spec_node)
+
+
+def _clone(node: MNode) -> MNode:
+    copy = MNode(
+        node.kind,
+        node.origin,
+        node.source_label,
+        node.sink_label,
+        pref_source=node.pref_source,
+        pref_sink=node.pref_sink,
+    )
+    for child in node.children:
+        copy.attach(_clone(child))
+    return copy
+
+
+def _freeze(root: MNode) -> SPTree:
+    freezer = MirrorFreezer(IdAllocator())
+    allocator = IdAllocator()
+    source = allocator.fresh(root.source_label)
+    sink = allocator.fresh(root.sink_label)
+    return freezer.freeze(root, source, sink)
+
+
+def _successors(
+    tree: SPTree, cost: CostModel
+) -> Iterator[Tuple[float, SPTree]]:
+    nodes = list(tree.iter_nodes("pre"))
+    parents: Dict[int, SPTree] = {}
+    for node in nodes:
+        for child in node.children:
+            parents[id(child)] = node
+
+    # Deletions / contractions.
+    for node in nodes:
+        parent = parents.get(id(node))
+        if parent is None or parent.kind not in (
+            NodeType.P,
+            NodeType.F,
+            NodeType.L,
+        ):
+            continue
+        if not parent.is_true or not node.is_branch_free:
+            continue
+        operation_cost = cost.path_cost(
+            node.leaf_count, node.source_label, node.sink_label
+        )
+        root, registry = build_mirror(tree)
+        registry[id(node)].detach()
+        yield operation_cost, _freeze(root)
+
+    # Insertions / expansions.
+    for node in nodes:
+        if node.kind is NodeType.P:
+            present = {id(child.origin) for child in node.children}
+            for spec_child in node.origin.children:
+                if id(spec_child) in present:
+                    continue
+                for fragment in enumerate_branch_free_fragments(spec_child):
+                    operation_cost = cost.path_cost(
+                        fragment.leaf_count(),
+                        fragment.source_label,
+                        fragment.sink_label,
+                    )
+                    root, registry = build_mirror(tree)
+                    registry[id(node)].attach(_clone(fragment))
+                    yield operation_cost, _freeze(root)
+        elif node.kind is NodeType.F:
+            body = node.origin.children[0]
+            for fragment in enumerate_branch_free_fragments(body):
+                operation_cost = cost.path_cost(
+                    fragment.leaf_count(),
+                    fragment.source_label,
+                    fragment.sink_label,
+                )
+                root, registry = build_mirror(tree)
+                registry[id(node)].attach(_clone(fragment))
+                yield operation_cost, _freeze(root)
+        elif node.kind is NodeType.L:
+            body = node.origin.children[0]
+            for fragment in enumerate_branch_free_fragments(body):
+                operation_cost = cost.path_cost(
+                    fragment.leaf_count(),
+                    fragment.source_label,
+                    fragment.sink_label,
+                )
+                for position in range(node.degree + 1):
+                    root, registry = build_mirror(tree)
+                    registry[id(node)].attach(_clone(fragment), position)
+                    yield operation_cost, _freeze(root)
+
+
+def exact_edit_distance(
+    run1: WorkflowRun,
+    run2: WorkflowRun,
+    cost: Optional[CostModel] = None,
+    extra_leaves: int = 3,
+    max_states: int = 200_000,
+) -> float:
+    """Dijkstra over the space of valid runs (exponential; small inputs).
+
+    Parameters
+    ----------
+    extra_leaves:
+        Leaf budget beyond ``max(|run1|, |run2|)``; intermediate runs
+        larger than this are pruned.  The paper's edit scripts never need
+        to grow beyond the larger run by more than one temporary branch,
+        so small budgets are safe for verification.
+    max_states:
+        Hard cap on settled states; exceeding it raises
+        :class:`ReproError` (instance too large for the oracle).
+    """
+    cost = cost or UnitCost()
+    goal = run2.tree.structure_key()
+    start_tree = run1.tree
+    start_key = start_tree.structure_key()
+    if start_key == goal:
+        return 0.0
+    budget = max(run1.tree.leaf_count, run2.tree.leaf_count) + extra_leaves
+
+    counter = itertools.count()
+    heap: List[Tuple[float, int, SPTree]] = [(0.0, next(counter), start_tree)]
+    best: Dict[object, float] = {start_key: 0.0}
+    settled = 0
+    while heap:
+        distance, _, tree = heapq.heappop(heap)
+        key = tree.structure_key()
+        if distance > best.get(key, float("inf")) + 1e-12:
+            continue
+        if key == goal:
+            return distance
+        settled += 1
+        if settled > max_states:
+            raise ReproError(
+                "exhaustive search exceeded the state cap; instance too "
+                "large for the oracle"
+            )
+        for operation_cost, successor in _successors(tree, cost):
+            if successor.leaf_count > budget:
+                continue
+            successor_key = successor.structure_key()
+            candidate = distance + operation_cost
+            if candidate < best.get(successor_key, float("inf")) - 1e-12:
+                best[successor_key] = candidate
+                heapq.heappush(heap, (candidate, next(counter), successor))
+    raise ReproError("exhaustive search did not reach the target run")

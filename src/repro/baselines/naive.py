@@ -1,0 +1,99 @@
+"""The naive dataflow differencing baseline (Section I).
+
+For the plain *dataflow* execution model — the one most Provenance
+Challenge systems supported — module names do not repeat within a run, so
+two runs of the same specification admit an immediate node pairing by
+label.  Differencing then reduces to set difference on nodes and edges.
+
+The paper's point of departure is that this approach breaks down as soon
+as forks and loops replicate module instances: label-based pairing becomes
+ambiguous and a global matching is required.  :class:`NaiveDiff` exposes
+exactly this boundary: ``is_exact`` reports whether the label-pairing
+assumption held for the given pair of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.workflow.run import WorkflowRun
+
+
+@dataclass
+class NaiveDiff:
+    """Result of label-based node/edge set differencing.
+
+    Attributes
+    ----------
+    is_exact:
+        True iff labels were unique in both runs, i.e. the naive pairing
+        is the (unique) correct one and the counts below are meaningful.
+    nodes_only_in_1 / nodes_only_in_2:
+        Labels present in exactly one run (counted with multiplicity
+        difference when labels repeat).
+    edges_only_in_1 / edges_only_in_2:
+        Label-pair edges present in exactly one run (multiset difference).
+    """
+
+    is_exact: bool
+    nodes_only_in_1: List[str]
+    nodes_only_in_2: List[str]
+    edges_only_in_1: List[Tuple[str, str]]
+    edges_only_in_2: List[Tuple[str, str]]
+
+    @property
+    def symmetric_difference_size(self) -> int:
+        """Total number of differing nodes and edges."""
+        return (
+            len(self.nodes_only_in_1)
+            + len(self.nodes_only_in_2)
+            + len(self.edges_only_in_1)
+            + len(self.edges_only_in_2)
+        )
+
+    @property
+    def is_identical(self) -> bool:
+        return self.symmetric_difference_size == 0
+
+
+def _label_multiset(run: WorkflowRun) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for node in run.graph.nodes():
+        label = run.graph.label(node)
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def _edge_multiset(run: WorkflowRun) -> Dict[Tuple[str, str], int]:
+    counts: Dict[Tuple[str, str], int] = {}
+    for u, v, _ in run.graph.edges():
+        pair = (run.graph.label(u), run.graph.label(v))
+        counts[pair] = counts.get(pair, 0) + 1
+    return counts
+
+
+def _multiset_minus(left: Dict, right: Dict) -> List:
+    result = []
+    for key, count in left.items():
+        extra = count - right.get(key, 0)
+        result.extend([key] * max(0, extra))
+    return sorted(result)
+
+
+def naive_diff(run1: WorkflowRun, run2: WorkflowRun) -> NaiveDiff:
+    """Label-based set differencing of two runs (the dataflow baseline)."""
+    labels1 = _label_multiset(run1)
+    labels2 = _label_multiset(run2)
+    edges1 = _edge_multiset(run1)
+    edges2 = _edge_multiset(run2)
+    is_exact = all(count == 1 for count in labels1.values()) and all(
+        count == 1 for count in labels2.values()
+    )
+    return NaiveDiff(
+        is_exact=is_exact,
+        nodes_only_in_1=_multiset_minus(labels1, labels2),
+        nodes_only_in_2=_multiset_minus(labels2, labels1),
+        edges_only_in_1=_multiset_minus(edges1, edges2),
+        edges_only_in_2=_multiset_minus(edges2, edges1),
+    )

@@ -1,0 +1,282 @@
+"""Mutable run-tree mirror and graph materialisation for edit scripts.
+
+Edit scripts transform one run into another through a sequence of
+elementary operations.  The immutable :class:`~repro.sptree.nodes.SPTree`
+is unsuitable for step-by-step transformation, so the script engine works
+on a *mirror*: a mutable tree of :class:`MNode` objects, one per original
+tree node, that supports detaching and attaching subtrees.
+
+After each operation the mirror can be *frozen* back to an immutable
+annotated SP-tree and materialised as a run graph.  Freezing assigns
+concrete node-instance ids top-down: surviving instances keep their
+original ids wherever possible (``preferred`` ids), while inserted
+interiors and rewired boundaries receive fresh ids — mirroring how the
+paper's operations create new instances (``2b``, ``4c``, … in Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import EditScriptError
+from repro.sptree.nodes import EdgeRef, NodeType, SPTree
+
+
+class MNode:
+    """A mutable mirror node.
+
+    Attributes
+    ----------
+    kind / origin:
+        Copied from the mirrored tree node (``origin`` points into the
+        specification tree).
+    children:
+        Mutable child list.
+    source_label / sink_label:
+        Terminal labels — invariants of the node (Section IV-D).
+    pref_source / pref_sink:
+        Preferred instance ids (the original ids; hints for freezing).
+    """
+
+    __slots__ = (
+        "kind",
+        "origin",
+        "children",
+        "parent",
+        "source_label",
+        "sink_label",
+        "pref_source",
+        "pref_sink",
+    )
+
+    def __init__(
+        self,
+        kind: NodeType,
+        origin: Optional[SPTree],
+        source_label: str,
+        sink_label: str,
+        pref_source=None,
+        pref_sink=None,
+    ):
+        self.kind = kind
+        self.origin = origin
+        self.children: List["MNode"] = []
+        self.parent: Optional["MNode"] = None
+        self.source_label = source_label
+        self.sink_label = sink_label
+        self.pref_source = pref_source
+        self.pref_sink = pref_sink
+
+    # -- structure -------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        return len(self.children)
+
+    @property
+    def is_true(self) -> bool:
+        return len(self.children) > 1
+
+    def attach(self, child: "MNode", index: Optional[int] = None) -> None:
+        if child.parent is not None:
+            raise EditScriptError("node is already attached")
+        if index is None:
+            index = len(self.children)
+        self.children.insert(index, child)
+        child.parent = self
+
+    def detach(self) -> None:
+        if self.parent is None:
+            raise EditScriptError("cannot detach an unattached node")
+        self.parent.children.remove(self)
+        self.parent = None
+
+    def is_branch_free(self) -> bool:
+        """No true P/F/L node in the current subtree (Definition 4.1)."""
+        if self.kind in (NodeType.P, NodeType.F, NodeType.L) and self.is_true:
+            return False
+        return all(child.is_branch_free() for child in self.children)
+
+    def leaf_labels(self) -> List[Tuple[str, str]]:
+        """Label pairs of the current leaves, left to right."""
+        if self.kind is NodeType.Q:
+            return [(self.source_label, self.sink_label)]
+        result: List[Tuple[str, str]] = []
+        for child in self.children:
+            result.extend(child.leaf_labels())
+        return result
+
+    def leaf_count(self) -> int:
+        if self.kind is NodeType.Q:
+            return 1
+        return sum(child.leaf_count() for child in self.children)
+
+    def path_node_labels(self) -> List[str]:
+        """Node labels along the (branch-free) subtree's path."""
+        pairs = self.leaf_labels()
+        if not pairs:
+            return []
+        labels = [pairs[0][0]]
+        for _, sink in pairs:
+            labels.append(sink)
+        return labels
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MNode({self.kind.value}, degree={self.degree})"
+
+
+def build_mirror(tree: SPTree) -> Tuple[MNode, Dict[int, MNode]]:
+    """Mirror an annotated run tree; returns (root, original-id -> MNode)."""
+    registry: Dict[int, MNode] = {}
+
+    def visit(node: SPTree) -> MNode:
+        mirror = MNode(
+            node.kind,
+            node.origin,
+            node.source_label,
+            node.sink_label,
+            pref_source=node.source,
+            pref_sink=node.sink,
+        )
+        registry[id(node)] = mirror
+        for child in node.children:
+            mirror.attach(visit(child))
+        return mirror
+
+    return visit(tree), registry
+
+
+def mirror_from_fragment(
+    fragment: SPTree, registry: Optional[Dict[int, MNode]] = None
+) -> MNode:
+    """Mirror an immutable fragment (witness subtree) into MNodes."""
+
+    def visit(node: SPTree) -> MNode:
+        mirror = MNode(
+            node.kind,
+            node.origin,
+            node.source_label,
+            node.sink_label,
+            pref_source=node.source,
+            pref_sink=node.sink,
+        )
+        if registry is not None:
+            registry[id(node)] = mirror
+        for child in node.children:
+            mirror.attach(visit(child))
+        return mirror
+
+    return visit(fragment)
+
+
+class IdAllocator:
+    """Fresh instance-id allocation (``label`` + spreadsheet suffix)."""
+
+    def __init__(self, used: Optional[Set] = None):
+        self._used: Set = set(used or ())
+        self._counters: Dict[str, int] = {}
+
+    def reserve(self, node_id) -> None:
+        self._used.add(node_id)
+
+    def fresh(self, label: str):
+        index = self._counters.get(label, 0)
+        while True:
+            suffix = _suffix(index)
+            index += 1
+            candidate = f"{label}{suffix}"
+            if candidate not in self._used:
+                break
+        self._counters[label] = index
+        self._used.add(candidate)
+        return candidate
+
+
+def _suffix(index: int) -> str:
+    letters = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, 26)
+        letters.append(chr(ord("a") + rem))
+    return "".join(reversed(letters))
+
+
+class MirrorFreezer:
+    """Freeze a mirror into an immutable annotated SP-tree.
+
+    Instance ids are assigned top-down: the root keeps the original run's
+    terminals, series cut points and loop boundaries keep their preferred
+    ids when still unclaimed, and everything else gets fresh ids.
+    """
+
+    def __init__(self, allocator: Optional[IdAllocator] = None):
+        self.allocator = allocator or IdAllocator()
+        self._claimed: Set = set()
+
+    def freeze(self, root: MNode, source_id, sink_id) -> SPTree:
+        self._claimed = {source_id, sink_id}
+        self.allocator.reserve(source_id)
+        self.allocator.reserve(sink_id)
+        return self._freeze(root, source_id, sink_id)
+
+    def _claim(self, preferred, label: str):
+        if preferred is not None and preferred not in self._claimed:
+            self._claimed.add(preferred)
+            self.allocator.reserve(preferred)
+            return preferred
+        fresh = self.allocator.fresh(label)
+        self._claimed.add(fresh)
+        return fresh
+
+    def _freeze(self, node: MNode, source_id, sink_id) -> SPTree:
+        if node.kind is NodeType.Q:
+            ref = EdgeRef(
+                source=source_id,
+                sink=sink_id,
+                source_label=node.source_label,
+                sink_label=node.sink_label,
+                key=0,
+            )
+            return SPTree(NodeType.Q, (), edge=ref, origin=node.origin)
+
+        if not node.children:
+            raise EditScriptError(
+                f"mirror {node.kind} node has no children at freeze time"
+            )
+
+        if node.kind is NodeType.S:
+            bounds = [source_id]
+            for child in node.children[:-1]:
+                bounds.append(self._claim(child.pref_sink, child.sink_label))
+            bounds.append(sink_id)
+            children = tuple(
+                self._freeze(child, bounds[i], bounds[i + 1])
+                for i, child in enumerate(node.children)
+            )
+            return SPTree(NodeType.S, children, origin=node.origin)
+
+        if node.kind in (NodeType.P, NodeType.F):
+            children = tuple(
+                self._freeze(child, source_id, sink_id)
+                for child in node.children
+            )
+            return SPTree(node.kind, children, origin=node.origin)
+
+        # L node: iterations joined by implicit edges between fresh/kept
+        # boundary instances.
+        count = len(node.children)
+        children = []
+        iter_source = source_id
+        for index, child in enumerate(node.children):
+            last = index == count - 1
+            iter_sink = (
+                sink_id
+                if last
+                else self._claim(child.pref_sink, child.sink_label)
+            )
+            children.append(self._freeze(child, iter_source, iter_sink))
+            if not last:
+                next_child = node.children[index + 1]
+                iter_source = self._claim(
+                    next_child.pref_source, next_child.source_label
+                )
+        return SPTree(NodeType.L, tuple(children), origin=node.origin)

@@ -1,0 +1,191 @@
+"""Algorithms 4 and 6: the edit-distance dynamic program (Section V-C).
+
+The edit distance between two annotated run trees equals the minimum cost
+of a *well-formed mapping* (Theorem 3).  The DP computes, bottom-up over
+pairs of **homologous** nodes (equal origins in the specification tree),
+the minimum mapping cost ``γ(M(v1, v2))``:
+
+* **Q pairs** map with zero cost;
+* **S pairs** map all corresponding children (Definition 5.1.5);
+* **P pairs** either match homologous children when beneficial (case 3b),
+  or — when both are single-child with homologous children — weigh the
+  child mapping against the *unstable* route costing
+  ``X(c1) + X(c2) + 2·W_TG`` (case 3a, Eq. 2 and Fig. 8);
+* **F pairs** solve a minimum-cost bipartite matching over the copies
+  (Hungarian algorithm, Fig. 9);
+* **L pairs** solve a minimum-cost **non-crossing** matching over the
+  ordered iterations (Algorithm 6).
+
+The total work is O(|E|³) as analysed in Section V-D.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.deletion import DeletionTables
+from repro.core.spec_costs import SpecCostTables
+from repro.costs.base import CostModel
+from repro.errors import EditScriptError
+from repro.matching.hungarian import match_children
+from repro.matching.noncrossing import noncrossing_match
+from repro.sptree.nodes import NodeType, SPTree
+
+INF = math.inf
+
+
+@dataclass
+class PairDecision:
+    """DP cell for a homologous pair ``(v1, v2)``.
+
+    ``cost`` is ``γ(M(v1, v2))`` for the optimal mapping of the two
+    subtrees; ``matched`` lists the matched child pairs (empty for Q);
+    ``unstable`` marks P pairs taking the Eq. 2 route.
+    """
+
+    cost: float
+    matched: List[Tuple[SPTree, SPTree]] = field(default_factory=list)
+    unstable: bool = False
+
+
+class EditDistanceComputation:
+    """Bottom-up DP over homologous node pairs of two annotated run trees."""
+
+    def __init__(self, spec, tree1: SPTree, tree2: SPTree, cost: CostModel):
+        self.spec = spec
+        self.tree1 = tree1
+        self.tree2 = tree2
+        self.cost = cost
+        self.deletions1 = DeletionTables(tree1, cost)
+        self.deletions2 = DeletionTables(tree2, cost)
+        self.spec_tables = SpecCostTables(spec, cost)
+        self._pairs: Dict[Tuple[int, int], PairDecision] = {}
+        self._nodes1 = self._group_by_origin(tree1)
+        self._nodes2 = self._group_by_origin(tree2)
+        self._run()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _group_by_origin(tree: SPTree) -> Dict[int, List[SPTree]]:
+        groups: Dict[int, List[SPTree]] = {}
+        for node in tree.iter_nodes("pre"):
+            if node.origin is None:
+                raise EditScriptError(
+                    "run tree node lacks an origin; build trees via "
+                    "annotate_run_tree or the executor"
+                )
+            groups.setdefault(id(node.origin), []).append(node)
+        return groups
+
+    def _run(self) -> None:
+        for spec_node in self.spec.tree.iter_nodes("post"):
+            left = self._nodes1.get(id(spec_node), [])
+            right = self._nodes2.get(id(spec_node), [])
+            for v1 in left:
+                for v2 in right:
+                    self._pairs[(id(v1), id(v2))] = self._decide(v1, v2)
+
+    # ------------------------------------------------------------------
+    def decision(self, v1: SPTree, v2: SPTree) -> PairDecision:
+        """The DP cell for a homologous pair."""
+        return self._pairs[(id(v1), id(v2))]
+
+    def pair_cost(self, v1: SPTree, v2: SPTree) -> float:
+        """``γ(M(v1, v2))`` — minimum mapping cost for the pair."""
+        return self._pairs[(id(v1), id(v2))].cost
+
+    @property
+    def distance(self) -> float:
+        """``δ(T1, T2) = γ(M(r1, r2))`` (Theorem 3)."""
+        return self.pair_cost(self.tree1, self.tree2)
+
+    # ------------------------------------------------------------------
+    def _decide(self, v1: SPTree, v2: SPTree) -> PairDecision:
+        if v1.kind is not v2.kind:  # pragma: no cover - impossible for valid runs
+            raise EditScriptError(
+                f"homologous nodes disagree on type: {v1.kind} vs {v2.kind}"
+            )
+        if v1.kind is NodeType.Q:
+            return PairDecision(0.0)
+        if v1.kind is NodeType.S:
+            return self._decide_series(v1, v2)
+        if v1.kind is NodeType.P:
+            return self._decide_parallel(v1, v2)
+        if v1.kind is NodeType.F:
+            return self._decide_fork(v1, v2)
+        return self._decide_loop(v1, v2)
+
+    def _decide_series(self, v1: SPTree, v2: SPTree) -> PairDecision:
+        if v1.degree != v2.degree:  # pragma: no cover - valid runs agree
+            raise EditScriptError("homologous S nodes disagree on arity")
+        total = 0.0
+        matched = []
+        for c1, c2 in zip(v1.children, v2.children):
+            total += self.pair_cost(c1, c2)
+            matched.append((c1, c2))
+        return PairDecision(total, matched)
+
+    def _decide_parallel(self, v1: SPTree, v2: SPTree) -> PairDecision:
+        if (
+            v1.degree == 1
+            and v2.degree == 1
+            and v1.children[0].origin is v2.children[0].origin
+        ):
+            # Case 3a: potentially unstable (Definition 5.2).
+            c1 = v1.children[0]
+            c2 = v2.children[0]
+            mapped = self.pair_cost(c1, c2)
+            w_value = self.spec_tables.w(v1.origin, c1.origin)
+            unstable = (
+                self.deletions1.x(c1) + self.deletions2.x(c2) + 2.0 * w_value
+            )
+            if mapped <= unstable:
+                return PairDecision(mapped, [(c1, c2)])
+            return PairDecision(unstable, [], unstable=True)
+
+        # Case 3b: at most one child per origin on each side.
+        by_origin1 = {id(c.origin): c for c in v1.children}
+        by_origin2 = {id(c.origin): c for c in v2.children}
+        total = 0.0
+        matched = []
+        for key, c1 in by_origin1.items():
+            c2 = by_origin2.get(key)
+            delete_cost = self.deletions1.x(c1)
+            if c2 is None:
+                total += delete_cost
+                continue
+            replace = delete_cost + self.deletions2.x(c2)
+            mapped = self.pair_cost(c1, c2)
+            if mapped <= replace:
+                total += mapped
+                matched.append((c1, c2))
+            else:
+                total += replace
+        for key, c2 in by_origin2.items():
+            if key not in by_origin1:
+                total += self.deletions2.x(c2)
+        return PairDecision(total, matched)
+
+    def _decide_fork(self, v1: SPTree, v2: SPTree) -> PairDecision:
+        children1 = list(v1.children)
+        children2 = list(v2.children)
+        total, matches = match_children(
+            lambda i, j: self.pair_cost(children1[i], children2[j]),
+            [self.deletions1.x(c) for c in children1],
+            [self.deletions2.x(c) for c in children2],
+        )
+        matched = [(children1[i], children2[j]) for i, j in matches]
+        return PairDecision(total, matched)
+
+    def _decide_loop(self, v1: SPTree, v2: SPTree) -> PairDecision:
+        children1 = list(v1.children)
+        children2 = list(v2.children)
+        total, matches = noncrossing_match(
+            lambda i, j: self.pair_cost(children1[i], children2[j]),
+            [self.deletions1.x(c) for c in children1],
+            [self.deletions2.x(c) for c in children2],
+        )
+        matched = [(children1[i], children2[j]) for i, j in matches]
+        return PairDecision(total, matched)

@@ -1,0 +1,442 @@
+"""Edit-script generation from the optimal mapping (Lemma 5.1, §V-VI).
+
+Given the DP of :mod:`repro.core.edit_distance`, this module produces the
+minimum-cost *edit script*: an ordered sequence of elementary path
+operations transforming run 1 into run 2 such that **every intermediate
+graph is a valid run** of the specification.
+
+Construction (per mapped pair, following the proof of Lemma 5.1):
+
+* **S pairs** recurse into their aligned children.
+* **F pairs** insert the unmatched copies of run 2, then delete the
+  unmatched copies of run 1 (the F node stays true while operating).
+* **L pairs** insert unmatched iterations at their aligned positions
+  (path *expansions*), then delete unmatched iterations (*contractions*).
+* **Stable P pairs** with a matched child delete-then-insert; without one
+  they pivot on a non-homologous branch (case 2 of the proof).
+* **Unstable P pairs** (Definition 5.2) insert a temporary sibling branch
+  — the cheapest elementary subtree of a different specification branch —
+  then swap the homologous children, then remove the temporary branch,
+  paying exactly ``X(c1) + X(c2) + 2·W_TG`` (Eq. 2).
+
+Whole-subtree deletions are lowered to sequences of elementary deletions
+via the Algorithm 3 backtraces (deepest-first, Lemma 5.5); insertions are
+their exact reverses.  Operation kinds follow the parent node: insertions/
+deletions under P/F parents, expansions/contractions under L parents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.apply import (
+    IdAllocator,
+    MirrorFreezer,
+    MNode,
+    build_mirror,
+    mirror_from_fragment,
+)
+from repro.core.edit_distance import EditDistanceComputation
+from repro.errors import EditScriptError
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.nodes import NodeType, SPTree
+from repro.sptree.validate import validate_run_tree
+
+PATH_INSERTION = "path-insertion"
+PATH_DELETION = "path-deletion"
+PATH_EXPANSION = "path-expansion"
+PATH_CONTRACTION = "path-contraction"
+
+
+@dataclass
+class PathOperation:
+    """One elementary path edit operation of the script."""
+
+    kind: str
+    cost: float
+    length: int
+    source_label: str
+    sink_label: str
+    path_labels: Tuple[str, ...]
+    note: str = ""
+
+    def __str__(self) -> str:
+        path = " -> ".join(self.path_labels)
+        return f"{self.kind} [{path}] (cost {self.cost:g})"
+
+
+@dataclass
+class EditScript:
+    """The full script plus materialised states.
+
+    Attributes
+    ----------
+    operations:
+        The ordered elementary path operations.
+    initial_graph / final_graph:
+        Run 1's graph and the transformed graph (``≡`` to run 2).
+    intermediate_graphs:
+        One graph per operation (present when recording was requested).
+    """
+
+    operations: List[PathOperation]
+    initial_graph: FlowNetwork
+    final_graph: FlowNetwork
+    final_tree: SPTree
+    intermediate_graphs: Optional[List[FlowNetwork]] = None
+
+    @property
+    def total_cost(self) -> float:
+        return sum(op.cost for op in self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+class ScriptBuilder:
+    """Generates and applies the minimum-cost edit script."""
+
+    def __init__(
+        self,
+        computation: EditDistanceComputation,
+        record_intermediates: bool = False,
+        validate_intermediates: bool = False,
+    ):
+        self.comp = computation
+        self.record = record_intermediates or validate_intermediates
+        self.validate = validate_intermediates
+        self.ops: List[PathOperation] = []
+        self.snapshots: List[FlowNetwork] = []
+
+        self.root1, self.reg1 = build_mirror(computation.tree1)
+        self.reg2m: Dict[int, MNode] = {}
+        self.parents2: Dict[int, SPTree] = {}
+        for node in computation.tree2.iter_nodes("pre"):
+            for child in node.children:
+                self.parents2[id(child)] = node
+
+        used_ids = set()
+        for tree in (computation.tree1, computation.tree2):
+            for leaf in tree.leaves():
+                used_ids.add(leaf.edge.source)
+                used_ids.add(leaf.edge.sink)
+        self.allocator = IdAllocator(used_ids)
+        self._root_source = computation.tree1.source
+        self._root_sink = computation.tree1.sink
+
+    # ------------------------------------------------------------------
+    def build(self) -> EditScript:
+        """Generate the script, applying it to the mirror as it goes."""
+        initial = self._freeze().to_graph(name="initial")
+        self._process_pair(self.comp.tree1, self.comp.tree2)
+        final_tree = self._freeze()
+        final_graph = final_tree.to_graph(name="final")
+        return EditScript(
+            operations=self.ops,
+            initial_graph=initial,
+            final_graph=final_graph,
+            final_tree=final_tree,
+            intermediate_graphs=self.snapshots if self.record else None,
+        )
+
+    def _freeze(self) -> SPTree:
+        freezer = MirrorFreezer(IdAllocator())
+        return freezer.freeze(self.root1, self._root_source, self._root_sink)
+
+    def _record_op(self, op: PathOperation) -> None:
+        self.ops.append(op)
+        if not self.record:
+            return
+        tree = self._freeze()
+        if self.validate:
+            validate_run_tree(tree, require_origin=True)
+        self.snapshots.append(tree.to_graph(name=f"after-op-{len(self.ops)}"))
+
+    # ------------------------------------------------------------------
+    # Elementary operations on the mirror
+    # ------------------------------------------------------------------
+    def _apply_delete(self, mirror: MNode, cost: float, leaves: int, note: str = "") -> None:
+        parent = mirror.parent
+        if parent is None or parent.kind not in (
+            NodeType.P,
+            NodeType.F,
+            NodeType.L,
+        ):
+            raise EditScriptError(
+                "elementary deletion requires a P/F/L parent"
+            )
+        if not parent.is_true:
+            raise EditScriptError(
+                "elementary deletion requires a *true* parent node"
+            )
+        if not mirror.is_branch_free():
+            raise EditScriptError(
+                "elementary deletion target is not branch-free"
+            )
+        if mirror.leaf_count() != leaves:
+            raise EditScriptError(
+                f"deletion leaf-count mismatch: expected {leaves}, "
+                f"found {mirror.leaf_count()}"
+            )
+        kind = (
+            PATH_CONTRACTION if parent.kind is NodeType.L else PATH_DELETION
+        )
+        labels = tuple(mirror.path_node_labels())
+        mirror.detach()
+        self._record_op(
+            PathOperation(
+                kind=kind,
+                cost=cost,
+                length=leaves,
+                source_label=mirror.source_label,
+                sink_label=mirror.sink_label,
+                path_labels=labels,
+                note=note,
+            )
+        )
+
+    def _apply_insert(
+        self,
+        fragment: MNode,
+        parent: MNode,
+        index: Optional[int],
+        cost: float,
+        leaves: int,
+        note: str = "",
+    ) -> None:
+        if parent.kind not in (NodeType.P, NodeType.F, NodeType.L):
+            raise EditScriptError(
+                "elementary insertion requires a P/F/L parent"
+            )
+        if not fragment.is_branch_free():
+            raise EditScriptError(
+                "elementary insertion fragment is not branch-free"
+            )
+        if fragment.leaf_count() != leaves:
+            raise EditScriptError("insertion leaf-count mismatch")
+        kind = (
+            PATH_EXPANSION if parent.kind is NodeType.L else PATH_INSERTION
+        )
+        parent.attach(fragment, index)
+        self._record_op(
+            PathOperation(
+                kind=kind,
+                cost=cost,
+                length=leaves,
+                source_label=fragment.source_label,
+                sink_label=fragment.sink_label,
+                path_labels=tuple(fragment.path_node_labels()),
+                note=note,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-subtree operations (sequences of elementary ones)
+    # ------------------------------------------------------------------
+    def _delete_whole(self, node1: SPTree, note: str = "") -> None:
+        plan = self.comp.deletions1.deletion_plan(node1)
+        for step in plan:
+            mirror = self.reg1.get(id(step.victim))
+            if mirror is None:
+                raise EditScriptError("deletion victim missing from mirror")
+            self._apply_delete(mirror, step.cost, step.leaves, note=note)
+
+    def _mirror_spine(self, spine) -> MNode:
+        node = spine.node
+        mirror = MNode(
+            node.kind,
+            node.origin,
+            node.source_label,
+            node.sink_label,
+            pref_source=node.source,
+            pref_sink=node.sink,
+        )
+        self.reg2m[id(node)] = mirror
+        for child in spine.children:
+            mirror.attach(self._mirror_spine(child))
+        return mirror
+
+    def _insert_whole(
+        self,
+        node2: SPTree,
+        parent: MNode,
+        index: Optional[int],
+        note: str = "",
+    ) -> None:
+        plan = self.comp.deletions2.deletion_plan(node2)
+        for step in reversed(plan):
+            spine = self.comp.deletions2.reduced_spine(
+                step.victim, step.leaves
+            )
+            fragment = self._mirror_spine(spine)
+            if step.victim is node2:
+                target_parent, target_index = parent, index
+            else:
+                parent2 = self.parents2.get(id(step.victim))
+                if parent2 is None:
+                    raise EditScriptError("insertion victim has no parent")
+                target_parent = self.reg2m.get(id(parent2))
+                if target_parent is None:
+                    raise EditScriptError(
+                        "insertion parent has not been materialised yet"
+                    )
+                target_index = self._ordered_index(
+                    target_parent, parent2, step.victim
+                )
+            self._apply_insert(
+                fragment,
+                target_parent,
+                target_index,
+                step.cost,
+                step.leaves,
+                note=note,
+            )
+
+    def _ordered_index(
+        self, parent_mirror: MNode, parent2: SPTree, victim: SPTree
+    ) -> Optional[int]:
+        if parent_mirror.kind is not NodeType.L:
+            return None
+        position = 0
+        for child in parent2.children:
+            if child is victim:
+                break
+            mirror = self.reg2m.get(id(child))
+            if mirror is not None and mirror.parent is parent_mirror:
+                position += 1
+        return position
+
+    # ------------------------------------------------------------------
+    # Per-pair processing (Lemma 5.1 construction)
+    # ------------------------------------------------------------------
+    def _process_pair(self, v1: SPTree, v2: SPTree) -> None:
+        decision = self.comp.decision(v1, v2)
+        if v1.kind is NodeType.Q:
+            return
+        if v1.kind is NodeType.S:
+            for c1, c2 in decision.matched:
+                self._process_pair(c1, c2)
+            return
+        if v1.kind is NodeType.P:
+            self._process_parallel(v1, v2, decision)
+            return
+        if v1.kind is NodeType.F:
+            self._process_fork(v1, v2, decision)
+            return
+        self._process_loop(v1, v2, decision)
+
+    def _process_parallel(self, v1, v2, decision) -> None:
+        mirror = self.reg1[id(v1)]
+        if decision.unstable:
+            c1 = v1.children[0]
+            c2 = v2.children[0]
+            spec_parallel = v1.origin
+            sibling = self.comp.spec_tables.w_argmin(spec_parallel, c1.origin)
+            w_cost = self.comp.spec_tables.min_insertion_cost(sibling)
+            w_leaves = self.comp.spec_tables.min_insertion_leaves(sibling)
+            witness = self.comp.spec_tables.witness(
+                sibling,
+                w_leaves,
+                mirror.pref_source,
+                mirror.pref_sink,
+                self.allocator.fresh,
+            )
+            temp = mirror_from_fragment(witness)
+            self._apply_insert(
+                temp, mirror, None, w_cost, w_leaves, note="temporary branch"
+            )
+            self._delete_whole(c1, note="unstable swap")
+            self._insert_whole(c2, mirror, None, note="unstable swap")
+            self._apply_delete(
+                temp, w_cost, w_leaves, note="temporary branch"
+            )
+            return
+
+        matched_left = {id(c1) for c1, _ in decision.matched}
+        matched_right = {id(c2) for _, c2 in decision.matched}
+        unmatched1 = [c for c in v1.children if id(c) not in matched_left]
+        unmatched2 = [c for c in v2.children if id(c) not in matched_right]
+
+        if decision.matched:
+            # Case 1: a mapped child keeps the P node alive throughout.
+            for child in unmatched1:
+                self._delete_whole(child)
+            for child in unmatched2:
+                self._insert_whole(child, mirror, None)
+        elif unmatched1 or unmatched2:
+            # Case 2: pivot on a non-homologous branch.
+            origins1 = {id(c.origin) for c in v1.children}
+            pivot = next(
+                (c for c in unmatched2 if id(c.origin) not in origins1),
+                unmatched2[0] if unmatched2 else None,
+            )
+            if pivot is None:
+                for child in unmatched1:
+                    self._delete_whole(child)
+            else:
+                homologous = next(
+                    (
+                        c
+                        for c in unmatched1
+                        if c.origin is pivot.origin
+                    ),
+                    None,
+                )
+                if homologous is not None:
+                    self._delete_whole(homologous)
+                self._insert_whole(pivot, mirror, None)
+                for child in unmatched1:
+                    if child is not homologous:
+                        self._delete_whole(child)
+                for child in unmatched2:
+                    if child is not pivot:
+                        self._insert_whole(child, mirror, None)
+        for c1, c2 in decision.matched:
+            self._process_pair(c1, c2)
+
+    def _process_fork(self, v1, v2, decision) -> None:
+        mirror = self.reg1[id(v1)]
+        matched_left = {id(c1) for c1, _ in decision.matched}
+        matched_right = {id(c2) for _, c2 in decision.matched}
+        for child in v2.children:
+            if id(child) not in matched_right:
+                self._insert_whole(child, mirror, None)
+        for child in v1.children:
+            if id(child) not in matched_left:
+                self._delete_whole(child)
+        for c1, c2 in decision.matched:
+            self._process_pair(c1, c2)
+
+    def _process_loop(self, v1, v2, decision) -> None:
+        mirror = self.reg1[id(v1)]
+        matched_right = {id(c2): c1 for c1, c2 in decision.matched}
+        matched_left = {id(c1) for c1, _ in decision.matched}
+        anchor = 0
+        for child2 in v2.children:
+            partner = matched_right.get(id(child2))
+            if partner is not None:
+                partner_mirror = self.reg1[id(partner)]
+                anchor = mirror.children.index(partner_mirror) + 1
+                continue
+            self._insert_whole(child2, mirror, anchor)
+            anchor += 1
+        for child1 in v1.children:
+            if id(child1) not in matched_left:
+                self._delete_whole(child1)
+        for c1, c2 in decision.matched:
+            self._process_pair(c1, c2)
+
+
+def generate_script(
+    computation: EditDistanceComputation,
+    record_intermediates: bool = False,
+    validate_intermediates: bool = False,
+) -> EditScript:
+    """Generate the minimum-cost edit script for a computed diff."""
+    builder = ScriptBuilder(
+        computation,
+        record_intermediates=record_intermediates,
+        validate_intermediates=validate_intermediates,
+    )
+    return builder.build()

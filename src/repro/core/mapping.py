@@ -1,0 +1,173 @@
+"""Well-formed mappings between annotated run trees (Section V-A).
+
+A well-formed mapping (Definition 5.1) is a one-to-one, root-mapped,
+specification-preserving, parent-preserving, S-children-preserving partial
+mapping between the nodes of two annotated run trees.  Its cost (Eqs. 2-3)
+sums, per mapped pair, the deletion/insertion costs of unmapped children —
+plus the ``2·W_TG`` correction for unstably matched P pairs.
+
+This module extracts the optimal mapping from the DP of
+:mod:`repro.core.edit_distance`, re-evaluates its cost from first
+principles (used by the tests to cross-check the DP), validates the five
+conditions of Definition 5.1, and derives the induced correspondence
+between *graph* nodes of the two runs (used by PDiffView).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.edit_distance import EditDistanceComputation
+from repro.errors import EditScriptError
+from repro.sptree.nodes import NodeType, SPTree
+
+
+@dataclass
+class MappedPair:
+    """One pair of the mapping with its Eq. 2/3 cost contribution."""
+
+    left: SPTree
+    right: SPTree
+    unstable: bool
+    local_cost: float
+
+
+@dataclass
+class WellFormedMapping:
+    """The optimal well-formed mapping between two annotated run trees."""
+
+    pairs: List[MappedPair]
+    cost: float
+
+    def left_nodes(self) -> List[SPTree]:
+        return [pair.left for pair in self.pairs]
+
+    def right_nodes(self) -> List[SPTree]:
+        return [pair.right for pair in self.pairs]
+
+    def pair_count(self) -> int:
+        return len(self.pairs)
+
+
+def extract_mapping(computation: EditDistanceComputation) -> WellFormedMapping:
+    """Walk the DP decisions from the root pair and collect mapped pairs."""
+    pairs: List[MappedPair] = []
+    total = 0.0
+
+    def visit(v1: SPTree, v2: SPTree) -> None:
+        nonlocal total
+        decision = computation.decision(v1, v2)
+        matched_left = {id(c1) for c1, _ in decision.matched}
+        matched_right = {id(c2) for _, c2 in decision.matched}
+        if decision.unstable:
+            c1 = v1.children[0]
+            c2 = v2.children[0]
+            local = (
+                computation.deletions1.x(c1)
+                + computation.deletions2.x(c2)
+                + 2.0 * computation.spec_tables.w(v1.origin, c1.origin)
+            )
+        else:
+            local = sum(
+                computation.deletions1.x(child)
+                for child in v1.children
+                if id(child) not in matched_left
+            ) + sum(
+                computation.deletions2.x(child)
+                for child in v2.children
+                if id(child) not in matched_right
+            )
+        pairs.append(MappedPair(v1, v2, decision.unstable, local))
+        total += local
+        for c1, c2 in decision.matched:
+            visit(c1, c2)
+
+    visit(computation.tree1, computation.tree2)
+    return WellFormedMapping(pairs, total)
+
+
+def validate_well_formed(
+    mapping: WellFormedMapping, tree1: SPTree, tree2: SPTree
+) -> None:
+    """Check the five conditions of Definition 5.1.
+
+    Raises :class:`EditScriptError` naming the violated condition.
+    """
+    parents1 = _parent_index(tree1)
+    parents2 = _parent_index(tree2)
+    left_seen: Set[int] = set()
+    right_seen: Set[int] = set()
+    pair_ids: Set[Tuple[int, int]] = set()
+    for pair in mapping.pairs:
+        if id(pair.left) in left_seen or id(pair.right) in right_seen:
+            raise EditScriptError("mapping is not one-to-one")
+        left_seen.add(id(pair.left))
+        right_seen.add(id(pair.right))
+        pair_ids.add((id(pair.left), id(pair.right)))
+
+    if (id(tree1), id(tree2)) not in pair_ids:
+        raise EditScriptError("roots are not mapped")
+
+    for pair in mapping.pairs:
+        if pair.left.origin is not pair.right.origin:
+            raise EditScriptError(
+                "mapped pair is not homologous (specification not preserved)"
+            )
+        parent1 = parents1.get(id(pair.left))
+        parent2 = parents2.get(id(pair.right))
+        if parent1 is None and parent2 is None:
+            continue
+        if parent1 is None or parent2 is None:
+            raise EditScriptError("exactly one of a mapped pair is a root")
+        if (id(parent1), id(parent2)) not in pair_ids:
+            raise EditScriptError("parents of a mapped pair are not mapped")
+
+    for pair in mapping.pairs:
+        if pair.left.kind is NodeType.S:
+            for c1, c2 in zip(pair.left.children, pair.right.children):
+                if (id(c1), id(c2)) not in pair_ids:
+                    raise EditScriptError(
+                        "children of a mapped S pair are not mapped"
+                    )
+
+
+def _parent_index(tree: SPTree) -> Dict[int, SPTree]:
+    parents: Dict[int, SPTree] = {}
+    for node in tree.iter_nodes("pre"):
+        for child in node.children:
+            parents[id(child)] = node
+    return parents
+
+
+@dataclass
+class NodeCorrespondence:
+    """Graph-node correspondence induced by a mapping.
+
+    ``matched`` maps run-1 node ids to run-2 node ids for instances that
+    play the same structural role; ``left_only``/``right_only`` are the
+    instances without counterparts (touched by the edit script).
+    """
+
+    matched: Dict[object, object]
+    left_only: List[object]
+    right_only: List[object]
+
+
+def node_correspondence(
+    mapping: WellFormedMapping, run1_graph, run2_graph
+) -> NodeCorrespondence:
+    """Derive instance-level matches from mapped tree pairs.
+
+    Every mapped pair's subtrees share terminal roles, so their source and
+    sink instances correspond; mapped Q pairs additionally match both edge
+    endpoints.
+    """
+    matched: Dict[object, object] = {}
+    for pair in mapping.pairs:
+        matched.setdefault(pair.left.source, pair.right.source)
+        matched.setdefault(pair.left.sink, pair.right.sink)
+    right_hit = set(matched.values())
+    left_only = [n for n in run1_graph.nodes() if n not in matched]
+    right_only = [n for n in run2_graph.nodes() if n not in right_hit]
+    return NodeCorrespondence(matched, left_only, right_only)

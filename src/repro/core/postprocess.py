@@ -1,0 +1,193 @@
+"""Edit-script post-processing: detecting composite operations (§III-C.1).
+
+The paper keeps the edit operations atomic ("More complex operations can
+be decomposed to a sequence of elementary path edit operations.  For
+example, one could define a *path replacement* operation … or a *subgraph
+insertion* operation … Such operations may be detected by post-processing
+the output of our algorithm.").  This module implements that
+post-processing:
+
+* **path replacements** — a deletion and an insertion between the same
+  terminal labels pair up into one `replace` presented to the user;
+* **subgraph insertions / deletions** — maximal runs of insertions (or
+  deletions) sharing the same terminal labels collapse into one grouped
+  operation (the incremental construction of a whole SP subgraph between
+  two nodes);
+* **loop rebalancing** — an expansion and a contraction on the same loop
+  pair up (an iteration was *replaced*).
+
+The result is a compact, human-oriented digest; the underlying elementary
+script remains the ground truth for costs and validity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.edit_script import (
+    PATH_CONTRACTION,
+    PATH_DELETION,
+    PATH_EXPANSION,
+    PATH_INSERTION,
+    PathOperation,
+)
+
+REPLACE_PATH = "replace-path"
+REPLACE_ITERATION = "replace-iteration"
+GROW_SUBGRAPH = "grow-subgraph"
+SHRINK_SUBGRAPH = "shrink-subgraph"
+
+
+@dataclass
+class CompositeOperation:
+    """A user-facing composite built from elementary operations."""
+
+    kind: str
+    operations: List[PathOperation]
+    source_label: str
+    sink_label: str
+
+    @property
+    def cost(self) -> float:
+        return sum(op.cost for op in self.operations)
+
+    @property
+    def size(self) -> int:
+        return len(self.operations)
+
+    def describe(self) -> str:
+        terminals = f"{self.source_label} .. {self.sink_label}"
+        if self.kind == REPLACE_PATH:
+            deleted = next(
+                op for op in self.operations if op.kind == PATH_DELETION
+            )
+            inserted = next(
+                op for op in self.operations if op.kind == PATH_INSERTION
+            )
+            return (
+                f"replace path [{' -> '.join(deleted.path_labels)}] with "
+                f"[{' -> '.join(inserted.path_labels)}]"
+            )
+        if self.kind == REPLACE_ITERATION:
+            return f"replace one loop iteration between {terminals}"
+        if self.kind == GROW_SUBGRAPH:
+            return (
+                f"insert a {self.size}-path subgraph between {terminals}"
+            )
+        if self.kind == SHRINK_SUBGRAPH:
+            return (
+                f"delete a {self.size}-path subgraph between {terminals}"
+            )
+        return f"{self.kind} between {terminals}"  # pragma: no cover
+
+    def __str__(self) -> str:
+        return f"{self.describe()} (cost {self.cost:g})"
+
+
+@dataclass
+class CompactScript:
+    """The post-processed view of an edit script."""
+
+    composites: List[CompositeOperation]
+    residual: List[PathOperation]
+
+    @property
+    def total_cost(self) -> float:
+        return sum(c.cost for c in self.composites) + sum(
+            op.cost for op in self.residual
+        )
+
+    def summary_lines(self) -> List[str]:
+        lines = [str(composite) for composite in self.composites]
+        lines.extend(f"{op}" for op in self.residual)
+        return lines
+
+
+def _terminals(op: PathOperation) -> Tuple[str, str]:
+    return (op.source_label, op.sink_label)
+
+
+def detect_composites(
+    operations: Sequence[PathOperation],
+    group_threshold: int = 2,
+) -> CompactScript:
+    """Pair and group elementary operations into composites.
+
+    Parameters
+    ----------
+    operations:
+        The elementary script (order is preserved inside groups).
+    group_threshold:
+        Minimum number of same-terminal insertions (deletions) that form
+        a subgraph-growth (shrink) composite.
+    """
+    remaining: List[Optional[PathOperation]] = list(operations)
+    composites: List[CompositeOperation] = []
+
+    def take_pair(first_kind: str, second_kind: str, composite_kind: str):
+        for i, op in enumerate(remaining):
+            if op is None or op.kind != first_kind:
+                continue
+            for j in range(len(remaining)):
+                partner = remaining[j]
+                if (
+                    partner is None
+                    or j == i
+                    or partner.kind != second_kind
+                ):
+                    continue
+                if _terminals(partner) != _terminals(op):
+                    continue
+                # Prefer pairing paths of different content (a true
+                # replacement); identical paths are fork-copy count
+                # changes, not replacements.
+                if partner.path_labels == op.path_labels:
+                    continue
+                ordered = [op, partner] if i < j else [partner, op]
+                composites.append(
+                    CompositeOperation(
+                        kind=composite_kind,
+                        operations=ordered,
+                        source_label=op.source_label,
+                        sink_label=op.sink_label,
+                    )
+                )
+                remaining[i] = None
+                remaining[j] = None
+                return True
+        return False
+
+    # 1. Path replacements (delete + insert, same terminals).
+    while take_pair(PATH_DELETION, PATH_INSERTION, REPLACE_PATH):
+        pass
+    # 2. Iteration replacements (contraction + expansion, same loop).
+    while take_pair(PATH_CONTRACTION, PATH_EXPANSION, REPLACE_ITERATION):
+        pass
+
+    # 3. Group remaining same-terminal runs of insertions / deletions.
+    for kind, composite_kind in (
+        (PATH_INSERTION, GROW_SUBGRAPH),
+        (PATH_DELETION, SHRINK_SUBGRAPH),
+    ):
+        buckets = {}
+        for index, op in enumerate(remaining):
+            if op is not None and op.kind == kind:
+                buckets.setdefault(_terminals(op), []).append(index)
+        for terminals, indices in buckets.items():
+            if len(indices) < group_threshold:
+                continue
+            group = [remaining[i] for i in indices]
+            composites.append(
+                CompositeOperation(
+                    kind=composite_kind,
+                    operations=group,
+                    source_label=terminals[0],
+                    sink_label=terminals[1],
+                )
+            )
+            for i in indices:
+                remaining[i] = None
+
+    residual = [op for op in remaining if op is not None]
+    return CompactScript(composites=composites, residual=residual)

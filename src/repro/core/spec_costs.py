@@ -1,0 +1,240 @@
+"""Specification-side insertion costs and the ``W_TG`` table (Eq. 2).
+
+An *elementary subtree* insertable below a specification node ``u`` is a
+branch-free run of ``TG[u]`` — graph-wise, a simple source-sink path of the
+subgraph (parallel nodes pick one branch, forks and loops execute once;
+true loops are excluded from branch-free subtrees, so single iterations are
+exact, not an approximation).
+
+This module computes, per specification tree node:
+
+* the set of **achievable leaf counts** of branch-free runs (as a Python
+  integer bitmask — bit ``l`` set iff a path of length ``l`` exists);
+* the **minimum insertion cost** ``min_l γ(l, s(u), t(u))`` over that set;
+* for every P node and child, ``W_TG(u, c)`` — the cheapest elementary
+  subtree rooted at a *sibling* of ``c`` (Definition 5.2 / Eq. 2, the
+  unstable-pair correction); and
+* **witness construction**: a concrete branch-free run tree realising a
+  chosen (sibling, leaf count), used by the script generator to
+  materialise the temporary subtree of Lemma 5.1 case 3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.costs.base import CostModel
+from repro.errors import EditScriptError
+from repro.sptree.nodes import EdgeRef, NodeType, SPTree
+
+INF = math.inf
+
+
+def achievable_leaf_counts(node: SPTree) -> List[int]:
+    """Sorted list of achievable branch-free leaf counts below ``node``."""
+    mask = _achievable_mask(node, {})
+    return [l for l in range(mask.bit_length()) if mask >> l & 1]
+
+
+def _achievable_mask(node: SPTree, memo: Dict[int, int]) -> int:
+    cached = memo.get(id(node))
+    if cached is not None:
+        return cached
+    if node.kind is NodeType.Q:
+        mask = 1 << 1
+    elif node.kind is NodeType.S:
+        mask = 1
+        for child in node.children:
+            child_mask = _achievable_mask(child, memo)
+            acc = 0
+            shift_mask = mask
+            bit = 0
+            while shift_mask:
+                if shift_mask & 1:
+                    acc |= child_mask << bit
+                shift_mask >>= 1
+                bit += 1
+            mask = acc
+    elif node.kind is NodeType.P:
+        mask = 0
+        for child in node.children:
+            mask |= _achievable_mask(child, memo)
+    else:  # F or L: a single copy / iteration.
+        mask = _achievable_mask(node.children[0], memo)
+    memo[id(node)] = mask
+    return mask
+
+
+class SpecCostTables:
+    """Insertion-cost tables for one specification under a cost model."""
+
+    def __init__(self, spec, cost: CostModel):
+        self.spec = spec
+        self.cost = cost
+        self._mask_memo: Dict[int, int] = {}
+        self._min_cost: Dict[int, float] = {}
+        self._min_leaves: Dict[int, int] = {}
+        for node in spec.tree.iter_nodes("post"):
+            self._compute_min(node)
+
+    # ------------------------------------------------------------------
+    def mask(self, node: SPTree) -> int:
+        """Achievable-leaf-count bitmask for a spec node."""
+        return _achievable_mask(node, self._mask_memo)
+
+    def _compute_min(self, node: SPTree) -> None:
+        mask = self.mask(node)
+        best = INF
+        best_leaves = -1
+        length = mask.bit_length()
+        for leaves in range(1, length):
+            if not mask >> leaves & 1:
+                continue
+            candidate = self.cost.path_cost(
+                leaves, node.source_label, node.sink_label
+            )
+            if candidate < best:
+                best = candidate
+                best_leaves = leaves
+        self._min_cost[id(node)] = best
+        self._min_leaves[id(node)] = best_leaves
+
+    def min_insertion_cost(self, node: SPTree) -> float:
+        """Cheapest elementary subtree derivable from a spec node."""
+        return self._min_cost[id(node)]
+
+    def min_insertion_leaves(self, node: SPTree) -> int:
+        """Leaf count realising :meth:`min_insertion_cost`."""
+        return self._min_leaves[id(node)]
+
+    def w(self, p_node: SPTree, child: SPTree) -> float:
+        """``W_TG(h(v1), h(c1))``: cheapest elementary sibling subtree.
+
+        ``p_node`` is a P node of the specification tree and ``child`` one
+        of its children; the result is the minimum insertion cost over the
+        *other* children (every spec P node has >= 2 children, so this is
+        always finite for admissible cost models).
+        """
+        best = INF
+        for sibling in p_node.children:
+            if sibling is child:
+                continue
+            candidate = self._min_cost[id(sibling)]
+            if candidate < best:
+                best = candidate
+        return best
+
+    def w_argmin(self, p_node: SPTree, child: SPTree) -> SPTree:
+        """The sibling realising :meth:`w` (for witness construction)."""
+        best = INF
+        chosen = None
+        for sibling in p_node.children:
+            if sibling is child:
+                continue
+            candidate = self._min_cost[id(sibling)]
+            if candidate < best:
+                best = candidate
+                chosen = sibling
+        if chosen is None:
+            raise EditScriptError(
+                "specification P node has no alternative sibling"
+            )
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Witness construction
+    # ------------------------------------------------------------------
+    def witness(
+        self,
+        node: SPTree,
+        leaves: int,
+        source_id,
+        sink_id,
+        fresh: Callable[[str], object],
+    ) -> SPTree:
+        """Materialise a branch-free run of ``TG[node]`` with ``leaves`` leaves.
+
+        ``source_id``/``sink_id`` anchor the path's terminals (typically
+        shared instances of the insertion point); ``fresh(label)`` allocates
+        interior instance ids.  The returned tree carries origins into the
+        specification tree.
+        """
+        mask = self.mask(node)
+        if leaves < 1 or not mask >> leaves & 1:
+            raise EditScriptError(
+                f"no branch-free run of this spec node with {leaves} leaves"
+            )
+        return self._build(node, leaves, source_id, sink_id, fresh)
+
+    def _build(self, node, leaves, source_id, sink_id, fresh):
+        if node.kind is NodeType.Q:
+            ref = EdgeRef(
+                source=source_id,
+                sink=sink_id,
+                source_label=node.source_label,
+                sink_label=node.sink_label,
+                key=0,
+            )
+            return SPTree(NodeType.Q, (), edge=ref, origin=node)
+        if node.kind is NodeType.S:
+            allocation = self._series_split(node.children, leaves)
+            bounds = [source_id]
+            for child in node.children[:-1]:
+                bounds.append(fresh(child.sink_label))
+            bounds.append(sink_id)
+            children = tuple(
+                self._build(
+                    child, allocation[i], bounds[i], bounds[i + 1], fresh
+                )
+                for i, child in enumerate(node.children)
+            )
+            return SPTree(NodeType.S, children, origin=node)
+        if node.kind is NodeType.P:
+            for child in node.children:
+                if self.mask(child) >> leaves & 1:
+                    inner = self._build(
+                        child, leaves, source_id, sink_id, fresh
+                    )
+                    return SPTree(NodeType.P, (inner,), origin=node)
+            raise EditScriptError("inconsistent parallel witness backtrace")
+        # F or L: a single copy / iteration.
+        inner = self._build(
+            node.children[0], leaves, source_id, sink_id, fresh
+        )
+        return SPTree(node.kind, (inner,), origin=node)
+
+    def _series_split(self, children, leaves: int) -> List[int]:
+        suffix_masks = [1]
+        for child in reversed(children):
+            child_mask = self.mask(child)
+            acc = 0
+            shift_mask = suffix_masks[-1]
+            bit = 0
+            while shift_mask:
+                if shift_mask & 1:
+                    acc |= child_mask << bit
+                shift_mask >>= 1
+                bit += 1
+            suffix_masks.append(acc)
+        suffix_masks.reverse()  # suffix_masks[i] covers children[i:]
+
+        allocation: List[int] = []
+        remaining = leaves
+        for index, child in enumerate(children):
+            child_mask = self.mask(child)
+            chosen = -1
+            for count in range(1, child_mask.bit_length()):
+                if not child_mask >> count & 1:
+                    continue
+                rest = remaining - count
+                if rest >= 0 and suffix_masks[index + 1] >> rest & 1:
+                    chosen = count
+                    break
+            if chosen < 0:
+                raise EditScriptError("inconsistent series witness backtrace")
+            allocation.append(chosen)
+            remaining -= chosen
+        if remaining != 0:
+            raise EditScriptError("series witness allocation mismatch")
+        return allocation

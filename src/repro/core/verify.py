@@ -1,0 +1,157 @@
+"""End-to-end verification of a diff result (the library's self-check).
+
+``verify_diff`` re-derives every guarantee the paper proves about the
+output of the differencing pipeline and reports them in one
+:class:`VerificationReport`:
+
+1. the mapping is **well-formed** (Definition 5.1) and its first-principles
+   cost (Eqs. 2-3, recomputed from the deletion tables) equals the
+   reported distance;
+2. the edit script's **total cost equals the distance** (Lemma 5.1);
+3. applying the script yields a run **equivalent to run 2**;
+4. optionally, **every intermediate graph is a valid run** of the
+   specification (the defining property of path edit operations) — this
+   re-runs Algorithms 2/5 per operation and is therefore O(ops · |E|).
+
+Downstream systems embedding the differ can call this after every diff in
+a paranoid mode, or sample it in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.api import DiffResult
+from repro.core.mapping import validate_well_formed
+from repro.errors import ReproError
+from repro.sptree.annotate_run import annotate_run_tree
+
+_TOLERANCE = 1e-7
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_diff`; ``ok`` iff ``problems`` is empty."""
+
+    checks_run: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`ReproError` listing all problems found."""
+        if self.problems:
+            raise ReproError(
+                "diff verification failed: " + "; ".join(self.problems)
+            )
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        lines = [f"verification {status} ({len(self.checks_run)} checks)"]
+        lines.extend(f"  problem: {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def verify_diff(
+    result: DiffResult, check_intermediates: bool = False
+) -> VerificationReport:
+    """Re-derive the paper's guarantees for a computed diff.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.api.DiffResult`.  Script checks are skipped
+        (and noted) when the diff was computed with ``with_script=False``.
+    check_intermediates:
+        Also validate every intermediate graph as a run of the
+        specification (requires the diff to have been computed with
+        ``record_intermediates=True`` or ``validate_intermediates=True``).
+    """
+    report = VerificationReport()
+
+    # 1. Mapping well-formedness and cost.
+    report.checks_run.append("mapping-well-formed")
+    try:
+        validate_well_formed(
+            result.mapping, result.run1.tree, result.run2.tree
+        )
+    except ReproError as exc:
+        report.problems.append(f"mapping is not well-formed: {exc}")
+
+    report.checks_run.append("mapping-cost")
+    if abs(result.mapping.cost - result.distance) > _TOLERANCE:
+        report.problems.append(
+            f"mapping cost {result.mapping.cost} != distance "
+            f"{result.distance}"
+        )
+
+    # 2. Distance sanity.
+    report.checks_run.append("distance-non-negative")
+    if result.distance < -_TOLERANCE:
+        report.problems.append(f"negative distance {result.distance}")
+
+    report.checks_run.append("zero-iff-equivalent")
+    equivalent = (
+        result.run1.tree.structure_key()
+        == result.run2.tree.structure_key()
+    )
+    if equivalent != (abs(result.distance) <= _TOLERANCE):
+        report.problems.append(
+            "distance-zero does not coincide with run equivalence"
+        )
+
+    if result.script is None:
+        report.checks_run.append("script-skipped")
+        return report
+
+    # 3. Script realises the distance.
+    report.checks_run.append("script-cost")
+    if abs(result.script.total_cost - result.distance) > _TOLERANCE:
+        report.problems.append(
+            f"script cost {result.script.total_cost} != distance "
+            f"{result.distance}"
+        )
+
+    report.checks_run.append("script-target")
+    if (
+        result.script.final_tree.structure_key()
+        != result.run2.tree.structure_key()
+    ):
+        report.problems.append(
+            "applying the script does not produce run 2"
+        )
+
+    report.checks_run.append("operation-costs")
+    for index, op in enumerate(result.script.operations, start=1):
+        expected = result.cost_model.path_cost(
+            op.length, op.source_label, op.sink_label
+        )
+        if abs(expected - op.cost) > _TOLERANCE:
+            report.problems.append(
+                f"operation {index} cost {op.cost} != "
+                f"γ({op.length}, {op.source_label}, {op.sink_label}) = "
+                f"{expected}"
+            )
+
+    # 4. Intermediate validity (the defining property of path edits).
+    if check_intermediates:
+        report.checks_run.append("intermediate-validity")
+        graphs = result.script.intermediate_graphs
+        if graphs is None:
+            report.problems.append(
+                "intermediates were not recorded; re-run diff_runs with "
+                "record_intermediates=True"
+            )
+        else:
+            spec = result.run1.spec
+            for index, graph in enumerate(graphs, start=1):
+                try:
+                    annotate_run_tree(spec, graph)
+                except ReproError as exc:
+                    report.problems.append(
+                        f"intermediate {index} is not a valid run: {exc}"
+                    )
+    return report

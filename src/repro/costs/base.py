@@ -1,0 +1,64 @@
+"""Cost-model framework (Section III-C.2).
+
+The cost of an edit operation is ``γ(Λ -> p) = γ(|p|, Label(s(p)),
+Label(t(p)))`` — a function of the elementary path's length and the labels
+of its two terminals (Eq. 1).  ``γ`` must be a distance metric with respect
+to elementary path insertions/deletions:
+
+1. non-negativity,
+2. identity (``γ = 0`` iff the path is empty with coinciding terminals),
+3. symmetry (insertion and deletion cost the same), and
+4. the quadrangle inequality (Fig. 4), which guarantees that minimum-cost
+   subtree deletions never need insertions (Lemma 5.7).
+
+Via Lemma 4.6 the same function prices subtree operations:
+``γ(Λ -> T[v]) = γ(|Leaf(T[v])|, s(v), t(v))``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.errors import CostModelError
+from repro.sptree.nodes import SPTree
+
+
+class CostModel(abc.ABC):
+    """Abstract cost model ``γ(l, A, B)``.
+
+    Subclasses implement :meth:`path_cost`; all derived prices (subtree
+    operations, edit scripts) are provided here.
+    """
+
+    @abc.abstractmethod
+    def path_cost(self, length: int, source_label: str, sink_label: str) -> float:
+        """Cost of inserting (= deleting) an elementary path.
+
+        ``length`` is the number of edges ``|p|``; ``source_label`` and
+        ``sink_label`` are the specification labels of the path terminals.
+        """
+
+    def subtree_cost(self, node: SPTree) -> float:
+        """``γ(Λ -> T[v])`` for an elementary subtree (Lemma 4.6)."""
+        return self.path_cost(
+            node.leaf_count, node.source_label, node.sink_label
+        )
+
+    def validate_arguments(
+        self, length: int, source_label: str, sink_label: str
+    ) -> None:
+        """Shared argument checking for concrete models."""
+        if length < 0:
+            raise CostModelError(f"path length must be >= 0, got {length}")
+        if length == 0 and source_label != sink_label:
+            raise CostModelError(
+                "a zero-length path must have coinciding terminals"
+            )
+
+    @property
+    def name(self) -> str:
+        """Display name (benchmarks key their tables on this)."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name

@@ -1,0 +1,140 @@
+"""Standard cost models: the sublinear power family and variants.
+
+The paper's evaluation (Section VIII-D) uses ``γ(l) = l^ε`` with ``ε <= 1``:
+
+* ``ε = 0`` — the **unit** cost model (every operation costs one);
+* ``ε = 1`` — the **length** cost model (cost equals path length);
+* ``0 < ε < 1`` — concave intermediates trading the two off;
+* ``ε < 0`` — decreasing costs (longer paths are cheaper), also admissible.
+
+All power costs satisfy the metric axioms: subadditivity of ``l^ε`` for
+``0 <= ε <= 1`` yields the quadrangle inequality, and for ``ε < 0`` the
+inequality holds because ``γ`` is non-increasing in ``l``.
+
+:class:`LabelWeightedCost` scales a base model per terminal-label pair,
+capturing application-specific "module importance"; the weights must be
+checked against the quadrangle inequality for the concrete specification
+(see :mod:`repro.costs.validation`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.costs.base import CostModel
+from repro.errors import CostModelError
+
+
+class PowerCost(CostModel):
+    """``γ(l, A, B) = l^ε`` for ``ε <= 1`` (zero-length paths cost 0)."""
+
+    def __init__(self, epsilon: float):
+        if epsilon > 1:
+            raise CostModelError(
+                f"power cost requires ε <= 1 for the quadrangle inequality, "
+                f"got {epsilon}"
+            )
+        self.epsilon = float(epsilon)
+
+    def path_cost(self, length: int, source_label: str, sink_label: str) -> float:
+        self.validate_arguments(length, source_label, sink_label)
+        if length == 0:
+            return 0.0
+        return float(length) ** self.epsilon
+
+    @property
+    def name(self) -> str:
+        return f"PowerCost(ε={self.epsilon:g})"
+
+
+class UnitCost(PowerCost):
+    """The unit cost model (``ε = 0``): every edit operation costs one."""
+
+    def __init__(self):
+        super().__init__(0.0)
+
+    @property
+    def name(self) -> str:
+        return "UnitCost"
+
+
+class LengthCost(PowerCost):
+    """The length cost model (``ε = 1``): cost equals the path length."""
+
+    def __init__(self):
+        super().__init__(1.0)
+
+    @property
+    def name(self) -> str:
+        return "LengthCost"
+
+
+class LabelWeightedCost(CostModel):
+    """A base model scaled per terminal-label pair.
+
+    Parameters
+    ----------
+    base:
+        The underlying :class:`CostModel` (typically a :class:`PowerCost`).
+    weights:
+        Mapping ``(source_label, sink_label) -> multiplier``; missing pairs
+        use ``default_weight``.  All weights must be positive.
+
+    Notes
+    -----
+    Arbitrary weights can violate the quadrangle inequality; validate the
+    combination against a specification with
+    :func:`repro.costs.validation.check_quadrangle_on_spec` before use.
+    """
+
+    def __init__(
+        self,
+        base: CostModel,
+        weights: Dict[Tuple[str, str], float],
+        default_weight: float = 1.0,
+    ):
+        if default_weight <= 0:
+            raise CostModelError("default_weight must be positive")
+        for pair, weight in weights.items():
+            if weight <= 0:
+                raise CostModelError(
+                    f"weight for {pair!r} must be positive, got {weight}"
+                )
+        self.base = base
+        self.weights = dict(weights)
+        self.default_weight = default_weight
+
+    def path_cost(self, length: int, source_label: str, sink_label: str) -> float:
+        weight = self.weights.get(
+            (source_label, sink_label), self.default_weight
+        )
+        return weight * self.base.path_cost(length, source_label, sink_label)
+
+    @property
+    def name(self) -> str:
+        return f"LabelWeighted({self.base.name})"
+
+
+class CallableCost(CostModel):
+    """Adapter turning a plain function ``f(l, A, B) -> float`` into a model.
+
+    Intended for experimentation; the caller is responsible for the metric
+    axioms (use :mod:`repro.costs.validation`).
+    """
+
+    def __init__(self, func: Callable[[int, str, str], float], name: str = ""):
+        self._func = func
+        self._name = name or getattr(func, "__name__", "CallableCost")
+
+    def path_cost(self, length: int, source_label: str, sink_label: str) -> float:
+        value = float(self._func(length, source_label, sink_label))
+        if value < 0:
+            raise CostModelError(
+                f"cost function returned a negative value {value} for "
+                f"({length}, {source_label!r}, {sink_label!r})"
+            )
+        return value
+
+    @property
+    def name(self) -> str:
+        return self._name

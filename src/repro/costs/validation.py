@@ -1,0 +1,129 @@
+"""Checking the metric axioms of a cost model (Section III-C.2).
+
+The quadrangle inequality (Fig. 4) is a property of a cost model *relative
+to a specification*: it quantifies over label tuples ``A, B, C, D`` and
+lengths for which the specification actually contains elementary paths.
+:func:`check_quadrangle_on_spec` enumerates (or samples) such tuples and
+verifies
+
+``γ(l1+l2+l3, A, D) <= γ(l1+l2'+l3, A, D) + γ(l2, B, C) + γ(l2', B, C)``.
+
+The generic :func:`check_metric_axioms` verifies non-negativity, identity
+and the label-free quadrangle inequality over a grid of lengths, which is
+sufficient for label-independent models such as the power family.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.costs.base import CostModel
+from repro.errors import CostModelError
+
+_TOLERANCE = 1e-9
+
+
+def check_metric_axioms(
+    cost: CostModel,
+    lengths: Sequence[int] = tuple(range(1, 12)),
+    labels: Sequence[str] = ("A", "B"),
+) -> None:
+    """Verify axioms 1-2 and the label-free quadrangle inequality.
+
+    Raises :class:`CostModelError` with a counterexample on failure.
+    """
+    for length in lengths:
+        for a, b in itertools.product(labels, repeat=2):
+            if length == 0 and a != b:
+                continue
+            value = cost.path_cost(length, a, b)
+            if value < -_TOLERANCE:
+                raise CostModelError(
+                    f"non-negativity violated: γ({length}, {a!r}, {b!r}) = "
+                    f"{value}"
+                )
+            if length > 0 and value <= _TOLERANCE:
+                raise CostModelError(
+                    f"identity violated: γ({length}, {a!r}, {b!r}) = {value} "
+                    "but the path is non-empty"
+                )
+    a = labels[0]
+    for l1, l2, l2p, l3 in itertools.product(lengths, repeat=4):
+        lhs = cost.path_cost(l1 + l2 + l3, a, a)
+        rhs = (
+            cost.path_cost(l1 + l2p + l3, a, a)
+            + cost.path_cost(l2, a, a)
+            + cost.path_cost(l2p, a, a)
+        )
+        if lhs > rhs + _TOLERANCE:
+            raise CostModelError(
+                "quadrangle inequality violated for lengths "
+                f"(l1={l1}, l2={l2}, l2'={l2p}, l3={l3}): {lhs} > {rhs}"
+            )
+
+
+def _elementary_path_profiles(spec) -> List[Tuple[str, str, int]]:
+    """(source_label, sink_label, length) of branch-free runs per node.
+
+    For every P-branch and fork/loop body of the specification tree this
+    lists the achievable elementary path lengths (up to a size cap) —
+    exactly the paths edit operations can touch.
+    """
+    from repro.core.spec_costs import achievable_leaf_counts
+
+    profiles: List[Tuple[str, str, int]] = []
+    for node in spec.tree.iter_nodes("pre"):
+        counts = achievable_leaf_counts(node)
+        for length in counts:
+            profiles.append((node.source_label, node.sink_label, length))
+    return profiles
+
+
+def check_quadrangle_on_spec(
+    cost: CostModel,
+    spec,
+    samples: int = 2000,
+    seed: Optional[int] = 7,
+) -> None:
+    """Sample quadrangle-inequality instances induced by ``spec``.
+
+    Pairs of alternative middles ``p2, p2'`` share a (P-branch or fork
+    body) terminal pair; prefixes/suffixes are drawn from the achievable
+    path-length profiles.  Raises :class:`CostModelError` with the violating
+    tuple.
+    """
+    profiles = _elementary_path_profiles(spec)
+    if not profiles:
+        return
+    by_pair = {}
+    for source_label, sink_label, length in profiles:
+        by_pair.setdefault((source_label, sink_label), set()).add(length)
+    alternative_pairs = [
+        (pair, sorted(lengths))
+        for pair, lengths in by_pair.items()
+        if len(lengths) >= 1
+    ]
+    rng = random.Random(seed)
+    all_lengths = sorted({length for _, _, length in profiles})
+    for _ in range(samples):
+        (b_label, c_label), lengths = rng.choice(alternative_pairs)
+        l2 = rng.choice(lengths)
+        l2p = rng.choice(lengths)
+        l1 = rng.choice([0] + all_lengths)
+        l3 = rng.choice([0] + all_lengths)
+        a_label = b_label if l1 == 0 else rng.choice(profiles)[0]
+        d_label = c_label if l3 == 0 else rng.choice(profiles)[1]
+        lhs = cost.path_cost(l1 + l2 + l3, a_label, d_label)
+        rhs = (
+            cost.path_cost(l1 + l2p + l3, a_label, d_label)
+            + cost.path_cost(l2, b_label, c_label)
+            + cost.path_cost(l2p, b_label, c_label)
+        )
+        if lhs > rhs + _TOLERANCE:
+            raise CostModelError(
+                "quadrangle inequality violated on specification "
+                f"{spec.name!r}: γ({l1}+{l2}+{l3}, {a_label!r}, {d_label!r})"
+                f" = {lhs} > {rhs}"
+            )

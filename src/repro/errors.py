@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  The sub-classes mirror the stages of the paper's
+pipeline: graph construction, series-parallel recognition, specification
+validation, run validation, and differencing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphStructureError(ReproError):
+    """A graph violates a structural requirement (e.g. not a flow network)."""
+
+
+class NotSeriesParallelError(GraphStructureError):
+    """A graph is a flow network but not a series-parallel graph.
+
+    Carries the residual graph left after exhaustive series/parallel
+    reductions, which embeds the forbidden minor (the four-node "N" graph of
+    Theorem 1 / [Jakoby et al. 2006]).
+    """
+
+    def __init__(self, message: str, residual_edges=None):
+        super().__init__(message)
+        #: Edges of the irreducible residual graph (diagnostic aid).
+        self.residual_edges = list(residual_edges or [])
+
+
+class SpecificationError(ReproError):
+    """A workflow specification is malformed.
+
+    Raised for duplicate labels, fork sets that are not series subgraphs,
+    loop sets that are not complete subgraphs, or fork/loop families that are
+    not laminar (Definition 3.6).
+    """
+
+
+class InvalidRunError(ReproError):
+    """A graph is not a valid run of the given specification.
+
+    Covers both the general homomorphism conditions of Section III-B and the
+    stricter SP-model conditions enforced by the tree execution function
+    ``f''`` (Algorithms 2 and 5).
+    """
+
+
+class CostModelError(ReproError):
+    """A cost model violates the metric axioms of Section III-C.2."""
+
+
+class EditScriptError(ReproError):
+    """An edit operation cannot be applied, or a script is inconsistent.
+
+    Raised when an operation references nodes that do not exist, when the
+    edited path is not elementary at application time, or when an
+    intermediate graph fails run validation.
+    """
+
+
+class MatchingError(ReproError):
+    """An assignment-problem instance is infeasible or malformed."""

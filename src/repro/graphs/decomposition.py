@@ -1,0 +1,46 @@
+"""Series-parallel recognition helpers (graph-side facade).
+
+The actual reduction engine lives in :mod:`repro.sptree.canonical`; this
+module exposes graph-centric conveniences: recognition predicates, the
+irreducible residual of a non-SP graph, and round-trip materialisation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import NotSeriesParallelError
+from repro.graphs.flow_network import FlowNetwork, NodeId
+from repro.sptree.canonical import canonical_sp_tree, is_series_parallel
+from repro.sptree.nodes import SPTree
+
+__all__ = [
+    "canonical_sp_tree",
+    "is_series_parallel",
+    "sp_residual",
+    "roundtrip_graph",
+]
+
+
+def sp_residual(graph: FlowNetwork) -> List[Tuple[NodeId, NodeId]]:
+    """Irreducible edges left after exhaustive series/parallel reduction.
+
+    Returns an empty list when ``graph`` is series-parallel.  A non-empty
+    residual always embeds the four-node forbidden minor (``s``, ``v1``,
+    ``v2``, ``t`` with the five edges of Theorem 1's specification).
+    """
+    try:
+        canonical_sp_tree(graph)
+    except NotSeriesParallelError as exc:
+        return list(exc.residual_edges)
+    return []
+
+
+def roundtrip_graph(graph: FlowNetwork) -> FlowNetwork:
+    """Decompose ``graph`` to its canonical SP-tree and materialise it back.
+
+    The result is structurally equal to the input (used as a sanity check
+    throughout the test suite).
+    """
+    tree: SPTree = canonical_sp_tree(graph)
+    return tree.to_graph(name=graph.name)

@@ -1,0 +1,132 @@
+"""Run validity under the general workflow model (Section III-B).
+
+A node-labelled flow network ``R`` is a valid run of a specification graph
+``G`` (unique labels) iff ``R`` is acyclic and there is a homomorphism
+``h : V(R) -> V(G)`` such that
+
+1. ``Label(v) = Label(h(v))`` for every node,
+2. ``h(s(R)) = s(G)`` and ``h(t(R)) = t(G)``,
+3. every edge of ``R`` maps to an edge of ``G``.
+
+Because specification labels are unique, the homomorphism — when it exists —
+is *forced*: ``h(v)`` is the unique specification node carrying ``v``'s
+label.  Loop executions introduce implicit back-edges ``(t(H), s(H))`` that
+are not specification edges; the checker accepts an explicit set of allowed
+back-edge label pairs for this purpose (Section VI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.errors import GraphStructureError, InvalidRunError, SpecificationError
+from repro.graphs.flow_network import FlowNetwork, NodeId
+
+LabelPair = Tuple[str, str]
+
+
+def label_index(spec_graph: FlowNetwork) -> Dict[str, NodeId]:
+    """Map each (unique) specification label to its node id.
+
+    Raises :class:`SpecificationError` on duplicate labels.
+    """
+    index: Dict[str, NodeId] = {}
+    for node in spec_graph.nodes():
+        label = spec_graph.label(node)
+        if label in index:
+            raise SpecificationError(
+                f"specification labels must be unique; {label!r} appears on "
+                f"nodes {index[label]!r} and {node!r}"
+            )
+        index[label] = node
+    return index
+
+
+def induced_homomorphism(
+    run: FlowNetwork, spec_graph: FlowNetwork
+) -> Dict[NodeId, NodeId]:
+    """The label-forced candidate homomorphism ``h`` from run to spec nodes.
+
+    Raises :class:`InvalidRunError` if some run node's label does not occur
+    in the specification.  Edge conditions are *not* checked here; see
+    :func:`check_valid_run`.
+    """
+    index = label_index(spec_graph)
+    mapping: Dict[NodeId, NodeId] = {}
+    for node in run.nodes():
+        label = run.label(node)
+        if label not in index:
+            raise InvalidRunError(
+                f"run node {node!r} has label {label!r} which is not a "
+                "specification label"
+            )
+        mapping[node] = index[label]
+    return mapping
+
+
+def check_valid_run(
+    run: FlowNetwork,
+    spec_graph: FlowNetwork,
+    allowed_back_edges: Optional[Set[LabelPair]] = None,
+) -> Dict[NodeId, NodeId]:
+    """Validate ``run`` under the general model and return ``h``.
+
+    Parameters
+    ----------
+    allowed_back_edges:
+        Label pairs ``(t(H), s(H))`` of loops whose implicit unrolling edges
+        are accepted in addition to the specification edges.
+
+    Raises
+    ------
+    InvalidRunError
+        On any violated condition, with a message naming the culprit.
+    """
+    allowed_back_edges = allowed_back_edges or set()
+    try:
+        run.validate_flow_network()
+    except GraphStructureError as exc:
+        raise InvalidRunError(f"run is not a flow network: {exc}") from exc
+    if not run.is_acyclic():
+        raise InvalidRunError("run must be acyclic")
+
+    mapping = induced_homomorphism(run, spec_graph)
+
+    spec_source = spec_graph.source()
+    spec_sink = spec_graph.sink()
+    if mapping[run.source()] != spec_source:
+        raise InvalidRunError(
+            f"run source maps to {mapping[run.source()]!r}, expected the "
+            f"specification source {spec_source!r}"
+        )
+    if mapping[run.sink()] != spec_sink:
+        raise InvalidRunError(
+            f"run sink maps to {mapping[run.sink()]!r}, expected the "
+            f"specification sink {spec_sink!r}"
+        )
+
+    spec_pairs: FrozenSet[Tuple[NodeId, NodeId]] = frozenset(
+        (u, v) for u, v, _ in spec_graph.edges()
+    )
+    for u, v, _ in run.edges():
+        image = (mapping[u], mapping[v])
+        label_pair = (run.label(u), run.label(v))
+        if image not in spec_pairs and label_pair not in allowed_back_edges:
+            raise InvalidRunError(
+                f"run edge {u!r} -> {v!r} maps to {image!r}, which is "
+                "neither a specification edge nor an allowed loop back-edge"
+            )
+    return mapping
+
+
+def is_valid_run(
+    run: FlowNetwork,
+    spec_graph: FlowNetwork,
+    allowed_back_edges: Optional[Set[LabelPair]] = None,
+) -> bool:
+    """Boolean form of :func:`check_valid_run`."""
+    try:
+        check_valid_run(run, spec_graph, allowed_back_edges)
+    except InvalidRunError:
+        return False
+    return True

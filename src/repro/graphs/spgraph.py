@@ -1,0 +1,151 @@
+"""Series-parallel graph construction (Definition 3.2).
+
+An SP-graph is built from basic single-edge graphs by *series composition*
+(identify the sink of the first with the source of the second) and *parallel
+composition* (identify sources and sinks pairwise).  These functions operate
+on :class:`~repro.graphs.flow_network.FlowNetwork` instances and mirror the
+paper's ``S`` and ``P`` operators on graphs.
+
+The composition functions require the operand node sets to be disjoint apart
+from the identified terminals, which keeps node identity explicit — exactly
+what the differencing pipeline needs, because a run's node instances carry
+meaning (``3a`` vs ``3b`` in Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import GraphStructureError
+from repro.graphs.flow_network import FlowNetwork, NodeId
+
+
+def basic_sp(
+    source: NodeId,
+    sink: NodeId,
+    source_label: str = None,
+    sink_label: str = None,
+    name: str = "",
+) -> FlowNetwork:
+    """Create the basic SP-graph: a single edge ``source -> sink``."""
+    if source == sink:
+        raise GraphStructureError("basic SP-graph needs two distinct terminals")
+    graph = FlowNetwork(name=name)
+    graph.add_node(source, source_label)
+    graph.add_node(sink, sink_label)
+    graph.add_edge(source, sink)
+    return graph
+
+
+def _merge_into(target: FlowNetwork, part: FlowNetwork, rename: dict) -> None:
+    """Copy ``part`` into ``target`` applying the node ``rename`` map."""
+    for node in part.nodes():
+        mapped = rename.get(node, node)
+        if mapped in target:
+            if target.label(mapped) != part.label(node):
+                raise GraphStructureError(
+                    f"label clash while composing: node {mapped!r} has labels "
+                    f"{target.label(mapped)!r} and {part.label(node)!r}"
+                )
+        else:
+            target.add_node(mapped, part.label(node))
+    for u, v, _ in part.edges():
+        target.add_edge(rename.get(u, u), rename.get(v, v))
+
+
+def _check_disjoint(
+    first: FlowNetwork, second: FlowNetwork, shared: Iterable[NodeId]
+) -> None:
+    shared = set(shared)
+    overlap = (set(first.nodes()) & set(second.nodes())) - shared
+    if overlap:
+        raise GraphStructureError(
+            f"operand node sets overlap beyond the identified terminals: "
+            f"{sorted(map(repr, overlap))}"
+        )
+
+
+def series_compose(first: FlowNetwork, second: FlowNetwork) -> FlowNetwork:
+    """Series composition ``S(G1, G2)``: identify ``t(G1)`` with ``s(G2)``.
+
+    The two graphs must already agree on the identified node: ``t(G1)`` and
+    ``s(G2)`` must be the same node id with the same label.  (Use
+    :func:`series_chain` with auto-generated ids when building synthetic
+    specifications.)
+    """
+    joint = first.sink()
+    if second.source() != joint:
+        raise GraphStructureError(
+            f"series composition requires t(G1) == s(G2); got "
+            f"{joint!r} and {second.source()!r}"
+        )
+    _check_disjoint(first, second, {joint})
+    result = first.copy()
+    result.name = ""
+    _merge_into(result, second, rename={})
+    return result
+
+
+def parallel_compose(first: FlowNetwork, second: FlowNetwork) -> FlowNetwork:
+    """Parallel composition ``P(G1, G2)``: identify sources and sinks."""
+    if first.source() != second.source() or first.sink() != second.sink():
+        raise GraphStructureError(
+            "parallel composition requires matching terminals: got "
+            f"({first.source()!r}, {first.sink()!r}) and "
+            f"({second.source()!r}, {second.sink()!r})"
+        )
+    _check_disjoint(first, second, {first.source(), first.sink()})
+    result = first.copy()
+    result.name = ""
+    _merge_into(result, second, rename={})
+    return result
+
+
+def series_chain(graphs: Sequence[FlowNetwork]) -> FlowNetwork:
+    """Left fold of :func:`series_compose` over ``graphs``."""
+    if not graphs:
+        raise GraphStructureError("series_chain requires at least one graph")
+    result = graphs[0]
+    for part in graphs[1:]:
+        result = series_compose(result, part)
+    return result
+
+
+def parallel_bundle(graphs: Sequence[FlowNetwork]) -> FlowNetwork:
+    """Left fold of :func:`parallel_compose` over ``graphs``."""
+    if not graphs:
+        raise GraphStructureError("parallel_bundle requires at least one graph")
+    result = graphs[0]
+    for part in graphs[1:]:
+        result = parallel_compose(result, part)
+    return result
+
+
+def path_graph(nodes: Sequence[NodeId], labels: dict = None) -> FlowNetwork:
+    """A simple directed path through ``nodes`` (a series-only SP-graph)."""
+    if len(nodes) < 2:
+        raise GraphStructureError("a path needs at least two nodes")
+    labels = labels or {}
+    graph = FlowNetwork()
+    for node in nodes:
+        graph.add_node(node, labels.get(node))
+    for u, v in zip(nodes, nodes[1:]):
+        graph.add_edge(u, v)
+    return graph
+
+
+def diamond_graph() -> FlowNetwork:
+    """The four-node forbidden minor of SP-DAGs (used by Theorem 1).
+
+    Nodes ``s, v1, v2, t`` with edges ``s->v1, s->v2, v1->v2, v1->t, v2->t``.
+    This is the smallest flow network that is *not* series-parallel.
+    """
+    graph = FlowNetwork(name="forbidden-minor")
+    for node in ("s", "v1", "v2", "t"):
+        graph.add_node(node)
+    graph.add_edge("s", "v1")
+    graph.add_edge("s", "v2")
+    graph.add_edge("v1", "v2")
+    graph.add_edge("v1", "t")
+    graph.add_edge("v2", "t")
+    return graph

@@ -1,0 +1,98 @@
+"""JSON import/export — a modern alternative to the XML format.
+
+Same content model as :mod:`repro.io.xml_io`; useful for interop with
+notebook tooling and for compact storage of large synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+from repro.graphs.flow_network import FlowNetwork
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def _graph_to_dict(graph: FlowNetwork) -> Dict[str, Any]:
+    return {
+        "nodes": [
+            {"id": str(node), "label": graph.label(node)}
+            for node in graph.nodes()
+        ],
+        "edges": [
+            {"source": str(u), "target": str(v), "key": key}
+            for u, v, key in graph.edges()
+        ],
+    }
+
+
+def _graph_from_dict(payload: Dict[str, Any], name: str = "") -> FlowNetwork:
+    graph = FlowNetwork(name=name)
+    for node in payload["nodes"]:
+        graph.add_node(node["id"], node.get("label"))
+    for edge in payload["edges"]:
+        graph.add_edge(edge["source"], edge["target"], int(edge.get("key", 0)))
+    return graph
+
+
+def specification_to_json(spec: WorkflowSpecification) -> str:
+    """Serialise a specification to a JSON string."""
+    payload = {
+        "kind": "specification",
+        "name": spec.name,
+        "graph": _graph_to_dict(spec.graph),
+        "forks": [
+            sorted([list(edge) for edge in a.edges])
+            for a in spec.fork_elements
+        ],
+        "loops": [
+            sorted([list(edge) for edge in a.edges])
+            for a in spec.loop_elements
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def specification_from_json(text: str) -> WorkflowSpecification:
+    """Parse a specification from JSON (re-validating everything)."""
+    payload = json.loads(text)
+    if payload.get("kind") != "specification":
+        raise ReproError("JSON payload is not a specification")
+    graph = _graph_from_dict(payload["graph"], payload.get("name", ""))
+    to_tuples = lambda elems: [
+        [(e[0], e[1], int(e[2])) for e in elem] for elem in elems
+    ]
+    return WorkflowSpecification(
+        graph,
+        forks=to_tuples(payload.get("forks", [])),
+        loops=to_tuples(payload.get("loops", [])),
+        name=payload.get("name", ""),
+    )
+
+
+def run_to_json(run: WorkflowRun) -> str:
+    """Serialise a run graph to a JSON string."""
+    payload = {
+        "kind": "run",
+        "name": run.name,
+        "spec": run.spec.name,
+        "graph": _graph_to_dict(run.graph),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def run_from_json(text: str, spec: WorkflowSpecification) -> WorkflowRun:
+    """Parse and re-validate a run against ``spec``."""
+    payload = json.loads(text)
+    if payload.get("kind") != "run":
+        raise ReproError("JSON payload is not a run")
+    declared = payload.get("spec")
+    if declared and declared != spec.name:
+        raise ReproError(
+            f"run was stored for specification {declared!r}, "
+            f"got {spec.name!r}"
+        )
+    graph = _graph_from_dict(payload["graph"])
+    return WorkflowRun(spec, graph, name=payload.get("name", ""))

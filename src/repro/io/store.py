@@ -1,0 +1,117 @@
+"""File-backed catalog of specifications and runs (PDiffView's store).
+
+The prototype "allows users to view, store, generate and import/export
+SP-specifications and their associated runs"; this module provides the
+storage half: a directory layout
+
+.. code-block:: text
+
+    <root>/specs/<spec-name>.xml
+    <root>/runs/<spec-name>/<run-name>.xml
+
+with atomic writes (temp file + rename) so a crashed process never leaves
+a half-written catalog entry — the usual durability idiom for file-backed
+stores.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.io.xml_io import (
+    run_from_xml,
+    run_to_xml,
+    specification_from_xml,
+    specification_to_xml,
+)
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _safe_name(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in name
+    )
+    if not cleaned:
+        raise ReproError("cannot derive a file name from an empty name")
+    return cleaned
+
+
+class WorkflowStore:
+    """A directory-backed catalog of specifications and their runs."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "specs").mkdir(exist_ok=True)
+        (self.root / "runs").mkdir(exist_ok=True)
+
+    # -- specifications -------------------------------------------------
+    def save_specification(self, spec: WorkflowSpecification) -> Path:
+        """Persist a specification; returns the file path."""
+        path = self.root / "specs" / f"{_safe_name(spec.name)}.xml"
+        _atomic_write(path, specification_to_xml(spec))
+        return path
+
+    def load_specification(self, name: str) -> WorkflowSpecification:
+        path = self.root / "specs" / f"{_safe_name(name)}.xml"
+        if not path.exists():
+            raise ReproError(f"no stored specification named {name!r}")
+        return specification_from_xml(path.read_text(encoding="utf8"))
+
+    def list_specifications(self) -> List[str]:
+        return sorted(
+            path.stem for path in (self.root / "specs").glob("*.xml")
+        )
+
+    # -- runs --------------------------------------------------------------
+    def save_run(self, run: WorkflowRun) -> Path:
+        """Persist a run under its specification's directory."""
+        directory = self.root / "runs" / _safe_name(run.spec.name)
+        path = directory / f"{_safe_name(run.name)}.xml"
+        _atomic_write(path, run_to_xml(run))
+        return path
+
+    def load_run(
+        self, spec: WorkflowSpecification, name: str
+    ) -> WorkflowRun:
+        path = (
+            self.root
+            / "runs"
+            / _safe_name(spec.name)
+            / f"{_safe_name(name)}.xml"
+        )
+        if not path.exists():
+            raise ReproError(
+                f"no stored run {name!r} for specification {spec.name!r}"
+            )
+        return run_from_xml(path.read_text(encoding="utf8"), spec)
+
+    def list_runs(self, spec_name: str) -> List[str]:
+        directory = self.root / "runs" / _safe_name(spec_name)
+        if not directory.exists():
+            return []
+        return sorted(path.stem for path in directory.glob("*.xml"))

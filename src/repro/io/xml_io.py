@@ -1,0 +1,145 @@
+"""XML import/export of specifications and runs (Section VIII).
+
+The paper's prototype stores specifications and runs as XML files (and
+its benchmarks omit XML parse time — ours do the same).  The schema is
+minimal and self-describing:
+
+.. code-block:: xml
+
+    <specification name="PA">
+      <nodes><node id="getProteinSeq" label="getProteinSeq"/>…</nodes>
+      <edges><edge source="…" target="…" key="0"/>…</edges>
+      <forks><fork name="F1"><edge …/>…</fork>…</forks>
+      <loops><loop name="L1"><edge …/>…</loop>…</loops>
+    </specification>
+
+    <run name="r1" spec="PA">
+      <nodes><node id="FastaFormat-a" label="FastaFormat"/>…</nodes>
+      <edges><edge source="…" target="…" key="0"/>…</edges>
+    </run>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.graphs.flow_network import FlowNetwork
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def _graph_to_element(graph: FlowNetwork, tag: str, name: str) -> ET.Element:
+    root = ET.Element(tag, {"name": name})
+    nodes = ET.SubElement(root, "nodes")
+    for node in graph.nodes():
+        ET.SubElement(
+            nodes, "node", {"id": str(node), "label": graph.label(node)}
+        )
+    edges = ET.SubElement(root, "edges")
+    for u, v, key in graph.edges():
+        ET.SubElement(
+            edges,
+            "edge",
+            {"source": str(u), "target": str(v), "key": str(key)},
+        )
+    return root
+
+
+def _graph_from_element(element: ET.Element) -> FlowNetwork:
+    graph = FlowNetwork(name=element.get("name", ""))
+    nodes = element.find("nodes")
+    if nodes is None:
+        raise ReproError("missing <nodes> section")
+    for node in nodes.findall("node"):
+        graph.add_node(node.get("id"), node.get("label"))
+    edges = element.find("edges")
+    if edges is None:
+        raise ReproError("missing <edges> section")
+    for edge in edges.findall("edge"):
+        graph.add_edge(
+            edge.get("source"), edge.get("target"), int(edge.get("key", "0"))
+        )
+    return graph
+
+
+def _element_set(parent: ET.Element, tag: str, item_tag: str, elements):
+    section = ET.SubElement(parent, tag)
+    for index, annotation in enumerate(elements, start=1):
+        item = ET.SubElement(
+            section, item_tag, {"name": annotation.name or f"{item_tag}{index}"}
+        )
+        for u, v, key in sorted(annotation.edges, key=str):
+            ET.SubElement(
+                item,
+                "edge",
+                {"source": str(u), "target": str(v), "key": str(key)},
+            )
+
+
+def specification_to_xml(spec: WorkflowSpecification) -> str:
+    """Serialise a specification (graph + fork/loop elements) to XML."""
+    root = _graph_to_element(spec.graph, "specification", spec.name)
+    _element_set(root, "forks", "fork", spec.fork_elements)
+    _element_set(root, "loops", "loop", spec.loop_elements)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def specification_from_xml(text: str) -> WorkflowSpecification:
+    """Parse a specification from XML (re-validating everything)."""
+    root = ET.fromstring(text)
+    if root.tag != "specification":
+        raise ReproError(f"expected <specification>, got <{root.tag}>")
+    graph = _graph_from_element(root)
+
+    def read_elements(tag: str, item_tag: str) -> List[List[Tuple]]:
+        section = root.find(tag)
+        result = []
+        if section is None:
+            return result
+        for item in section.findall(item_tag):
+            result.append(
+                [
+                    (
+                        edge.get("source"),
+                        edge.get("target"),
+                        int(edge.get("key", "0")),
+                    )
+                    for edge in item.findall("edge")
+                ]
+            )
+        return result
+
+    return WorkflowSpecification(
+        graph,
+        forks=read_elements("forks", "fork"),
+        loops=read_elements("loops", "loop"),
+        name=root.get("name", ""),
+    )
+
+
+def run_to_xml(run: WorkflowRun) -> str:
+    """Serialise a run graph to XML."""
+    root = _graph_to_element(run.graph, "run", run.name)
+    root.set("spec", run.spec.name)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def run_from_xml(
+    text: str, spec: WorkflowSpecification
+) -> WorkflowRun:
+    """Parse and re-validate a run against ``spec``."""
+    root = ET.fromstring(text)
+    if root.tag != "run":
+        raise ReproError(f"expected <run>, got <{root.tag}>")
+    declared = root.get("spec")
+    if declared and declared != spec.name:
+        raise ReproError(
+            f"run was stored for specification {declared!r}, "
+            f"got {spec.name!r}"
+        )
+    graph = _graph_from_element(root)
+    return WorkflowRun(spec, graph, name=root.get("name", ""))

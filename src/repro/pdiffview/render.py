@@ -1,0 +1,133 @@
+"""ASCII rendering for PDiffView (Section VII).
+
+The paper's prototype is a Swing GUI; this text-mode equivalent renders
+run graphs as topologically-levelled ASCII diagrams, run statistics
+panels, and per-operation views of an edit script — enough to "step
+through the set of edit operations" and "see an overview" in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.api import DiffResult
+from repro.core.edit_script import (
+    PATH_CONTRACTION,
+    PATH_DELETION,
+    PATH_EXPANSION,
+    PATH_INSERTION,
+    PathOperation,
+)
+from repro.graphs.flow_network import FlowNetwork
+
+_OP_GLYPHS = {
+    PATH_INSERTION: "+",
+    PATH_DELETION: "-",
+    PATH_EXPANSION: "++",
+    PATH_CONTRACTION: "--",
+}
+
+
+def render_graph(graph: FlowNetwork, show_labels: bool = True) -> str:
+    """Topologically-levelled ASCII rendering of a flow network.
+
+    Collapsed composite-module graphs may contain cycles (a composite can
+    group modules from both ends of the workflow); in that case levels
+    fall back to breadth-first distance from the entry nodes.
+    """
+    level: Dict[object, int] = {}
+    try:
+        order = graph.topological_order()
+        for node in order:
+            preds = graph.predecessors(node)
+            level[node] = 1 + max((level[p] for p in preds), default=-1)
+    except Exception:
+        roots = graph.source_candidates() or list(graph.nodes())[:1]
+        frontier = list(roots)
+        depth = 0
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                if node in level:
+                    continue
+                level[node] = depth
+                next_frontier.extend(graph.successors(node))
+            frontier = next_frontier
+            depth += 1
+        for node in graph.nodes():
+            level.setdefault(node, depth)
+    by_level: Dict[int, List[object]] = {}
+    for node, depth in level.items():
+        by_level.setdefault(depth, []).append(node)
+
+    lines = [f"graph {graph.name or '(unnamed)'}: "
+             f"{graph.num_nodes} nodes, {graph.num_edges} edges"]
+    for depth in sorted(by_level):
+        entries = []
+        for node in by_level[depth]:
+            if show_labels and graph.label(node) != str(node):
+                entries.append(f"{node}[{graph.label(node)}]")
+            else:
+                entries.append(str(node))
+        lines.append(f"  level {depth}: " + "  ".join(entries))
+    lines.append("  edges:")
+    for u, v, key in graph.edges():
+        suffix = f" #{key}" if key else ""
+        lines.append(f"    {u} -> {v}{suffix}")
+    return "\n".join(lines)
+
+
+def render_statistics(stats: Dict[str, int], title: str = "run") -> str:
+    """The statistics panel shown above each run pane (Fig. 10)."""
+    lines = [f"[{title}]"]
+    for key in (
+        "nodes",
+        "edges",
+        "fork_copies",
+        "loop_iterations",
+        "p_nodes",
+        "f_nodes",
+        "l_nodes",
+    ):
+        if key in stats:
+            lines.append(f"  {key:16s} {stats[key]}")
+    return "\n".join(lines)
+
+
+def render_operation(index: int, op: PathOperation) -> str:
+    """One line per edit operation, with +/- glyphs like the GUI's colors."""
+    glyph = _OP_GLYPHS.get(op.kind, "?")
+    path = " -> ".join(op.path_labels)
+    note = f"  ({op.note})" if op.note else ""
+    return (
+        f"  [{index:3d}] {glyph:2s} {op.kind:17s} {path}"
+        f"  cost={op.cost:g}{note}"
+    )
+
+
+def render_script(diff: DiffResult, max_operations: Optional[int] = None) -> str:
+    """An overview of the whole edit script."""
+    if diff.script is None:
+        return "(no script was generated)"
+    ops = diff.script.operations
+    shown = ops if max_operations is None else ops[:max_operations]
+    lines = [diff.summary()]
+    for index, op in enumerate(shown, start=1):
+        lines.append(render_operation(index, op))
+    if len(shown) < len(ops):
+        lines.append(f"  ... {len(ops) - len(shown)} more operations")
+    return "\n".join(lines)
+
+
+def render_side_by_side(
+    left: Sequence[str], right: Sequence[str], gutter: str = " | "
+) -> str:
+    """Two text blocks side by side (source/target panes of Fig. 10)."""
+    width = max((len(line) for line in left), default=0)
+    height = max(len(left), len(right))
+    lines = []
+    for i in range(height):
+        l = left[i] if i < len(left) else ""
+        r = right[i] if i < len(right) else ""
+        lines.append(f"{l:<{width}}{gutter}{r}")
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""PDiffView sessions: the prototype's facade (Section VII).
+
+A :class:`PDiffViewSession` ties the pieces of the prototype together:
+
+* a :class:`~repro.io.store.WorkflowStore` for persistence,
+* run generation via the execution function,
+* differencing with any cost model, and
+* stepping through the resulting edit script with rendered panes.
+
+Example
+-------
+>>> session = PDiffViewSession(tmp_path)             # doctest: +SKIP
+>>> session.register_specification(protein_annotation())
+>>> session.generate_run("PA", name="monday", seed=1)
+>>> view = session.diff("PA", "monday", "tuesday")
+>>> print(view.overview())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.api import DiffResult, diff_runs
+from repro.costs.base import CostModel
+from repro.costs.standard import UnitCost
+from repro.errors import ReproError
+from repro.io.store import WorkflowStore
+from repro.pdiffview.render import (
+    render_graph,
+    render_operation,
+    render_script,
+    render_statistics,
+)
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+class DiffView:
+    """An interactive view over a computed diff (step through the ops)."""
+
+    def __init__(self, diff: DiffResult):
+        self.diff = diff
+        self._cursor = 0
+
+    # -- overview --------------------------------------------------------
+    def overview(self, max_operations: Optional[int] = 20) -> str:
+        """The script overview pane."""
+        return render_script(self.diff, max_operations=max_operations)
+
+    def compact_overview(self) -> str:
+        """Composite-operation digest (path replacements, subgraph
+        growth) — the "overview" mode of Section VII."""
+        compact = self.diff.compact_script()
+        lines = [self.diff.summary()]
+        lines.extend(f"  {line}" for line in compact.summary_lines())
+        return "\n".join(lines)
+
+    def panes(self) -> str:
+        """Source and target run statistics side by side (Fig. 10)."""
+        left = render_statistics(
+            self.diff.run1.statistics(), title=self.diff.run1.name
+        )
+        right = render_statistics(
+            self.diff.run2.statistics(), title=self.diff.run2.name
+        )
+        from repro.pdiffview.render import render_side_by_side
+
+        return render_side_by_side(left.splitlines(), right.splitlines())
+
+    # -- stepping --------------------------------------------------------
+    @property
+    def position(self) -> int:
+        return self._cursor
+
+    def __len__(self) -> int:
+        return len(self.diff.script) if self.diff.script else 0
+
+    def current(self) -> Optional[str]:
+        """Render the operation at the cursor (None when exhausted)."""
+        script = self.diff.script
+        if script is None or self._cursor >= len(script.operations):
+            return None
+        return render_operation(
+            self._cursor + 1, script.operations[self._cursor]
+        )
+
+    def step_forward(self) -> Optional[str]:
+        """Advance one operation; returns its rendering."""
+        rendered = self.current()
+        if rendered is not None:
+            self._cursor += 1
+        return rendered
+
+    def step_back(self) -> Optional[str]:
+        """Move the cursor back one operation."""
+        if self._cursor == 0:
+            return None
+        self._cursor -= 1
+        return self.current()
+
+    def state_after_cursor(self):
+        """Graph snapshot after the operation the cursor just passed."""
+        script = self.diff.script
+        if script is None or script.intermediate_graphs is None:
+            raise ReproError(
+                "snapshots require diff(..., record_intermediates=True)"
+            )
+        if self._cursor == 0:
+            return script.initial_graph
+        return script.intermediate_graphs[self._cursor - 1]
+
+
+class PDiffViewSession:
+    """The prototype facade: store, generate, import/export, diff, view."""
+
+    def __init__(self, root):
+        self.store = WorkflowStore(root)
+        self._specs: Dict[str, WorkflowSpecification] = {}
+
+    # -- specifications -------------------------------------------------
+    def register_specification(self, spec: WorkflowSpecification) -> None:
+        """Add a specification to the session and persist it."""
+        self._specs[spec.name] = spec
+        self.store.save_specification(spec)
+
+    def specification(self, name: str) -> WorkflowSpecification:
+        if name not in self._specs:
+            self._specs[name] = self.store.load_specification(name)
+        return self._specs[name]
+
+    def specifications(self) -> List[str]:
+        return sorted(
+            set(self._specs) | set(self.store.list_specifications())
+        )
+
+    # -- runs --------------------------------------------------------------
+    def import_run(self, run: WorkflowRun) -> None:
+        """Validate (implicitly, via WorkflowRun) and persist a run."""
+        self.store.save_run(run)
+
+    def generate_run(
+        self,
+        spec_name: str,
+        name: str,
+        params: Optional[ExecutionParams] = None,
+        seed: Optional[int] = None,
+    ) -> WorkflowRun:
+        """Generate, persist and return a random run."""
+        spec = self.specification(spec_name)
+        run = execute_workflow(spec, params, seed=seed, name=name)
+        self.store.save_run(run)
+        return run
+
+    def run(self, spec_name: str, run_name: str) -> WorkflowRun:
+        return self.store.load_run(self.specification(spec_name), run_name)
+
+    def runs(self, spec_name: str) -> List[str]:
+        return self.store.list_runs(spec_name)
+
+    # -- differencing -----------------------------------------------------
+    def diff(
+        self,
+        spec_name: str,
+        run1_name: str,
+        run2_name: str,
+        cost: Optional[CostModel] = None,
+        record_intermediates: bool = True,
+    ) -> DiffView:
+        """Diff two stored runs and wrap the result for viewing."""
+        run1 = self.run(spec_name, run1_name)
+        run2 = self.run(spec_name, run2_name)
+        result = diff_runs(
+            run1,
+            run2,
+            cost=cost or UnitCost(),
+            record_intermediates=record_intermediates,
+        )
+        return DiffView(result)
+
+    def distance_matrix(
+        self, spec_name: str, cost: Optional[CostModel] = None
+    ) -> Dict[tuple, float]:
+        """Pairwise edit distances between all stored runs of a spec.
+
+        Returns ``{(run_a, run_b): distance}`` for unordered pairs — the
+        "which executions cluster together" overview scientists asked for
+        in the paper's conclusions.
+        """
+        cost = cost or UnitCost()
+        names = self.runs(spec_name)
+        runs = {name: self.run(spec_name, name) for name in names}
+        matrix: Dict[tuple, float] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                matrix[(a, b)] = diff_runs(
+                    runs[a], runs[b], cost=cost, with_script=False
+                ).distance
+        return matrix
+
+    # -- rendering ---------------------------------------------------------
+    def show_specification(self, spec_name: str) -> str:
+        return render_graph(self.specification(spec_name).graph)
+
+    def show_run(self, spec_name: str, run_name: str) -> str:
+        return render_graph(self.run(spec_name, run_name).graph)

@@ -1,0 +1,88 @@
+"""Provenance records: module invocations and data products.
+
+The paper's motivation (Section I) is differencing the *provenance* of
+data products: a run's control structure plus the parameter settings of
+each module invocation and the data flowing between them.  The paper
+focuses on control flow and notes that, once the matching is computed,
+data differences can be highlighted as annotations on matched nodes
+(parameters) and edges (data products).
+
+These records model that data layer: one :class:`ModuleInvocation` per run
+node and one :class:`DataProduct` per run edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DataProduct:
+    """A data item produced on a run edge.
+
+    Attributes
+    ----------
+    product_id:
+        Unique identifier within the run.
+    content_digest:
+        A stand-in for the data's content (hash/fingerprint); two products
+        with equal digests are considered the same data.
+    size:
+        Nominal size (bytes) — used by PDiffView summaries.
+    """
+
+    product_id: str
+    content_digest: str
+    size: int = 0
+
+
+@dataclass(frozen=True)
+class ModuleInvocation:
+    """One execution of a module (a run node).
+
+    Attributes
+    ----------
+    node:
+        The run-graph node id (e.g. ``"3b"``).
+    module:
+        The specification label (module name).
+    parameters:
+        The parameter settings used by this invocation.
+    started_at / duration:
+        Nominal timing (simulation clock units).
+    """
+
+    node: object
+    module: str
+    parameters: Tuple[Tuple[str, object], ...]
+    started_at: float = 0.0
+    duration: float = 0.0
+
+    def parameter_dict(self) -> Dict[str, object]:
+        return dict(self.parameters)
+
+
+@dataclass
+class ProvenanceDocument:
+    """The full provenance of one run: invocations plus data products."""
+
+    run_name: str
+    invocations: Dict[object, ModuleInvocation] = field(default_factory=dict)
+    products: Dict[Tuple[object, object, int], DataProduct] = field(
+        default_factory=dict
+    )
+
+    def invocation(self, node) -> Optional[ModuleInvocation]:
+        return self.invocations.get(node)
+
+    def product(self, edge) -> Optional[DataProduct]:
+        return self.products.get(edge)
+
+    @property
+    def num_invocations(self) -> int:
+        return len(self.invocations)
+
+    @property
+    def num_products(self) -> int:
+        return len(self.products)

@@ -1,0 +1,282 @@
+"""Algorithm 1: annotated SP-trees for specifications (§IV-B, §VI).
+
+Given the canonical SP-tree of a specification graph and a family of fork
+(``F``) and loop (``L``) elements — each an edge set of the graph — this
+module inserts the corresponding F/L wrapper nodes:
+
+* if an element's edge set equals the leaf set of an existing node ``v``,
+  the wrapper becomes the parent of ``v`` (case 1 of Algorithm 1);
+* otherwise the element must equal the union of a consecutive subsequence
+  of two or more children of an S node, which is grouped under a fresh S
+  node first (case 2).
+
+Elements are processed in ascending edge-set size, which is sound for
+laminar families: by the time an element is placed, all strictly smaller
+nested elements are already wrapped and appear as single child units.
+
+The module also enforces the model-side constraints of Section VI:
+
+* fork elements must be *series subgraphs* (Q leaves, S nodes, or
+  consecutive S-children runs — Lemma 4.1);
+* loop elements must be *complete subgraphs* (all paths between their
+  terminals): the root, a single child of an S node, or a consecutive
+  proper subsequence of S children;
+* the edge sets of all elements form a laminar family with no duplicates
+  (Definition 3.6, and ``F ∩ L = ∅``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.sptree.nodes import EdgeRef, NodeType, SPTree
+
+EdgeKey = Tuple[object, object, int]
+EdgeSet = FrozenSet[EdgeKey]
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A fork or loop element of a specification.
+
+    Attributes
+    ----------
+    kind:
+        ``NodeType.F`` or ``NodeType.L``.
+    edges:
+        The element's edge set, as ``(u, v, key)`` graph edge ids.
+    name:
+        Display name (auto-generated as ``F1``/``L1``… when omitted).
+    """
+
+    kind: NodeType
+    edges: EdgeSet
+    name: str = ""
+
+    def __post_init__(self):
+        if self.kind not in (NodeType.F, NodeType.L):
+            raise SpecificationError(
+                f"annotation kind must be F or L, got {self.kind}"
+            )
+        if not self.edges:
+            raise SpecificationError("annotation edge set must be non-empty")
+
+
+def check_laminar(annotations: List[Annotation]) -> None:
+    """Validate Definition 3.6 over the annotation edge sets.
+
+    Raises :class:`SpecificationError` when two sets properly intersect or
+    coincide (coinciding sets would make fork/loop nesting ambiguous and
+    would violate ``F ∩ L = ∅``).
+    """
+    for i, first in enumerate(annotations):
+        for second in annotations[i + 1 :]:
+            a, b = first.edges, second.edges
+            if a == b:
+                raise SpecificationError(
+                    f"duplicate fork/loop edge sets: {first.name or 'element'}"
+                    f" and {second.name or 'element'} cover the same edges"
+                )
+            if a & b and not (a < b or b < a):
+                raise SpecificationError(
+                    "fork/loop family is not laminar: "
+                    f"{first.name or sorted(a)} and {second.name or sorted(b)}"
+                    " properly intersect"
+                )
+
+
+class _Mut:
+    """Mutable construction node used only inside this module."""
+
+    __slots__ = ("kind", "children", "edge", "parent", "leafset")
+
+    def __init__(self, kind: NodeType, children, edge=None):
+        self.kind = kind
+        self.children: List["_Mut"] = list(children)
+        self.edge: Optional[EdgeRef] = edge
+        self.parent: Optional["_Mut"] = None
+        self.leafset: EdgeSet = frozenset()
+        for child in self.children:
+            child.parent = self
+
+
+def _edge_id(ref: EdgeRef) -> EdgeKey:
+    return (ref.source, ref.sink, ref.key)
+
+
+def _build_mut(node: SPTree) -> _Mut:
+    if node.kind is NodeType.Q:
+        mut = _Mut(NodeType.Q, (), edge=node.edge)
+        mut.leafset = frozenset({_edge_id(node.edge)})
+        return mut
+    children = [_build_mut(child) for child in node.children]
+    mut = _Mut(node.kind, children)
+    mut.leafset = frozenset().union(*(c.leafset for c in children))
+    return mut
+
+
+def _descend(root: _Mut, target: EdgeSet) -> _Mut:
+    """Deepest node whose leaf set contains ``target`` (Algorithm 1 line 3)."""
+    node = root
+    while True:
+        next_node = None
+        for child in node.children:
+            if target <= child.leafset:
+                next_node = child
+                break
+        if next_node is None:
+            return node
+        node = next_node
+
+
+def _wrap(node: _Mut, kind: NodeType) -> _Mut:
+    """Insert a ``kind`` wrapper as the parent of ``node`` (case 1)."""
+    wrapper = _Mut(kind, ())
+    wrapper.leafset = node.leafset
+    parent = node.parent
+    if parent is not None:
+        index = parent.children.index(node)
+        parent.children[index] = wrapper
+    wrapper.parent = parent
+    wrapper.children = [node]
+    node.parent = wrapper
+    return wrapper
+
+
+def _group_consecutive(
+    node: _Mut, target: EdgeSet, annotation: Annotation
+) -> _Mut:
+    """Case 2: group the consecutive S-children covering ``target``.
+
+    Returns the fresh inner S node; raises when ``target`` does not align
+    with a consecutive run of children.
+    """
+    start = None
+    end = None
+    covered: set = set()
+    for index, child in enumerate(node.children):
+        overlap = child.leafset & target
+        if not overlap:
+            if start is not None and end is None:
+                end = index
+            continue
+        if overlap != child.leafset:
+            raise SpecificationError(
+                f"{annotation.name or 'element'}: edge set cuts through a "
+                "subtree and is not a series/complete subgraph"
+            )
+        if start is None:
+            start = index
+        elif end is not None:
+            raise SpecificationError(
+                f"{annotation.name or 'element'}: edge set is not a "
+                "consecutive run of series children"
+            )
+        covered |= child.leafset
+    if start is None or covered != set(target):
+        raise SpecificationError(
+            f"{annotation.name or 'element'}: edge set does not align with "
+            "the specification structure"
+        )
+    if end is None:
+        end = len(node.children)
+
+    group = node.children[start:end]
+    inner = _Mut(NodeType.S, group)
+    inner.leafset = frozenset(target)
+    inner.parent = node
+    node.children[start:end] = [inner]
+    return inner
+
+
+def _check_fork_target(node: _Mut, annotation: Annotation) -> None:
+    if node.kind not in (NodeType.S, NodeType.Q):
+        raise SpecificationError(
+            f"fork {annotation.name or sorted(annotation.edges)} is not a "
+            f"series subgraph (tree node has type {node.kind}); fork a "
+            "parallel subgraph by forking each of its branches instead"
+        )
+
+
+def _check_loop_target(node: _Mut, annotation: Annotation) -> None:
+    if node.kind not in (NodeType.S, NodeType.Q, NodeType.P):
+        raise SpecificationError(
+            f"loop {annotation.name or sorted(annotation.edges)} collides "
+            f"with an existing {node.kind} wrapper"
+        )
+    parent = node.parent
+    if parent is None:
+        return  # the whole graph is trivially complete
+    if parent.kind is NodeType.S:
+        return  # a single S child is a complete subgraph
+    raise SpecificationError(
+        f"loop {annotation.name or sorted(annotation.edges)} is not a "
+        "complete subgraph: it is a parallel branch (or nested wrapper) "
+        "whose terminals admit paths outside the element"
+    )
+
+
+def _freeze(
+    mut: _Mut, registry: Dict[int, SPTree], wrappers: Dict[int, Annotation]
+) -> SPTree:
+    if mut.kind is NodeType.Q:
+        frozen = SPTree(NodeType.Q, (), edge=mut.edge)
+    else:
+        children = tuple(
+            _freeze(child, registry, wrappers) for child in mut.children
+        )
+        frozen = SPTree(mut.kind, children)
+    registry[id(mut)] = frozen
+    return frozen
+
+
+def annotate_specification_tree(
+    canonical_tree: SPTree, annotations: List[Annotation]
+) -> Tuple[SPTree, Dict[Annotation, SPTree]]:
+    """Run Algorithm 1 and return ``(annotated_tree, element -> F/L node)``.
+
+    ``annotations`` must pass :func:`check_laminar`; elements are placed in
+    ascending edge-set size so nested wrappers are built inside-out.
+    """
+    check_laminar(annotations)
+    all_edges = frozenset(_edge_id(ref) for ref in canonical_tree.leaf_edges())
+    for annotation in annotations:
+        missing = annotation.edges - all_edges
+        if missing:
+            raise SpecificationError(
+                f"{annotation.name or 'element'} references edges not in the "
+                f"specification: {sorted(missing)}"
+            )
+
+    root = _build_mut(canonical_tree)
+    placed: List[Tuple[Annotation, _Mut]] = []
+    for annotation in sorted(annotations, key=lambda a: len(a.edges)):
+        target = annotation.edges
+        node = _descend(root, target)
+        if node.leafset == target:
+            if annotation.kind is NodeType.F:
+                _check_fork_target(node, annotation)
+            else:
+                _check_loop_target(node, annotation)
+            wrapper = _wrap(node, annotation.kind)
+        else:
+            if node.kind is not NodeType.S:
+                raise SpecificationError(
+                    f"{annotation.name or 'element'}: edge set does not "
+                    "correspond to a series/complete subgraph "
+                    f"(split under a {node.kind} node)"
+                )
+            inner = _group_consecutive(node, target, annotation)
+            wrapper = _wrap(inner, annotation.kind)
+        if wrapper.parent is None:
+            root = wrapper
+        placed.append((annotation, wrapper))
+
+    registry: Dict[int, SPTree] = {}
+    frozen_root = _freeze(root, registry, {})
+    element_nodes = {
+        annotation: registry[id(wrapper)] for annotation, wrapper in placed
+    }
+    return frozen_root, element_nodes

@@ -1,0 +1,189 @@
+"""Canonical SP-tree construction by series/parallel reduction (§IV-A).
+
+The tree decomposition of an SP-graph is computed by exhaustively applying
+two local reductions, each of which merges the SP-trees carried on the
+affected edges:
+
+* **parallel reduction** — two edges with the same endpoints ``(u, v)``
+  merge into one edge carrying the P-composition of their trees;
+* **series reduction** — an internal node with in-degree 1 and out-degree 1
+  merges its two incident edges into one edge carrying the S-composition.
+
+A flow network is series-parallel iff the reductions terminate with a
+single ``s -> t`` edge [Valdes, Tarjan, Lawler 1982].  Merging flattens
+same-type adjacent nodes on the fly, so the resulting tree is already
+*canonical*: no S child of an S node, no P child of a P node (the canonical
+SP-tree is unique up to reordering of P children — Lemma in §IV-A).
+
+When the reductions get stuck, the residual graph embeds the four-node
+forbidden minor and :class:`~repro.errors.NotSeriesParallelError` is raised
+with the residual edge list for diagnostics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import GraphStructureError, NotSeriesParallelError
+from repro.graphs.flow_network import FlowNetwork, NodeId
+from repro.sptree.nodes import EdgeRef, NodeType, SPTree, q_node
+
+
+def _combine_series(left: SPTree, right: SPTree) -> SPTree:
+    """S-composition with same-type flattening (associativity, Lemma 4.1)."""
+    left_parts = left.children if left.kind is NodeType.S else (left,)
+    right_parts = right.children if right.kind is NodeType.S else (right,)
+    return SPTree(NodeType.S, left_parts + right_parts)
+
+
+def _combine_parallel(left: SPTree, right: SPTree) -> SPTree:
+    """P-composition with same-type flattening."""
+    left_parts = left.children if left.kind is NodeType.P else (left,)
+    right_parts = right.children if right.kind is NodeType.P else (right,)
+    return SPTree(NodeType.P, left_parts + right_parts)
+
+
+class _Reducer:
+    """Worklist-driven series/parallel reduction engine."""
+
+    def __init__(self, graph: FlowNetwork):
+        graph.validate_flow_network()
+        if not graph.is_acyclic():
+            raise GraphStructureError(
+                "SP decomposition requires an acyclic flow network"
+            )
+        self.source = graph.source()
+        self.sink = graph.sink()
+        if graph.num_edges == 0:
+            raise GraphStructureError("SP graph must contain at least one edge")
+
+        # Edge records: eid -> (u, v, tree); adjacency via eid sets.
+        self.trees: Dict[int, SPTree] = {}
+        self.ends: Dict[int, Tuple[NodeId, NodeId]] = {}
+        self.out: Dict[NodeId, Set[int]] = {n: set() for n in graph.nodes()}
+        self.inc: Dict[NodeId, Set[int]] = {n: set() for n in graph.nodes()}
+        self.pairs: Dict[Tuple[NodeId, NodeId], List[int]] = {}
+
+        for eid, (u, v, key) in enumerate(graph.edges()):
+            ref = EdgeRef(
+                source=u,
+                sink=v,
+                source_label=graph.label(u),
+                sink_label=graph.label(v),
+                key=key,
+            )
+            self.trees[eid] = q_node(ref)
+            self.ends[eid] = (u, v)
+            self.out[u].add(eid)
+            self.inc[v].add(eid)
+            self.pairs.setdefault((u, v), []).append(eid)
+        self._next_eid = graph.num_edges
+
+    # -- primitive updates ------------------------------------------------
+    def _drop_edge(self, eid: int) -> None:
+        u, v = self.ends.pop(eid)
+        self.out[u].discard(eid)
+        self.inc[v].discard(eid)
+        self.pairs[(u, v)].remove(eid)
+        del self.trees[eid]
+
+    def _add_edge(self, u: NodeId, v: NodeId, tree: SPTree) -> int:
+        eid = self._next_eid
+        self._next_eid += 1
+        self.trees[eid] = tree
+        self.ends[eid] = (u, v)
+        self.out[u].add(eid)
+        self.inc[v].add(eid)
+        self.pairs.setdefault((u, v), []).append(eid)
+        return eid
+
+    # -- reductions ---------------------------------------------------------
+    def _parallel_reduce(self, u: NodeId, v: NodeId) -> None:
+        bucket = self.pairs.get((u, v), [])
+        while len(bucket) >= 2:
+            first, second = bucket[0], bucket[1]
+            merged = _combine_parallel(self.trees[first], self.trees[second])
+            self._drop_edge(first)
+            self._drop_edge(second)
+            self._add_edge(u, v, merged)
+            bucket = self.pairs.get((u, v), [])
+
+    def _try_series(self, node: NodeId) -> Optional[Tuple[NodeId, NodeId]]:
+        """Series-reduce ``node`` if eligible; return the new edge's ends."""
+        if node == self.source or node == self.sink:
+            return None
+        if len(self.inc[node]) != 1 or len(self.out[node]) != 1:
+            return None
+        in_eid = next(iter(self.inc[node]))
+        out_eid = next(iter(self.out[node]))
+        u = self.ends[in_eid][0]
+        w = self.ends[out_eid][1]
+        merged = _combine_series(self.trees[in_eid], self.trees[out_eid])
+        self._drop_edge(in_eid)
+        self._drop_edge(out_eid)
+        self._add_edge(u, w, merged)
+        return (u, w)
+
+    def run(self) -> SPTree:
+        """Apply reductions to exhaustion; return the canonical SP-tree."""
+        for (u, v) in list(self.pairs):
+            self._parallel_reduce(u, v)
+        queue = [n for n in self.out if n not in (self.source, self.sink)]
+        pending = set(queue)
+        while queue:
+            node = queue.pop()
+            pending.discard(node)
+            result = self._try_series(node)
+            if result is None:
+                continue
+            u, w = result
+            self._parallel_reduce(u, w)
+            for neighbour in (u, w):
+                if neighbour not in pending and neighbour not in (
+                    self.source,
+                    self.sink,
+                ):
+                    pending.add(neighbour)
+                    queue.append(neighbour)
+
+        if len(self.trees) == 1:
+            (eid,) = self.trees
+            u, v = self.ends[eid]
+            if (u, v) == (self.source, self.sink):
+                return self.trees[eid]
+        residual = [
+            (self.ends[eid][0], self.ends[eid][1]) for eid in sorted(self.ends)
+        ]
+        raise NotSeriesParallelError(
+            "graph is not series-parallel: "
+            f"{len(residual)} irreducible edges remain "
+            "(the residual embeds the four-node forbidden minor)",
+            residual_edges=residual,
+        )
+
+
+def canonical_sp_tree(graph: FlowNetwork) -> SPTree:
+    """Compute the canonical SP-tree of an SP flow network.
+
+    Raises
+    ------
+    GraphStructureError
+        If ``graph`` is not an acyclic flow network.
+    NotSeriesParallelError
+        If ``graph`` is a flow network but not series-parallel.
+
+    Notes
+    -----
+    Runs in near-linear time: every reduction removes one edge, and each
+    reduction is found in amortised O(1) via the worklist.
+    """
+    return _Reducer(graph).run()
+
+
+def is_series_parallel(graph: FlowNetwork) -> bool:
+    """True iff ``graph`` is an acyclic SP flow network."""
+    try:
+        canonical_sp_tree(graph)
+    except (NotSeriesParallelError, GraphStructureError):
+        return False
+    return True

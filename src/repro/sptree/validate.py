@@ -1,0 +1,108 @@
+"""Structural validators for annotated SP-trees (Lemmas 4.2 and 4.4).
+
+Specification trees satisfy (Lemma 4.2):
+
+1. every internal node is S, P, F or L;
+2. every leaf is a Q node;
+3. every node's type differs from its parent's type;
+4. every S or P node has at least two children;
+5. every F or L node has exactly one child, of type S or Q (forks) or
+   S, Q or P (loops).
+
+Run trees relax this (Lemma 4.4): P nodes may have a single child, and F/L
+nodes may have multiple children, all of the same type.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import GraphStructureError
+from repro.sptree.nodes import NodeType, SPTree
+
+
+def validate_spec_tree(tree: SPTree) -> None:
+    """Validate the invariants of an annotated specification tree."""
+
+    def visit(node: SPTree, parent: Optional[SPTree]) -> None:
+        if parent is not None and node.kind is parent.kind:
+            raise GraphStructureError(
+                f"node of type {node.kind} has a parent of the same type"
+            )
+        if node.kind is NodeType.Q:
+            return
+        if node.kind in (NodeType.S, NodeType.P):
+            if node.degree < 2:
+                raise GraphStructureError(
+                    f"spec {node.kind} node must have >= 2 children, "
+                    f"has {node.degree}"
+                )
+        elif node.kind is NodeType.F:
+            if node.degree != 1:
+                raise GraphStructureError(
+                    f"spec F node must have exactly one child, has {node.degree}"
+                )
+            if node.children[0].kind not in (NodeType.S, NodeType.Q):
+                raise GraphStructureError(
+                    "spec F node's child must be S or Q (series subgraph), "
+                    f"got {node.children[0].kind}"
+                )
+        elif node.kind is NodeType.L:
+            if node.degree != 1:
+                raise GraphStructureError(
+                    f"spec L node must have exactly one child, has {node.degree}"
+                )
+            if node.children[0].kind not in (
+                NodeType.S,
+                NodeType.Q,
+                NodeType.P,
+            ):
+                raise GraphStructureError(
+                    "spec L node's child must be S, Q or P (complete "
+                    f"subgraph), got {node.children[0].kind}"
+                )
+        for child in node.children:
+            visit(child, node)
+
+    visit(tree, None)
+
+
+def validate_run_tree(tree: SPTree, require_origin: bool = False) -> None:
+    """Validate the invariants of an annotated run tree (Lemma 4.4)."""
+
+    def visit(node: SPTree, parent: Optional[SPTree]) -> None:
+        if require_origin and node.origin is None:
+            raise GraphStructureError("run tree node is missing its origin")
+        if (
+            parent is not None
+            and node.kind is parent.kind
+            and parent.kind in (NodeType.S, NodeType.P)
+        ):
+            raise GraphStructureError(
+                f"node of type {node.kind} has a parent of the same type"
+            )
+        if node.kind is NodeType.Q:
+            return
+        if node.kind is NodeType.S:
+            if node.degree < 2:
+                raise GraphStructureError(
+                    f"run S node must have >= 2 children, has {node.degree}"
+                )
+        elif node.kind is NodeType.P:
+            if node.degree < 1:
+                raise GraphStructureError("run P node must have >= 1 child")
+        elif node.kind in (NodeType.F, NodeType.L):
+            if node.degree < 1:
+                raise GraphStructureError(
+                    f"run {node.kind} node must have >= 1 child"
+                )
+            kinds = {child.kind for child in node.children}
+            if len(kinds) > 1:
+                raise GraphStructureError(
+                    f"run {node.kind} node children must share a type, "
+                    f"got {sorted(k.value for k in kinds)}"
+                )
+        for child in node.children:
+            visit(child, node)
+
+    visit(tree, None)

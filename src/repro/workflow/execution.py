@@ -1,0 +1,198 @@
+"""The execution function ``f``: generating valid runs (§III-D, §VIII).
+
+This module implements the nondeterministic execution semantics of
+SP-workflow specifications as a seeded random generator, using the
+parameters of the paper's evaluation (Section VIII):
+
+* ``prob_parallel`` (``prob_p``) — probability that each parallel branch is
+  taken; at least one branch is always taken;
+* ``max_fork`` / ``prob_fork`` (``maxF`` / ``probF``) — each fork execution
+  replicates ``Binomial(maxF, probF)`` copies, floored at one copy;
+* ``max_loop`` / ``prob_loop`` (``maxL`` / ``probL``) — likewise for loop
+  iterations.
+
+The executor materialises the run graph and the annotated SP-tree
+simultaneously, creating fresh node instances (``2a``, ``2b``, …) exactly
+as in Fig. 2: series cut points get one instance per traversal, parallel
+branches and fork copies share their terminal instances, and consecutive
+loop iterations are linked by implicit back-edges between distinct
+instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.nodes import EdgeRef, NodeType, SPTree
+from repro.workflow.run import WorkflowRun
+
+
+@dataclass(frozen=True)
+class ExecutionParams:
+    """Random-run parameters mirroring Section VIII's knobs.
+
+    The defaults execute every parallel branch with probability 0.95 and
+    take single fork copies / loop iterations — matching the setup of the
+    paper's first two experiments.
+    """
+
+    prob_parallel: float = 0.95
+    max_fork: int = 1
+    prob_fork: float = 0.0
+    max_loop: int = 1
+    prob_loop: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.prob_parallel <= 1.0:
+            raise ValueError("prob_parallel must be in [0, 1]")
+        if not 0.0 <= self.prob_fork <= 1.0:
+            raise ValueError("prob_fork must be in [0, 1]")
+        if not 0.0 <= self.prob_loop <= 1.0:
+            raise ValueError("prob_loop must be in [0, 1]")
+        if self.max_fork < 1 or self.max_loop < 1:
+            raise ValueError("max_fork and max_loop must be >= 1")
+
+
+def _suffix(index: int) -> str:
+    """Spreadsheet-style suffixes: a, b, …, z, aa, ab, …"""
+    letters = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, 26)
+        letters.append(chr(ord("a") + rem))
+    return "".join(reversed(letters))
+
+
+class _Executor:
+    def __init__(self, spec, params: ExecutionParams, rng: random.Random):
+        self.spec = spec
+        self.params = params
+        self.rng = rng
+        self.graph = FlowNetwork()
+        self._counters: Dict[str, int] = {}
+        self._used: set = set()
+
+    # -- instances -----------------------------------------------------
+    def fresh(self, label: str):
+        index = self._counters.get(label, 0)
+        while True:
+            node_id = f"{label}{_suffix(index)}"
+            index += 1
+            if node_id not in self._used:
+                break
+        self._counters[label] = index
+        self._used.add(node_id)
+        self.graph.add_node(node_id, label)
+        return node_id
+
+    def _binomial_at_least_one(self, trials: int, prob: float) -> int:
+        count = sum(1 for _ in range(trials) if self.rng.random() < prob)
+        return max(1, count)
+
+    # -- recursive execution -------------------------------------------
+    def execute(self, node: SPTree, source, sink) -> SPTree:
+        if node.kind is NodeType.Q:
+            _, _, key = self.graph.add_edge(source, sink)
+            ref = EdgeRef(
+                source=source,
+                sink=sink,
+                source_label=node.source_label,
+                sink_label=node.sink_label,
+                key=key,
+            )
+            return SPTree(NodeType.Q, (), edge=ref, origin=node)
+
+        if node.kind is NodeType.S:
+            bounds = [source]
+            for child in node.children[:-1]:
+                bounds.append(self.fresh(child.sink_label))
+            bounds.append(sink)
+            children = tuple(
+                self.execute(child, bounds[i], bounds[i + 1])
+                for i, child in enumerate(node.children)
+            )
+            return SPTree(NodeType.S, children, origin=node)
+
+        if node.kind is NodeType.P:
+            chosen = [
+                child
+                for child in node.children
+                if self.rng.random() < self.params.prob_parallel
+            ]
+            if not chosen:
+                chosen = [self.rng.choice(node.children)]
+            children = tuple(
+                self.execute(child, source, sink) for child in chosen
+            )
+            return SPTree(NodeType.P, children, origin=node)
+
+        if node.kind is NodeType.F:
+            copies = self._binomial_at_least_one(
+                self.params.max_fork, self.params.prob_fork
+            )
+            children = tuple(
+                self.execute(node.children[0], source, sink)
+                for _ in range(copies)
+            )
+            return SPTree(NodeType.F, children, origin=node)
+
+        # Loop: iterations composed in series via implicit back-edges.
+        iterations = self._binomial_at_least_one(
+            self.params.max_loop, self.params.prob_loop
+        )
+        body = node.children[0]
+        children: List[SPTree] = []
+        iter_source = source
+        for index in range(iterations):
+            last = index == iterations - 1
+            iter_sink = sink if last else self.fresh(body.sink_label)
+            children.append(self.execute(body, iter_source, iter_sink))
+            if not last:
+                next_source = self.fresh(body.source_label)
+                self.graph.add_edge(iter_sink, next_source)
+                iter_source = next_source
+        return SPTree(NodeType.L, tuple(children), origin=node)
+
+    def run(self, name: str = "") -> WorkflowRun:
+        root = self.spec.tree
+        source = self.fresh(root.source_label)
+        sink = self.fresh(root.sink_label)
+        tree = self.execute(root, source, sink)
+        self.graph.name = name
+        if self.spec.has_ambiguous_branches:
+            # Identical parallel branches make the derivation ambiguous;
+            # normalise through the canonical annotator so equivalent runs
+            # always receive equivalent annotated trees.
+            tree = None
+        return WorkflowRun(self.spec, self.graph, tree=tree, name=name)
+
+
+def execute_workflow(
+    spec,
+    params: Optional[ExecutionParams] = None,
+    seed: Optional[Union[int, random.Random]] = None,
+    name: str = "",
+) -> WorkflowRun:
+    """Generate a random valid run of ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.workflow.specification.WorkflowSpecification`.
+    params:
+        Sampling parameters; defaults to :class:`ExecutionParams`'s
+        defaults (``prob_p = 0.95``, single fork copies and loop
+        iterations).
+    seed:
+        An ``int`` seed or a :class:`random.Random` instance for
+        reproducibility.
+    """
+    params = params or ExecutionParams()
+    if isinstance(seed, random.Random):
+        rng = seed
+    else:
+        rng = random.Random(seed)
+    return _Executor(spec, params, rng).run(name=name)

@@ -1,0 +1,327 @@
+"""Synthetic workload generation (Section VIII-B and VIII-C).
+
+Random SP specifications are grown by repeated edge expansion: starting
+from a single edge, a random edge is replaced either by a length-2 path
+(*series* expansion) or by a pair of parallel edges (*parallel*
+expansion).  The ``series_parallel_ratio`` ``r`` is the ratio of series to
+parallel expansions used — ``r -> ∞`` yields a single path, ``r -> 0`` a
+two-node multigraph, exactly the paper's knob for Figs. 12-13.
+
+Fork and loop annotations are sampled from the canonical SP-tree:
+
+* fork candidates are Q leaves, S nodes and consecutive S-children runs
+  (series subgraphs, Lemma 4.1);
+* loop candidates are proper consecutive S-children runs, P-node children
+  of S nodes, and the root (complete subgraphs, Section VI);
+
+candidates are accepted greedily while they keep the family laminar.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SpecificationError
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.canonical import canonical_sp_tree
+from repro.sptree.nodes import NodeType, SPTree
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def random_sp_graph(
+    num_edges: int,
+    series_parallel_ratio: float = 1.0,
+    seed: Optional[int] = None,
+    label_prefix: str = "m",
+) -> FlowNetwork:
+    """Grow a random SP flow network with exactly ``num_edges`` edges.
+
+    ``series_parallel_ratio`` is the expected ratio of series to parallel
+    expansions (``r`` in Section VIII-B).  Use ``float("inf")`` for a pure
+    path and ``0.0`` for pure parallel multi-edges.
+    """
+    if num_edges < 1:
+        raise SpecificationError("num_edges must be >= 1")
+    if series_parallel_ratio < 0:
+        raise SpecificationError("series_parallel_ratio must be >= 0")
+    rng = random.Random(seed)
+    if series_parallel_ratio == float("inf"):
+        series_probability = 1.0
+    else:
+        series_probability = series_parallel_ratio / (
+            1.0 + series_parallel_ratio
+        )
+
+    graph = FlowNetwork(name=f"random-sp-{num_edges}")
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"{label_prefix}{counter[0]}"
+
+    source, sink = fresh(), fresh()
+    graph.add_node(source)
+    graph.add_node(sink)
+    edges: List[Tuple[str, str, int]] = [graph.add_edge(source, sink)]
+
+    while len(edges) < num_edges:
+        index = rng.randrange(len(edges))
+        u, v, key = edges[index]
+        if rng.random() < series_probability:
+            # Series expansion: u -> w -> v replaces u -> v.
+            w = fresh()
+            graph.add_node(w)
+            graph.remove_edge((u, v, key))
+            first = graph.add_edge(u, w)
+            second = graph.add_edge(w, v)
+            edges[index] = first
+            edges.append(second)
+        else:
+            # Parallel expansion: add a second u -> v edge.
+            edges.append(graph.add_edge(u, v))
+    return graph
+
+
+def _leafset(node: SPTree) -> frozenset:
+    return frozenset(
+        (ref.source, ref.sink, ref.key) for ref in node.leaf_edges()
+    )
+
+
+def _fork_candidates(tree: SPTree, rng: random.Random, attempts: int):
+    """Yield random series-subgraph edge sets (with repetition)."""
+    nodes = [
+        n
+        for n in tree.iter_nodes("pre")
+        if n.kind in (NodeType.Q, NodeType.S)
+    ]
+    for _ in range(attempts):
+        node = rng.choice(nodes)
+        if node.kind is NodeType.Q or rng.random() < 0.5:
+            yield _leafset(node)
+        else:
+            k = node.degree
+            i = rng.randrange(k)
+            j = rng.randrange(k)
+            lo, hi = min(i, j), max(i, j)
+            if lo == hi and node.children[lo].kind is NodeType.P:
+                # A single P child is a parallel subgraph, not a series
+                # one; fall back to the whole S node.
+                yield _leafset(node)
+                continue
+            yield frozenset().union(
+                *(_leafset(c) for c in node.children[lo : hi + 1])
+            )
+
+
+def _loop_candidates(tree: SPTree, rng: random.Random, attempts: int):
+    """Yield random complete-subgraph edge sets (with repetition)."""
+    s_nodes = [n for n in tree.iter_nodes("pre") if n.kind is NodeType.S]
+    for _ in range(attempts):
+        if not s_nodes or rng.random() < 0.1:
+            yield _leafset(tree)  # the whole graph
+            continue
+        node = rng.choice(s_nodes)
+        k = node.degree
+        i = rng.randrange(k)
+        j = rng.randrange(i, k)
+        if i == 0 and j == k - 1:
+            j -= 1  # keep the run a *proper* subset
+        yield frozenset().union(
+            *(_leafset(c) for c in node.children[i : j + 1])
+        )
+
+
+def _laminar_with(chosen: List[frozenset], candidate: frozenset) -> bool:
+    for existing in chosen:
+        if candidate == existing:
+            return False
+        if candidate & existing and not (
+            candidate < existing or existing < candidate
+        ):
+            return False
+    return True
+
+
+def annotate_random(
+    graph: FlowNetwork,
+    num_forks: int = 0,
+    num_loops: int = 0,
+    seed: Optional[int] = None,
+    max_attempts_factor: int = 200,
+    name: str = "",
+) -> WorkflowSpecification:
+    """Sample a laminar fork/loop family over ``graph`` (Fig. 14 setup).
+
+    Raises :class:`SpecificationError` when the requested counts cannot be
+    placed (e.g. more loops than distinct complete subgraphs).
+    """
+    rng = random.Random(seed)
+    tree = canonical_sp_tree(graph)
+    chosen: List[frozenset] = []
+    forks: List[frozenset] = []
+    loops: List[frozenset] = []
+
+    attempts = max_attempts_factor * max(1, num_forks)
+    for candidate in _fork_candidates(tree, rng, attempts):
+        if len(forks) == num_forks:
+            break
+        if _laminar_with(chosen, candidate):
+            chosen.append(candidate)
+            forks.append(candidate)
+    if len(forks) < num_forks:
+        raise SpecificationError(
+            f"could only place {len(forks)} of {num_forks} forks"
+        )
+
+    attempts = max_attempts_factor * max(1, num_loops)
+    for candidate in _loop_candidates(tree, rng, attempts):
+        if len(loops) == num_loops:
+            break
+        if _laminar_with(chosen, candidate):
+            chosen.append(candidate)
+            loops.append(candidate)
+    if len(loops) < num_loops:
+        raise SpecificationError(
+            f"could only place {len(loops)} of {num_loops} loops"
+        )
+
+    return WorkflowSpecification(
+        graph,
+        forks=[sorted(f) for f in forks],
+        loops=[sorted(l) for l in loops],
+        name=name or graph.name,
+    )
+
+
+def random_specification(
+    num_edges: int,
+    series_parallel_ratio: float = 1.0,
+    num_forks: int = 0,
+    num_loops: int = 0,
+    seed: Optional[int] = None,
+    name: str = "",
+) -> WorkflowSpecification:
+    """Random SP specification with fork/loop annotations (one call)."""
+    rng = random.Random(seed)
+    graph = random_sp_graph(
+        num_edges, series_parallel_ratio, seed=rng.randrange(2**31)
+    )
+    return annotate_random(
+        graph,
+        num_forks=num_forks,
+        num_loops=num_loops,
+        seed=rng.randrange(2**31),
+        name=name,
+    )
+
+
+def balanced_fork_loop_specification(
+    num_edges: int,
+    series_parallel_ratio: float = 1.0,
+    num_forks: int = 5,
+    num_loops: int = 5,
+    seed: Optional[int] = None,
+    max_graph_attempts: int = 20,
+) -> WorkflowSpecification:
+    """The Fig. 14/15 workload: forks and loops on *comparable* subgraphs.
+
+    Candidate elements are drawn from one pool — consecutive proper runs
+    of S-node children, which are simultaneously series subgraphs (fork-
+    eligible) and complete subgraphs (loop-eligible) — and then split
+    randomly into forks and loops.  This keeps fork-heavy and loop-heavy
+    runs the same size, so the fork/loop comparison isolates the matching
+    algorithms rather than workload-size artifacts.
+    """
+    rng = random.Random(seed)
+    needed = num_forks + num_loops
+    for _ in range(max_graph_attempts):
+        graph = random_sp_graph(
+            num_edges, series_parallel_ratio, seed=rng.randrange(2**31)
+        )
+        tree = canonical_sp_tree(graph)
+        s_nodes = [
+            n for n in tree.iter_nodes("pre") if n.kind is NodeType.S
+        ]
+        if not s_nodes:
+            continue
+        chosen: List[frozenset] = []
+        for _ in range(1000 * max(1, needed)):
+            if len(chosen) >= needed:
+                break
+            node = rng.choice(s_nodes)
+            k = node.degree
+            i = rng.randrange(k)
+            j = rng.randrange(i, k)
+            if i == 0 and j == k - 1:
+                j -= 1  # proper subsets only (complete for loops)
+            if j < i:
+                continue
+            if i == j and node.children[i].kind is not NodeType.Q:
+                continue  # a lone P child is not a series subgraph
+            candidate = frozenset().union(
+                *(_leafset(c) for c in node.children[i : j + 1])
+            )
+            if _laminar_with(chosen, candidate):
+                chosen.append(candidate)
+        if len(chosen) >= needed:
+            rng.shuffle(chosen)
+            return WorkflowSpecification(
+                graph,
+                forks=[sorted(c) for c in chosen[:num_forks]],
+                loops=[sorted(c) for c in chosen[num_forks:needed]],
+                name=f"balanced-{num_edges}",
+            )
+    raise SpecificationError(
+        f"could not place {num_forks} forks and {num_loops} loops on a "
+        f"{num_edges}-edge graph with ratio {series_parallel_ratio}"
+    )
+
+
+def fig17b_specification(
+    num_paths: int = 10, squared: bool = True
+) -> WorkflowSpecification:
+    """The cost-model workload of Fig. 17(b) (§VIII-D).
+
+    A fork subgraph connects ``u`` and ``v`` by ``num_paths`` parallel
+    paths, the ``i``-th of length ``i²`` (or ``i`` when ``squared`` is
+    false).  The fork wraps the whole series graph ``s -> u -> … -> v -> t``
+    so each fork copy contains a random subset of the parallel paths —
+    exactly the workload whose copies the Fig. 16 experiment matches under
+    varying ``ε``.
+    """
+    graph = FlowNetwork(name="fig17b")
+    for node in ("s", "u", "v", "t"):
+        graph.add_node(node)
+    graph.add_edge("s", "u")
+    graph.add_edge("v", "t")
+    for i in range(1, num_paths + 1):
+        length = i * i if squared else i
+        previous = "u"
+        for step in range(length - 1):
+            node = f"p{i}_{step}"
+            graph.add_node(node)
+            graph.add_edge(previous, node)
+            previous = node
+        graph.add_edge(previous, "v")
+    whole = list(graph.edges())
+    return WorkflowSpecification(graph, forks=[whole], name="fig17b")
+
+
+def random_run_pair(
+    spec: WorkflowSpecification,
+    params: Optional[ExecutionParams] = None,
+    seed: Optional[int] = None,
+) -> Tuple[WorkflowRun, WorkflowRun]:
+    """Two independent random runs of ``spec`` (the evaluation's unit)."""
+    rng = random.Random(seed)
+    first = execute_workflow(
+        spec, params, seed=rng.randrange(2**31), name="run-a"
+    )
+    second = execute_workflow(
+        spec, params, seed=rng.randrange(2**31), name="run-b"
+    )
+    return first, second

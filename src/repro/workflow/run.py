@@ -1,0 +1,104 @@
+"""Workflow runs: a run graph paired with its annotated SP-tree.
+
+A :class:`WorkflowRun` is the library's working representation of a
+provenance graph: the concrete flow network produced by one execution of a
+specification, together with the annotated SP-tree ``T_R`` (Algorithms 2
+and 5) used by every downstream algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.annotate_run import annotate_run_tree
+from repro.sptree.nodes import SPTree
+
+
+class WorkflowRun:
+    """A validated run of an SP-workflow specification.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.workflow.specification.WorkflowSpecification`
+        this run executes.
+    graph:
+        The run's flow network.  Node labels must be specification labels;
+        implicit loop back-edges are allowed per the specification's loops.
+    tree:
+        The annotated SP-tree, if already known (e.g. produced by the
+        executor).  When omitted it is derived from ``graph`` via
+        Algorithms 2 and 5 — which also validates the run.
+
+    Raises
+    ------
+    InvalidRunError
+        When ``graph`` is not a valid run of ``spec``.
+    """
+
+    def __init__(
+        self,
+        spec,
+        graph: FlowNetwork,
+        tree: Optional[SPTree] = None,
+        name: str = "",
+    ):
+        self.spec = spec
+        self.graph = graph
+        self.name = name or graph.name or "run"
+        if tree is None:
+            tree = annotate_run_tree(spec, graph)
+        self.tree = tree
+
+    @classmethod
+    def from_graph(cls, spec, graph: FlowNetwork, name: str = "") -> "WorkflowRun":
+        """Validate ``graph`` against ``spec`` and wrap it as a run."""
+        return cls(spec, graph, tree=None, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of node instances (module invocations plus terminals)."""
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of run edges, including implicit loop back-edges."""
+        return self.graph.num_edges
+
+    def equivalent(self, other: "WorkflowRun") -> bool:
+        """``≡`` on runs: equal up to instance renaming and P/F reordering."""
+        return self.tree.structure_key() == other.tree.structure_key()
+
+    def statistics(self) -> Dict[str, int]:
+        """Summary statistics (PDiffView's run panel)."""
+        from repro.sptree.nodes import NodeType
+
+        counts = {kind: 0 for kind in NodeType}
+        fork_copies = 0
+        loop_iterations = 0
+        for node in self.tree.iter_nodes("pre"):
+            counts[node.kind] += 1
+            if node.kind is NodeType.F:
+                fork_copies += node.degree
+            elif node.kind is NodeType.L:
+                loop_iterations += node.degree
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "tree_nodes": self.tree.num_nodes,
+            "q_nodes": counts[NodeType.Q],
+            "s_nodes": counts[NodeType.S],
+            "p_nodes": counts[NodeType.P],
+            "f_nodes": counts[NodeType.F],
+            "l_nodes": counts[NodeType.L],
+            "fork_copies": fork_copies,
+            "loop_iterations": loop_iterations,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkflowRun({self.name!r}, spec={self.spec.name!r}, "
+            f"nodes={self.num_nodes}, edges={self.num_edges})"
+        )

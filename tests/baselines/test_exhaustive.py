@@ -1,0 +1,70 @@
+"""Tests for the exhaustive exact differencing oracle."""
+
+import pytest
+
+from repro.baselines.exhaustive import (
+    enumerate_branch_free_fragments,
+    exact_edit_distance,
+)
+from repro.core.api import edit_distance
+from repro.costs.standard import LengthCost, UnitCost
+from repro.errors import ReproError
+from repro.workflow.execution import ExecutionParams
+from repro.workflow.generators import random_run_pair, random_specification
+
+
+class TestFragments:
+    def test_fig2_root_fragments(self, fig2_spec):
+        fragments = enumerate_branch_free_fragments(fig2_spec.tree)
+        # Three source-sink path shapes (one per blast branch), all with
+        # the same labels except the middle module.
+        assert len(fragments) == 3
+        for fragment in fragments:
+            assert fragment.is_branch_free()
+            assert fragment.leaf_count() == 4
+
+    def test_limit_respected(self, fig2_spec):
+        fragments = enumerate_branch_free_fragments(
+            fig2_spec.tree, limit=2
+        )
+        assert len(fragments) == 2
+
+
+class TestOracle:
+    def test_identity_is_zero(self, fig2_r1):
+        assert exact_edit_distance(fig2_r1, fig2_r1) == 0.0
+
+    def test_paper_example(self, fig2_r1, fig2_r2):
+        assert exact_edit_distance(fig2_r1, fig2_r2, UnitCost()) == 4.0
+
+    def test_matches_polynomial_algorithm(self):
+        spec = random_specification(
+            6, 1.0, num_forks=1, num_loops=1, seed=4
+        )
+        params = ExecutionParams(
+            prob_parallel=0.7,
+            max_fork=2,
+            prob_fork=0.5,
+            max_loop=2,
+            prob_loop=0.5,
+        )
+        for seed in range(4):
+            one, two = random_run_pair(spec, params, seed=seed)
+            if max(one.num_edges, two.num_edges) > 12:
+                continue
+            expected = edit_distance(one, two, UnitCost())
+            actual = exact_edit_distance(
+                one, two, UnitCost(), extra_leaves=2
+            )
+            assert actual == pytest.approx(expected)
+
+    def test_length_cost(self, fig2_r1, fig2_r2):
+        assert exact_edit_distance(
+            fig2_r1, fig2_r2, LengthCost()
+        ) == pytest.approx(10.0)
+
+    def test_state_cap_raises(self, fig2_r1, fig2_r2):
+        with pytest.raises(ReproError, match="state cap"):
+            exact_edit_distance(
+                fig2_r1, fig2_r2, UnitCost(), max_states=1
+            )

@@ -1,0 +1,70 @@
+"""Tests for the naive dataflow differencing baseline."""
+
+import pytest
+
+from repro.baselines.naive import naive_diff
+from repro.graphs.flow_network import FlowNetwork
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+from tests.conftest import build_run
+
+
+@pytest.fixture(scope="module")
+def dataflow_spec():
+    graph = FlowNetwork(name="dataflow")
+    for node in "sabt":
+        graph.add_node(node)
+    graph.add_edge("s", "a")
+    graph.add_edge("s", "b")
+    graph.add_edge("a", "t")
+    graph.add_edge("b", "t")
+    return WorkflowSpecification(graph, name="dataflow")
+
+
+class TestDataflowModel:
+    def test_identical_runs(self, dataflow_spec):
+        run = build_run(
+            dataflow_spec,
+            "full",
+            {"s1": "s", "a1": "a", "b1": "b", "t1": "t"},
+            [("s1", "a1"), ("s1", "b1"), ("a1", "t1"), ("b1", "t1")],
+        )
+        diff = naive_diff(run, run)
+        assert diff.is_exact
+        assert diff.is_identical
+
+    def test_branch_difference(self, dataflow_spec):
+        via_a = build_run(
+            dataflow_spec,
+            "via-a",
+            {"s1": "s", "a1": "a", "t1": "t"},
+            [("s1", "a1"), ("a1", "t1")],
+        )
+        via_b = build_run(
+            dataflow_spec,
+            "via-b",
+            {"s1": "s", "b1": "b", "t1": "t"},
+            [("s1", "b1"), ("b1", "t1")],
+        )
+        diff = naive_diff(via_a, via_b)
+        assert diff.is_exact
+        assert diff.nodes_only_in_1 == ["a"]
+        assert diff.nodes_only_in_2 == ["b"]
+        assert diff.symmetric_difference_size == 2 + 4
+
+    def test_repeated_labels_flagged_inexact(self, fig2_r1, fig2_r2):
+        diff = naive_diff(fig2_r1, fig2_r2)
+        assert not diff.is_exact  # labels repeat: pairing is ambiguous
+
+    def test_multiset_semantics(self, fig2_r1, fig2_r2):
+        diff = naive_diff(fig2_r1, fig2_r2)
+        # R1 has two instances of 3, R2 one: one extra "3" on the left.
+        assert diff.nodes_only_in_1.count("3") == 1
+        # R2 has 2, 4, 5, 6 extras.
+        assert "5" in diff.nodes_only_in_2
+
+    def test_edge_multiset(self, fig2_r1, fig2_r2):
+        diff = naive_diff(fig2_r1, fig2_r2)
+        assert ("2", "3") in diff.edges_only_in_1
+        assert ("2", "5") in diff.edges_only_in_2

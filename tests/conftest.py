@@ -1,0 +1,154 @@
+"""Shared fixtures: the paper's Fig. 2 specification and runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.flow_network import FlowNetwork
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def build_fig2_spec() -> WorkflowSpecification:
+    """The running example of Fig. 2(a): nodes 1..7.
+
+    Edges: 1->2, 2->{3,4,5}->6, 6->7.  Forks over the three branches and
+    the whole graph; a loop over the complete subgraph between 2 and 6.
+    """
+    graph = FlowNetwork(name="fig2")
+    for node in "1234567":
+        graph.add_node(node)
+    graph.add_edge("1", "2")
+    for mid in "345":
+        graph.add_edge("2", mid)
+        graph.add_edge(mid, "6")
+    graph.add_edge("6", "7")
+    return WorkflowSpecification(
+        graph,
+        forks=[
+            ["2", "3", "6"],
+            ["2", "4", "6"],
+            ["2", "5", "6"],
+            list("1234567"),
+        ],
+        loops=[("2", "6")],
+        name="fig2",
+    )
+
+
+def build_run(spec, name, nodes, edges) -> WorkflowRun:
+    """Construct a run from explicit instance ids and edges."""
+    graph = FlowNetwork(name=name)
+    for node, label in nodes.items():
+        graph.add_node(node, label)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return WorkflowRun(spec, graph, name=name)
+
+
+@pytest.fixture(scope="session")
+def fig2_spec() -> WorkflowSpecification:
+    return build_fig2_spec()
+
+
+@pytest.fixture(scope="session")
+def fig2_r1(fig2_spec) -> WorkflowRun:
+    """Run R1 of Fig. 2(b): two copies of branch 3, one of branch 4."""
+    return build_run(
+        fig2_spec,
+        "R1",
+        {
+            "1a": "1",
+            "2a": "2",
+            "3a": "3",
+            "3b": "3",
+            "4a": "4",
+            "6a": "6",
+            "7a": "7",
+        },
+        [
+            ("1a", "2a"),
+            ("2a", "3a"),
+            ("3a", "6a"),
+            ("2a", "3b"),
+            ("3b", "6a"),
+            ("2a", "4a"),
+            ("4a", "6a"),
+            ("6a", "7a"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def fig2_r2(fig2_spec) -> WorkflowRun:
+    """Run R2 of Fig. 2(c): the whole workflow forked twice."""
+    return build_run(
+        fig2_spec,
+        "R2",
+        {
+            "1a": "1",
+            "2a": "2",
+            "3a": "3",
+            "4a": "4",
+            "4b": "4",
+            "6a": "6",
+            "7a": "7",
+            "2b": "2",
+            "4c": "4",
+            "5a": "5",
+            "6b": "6",
+        },
+        [
+            ("1a", "2a"),
+            ("2a", "3a"),
+            ("3a", "6a"),
+            ("2a", "4a"),
+            ("4a", "6a"),
+            ("2a", "4b"),
+            ("4b", "6a"),
+            ("6a", "7a"),
+            ("1a", "2b"),
+            ("2b", "4c"),
+            ("4c", "6b"),
+            ("2b", "5a"),
+            ("5a", "6b"),
+            ("6b", "7a"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def fig2_r3(fig2_spec) -> WorkflowRun:
+    """Run R3 of Fig. 2(d): the loop executed twice."""
+    return build_run(
+        fig2_spec,
+        "R3",
+        {
+            "1a": "1",
+            "2a": "2",
+            "3a": "3",
+            "4a": "4",
+            "4b": "4",
+            "6a": "6",
+            "2b": "2",
+            "4c": "4",
+            "5a": "5",
+            "6b": "6",
+            "7a": "7",
+        },
+        [
+            ("1a", "2a"),
+            ("2a", "3a"),
+            ("3a", "6a"),
+            ("2a", "4a"),
+            ("4a", "6a"),
+            ("2a", "4b"),
+            ("4b", "6a"),
+            ("6a", "2b"),
+            ("2b", "4c"),
+            ("4c", "6b"),
+            ("2b", "5a"),
+            ("5a", "6b"),
+            ("6b", "7a"),
+        ],
+    )

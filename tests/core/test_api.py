@@ -1,0 +1,70 @@
+"""Tests for the public differencing API."""
+
+import pytest
+
+from repro.core.api import DiffResult, diff_runs, edit_distance
+from repro.costs.standard import UnitCost
+from repro.errors import ReproError
+
+from tests.conftest import build_fig2_spec, build_run
+
+
+class TestDiffRuns:
+    def test_default_cost_is_unit(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        assert result.cost_model.name == "UnitCost"
+        assert result.distance == 4.0
+
+    def test_without_script(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, with_script=False)
+        assert result.script is None
+        assert result.distance == 4.0
+
+    def test_summary_mentions_cost_and_counts(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        summary = result.summary()
+        assert "UnitCost" in summary
+        assert "path-insertion" in summary
+
+    def test_summary_without_script(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, with_script=False)
+        assert "4" in result.summary()
+
+    def test_correspondence_available(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        corr = result.correspondence()
+        assert corr.matched
+
+    def test_cross_spec_object_reannotates(self, fig2_r1):
+        other_spec = build_fig2_spec()
+        other_run = build_run(
+            other_spec,
+            "other",
+            {"1a": "1", "2a": "2", "5a": "5", "6a": "6", "7a": "7"},
+            [("1a", "2a"), ("2a", "5a"), ("5a", "6a"), ("6a", "7a")],
+        )
+        result = diff_runs(fig2_r1, other_run)
+        assert result.run2.spec is fig2_r1.spec
+        assert result.distance > 0
+
+    def test_mismatched_specs_rejected(self, fig2_r1):
+        from repro.graphs.spgraph import path_graph
+        from repro.workflow.specification import WorkflowSpecification
+        from repro.workflow.run import WorkflowRun
+        from repro.graphs.flow_network import FlowNetwork
+
+        spec = WorkflowSpecification(
+            path_graph(["x", "y"]), name="tiny"
+        )
+        graph = FlowNetwork(name="tiny-run")
+        graph.add_node("x1", "x")
+        graph.add_node("y1", "y")
+        graph.add_edge("x1", "y1")
+        other = WorkflowRun(spec, graph, name="tiny-run")
+        with pytest.raises(ReproError, match="different spec"):
+            diff_runs(fig2_r1, other)
+
+    def test_edit_distance_shortcut(self, fig2_r1, fig2_r3):
+        assert edit_distance(fig2_r1, fig2_r3) == diff_runs(
+            fig2_r1, fig2_r3, with_script=False
+        ).distance

@@ -1,0 +1,176 @@
+"""Unit tests for the mutable mirror and freezing machinery."""
+
+import pytest
+
+from repro.core.apply import (
+    IdAllocator,
+    MirrorFreezer,
+    MNode,
+    build_mirror,
+    mirror_from_fragment,
+)
+from repro.errors import EditScriptError
+from repro.sptree.nodes import NodeType
+from repro.sptree.validate import validate_run_tree
+
+
+class TestIdAllocator:
+    def test_fresh_sequence(self):
+        allocator = IdAllocator()
+        assert allocator.fresh("3") == "3a"
+        assert allocator.fresh("3") == "3b"
+        assert allocator.fresh("7") == "7a"
+
+    def test_reserved_ids_skipped(self):
+        allocator = IdAllocator(used={"3a", "3b"})
+        assert allocator.fresh("3") == "3c"
+
+    def test_reserve_after_construction(self):
+        allocator = IdAllocator()
+        allocator.reserve("xa")
+        assert allocator.fresh("x") == "xb"
+
+    def test_suffixes_roll_over(self):
+        allocator = IdAllocator()
+        ids = [allocator.fresh("m") for _ in range(28)]
+        assert ids[25] == "mz"
+        assert ids[26] == "maa"
+        assert len(set(ids)) == 28
+
+
+class TestMNode:
+    def test_attach_detach(self):
+        parent = MNode(NodeType.P, None, "a", "b")
+        child = MNode(NodeType.Q, None, "a", "b")
+        parent.attach(child)
+        assert parent.degree == 1
+        assert child.parent is parent
+        child.detach()
+        assert parent.degree == 0
+        assert child.parent is None
+
+    def test_attach_at_index(self):
+        parent = MNode(NodeType.L, None, "a", "b")
+        first = MNode(NodeType.Q, None, "a", "b")
+        second = MNode(NodeType.Q, None, "a", "b")
+        middle = MNode(NodeType.Q, None, "a", "b")
+        parent.attach(first)
+        parent.attach(second)
+        parent.attach(middle, 1)
+        assert parent.children == [first, middle, second]
+
+    def test_double_attach_rejected(self):
+        parent = MNode(NodeType.P, None, "a", "b")
+        child = MNode(NodeType.Q, None, "a", "b")
+        parent.attach(child)
+        with pytest.raises(EditScriptError, match="already attached"):
+            parent.attach(child)
+
+    def test_detach_unattached_rejected(self):
+        with pytest.raises(EditScriptError):
+            MNode(NodeType.Q, None, "a", "b").detach()
+
+    def test_branch_free_and_leaf_count(self, fig2_r1):
+        root, registry = build_mirror(fig2_r1.tree)
+        assert not root.is_branch_free()  # true F/P nodes inside
+        assert root.leaf_count() == 8
+
+    def test_path_node_labels(self):
+        chain = MNode(NodeType.S, None, "a", "c")
+        chain.attach(MNode(NodeType.Q, None, "a", "b"))
+        chain.attach(MNode(NodeType.Q, None, "b", "c"))
+        assert chain.path_node_labels() == ["a", "b", "c"]
+
+
+class TestBuildMirror:
+    def test_registry_covers_all_nodes(self, fig2_r1):
+        root, registry = build_mirror(fig2_r1.tree)
+        assert len(registry) == fig2_r1.tree.num_nodes
+        for node in fig2_r1.tree.iter_nodes("pre"):
+            assert id(node) in registry
+
+    def test_mirror_preserves_structure(self, fig2_r1):
+        root, registry = build_mirror(fig2_r1.tree)
+
+        def compare(tree_node, mirror_node):
+            assert mirror_node.kind is tree_node.kind
+            assert mirror_node.degree == tree_node.degree
+            for a, b in zip(tree_node.children, mirror_node.children):
+                compare(a, b)
+
+        compare(fig2_r1.tree, root)
+
+    def test_fragment_mirror(self, fig2_spec):
+        from repro.core.spec_costs import SpecCostTables
+        from repro.costs.standard import UnitCost
+
+        tables = SpecCostTables(fig2_spec, UnitCost())
+        witness = tables.witness(
+            fig2_spec.tree, 4, "s", "t", IdAllocator().fresh
+        )
+        registry = {}
+        fragment = mirror_from_fragment(witness, registry)
+        assert fragment.leaf_count() == 4
+        assert len(registry) == witness.num_nodes
+
+
+class TestMirrorFreezer:
+    def test_identity_freeze(self, fig2_r1):
+        root, _ = build_mirror(fig2_r1.tree)
+        frozen = MirrorFreezer(IdAllocator()).freeze(
+            root, fig2_r1.tree.source, fig2_r1.tree.sink
+        )
+        assert frozen.structure_key() == fig2_r1.tree.structure_key()
+        # Preferred ids survive an untouched freeze.
+        assert frozen.source == "1a"
+        assert frozen.sink == "7a"
+        assert frozen.to_graph().structurally_equal(fig2_r1.graph)
+
+    def test_freeze_after_detach(self, fig2_spec, fig2_r1):
+        # Remove one copy of branch 3; freeze must stay a valid run.
+        root, registry = build_mirror(fig2_r1.tree)
+        parallel = fig2_r1.tree.find(
+            lambda n: n.kind is NodeType.P
+        )
+        fork3 = next(
+            c for c in parallel.children if c.degree == 2
+        )
+        victim = fork3.children[0]
+        registry[id(victim)].detach()
+        frozen = MirrorFreezer(IdAllocator()).freeze(
+            root, fig2_r1.tree.source, fig2_r1.tree.sink
+        )
+        validate_run_tree(frozen, require_origin=True)
+        assert frozen.leaf_count == 6
+
+    def test_freeze_rejects_childless_internal(self):
+        parent = MNode(NodeType.P, None, "a", "b")
+        with pytest.raises(EditScriptError, match="no children"):
+            MirrorFreezer(IdAllocator()).freeze(parent, "a1", "b1")
+
+    def test_loop_boundaries_get_distinct_instances(self, fig2_r3):
+        root, _ = build_mirror(fig2_r3.tree)
+        frozen = MirrorFreezer(IdAllocator()).freeze(
+            root, fig2_r3.tree.source, fig2_r3.tree.sink
+        )
+        loop = frozen.find(lambda n: n.kind is NodeType.L)
+        first, second = loop.children
+        assert first.sink != second.source  # joined by an implicit edge
+        graph = frozen.to_graph()
+        assert graph.has_edge(first.sink, second.source)
+
+    def test_preferred_id_collision_resolved(self):
+        # Two Q leaves claiming the same cut id: the second gets fresh.
+        left = MNode(
+            NodeType.Q, None, "a", "b", pref_source="a1", pref_sink="b1"
+        )
+        right = MNode(
+            NodeType.Q, None, "b", "c", pref_source="b1", pref_sink="c1"
+        )
+        chain = MNode(NodeType.S, None, "a", "c")
+        chain.attach(left)
+        chain.attach(right)
+        frozen = MirrorFreezer(IdAllocator()).freeze(chain, "a1", "c1")
+        cut = frozen.children[0].sink
+        assert cut == "b1"
+        assert frozen.children[1].source == "b1"

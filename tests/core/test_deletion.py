@@ -1,0 +1,169 @@
+"""Tests for Algorithm 3: the subtree-deletion DP."""
+
+import math
+
+import pytest
+
+from repro.core.deletion import DeletionTables
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.sptree.nodes import EdgeRef, NodeType, SPTree
+
+
+def q(u, v, lu=None, lv=None, key=0, origin=None):
+    return SPTree(
+        NodeType.Q,
+        (),
+        edge=EdgeRef(u, v, lu or str(u), lv or str(v), key),
+        origin=origin,
+    )
+
+
+def s(children):
+    return SPTree(NodeType.S, tuple(children))
+
+
+def p(children):
+    return SPTree(NodeType.P, tuple(children))
+
+
+def f(children):
+    return SPTree(NodeType.F, tuple(children))
+
+
+class TestLeafAndPath:
+    def test_single_edge(self):
+        leaf = q("a", "b")
+        tables = DeletionTables(leaf, UnitCost())
+        assert tables.x(leaf) == 1.0
+        assert tables.y(leaf, 1) == 0.0
+        assert math.isinf(tables.y(leaf, 2))
+        assert tables.max_leaves(leaf) == 1
+
+    def test_path_under_length_cost(self):
+        tree = s([q("a", "b"), q("b", "c"), q("c", "d")])
+        tables = DeletionTables(tree, LengthCost())
+        # A path is already branch-free: reduce cost 0, delete costs 3.
+        assert tables.y(tree, 3) == 0.0
+        assert tables.x(tree) == 3.0
+
+    def test_path_under_unit_cost(self):
+        tree = s([q("a", "b"), q("b", "c")])
+        tables = DeletionTables(tree, UnitCost())
+        assert tables.x(tree) == 1.0  # one operation removes the path
+
+
+class TestBranching:
+    def test_parallel_keeps_cheapest_branch(self):
+        short = q("a", "b")
+        long = s([q("a", "m", lu="a", lv="m"), q("m", "b", lu="m", lv="b")])
+        tree = p([short, long])
+        tables = DeletionTables(tree, LengthCost())
+        # Reduce to 1 leaf: delete the 2-edge branch (cost 2).
+        assert tables.y(tree, 1) == 2.0
+        # Reduce to 2 leaves: delete the 1-edge branch (cost 1).
+        assert tables.y(tree, 2) == 1.0
+        # Full deletion: min(2 + 1, 1 + 2) = 3.
+        assert tables.x(tree) == 3.0
+
+    def test_fork_copies(self):
+        copies = [q("a", "b", key=i) for i in range(3)]
+        tree = f(copies)
+        tables = DeletionTables(tree, UnitCost())
+        # Keep one copy (delete two, 1 each), then delete it: 3 total.
+        assert tables.x(tree) == 3.0
+        assert tables.y(tree, 1) == 2.0
+
+    def test_unit_cost_prefers_fewer_operations(self):
+        short = q("a", "b")
+        long = s([q("a", "m", lu="a", lv="m"), q("m", "b", lu="m", lv="b")])
+        tree = p([short, long])
+        tables = DeletionTables(tree, UnitCost())
+        # Either branch deletion costs 1 op; total deletion = 2 ops.
+        assert tables.x(tree) == 2.0
+
+
+class TestSeriesConvolution:
+    def test_two_parallel_sections(self):
+        def branch(src, mid, dst):
+            return s(
+                [
+                    q(src, mid, lu=src[0], lv=mid[0:1] or mid),
+                    q(mid, dst, lu=mid[0:1] or mid, lv=dst[0]),
+                ]
+            )
+
+        # S( P(short, long), P(short, long) ) with label-consistent chains.
+        sec1 = p([q("a", "b", lu="a", lv="b"),
+                  s([q("a", "x", lu="a", lv="x"), q("x", "b", lu="x", lv="b")])])
+        sec2 = p([q("b", "c", lu="b", lv="c"),
+                  s([q("b", "y", lu="b", lv="y"), q("y", "c", lu="y", lv="c")])])
+        tree = s([sec1, sec2])
+        tables = DeletionTables(tree, LengthCost())
+        # Achievable leaf counts: 2, 3, 4.
+        assert tables.max_leaves(tree) == 4
+        assert tables.y(tree, 2) == 4.0   # drop both long branches
+        assert tables.y(tree, 3) == 3.0   # drop one long, one short
+        assert tables.y(tree, 4) == 2.0   # drop both short branches
+        # Deletion: min over l of Y[l] + l = min(6, 6, 6) = 6.
+        assert tables.x(tree) == 6.0
+
+    def test_unachievable_counts_are_inf(self):
+        sec1 = p([q("a", "b"), q("a", "b", key=1)])
+        tree = s([sec1, q("b", "c")])
+        tables = DeletionTables(tree, UnitCost())
+        assert math.isinf(tables.y(tree, 1))
+        assert tables.y(tree, 2) == 1.0
+
+
+class TestPlans:
+    def build_tree(self):
+        short = q("a", "b")
+        long = s([q("a", "m", lu="a", lv="m"), q("m", "b", lu="m", lv="b")])
+        return p([short, long])
+
+    @pytest.mark.parametrize(
+        "cost", [UnitCost(), LengthCost(), PowerCost(0.5)]
+    )
+    def test_plan_cost_matches_x(self, cost):
+        tree = self.build_tree()
+        tables = DeletionTables(tree, cost)
+        plan = tables.deletion_plan(tree)
+        assert sum(step.cost for step in plan) == pytest.approx(
+            tables.x(tree)
+        )
+        assert plan[-1].victim is tree
+
+    def test_reduction_plan_cost_matches_y(self):
+        tree = self.build_tree()
+        tables = DeletionTables(tree, LengthCost())
+        plan = tables.reduction_plan(tree, 1)
+        assert sum(step.cost for step in plan) == pytest.approx(2.0)
+
+    def test_plan_on_fig2_run(self, fig2_r1):
+        tables = DeletionTables(fig2_r1.tree, UnitCost())
+        plan = tables.deletion_plan(fig2_r1.tree)
+        assert sum(step.cost for step in plan) == pytest.approx(
+            tables.x(fig2_r1.tree)
+        )
+        # Deletion steps are deepest-first: every victim's subtree appears
+        # at most once.
+        victims = [id(step.victim) for step in plan]
+        assert len(victims) == len(set(victims))
+
+    def test_spine_structure(self):
+        tree = self.build_tree()
+        tables = DeletionTables(tree, LengthCost())
+        spine = tables.reduced_spine(tree, 2)
+        assert spine.node is tree
+        assert len(spine.children) == 1  # P keeps one child
+        kept = spine.children[0]
+        assert kept.node.kind == NodeType.S
+        assert len(kept.children) == 2
+
+    def test_spine_invalid_target_raises(self):
+        from repro.errors import EditScriptError
+
+        tree = self.build_tree()
+        tables = DeletionTables(tree, LengthCost())
+        with pytest.raises(EditScriptError):
+            tables.reduced_spine(tree, 5)

@@ -1,0 +1,281 @@
+"""Tests for Algorithms 4 and 6: the edit-distance DP."""
+
+import pytest
+
+from repro.core.api import diff_runs, edit_distance
+from repro.core.edit_distance import EditDistanceComputation
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.graphs.flow_network import FlowNetwork
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+from tests.conftest import build_run
+
+
+class TestPaperExample:
+    def test_example_5_2_unit_distance(self, fig2_r1, fig2_r2):
+        """The paper computes δ(T1, T2) = 4 under the unit cost model."""
+        assert edit_distance(fig2_r1, fig2_r2, UnitCost()) == 4.0
+
+    def test_length_cost_distance(self, fig2_r1, fig2_r2):
+        # Fig. 3's script: delete (2,3,6) [2], insert (2,4,6) [2], insert
+        # (2,5,6) [2], insert the whole second copy (1,2,4,6,7) [4] = 10.
+        assert edit_distance(fig2_r1, fig2_r2, LengthCost()) == 10.0
+
+    def test_loop_run_distance(self, fig2_r1, fig2_r3):
+        distance = edit_distance(fig2_r1, fig2_r3, UnitCost())
+        assert distance > 0
+
+
+class TestMetricBasics:
+    def test_self_distance_zero(self, fig2_r1, fig2_r2, fig2_r3):
+        for run in (fig2_r1, fig2_r2, fig2_r3):
+            assert edit_distance(run, run, UnitCost()) == 0.0
+
+    def test_symmetry(self, fig2_r1, fig2_r2, fig2_r3):
+        for cost in (UnitCost(), LengthCost(), PowerCost(0.5)):
+            for a, b in [
+                (fig2_r1, fig2_r2),
+                (fig2_r1, fig2_r3),
+                (fig2_r2, fig2_r3),
+            ]:
+                assert edit_distance(a, b, cost) == pytest.approx(
+                    edit_distance(b, a, cost)
+                )
+
+    def test_triangle_inequality(self, fig2_r1, fig2_r2, fig2_r3):
+        for cost in (UnitCost(), LengthCost()):
+            d12 = edit_distance(fig2_r1, fig2_r2, cost)
+            d13 = edit_distance(fig2_r1, fig2_r3, cost)
+            d23 = edit_distance(fig2_r2, fig2_r3, cost)
+            assert d13 <= d12 + d23 + 1e-9
+            assert d12 <= d13 + d23 + 1e-9
+            assert d23 <= d12 + d13 + 1e-9
+
+    def test_equivalent_runs_have_zero_distance(self, fig2_spec, fig2_r1):
+        renamed = build_run(
+            fig2_spec,
+            "R1-renamed",
+            {
+                "1x": "1",
+                "2x": "2",
+                "3x": "3",
+                "3y": "3",
+                "4x": "4",
+                "6x": "6",
+                "7x": "7",
+            },
+            [
+                ("1x", "2x"),
+                ("2x", "3x"),
+                ("3x", "6x"),
+                ("2x", "3y"),
+                ("3y", "6x"),
+                ("2x", "4x"),
+                ("4x", "6x"),
+                ("6x", "7x"),
+            ],
+        )
+        assert edit_distance(fig2_r1, renamed, UnitCost()) == 0.0
+
+
+class TestForkMatching:
+    @pytest.fixture(scope="class")
+    def fork_spec(self):
+        graph = FlowNetwork(name="forky")
+        for node in "sabt":
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "t")
+        return WorkflowSpecification(
+            graph, forks=[["a", "b"]], name="forky"
+        )
+
+    def run_with_copies(self, spec, count):
+        nodes = {"s1": "s", "a1": "a", "b1": "b", "t1": "t"}
+        edges = [("s1", "a1"), ("b1", "t1")]
+        for index in range(count):
+            edges.append(("a1", "b1"))
+        graph = FlowNetwork(name=f"copies{count}")
+        for node, label in nodes.items():
+            graph.add_node(node, label)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return WorkflowRun(spec, graph, name=f"copies{count}")
+
+    @pytest.mark.parametrize("count1,count2", [(1, 3), (2, 5), (4, 1)])
+    def test_copy_count_difference(self, fork_spec, count1, count2):
+        one = self.run_with_copies(fork_spec, count1)
+        two = self.run_with_copies(fork_spec, count2)
+        assert edit_distance(one, two, UnitCost()) == abs(count1 - count2)
+
+
+class TestLoopMatching:
+    @pytest.fixture(scope="class")
+    def loop_spec(self):
+        graph = FlowNetwork(name="loopy")
+        for node in "sabt":
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "t")
+        return WorkflowSpecification(
+            graph, loops=[("a", "b")], name="loopy"
+        )
+
+    def run_with_iterations(self, spec, count):
+        graph = FlowNetwork(name=f"iters{count}")
+        graph.add_node("s1", "s")
+        previous = "s1"
+        for index in range(count):
+            a = f"a{index}"
+            b = f"b{index}"
+            graph.add_node(a, "a")
+            graph.add_node(b, "b")
+            graph.add_edge(previous, a)
+            graph.add_edge(a, b)
+            previous = b
+        graph.add_node("t1", "t")
+        graph.add_edge(previous, "t1")
+        return WorkflowRun(spec, graph, name=f"iters{count}")
+
+    @pytest.mark.parametrize("count1,count2", [(1, 3), (2, 4), (3, 1)])
+    def test_iteration_count_difference(self, loop_spec, count1, count2):
+        one = self.run_with_iterations(loop_spec, count1)
+        two = self.run_with_iterations(loop_spec, count2)
+        assert edit_distance(one, two, UnitCost()) == abs(count1 - count2)
+
+
+class TestUnstablePairs:
+    @pytest.fixture(scope="class")
+    def swap_spec(self):
+        # Two alternative branches of different lengths between s and t.
+        graph = FlowNetwork(name="swap")
+        for node in ("s", "a", "b", "t"):
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "t")
+        graph.add_edge("s", "b")
+        graph.add_edge("b", "t")
+        return WorkflowSpecification(graph, name="swap")
+
+    def branch_run(self, spec, middle):
+        graph = FlowNetwork(name=f"via-{middle}")
+        graph.add_node("s1", "s")
+        graph.add_node(f"{middle}1", middle)
+        graph.add_node("t1", "t")
+        graph.add_edge("s1", f"{middle}1")
+        graph.add_edge(f"{middle}1", "t1")
+        return WorkflowRun(spec, graph, name=f"via-{middle}")
+
+    def test_branch_swap_is_two_operations(self, swap_spec):
+        via_a = self.branch_run(swap_spec, "a")
+        via_b = self.branch_run(swap_spec, "b")
+        # Delete one branch, insert the other (they are not homologous, so
+        # no unstable penalty applies).
+        assert edit_distance(via_a, via_b, UnitCost()) == 2.0
+
+    def test_unstable_pair_charges_2w(self):
+        """Same loop body shrinks: P pair with single homologous children.
+
+        Spec: s -> (a | b-chain) -> t where branch a is forked.  Runs both
+        take only branch a, but with different fork copy counts *below* a
+        P pair... Simplest demonstrable unstable case: both runs execute
+        only branch a, with different *interior* structure via a nested
+        fork, making the child mapping expensive.
+        """
+        graph = FlowNetwork(name="unstable")
+        for node in ("s", "a1", "a2", "b", "t"):
+            graph.add_node(node)
+        graph.add_edge("s", "a1")
+        graph.add_edge("a1", "a2")
+        graph.add_edge("a2", "t")
+        graph.add_edge("s", "b")
+        graph.add_edge("b", "t")
+        spec = WorkflowSpecification(
+            graph, forks=[[("a1", "a2", 0)]], name="unstable"
+        )
+
+        def run_with(n_copies, name):
+            g = FlowNetwork(name=name)
+            for node, label in {
+                "s0": "s",
+                "x0": "a1",
+                "y0": "a2",
+                "t0": "t",
+            }.items():
+                g.add_node(node, label)
+            g.add_edge("s0", "x0")
+            for _ in range(n_copies):
+                g.add_edge("x0", "y0")
+            g.add_edge("y0", "t0")
+            return WorkflowRun(spec, g, name=name)
+
+        few = run_with(1, "few")
+        many = run_with(4, "many")
+        # Mapping the branches: 3 fork-copy insertions = 3 (unit cost).
+        # The unstable route would cost X + X + 2W = 3 + 6(?) ... larger.
+        distance = edit_distance(few, many, UnitCost())
+        assert distance == 3.0
+
+    def test_unstable_route_taken_when_cheaper(self):
+        """When remapping is dearer than delete+insert+2W, use Eq. 2."""
+        graph = FlowNetwork(name="unstable2")
+        for node in ("s", "a", "b", "t"):
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "t")
+        graph.add_edge("s", "b")
+        graph.add_edge("b", "t")
+        spec = WorkflowSpecification(
+            graph, forks=[[("s", "a", 0), ("a", "t", 0)]], name="unstable2"
+        )
+
+        def run_with(copies, name):
+            g = FlowNetwork(name=name)
+            g.add_node("s0", "s")
+            g.add_node("t0", "t")
+            for index in range(copies):
+                g.add_node(f"a{index}", "a")
+                g.add_edge("s0", f"a{index}")
+                g.add_edge(f"a{index}", "t0")
+            return WorkflowRun(spec, g, name=name)
+
+        one = run_with(1, "one")
+        five = run_with(5, "five")
+        # Both runs take only the forked a-branch; the P pair has single
+        # homologous children (the F nodes).  Mapping them costs 4 copy
+        # insertions; the unstable route costs X + X + 2W = 1+5+2 = 8 under
+        # unit cost -> mapping wins.
+        assert edit_distance(one, five, UnitCost()) == 4.0
+        # Under length cost: mapping = 4 copies * 2 = 8; unstable route =
+        # 2 + 10 + 2*1(b-branch length 1 -> cost 1... b branch has length
+        # 1) = 14 -> mapping still wins.
+        assert edit_distance(one, five, LengthCost()) == 8.0
+
+
+class TestComputationObject:
+    def test_distance_property(self, fig2_spec, fig2_r1, fig2_r2):
+        comp = EditDistanceComputation(
+            fig2_spec, fig2_r1.tree, fig2_r2.tree, UnitCost()
+        )
+        assert comp.distance == 4.0
+
+    def test_decision_records_matches(self, fig2_spec, fig2_r1, fig2_r2):
+        comp = EditDistanceComputation(
+            fig2_spec, fig2_r1.tree, fig2_r2.tree, UnitCost()
+        )
+        root_decision = comp.decision(fig2_r1.tree, fig2_r2.tree)
+        assert len(root_decision.matched) == 1  # one copy pair matched
+
+    def test_rejects_origin_free_trees(self, fig2_spec, fig2_r1):
+        from repro.errors import EditScriptError
+        from repro.sptree.canonical import canonical_sp_tree
+
+        bare = canonical_sp_tree(fig2_r1.graph)
+        with pytest.raises(EditScriptError, match="origin"):
+            EditDistanceComputation(
+                fig2_spec, bare, fig2_r1.tree, UnitCost()
+            )

@@ -1,0 +1,193 @@
+"""Deeper structural coverage of the edit-distance DP.
+
+Hand-built specs exercising nested forks, loops containing forks, forks
+containing parallel choices, and branch-choice differences — each with an
+independently derivable expected distance.
+"""
+
+import pytest
+
+from repro.core.api import diff_runs, edit_distance
+from repro.costs.standard import LengthCost, UnitCost
+from repro.graphs.flow_network import FlowNetwork
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def build_run(spec, name, nodes, edges):
+    graph = FlowNetwork(name=name)
+    for node, label in nodes.items():
+        graph.add_node(node, label)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return WorkflowRun(spec, graph, name=name)
+
+
+class TestNestedForks:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        # s -> a -> b -> t; outer fork over (a..b), inner fork over (a,b).
+        graph = FlowNetwork(name="nested")
+        for node in "sabt":
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "t")
+        return WorkflowSpecification(
+            graph,
+            forks=[[("a", "b", 0)], [("s", "a", 0), ("a", "b", 0), ("b", "t", 0)]],
+            name="nested",
+        )
+
+    def outer_copies(self, spec, name, shape):
+        """shape: list of inner copy counts, one per outer copy."""
+        graph = FlowNetwork(name=name)
+        graph.add_node("s0", "s")
+        graph.add_node("t0", "t")
+        for outer, inner_count in enumerate(shape):
+            a = f"a{outer}"
+            b = f"b{outer}"
+            graph.add_node(a, "a")
+            graph.add_node(b, "b")
+            graph.add_edge("s0", a)
+            for _ in range(inner_count):
+                graph.add_edge(a, b)
+            graph.add_edge(b, "t0")
+        return WorkflowRun(spec, graph, name=name)
+
+    def test_inner_copy_change(self, spec):
+        one = self.outer_copies(spec, "one", [2])
+        two = self.outer_copies(spec, "two", [5])
+        assert edit_distance(one, two, UnitCost()) == 3.0
+
+    def test_outer_copy_change(self, spec):
+        one = self.outer_copies(spec, "one", [1])
+        two = self.outer_copies(spec, "two", [1, 1])
+        # Insert a whole outer copy: reduce-free path of 3 edges = 1 op.
+        assert edit_distance(one, two, UnitCost()) == 1.0
+        assert edit_distance(one, two, LengthCost()) == 3.0
+
+    def test_matching_prefers_similar_outer_copies(self, spec):
+        one = self.outer_copies(spec, "one", [1, 4])
+        two = self.outer_copies(spec, "two", [4, 1])
+        # F matching is unordered: copies pair up perfectly.
+        assert edit_distance(one, two, UnitCost()) == 0.0
+
+    def test_mixed_change(self, spec):
+        one = self.outer_copies(spec, "one", [2, 2])
+        two = self.outer_copies(spec, "two", [2])
+        # Delete one outer copy: reduce its inner fork (1 op) + delete the
+        # remaining 3-path (1 op) = 2 under unit cost.
+        assert edit_distance(one, two, UnitCost()) == 2.0
+
+
+class TestLoopContainingFork:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        # s -> a -> b -> c -> t; fork over edge (a, b), loop over (a..c).
+        graph = FlowNetwork(name="loopfork")
+        for node in "sabct":
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "t")
+        return WorkflowSpecification(
+            graph,
+            forks=[[("a", "b", 0)]],
+            loops=[("a", "c")],
+            name="loopfork",
+        )
+
+    def iterations(self, spec, name, shape):
+        """shape: inner fork copy count per loop iteration."""
+        graph = FlowNetwork(name=name)
+        graph.add_node("s0", "s")
+        previous = None
+        for index, copies in enumerate(shape):
+            a = f"a{index}"
+            b = f"b{index}"
+            c = f"c{index}"
+            for node, label in ((a, "a"), (b, "b"), (c, "c")):
+                graph.add_node(node, label)
+            if index == 0:
+                graph.add_edge("s0", a)
+            else:
+                graph.add_edge(previous, a)  # implicit back-edge c->a
+            for _ in range(copies):
+                graph.add_edge(a, b)
+            graph.add_edge(b, c)
+            previous = c
+        graph.add_node("t0", "t")
+        graph.add_edge(previous, "t0")
+        return WorkflowRun(spec, graph, name=name)
+
+    def test_iteration_insert(self, spec):
+        one = self.iterations(spec, "one", [1])
+        two = self.iterations(spec, "two", [1, 1])
+        assert edit_distance(one, two, UnitCost()) == 1.0
+
+    def test_fork_change_within_iteration(self, spec):
+        one = self.iterations(spec, "one", [1, 1])
+        two = self.iterations(spec, "two", [1, 3])
+        assert edit_distance(one, two, UnitCost()) == 2.0
+
+    def test_ordered_matching_shifts_instead_of_crossing(self, spec):
+        # Iterations [1 copy, 4 copies] vs [4 copies, 1 copy]: the
+        # non-crossing alignment matches the two 4-copy iterations (as a
+        # single shifted pair), deleting/re-inserting the cheap 1-copy
+        # iteration around them: 1 contraction + 1 expansion = 2.
+        one = self.iterations(spec, "one", [1, 4])
+        two = self.iterations(spec, "two", [4, 1])
+        assert edit_distance(one, two, UnitCost()) == 2.0
+
+    def test_loop_and_fork_do_not_confuse(self, spec):
+        forked = self.iterations(spec, "forked", [3])
+        looped = self.iterations(spec, "looped", [1, 1, 1])
+        # Same number of (a,b) edges but different structure.
+        assert not forked.equivalent(looped)
+        assert edit_distance(forked, looped, UnitCost()) > 0
+
+
+class TestBranchChoices:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        graph = FlowNetwork(name="choices")
+        for node in ("s", "x", "y", "z", "t"):
+            graph.add_node(node)
+        for mid in ("x", "y", "z"):
+            graph.add_edge("s", mid)
+            graph.add_edge(mid, "t")
+        return WorkflowSpecification(graph, name="choices")
+
+    def run_with(self, spec, name, mids):
+        graph = FlowNetwork(name=name)
+        graph.add_node("s0", "s")
+        graph.add_node("t0", "t")
+        for mid in mids:
+            graph.add_node(f"{mid}0", mid)
+            graph.add_edge("s0", f"{mid}0")
+            graph.add_edge(f"{mid}0", "t0")
+        return WorkflowRun(spec, graph, name=name)
+
+    def test_symmetric_difference_of_choices(self, spec):
+        one = self.run_with(spec, "one", ["x", "y"])
+        two = self.run_with(spec, "two", ["y", "z"])
+        # Delete x-branch, insert z-branch.
+        assert edit_distance(one, two, UnitCost()) == 2.0
+        assert edit_distance(one, two, LengthCost()) == 4.0
+
+    def test_subset_choice(self, spec):
+        one = self.run_with(spec, "one", ["x"])
+        two = self.run_with(spec, "two", ["x", "y", "z"])
+        assert edit_distance(one, two, UnitCost()) == 2.0
+
+    def test_disjoint_single_choices(self, spec):
+        one = self.run_with(spec, "one", ["x"])
+        two = self.run_with(spec, "two", ["y"])
+        # Stable swap (non-homologous children exist is false — single
+        # children, but NOT homologous, so case 3b applies): 2 ops.
+        assert edit_distance(one, two, UnitCost()) == 2.0
+        result = diff_runs(one, two, cost=UnitCost(),
+                           validate_intermediates=True)
+        assert result.script.total_cost == 2.0

@@ -1,0 +1,136 @@
+"""Tests for well-formed mappings (Definition 5.1, Eqs. 2-3)."""
+
+import pytest
+
+from repro.core.edit_distance import EditDistanceComputation
+from repro.core.mapping import (
+    extract_mapping,
+    node_correspondence,
+    validate_well_formed,
+)
+from repro.costs.standard import LengthCost, UnitCost
+from repro.errors import EditScriptError
+
+
+@pytest.fixture(scope="module")
+def computation(fig2_spec, fig2_r1, fig2_r2):
+    return EditDistanceComputation(
+        fig2_spec, fig2_r1.tree, fig2_r2.tree, UnitCost()
+    )
+
+
+class TestExtraction:
+    def test_mapping_cost_equals_distance(self, computation):
+        mapping = extract_mapping(computation)
+        assert mapping.cost == pytest.approx(computation.distance)
+
+    def test_mapping_includes_roots(self, computation):
+        mapping = extract_mapping(computation)
+        lefts = {id(pair.left) for pair in mapping.pairs}
+        rights = {id(pair.right) for pair in mapping.pairs}
+        assert id(computation.tree1) in lefts
+        assert id(computation.tree2) in rights
+
+    def test_well_formedness(self, computation):
+        mapping = extract_mapping(computation)
+        validate_well_formed(
+            mapping, computation.tree1, computation.tree2
+        )
+
+    def test_pairs_are_homologous(self, computation):
+        mapping = extract_mapping(computation)
+        for pair in mapping.pairs:
+            assert pair.left.origin is pair.right.origin
+
+    def test_identity_mapping_zero_cost(self, fig2_spec, fig2_r1):
+        comp = EditDistanceComputation(
+            fig2_spec, fig2_r1.tree, fig2_r1.tree, UnitCost()
+        )
+        mapping = extract_mapping(comp)
+        assert mapping.cost == 0.0
+        # Identity mapping maps every node.
+        assert mapping.pair_count() == fig2_r1.tree.num_nodes
+
+    def test_length_cost_mapping(self, fig2_spec, fig2_r1, fig2_r2):
+        comp = EditDistanceComputation(
+            fig2_spec, fig2_r1.tree, fig2_r2.tree, LengthCost()
+        )
+        mapping = extract_mapping(comp)
+        assert mapping.cost == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_detects_missing_root(self, computation):
+        mapping = extract_mapping(computation)
+        mapping.pairs = mapping.pairs[1:]  # drop the root pair
+        with pytest.raises(EditScriptError):
+            validate_well_formed(
+                mapping, computation.tree1, computation.tree2
+            )
+
+    def test_detects_duplicate(self, computation):
+        mapping = extract_mapping(computation)
+        mapping.pairs.append(mapping.pairs[-1])
+        with pytest.raises(EditScriptError, match="one-to-one"):
+            validate_well_formed(
+                mapping, computation.tree1, computation.tree2
+            )
+
+    def test_detects_orphan_pair(self, computation):
+        mapping = extract_mapping(computation)
+        # Fabricate a pair whose parents are unmapped: pick deep leaves
+        # from subtrees that were NOT matched.
+        mapped_left = {id(p.left) for p in mapping.pairs}
+        orphan_left = None
+        for node in computation.tree1.iter_nodes("pre"):
+            if node.is_leaf and id(node) not in mapped_left:
+                orphan_left = node
+                break
+        if orphan_left is None:
+            pytest.skip("no unmatched leaf in this instance")
+        orphan_right = next(
+            node
+            for node in computation.tree2.iter_nodes("pre")
+            if node.is_leaf and node.origin is orphan_left.origin
+        )
+        from repro.core.mapping import MappedPair
+
+        mapping.pairs.append(
+            MappedPair(orphan_left, orphan_right, False, 0.0)
+        )
+        with pytest.raises(EditScriptError):
+            validate_well_formed(
+                mapping, computation.tree1, computation.tree2
+            )
+
+
+class TestCorrespondence:
+    def test_terminals_match(self, computation, fig2_r1, fig2_r2):
+        mapping = extract_mapping(computation)
+        corr = node_correspondence(
+            mapping, fig2_r1.graph, fig2_r2.graph
+        )
+        # Roots share terminals.
+        assert corr.matched["1a"] == "1a"
+        assert corr.matched["7a"] == "7a"
+
+    def test_unmatched_instances_listed(
+        self, computation, fig2_r1, fig2_r2
+    ):
+        mapping = extract_mapping(computation)
+        corr = node_correspondence(
+            mapping, fig2_r1.graph, fig2_r2.graph
+        )
+        # R1's second copy of branch 3 has no counterpart in R2.
+        assert "3b" in corr.left_only
+        # R2's second workflow copy instances are new.
+        assert "2b" in corr.right_only
+        assert "5a" in corr.right_only
+
+    def test_matched_labels_agree(self, computation, fig2_r1, fig2_r2):
+        mapping = extract_mapping(computation)
+        corr = node_correspondence(
+            mapping, fig2_r1.graph, fig2_r2.graph
+        )
+        for left, right in corr.matched.items():
+            assert fig2_r1.graph.label(left) == fig2_r2.graph.label(right)

@@ -1,0 +1,120 @@
+"""Tests for edit-script post-processing (composite operations)."""
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.core.edit_script import (
+    PATH_CONTRACTION,
+    PATH_DELETION,
+    PATH_EXPANSION,
+    PATH_INSERTION,
+    PathOperation,
+)
+from repro.core.postprocess import (
+    GROW_SUBGRAPH,
+    REPLACE_ITERATION,
+    REPLACE_PATH,
+    SHRINK_SUBGRAPH,
+    detect_composites,
+)
+from repro.costs.standard import UnitCost
+
+
+def op(kind, labels, cost=1.0):
+    return PathOperation(
+        kind=kind,
+        cost=cost,
+        length=len(labels) - 1,
+        source_label=labels[0],
+        sink_label=labels[-1],
+        path_labels=tuple(labels),
+    )
+
+
+class TestSyntheticScripts:
+    def test_replacement_detected(self):
+        script = [
+            op(PATH_DELETION, ("2", "3", "6")),
+            op(PATH_INSERTION, ("2", "4", "6")),
+        ]
+        compact = detect_composites(script)
+        assert len(compact.composites) == 1
+        composite = compact.composites[0]
+        assert composite.kind == REPLACE_PATH
+        assert "replace path" in composite.describe()
+        assert compact.residual == []
+        assert compact.total_cost == 2.0
+
+    def test_identical_paths_not_paired(self):
+        # Deleting and inserting the *same* path shape is a copy-count
+        # change, not a replacement.
+        script = [
+            op(PATH_DELETION, ("2", "3", "6")),
+            op(PATH_INSERTION, ("2", "3", "6")),
+        ]
+        compact = detect_composites(script)
+        assert all(
+            c.kind != REPLACE_PATH for c in compact.composites
+        )
+
+    def test_iteration_replacement(self):
+        script = [
+            op(PATH_CONTRACTION, ("2", "4", "6")),
+            op(PATH_EXPANSION, ("2", "5", "6")),
+        ]
+        compact = detect_composites(script)
+        assert compact.composites[0].kind == REPLACE_ITERATION
+        assert "loop iteration" in compact.composites[0].describe()
+
+    def test_grouped_growth(self):
+        script = [
+            op(PATH_INSERTION, ("2", "3", "6")),
+            op(PATH_INSERTION, ("2", "4", "6")),
+            op(PATH_INSERTION, ("2", "5", "6")),
+        ]
+        compact = detect_composites(script)
+        assert len(compact.composites) == 1
+        assert compact.composites[0].kind == GROW_SUBGRAPH
+        assert compact.composites[0].size == 3
+        assert "3-path subgraph" in compact.composites[0].describe()
+
+    def test_grouped_shrink(self):
+        script = [
+            op(PATH_DELETION, ("a", "x", "b")),
+            op(PATH_DELETION, ("a", "y", "b")),
+        ]
+        compact = detect_composites(script)
+        assert compact.composites[0].kind == SHRINK_SUBGRAPH
+
+    def test_threshold_respected(self):
+        script = [op(PATH_INSERTION, ("a", "b"))]
+        compact = detect_composites(script, group_threshold=2)
+        assert compact.composites == []
+        assert compact.residual == script
+
+    def test_cost_preserved(self):
+        script = [
+            op(PATH_DELETION, ("2", "3", "6"), cost=2.0),
+            op(PATH_INSERTION, ("2", "4", "6"), cost=2.0),
+            op(PATH_INSERTION, ("1", "2"), cost=1.0),
+        ]
+        compact = detect_composites(script)
+        assert compact.total_cost == pytest.approx(5.0)
+
+
+class TestRealScripts:
+    def test_fig2_script_compacts(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, cost=UnitCost())
+        compact = detect_composites(result.script.operations)
+        assert compact.total_cost == pytest.approx(result.distance)
+        # The delete (2,3,6) / insert (2,4,6) pair is a replacement.
+        kinds = [c.kind for c in compact.composites]
+        assert REPLACE_PATH in kinds
+        assert len(compact.summary_lines()) <= len(
+            result.script.operations
+        )
+
+    def test_loop_script_compacts(self, fig2_r1, fig2_r3):
+        result = diff_runs(fig2_r3, fig2_r1, cost=UnitCost())
+        compact = detect_composites(result.script.operations)
+        assert compact.total_cost == pytest.approx(result.distance)

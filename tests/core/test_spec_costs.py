@@ -1,0 +1,137 @@
+"""Tests for spec-side insertion costs and W_TG (Eq. 2)."""
+
+import pytest
+
+from repro.core.apply import IdAllocator
+from repro.core.spec_costs import SpecCostTables, achievable_leaf_counts
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.errors import EditScriptError
+from repro.sptree.nodes import NodeType
+from repro.sptree.validate import validate_run_tree
+
+
+class TestAchievableCounts:
+    def test_fig2_root(self, fig2_spec):
+        # Every source-sink path has length 4: 1-2, 2-x, x-6, 6-7.
+        assert achievable_leaf_counts(fig2_spec.tree) == [4]
+
+    def test_fig2_parallel_section(self, fig2_spec):
+        parallel = fig2_spec.tree.find(
+            lambda n: n.kind is NodeType.P
+        )
+        assert achievable_leaf_counts(parallel) == [2]
+
+    def test_two_length_branches(self):
+        from repro.graphs.flow_network import FlowNetwork
+        from repro.workflow.specification import WorkflowSpecification
+
+        graph = FlowNetwork()
+        for node in ("s", "a", "b", "t"):
+            graph.add_node(node)
+        graph.add_edge("s", "t")
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "t")
+        spec = WorkflowSpecification(graph, name="two")
+        assert achievable_leaf_counts(spec.tree) == [1, 3]
+
+
+class TestMinInsertion:
+    def test_fig2_branch_cost(self, fig2_spec):
+        tables = SpecCostTables(fig2_spec, LengthCost())
+        parallel = fig2_spec.tree.find(lambda n: n.kind is NodeType.P)
+        for branch in parallel.children:
+            assert tables.min_insertion_cost(branch) == 2.0
+            assert tables.min_insertion_leaves(branch) == 2
+
+    def test_unit_cost(self, fig2_spec):
+        tables = SpecCostTables(fig2_spec, UnitCost())
+        parallel = fig2_spec.tree.find(lambda n: n.kind is NodeType.P)
+        assert tables.min_insertion_cost(parallel.children[0]) == 1.0
+
+
+class TestW:
+    def test_fig2_w_values(self, fig2_spec):
+        tables = SpecCostTables(fig2_spec, LengthCost())
+        parallel = fig2_spec.tree.find(lambda n: n.kind is NodeType.P)
+        child = parallel.children[0]
+        # All siblings cost 2 under length cost.
+        assert tables.w(parallel, child) == 2.0
+        sibling = tables.w_argmin(parallel, child)
+        assert sibling is not child
+
+    def test_w_picks_cheapest_sibling(self):
+        from repro.graphs.flow_network import FlowNetwork
+        from repro.workflow.specification import WorkflowSpecification
+
+        graph = FlowNetwork()
+        for node in ("s", "a", "t"):
+            graph.add_node(node)
+        graph.add_edge("s", "t")          # short branch
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "t")          # long branch
+        spec = WorkflowSpecification(graph, name="wpick")
+        tables = SpecCostTables(spec, LengthCost())
+        parallel = spec.tree
+        assert parallel.kind is NodeType.P
+        long_branch = next(
+            c for c in parallel.children if c.leaf_count == 2
+        )
+        short_branch = next(
+            c for c in parallel.children if c.leaf_count == 1
+        )
+        assert tables.w(parallel, long_branch) == 1.0
+        assert tables.w(parallel, short_branch) == 2.0
+
+
+class TestWitness:
+    def test_witness_is_branch_free_run(self, fig2_spec):
+        tables = SpecCostTables(fig2_spec, UnitCost())
+        allocator = IdAllocator()
+        witness = tables.witness(
+            fig2_spec.tree, 4, "START", "END", allocator.fresh
+        )
+        assert witness.is_branch_free
+        assert witness.leaf_count == 4
+        assert witness.source == "START"
+        assert witness.sink == "END"
+        validate_run_tree(witness, require_origin=True)
+
+    def test_witness_fresh_interior_ids(self, fig2_spec):
+        tables = SpecCostTables(fig2_spec, UnitCost())
+        allocator = IdAllocator()
+        witness = tables.witness(
+            fig2_spec.tree, 4, "s0", "t0", allocator.fresh
+        )
+        ids = set()
+        for leaf in witness.leaves():
+            ids.add(leaf.edge.source)
+            ids.add(leaf.edge.sink)
+        assert "s0" in ids and "t0" in ids
+        assert len(ids) == 5  # 4 edges -> 5 distinct path nodes
+
+    def test_witness_invalid_count_rejected(self, fig2_spec):
+        tables = SpecCostTables(fig2_spec, UnitCost())
+        with pytest.raises(EditScriptError):
+            tables.witness(
+                fig2_spec.tree, 3, "s", "t", IdAllocator().fresh
+            )
+
+    def test_witness_multiple_lengths(self):
+        from repro.graphs.flow_network import FlowNetwork
+        from repro.workflow.specification import WorkflowSpecification
+
+        graph = FlowNetwork()
+        for node in ("s", "a", "b", "t"):
+            graph.add_node(node)
+        graph.add_edge("s", "t")
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "t")
+        spec = WorkflowSpecification(graph, name="two")
+        tables = SpecCostTables(spec, LengthCost())
+        for leaves in (1, 3):
+            witness = tables.witness(
+                spec.tree, leaves, "S", "T", IdAllocator().fresh
+            )
+            assert witness.leaf_count == leaves

@@ -1,0 +1,77 @@
+"""Tests for the public diff-verification API."""
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.core.verify import VerificationReport, verify_diff
+from repro.costs.standard import LengthCost, UnitCost
+from repro.errors import ReproError
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import emboss
+
+
+class TestHappyPath:
+    def test_paper_example_verifies(self, fig2_r1, fig2_r2):
+        result = diff_runs(
+            fig2_r1, fig2_r2, cost=UnitCost(), record_intermediates=True
+        )
+        report = verify_diff(result, check_intermediates=True)
+        assert report.ok, str(report)
+        assert "intermediate-validity" in report.checks_run
+        report.raise_on_failure()  # no-op when ok
+
+    def test_distance_only_diff(self, fig2_r1, fig2_r3):
+        result = diff_runs(fig2_r1, fig2_r3, with_script=False)
+        report = verify_diff(result)
+        assert report.ok
+        assert "script-skipped" in report.checks_run
+
+    def test_random_pairs_verify(self):
+        spec = emboss()
+        params = ExecutionParams(
+            prob_parallel=0.7,
+            max_fork=3,
+            prob_fork=0.6,
+            max_loop=2,
+            prob_loop=0.6,
+        )
+        for seed in range(3):
+            one = execute_workflow(spec, params, seed=seed)
+            two = execute_workflow(spec, params, seed=seed + 40)
+            result = diff_runs(
+                one, two, cost=LengthCost(), record_intermediates=True
+            )
+            report = verify_diff(result, check_intermediates=True)
+            assert report.ok, str(report)
+
+    def test_str_rendering(self, fig2_r1, fig2_r2):
+        report = verify_diff(diff_runs(fig2_r1, fig2_r2))
+        assert "verification OK" in str(report)
+
+
+class TestDetection:
+    def test_tampered_distance_detected(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        result.distance += 1.0
+        report = verify_diff(result)
+        assert not report.ok
+        assert any("mapping cost" in p for p in report.problems)
+        with pytest.raises(ReproError, match="verification failed"):
+            report.raise_on_failure()
+
+    def test_tampered_operation_cost_detected(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        result.script.operations[0].cost += 0.5
+        report = verify_diff(result)
+        assert any("operation 1" in p for p in report.problems)
+
+    def test_missing_intermediates_reported(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)  # not recorded
+        report = verify_diff(result, check_intermediates=True)
+        assert any("not recorded" in p for p in report.problems)
+
+    def test_tampered_mapping_detected(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        result.mapping.pairs.append(result.mapping.pairs[-1])
+        report = verify_diff(result)
+        assert any("well-formed" in p for p in report.problems)

@@ -1,0 +1,103 @@
+"""Tests for the standard cost models (§III-C.2, §VIII-D)."""
+
+import math
+
+import pytest
+
+from repro.costs.standard import (
+    CallableCost,
+    LabelWeightedCost,
+    LengthCost,
+    PowerCost,
+    UnitCost,
+)
+from repro.errors import CostModelError
+
+
+class TestPowerFamily:
+    def test_unit_cost_is_one(self):
+        cost = UnitCost()
+        for length in (1, 2, 10, 100):
+            assert cost.path_cost(length, "A", "B") == 1.0
+
+    def test_length_cost_equals_length(self):
+        cost = LengthCost()
+        assert cost.path_cost(7, "A", "B") == 7.0
+
+    def test_power_half(self):
+        cost = PowerCost(0.5)
+        assert cost.path_cost(9, "A", "B") == pytest.approx(3.0)
+
+    def test_negative_epsilon_decreases(self):
+        cost = PowerCost(-1.0)
+        assert cost.path_cost(10, "A", "B") == pytest.approx(0.1)
+
+    def test_epsilon_above_one_rejected(self):
+        with pytest.raises(CostModelError, match="quadrangle"):
+            PowerCost(1.5)
+
+    def test_zero_length_coinciding_terminals(self):
+        assert UnitCost().path_cost(0, "A", "A") == 0.0
+
+    def test_zero_length_distinct_terminals_rejected(self):
+        with pytest.raises(CostModelError):
+            UnitCost().path_cost(0, "A", "B")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CostModelError):
+            LengthCost().path_cost(-1, "A", "B")
+
+    def test_names(self):
+        assert UnitCost().name == "UnitCost"
+        assert LengthCost().name == "LengthCost"
+        assert "0.5" in PowerCost(0.5).name
+
+    def test_subadditivity_for_sublinear(self):
+        for epsilon in (0.0, 0.3, 0.7, 1.0):
+            cost = PowerCost(epsilon)
+            for a in range(1, 8):
+                for b in range(1, 8):
+                    assert cost.path_cost(a + b, "A", "B") <= (
+                        cost.path_cost(a, "A", "B")
+                        + cost.path_cost(b, "A", "B")
+                    ) + 1e-9
+
+
+class TestLabelWeighted:
+    def test_weights_applied(self):
+        cost = LabelWeightedCost(
+            LengthCost(), {("A", "B"): 2.0}, default_weight=1.0
+        )
+        assert cost.path_cost(3, "A", "B") == 6.0
+        assert cost.path_cost(3, "X", "Y") == 3.0
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(CostModelError):
+            LabelWeightedCost(UnitCost(), {("A", "B"): 0.0})
+        with pytest.raises(CostModelError):
+            LabelWeightedCost(UnitCost(), {}, default_weight=-1.0)
+
+    def test_name_mentions_base(self):
+        assert "LengthCost" in LabelWeightedCost(LengthCost(), {}).name
+
+
+class TestCallable:
+    def test_wraps_function(self):
+        cost = CallableCost(lambda l, a, b: 2.0 * l, name="double")
+        assert cost.path_cost(4, "A", "B") == 8.0
+        assert cost.name == "double"
+
+    def test_negative_result_rejected(self):
+        cost = CallableCost(lambda l, a, b: -1.0)
+        with pytest.raises(CostModelError, match="negative"):
+            cost.path_cost(1, "A", "B")
+
+    def test_subtree_cost_uses_leaf_count(self, fig2_r1):
+        cost = LengthCost()
+        # A two-edge branch subtree costs 2 under the length model.
+        from repro.sptree.nodes import NodeType
+
+        branch = fig2_r1.tree.find(
+            lambda n: n.kind is NodeType.S and n.leaf_count == 2
+        )
+        assert cost.subtree_cost(branch) == 2.0

@@ -1,0 +1,95 @@
+"""Tests for SP recognition and round-trips (§IV-A, [Valdes et al.])."""
+
+import pytest
+
+from repro.errors import GraphStructureError, NotSeriesParallelError
+from repro.graphs.decomposition import (
+    canonical_sp_tree,
+    is_series_parallel,
+    roundtrip_graph,
+    sp_residual,
+)
+from repro.graphs.flow_network import FlowNetwork
+from repro.graphs.spgraph import diamond_graph, path_graph
+from repro.workflow.generators import random_sp_graph
+
+
+class TestRecognition:
+    def test_single_edge_is_sp(self):
+        graph = path_graph(["s", "t"])
+        assert is_series_parallel(graph)
+
+    def test_path_is_sp(self):
+        assert is_series_parallel(path_graph(list("abcdef")))
+
+    def test_diamond_is_not_sp(self):
+        assert not is_series_parallel(diamond_graph())
+
+    def test_residual_empty_for_sp(self):
+        assert sp_residual(path_graph(["a", "b", "c"])) == []
+
+    def test_residual_nonempty_for_diamond(self):
+        residual = sp_residual(diamond_graph())
+        assert len(residual) == 5  # nothing reducible in the minor itself
+
+    def test_exception_carries_residual(self):
+        with pytest.raises(NotSeriesParallelError) as excinfo:
+            canonical_sp_tree(diamond_graph())
+        assert len(excinfo.value.residual_edges) == 5
+
+    def test_cycle_rejected(self):
+        graph = FlowNetwork()
+        for node in "abc":
+            graph.add_node(node)
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("b", "b", key=0) if False else None
+        # A genuine directed cycle within a flow network:
+        graph.add_node("d")
+        graph.add_edge("c", "d")
+        graph.add_edge("c", "b")
+        with pytest.raises(GraphStructureError):
+            canonical_sp_tree(graph)
+
+    def test_non_flow_network_rejected(self):
+        graph = FlowNetwork()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_node("c")
+        graph.add_edge("a", "b")  # c is isolated
+        with pytest.raises(GraphStructureError):
+            canonical_sp_tree(graph)
+
+    def test_larger_embedded_minor_detected(self):
+        # Subdivide every edge of the diamond: still not SP.
+        diamond = diamond_graph()
+        graph = FlowNetwork()
+        for node in diamond.nodes():
+            graph.add_node(node)
+        for index, (u, v, _) in enumerate(diamond.edges()):
+            mid = f"mid{index}"
+            graph.add_node(mid)
+            graph.add_edge(u, mid)
+            graph.add_edge(mid, v)
+        assert not is_series_parallel(graph)
+
+
+class TestRoundTrip:
+    def test_roundtrip_path(self):
+        graph = path_graph(list("abcd"))
+        assert roundtrip_graph(graph).structurally_equal(graph)
+
+    def test_roundtrip_fig2(self, fig2_spec):
+        graph = fig2_spec.graph
+        assert roundtrip_graph(graph).structurally_equal(graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("ratio", [0.25, 1.0, 4.0])
+    def test_roundtrip_random(self, seed, ratio):
+        graph = random_sp_graph(40, ratio, seed=seed)
+        assert roundtrip_graph(graph).structurally_equal(graph)
+
+    def test_roundtrip_multigraph(self):
+        graph = random_sp_graph(30, 0.0, seed=3)
+        assert graph.num_nodes == 2  # pure parallel: two-node multigraph
+        assert roundtrip_graph(graph).structurally_equal(graph)

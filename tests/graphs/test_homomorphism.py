@@ -1,0 +1,117 @@
+"""Tests for general-model run validity (Section III-B)."""
+
+import pytest
+
+from repro.errors import InvalidRunError, SpecificationError
+from repro.graphs.flow_network import FlowNetwork
+from repro.graphs.homomorphism import (
+    check_valid_run,
+    induced_homomorphism,
+    is_valid_run,
+    label_index,
+)
+from repro.graphs.spgraph import path_graph
+
+
+def spec_graph() -> FlowNetwork:
+    graph = FlowNetwork(name="spec")
+    for node in "abc":
+        graph.add_node(node)
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    return graph
+
+
+def run_graph(edges, labels) -> FlowNetwork:
+    graph = FlowNetwork(name="run")
+    for node, label in labels.items():
+        graph.add_node(node, label)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestLabelIndex:
+    def test_builds_index(self):
+        index = label_index(spec_graph())
+        assert index == {"a": "a", "b": "b", "c": "c"}
+
+    def test_duplicate_labels_rejected(self):
+        graph = FlowNetwork()
+        graph.add_node("x", "dup")
+        graph.add_node("y", "dup")
+        with pytest.raises(SpecificationError, match="unique"):
+            label_index(graph)
+
+
+class TestValidity:
+    def test_identity_run_is_valid(self):
+        spec = spec_graph()
+        run = run_graph(
+            [("a1", "b1"), ("b1", "c1")],
+            {"a1": "a", "b1": "b", "c1": "c"},
+        )
+        mapping = check_valid_run(run, spec)
+        assert mapping == {"a1": "a", "b1": "b", "c1": "c"}
+
+    def test_unknown_label_rejected(self):
+        run = run_graph(
+            [("a1", "z1"), ("z1", "c1")],
+            {"a1": "a", "z1": "zzz", "c1": "c"},
+        )
+        with pytest.raises(InvalidRunError, match="zzz"):
+            induced_homomorphism(run, spec_graph())
+
+    def test_wrong_source_rejected(self):
+        # Run starting at b instead of a.
+        run = run_graph([("b1", "c1")], {"b1": "b", "c1": "c"})
+        with pytest.raises(InvalidRunError, match="source"):
+            check_valid_run(run, spec_graph())
+
+    def test_wrong_sink_rejected(self):
+        run = run_graph([("a1", "b1")], {"a1": "a", "b1": "b"})
+        with pytest.raises(InvalidRunError, match="sink"):
+            check_valid_run(run, spec_graph())
+
+    def test_non_spec_edge_rejected(self):
+        run = run_graph(
+            [("a1", "c1"), ("c1", "b1"), ("b1", "c2"), ("c2", "c3")],
+            {"a1": "a", "c1": "c", "b1": "b", "c2": "c", "c3": "c"},
+        )
+        with pytest.raises(InvalidRunError):
+            check_valid_run(run, spec_graph())
+
+    def test_back_edge_requires_allowance(self):
+        # Loop unrolling: a -> b -> c -> b' -> ... wait, use (c, a)?  Use
+        # the (b, a)-style back-edge on a two-step loop over (a..c).
+        run = run_graph(
+            [("a1", "b1"), ("b1", "c1"), ("c1", "a2"), ("a2", "b2"), ("b2", "c2")],
+            {
+                "a1": "a",
+                "b1": "b",
+                "c1": "c",
+                "a2": "a",
+                "b2": "b",
+                "c2": "c",
+            },
+        )
+        spec = spec_graph()
+        assert not is_valid_run(run, spec)
+        assert is_valid_run(run, spec, allowed_back_edges={("c", "a")})
+
+    def test_cyclic_run_rejected(self):
+        run = run_graph(
+            [("a1", "b1"), ("b1", "c1"), ("b2", "c1")],
+            {"a1": "a", "b1": "b", "c1": "c", "b2": "b"},
+        )
+        # b2 has no incoming edge -> two sources -> not a flow network.
+        with pytest.raises(InvalidRunError, match="flow network"):
+            check_valid_run(run, spec_graph())
+
+    def test_fig2_runs_are_valid(self, fig2_spec, fig2_r1, fig2_r3):
+        back = fig2_spec.allowed_back_edges()
+        assert is_valid_run(fig2_r1.graph, fig2_spec.graph, back)
+        assert is_valid_run(fig2_r3.graph, fig2_spec.graph, back)
+
+    def test_fig2_r3_needs_back_edge_allowance(self, fig2_spec, fig2_r3):
+        assert not is_valid_run(fig2_r3.graph, fig2_spec.graph, set())

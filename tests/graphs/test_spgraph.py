@@ -1,0 +1,117 @@
+"""Unit tests for SP-graph composition (Definition 3.2)."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.graphs.spgraph import (
+    basic_sp,
+    diamond_graph,
+    parallel_bundle,
+    parallel_compose,
+    path_graph,
+    series_chain,
+    series_compose,
+)
+from repro.sptree.canonical import is_series_parallel
+
+
+class TestBasic:
+    def test_basic_sp_graph(self):
+        graph = basic_sp("s", "t")
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.source() == "s"
+        assert graph.sink() == "t"
+
+    def test_basic_requires_distinct_terminals(self):
+        with pytest.raises(GraphStructureError):
+            basic_sp("s", "s")
+
+    def test_basic_with_labels(self):
+        graph = basic_sp("n1", "n2", "start", "end")
+        assert graph.label("n1") == "start"
+        assert graph.label("n2") == "end"
+
+
+class TestSeries:
+    def test_series_compose_identifies_terminals(self):
+        left = basic_sp("a", "b")
+        right = basic_sp("b", "c")
+        combined = series_compose(left, right)
+        assert combined.source() == "a"
+        assert combined.sink() == "c"
+        assert combined.num_edges == 2
+
+    def test_series_requires_shared_node(self):
+        with pytest.raises(GraphStructureError, match="t\\(G1\\) == s\\(G2\\)"):
+            series_compose(basic_sp("a", "b"), basic_sp("x", "y"))
+
+    def test_series_rejects_overlapping_interiors(self):
+        left = path_graph(["a", "z", "b"])
+        right = path_graph(["b", "z", "c"])
+        with pytest.raises(GraphStructureError, match="overlap"):
+            series_compose(left, right)
+
+    def test_series_chain(self):
+        chain = series_chain(
+            [basic_sp("a", "b"), basic_sp("b", "c"), basic_sp("c", "d")]
+        )
+        assert chain.num_edges == 3
+        assert chain.sink() == "d"
+
+    def test_series_chain_empty_raises(self):
+        with pytest.raises(GraphStructureError):
+            series_chain([])
+
+
+class TestParallel:
+    def test_parallel_compose_shares_terminals(self):
+        left = path_graph(["s", "a", "t"])
+        right = path_graph(["s", "b", "t"])
+        combined = parallel_compose(left, right)
+        assert combined.num_nodes == 4
+        assert combined.num_edges == 4
+
+    def test_parallel_multi_edge(self):
+        combined = parallel_compose(basic_sp("s", "t"), basic_sp("s", "t"))
+        assert combined.num_edges == 2
+        assert combined.edge_multiset() == {("s", "t"): 2}
+
+    def test_parallel_requires_matching_terminals(self):
+        with pytest.raises(GraphStructureError, match="matching terminals"):
+            parallel_compose(basic_sp("s", "t"), basic_sp("s", "u"))
+
+    def test_parallel_bundle(self):
+        bundle = parallel_bundle(
+            [
+                path_graph(["s", "a", "t"]),
+                path_graph(["s", "b", "t"]),
+                path_graph(["s", "c", "t"]),
+            ]
+        )
+        assert bundle.num_edges == 6
+
+    def test_parallel_bundle_empty_raises(self):
+        with pytest.raises(GraphStructureError):
+            parallel_bundle([])
+
+
+class TestHelpers:
+    def test_path_graph(self):
+        path = path_graph(["a", "b", "c", "d"])
+        assert path.num_edges == 3
+        assert is_series_parallel(path)
+
+    def test_path_graph_too_short(self):
+        with pytest.raises(GraphStructureError):
+            path_graph(["only"])
+
+    def test_compositions_stay_series_parallel(self):
+        graph = parallel_compose(
+            series_compose(basic_sp("s", "m"), basic_sp("m", "t")),
+            basic_sp("s", "t"),
+        )
+        assert is_series_parallel(graph)
+
+    def test_diamond_is_not_series_parallel(self):
+        assert not is_series_parallel(diamond_graph())

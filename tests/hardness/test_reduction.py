@@ -1,0 +1,119 @@
+"""Tests for the Theorem 1 NP-hardness reduction."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.graphs.homomorphism import check_valid_run
+from repro.hardness.reduction import (
+    BipartiteInstance,
+    build_run1,
+    build_run2,
+    forbidden_minor_specification,
+    has_biclique,
+    min_edit_cost_by_enumeration,
+    reduction_gap,
+)
+from repro.sptree.canonical import is_series_parallel
+
+
+def full_biclique(n, ell):
+    return BipartiteInstance(
+        n=n,
+        edges=frozenset(
+            (x, y) for x in range(n) for y in range(n)
+        ),
+        ell=ell,
+    )
+
+
+class TestSpecification:
+    def test_forbidden_minor_is_not_sp(self):
+        assert not is_series_parallel(forbidden_minor_specification())
+
+    def test_runs_are_valid_general_runs(self):
+        instance = full_biclique(3, 2)
+        spec = forbidden_minor_specification()
+        check_valid_run(build_run1(instance), spec)
+        check_valid_run(build_run2(instance), spec)
+
+    def test_run_sizes(self):
+        instance = full_biclique(3, 2)
+        run1 = build_run1(instance)
+        assert run1.num_nodes == 2 + 6
+        assert run1.num_edges == 4 * 3 + 9
+        run2 = build_run2(instance)
+        assert run2.num_edges == 4 * 2 + 4
+
+
+class TestInstanceValidation:
+    def test_ell_bounds(self):
+        with pytest.raises(Exception):
+            BipartiteInstance(3, frozenset(), 0)
+        with pytest.raises(Exception):
+            BipartiteInstance(3, frozenset(), 4)
+
+    def test_edge_bounds(self):
+        with pytest.raises(Exception):
+            BipartiteInstance(2, frozenset({(5, 0)}), 1)
+
+    def test_threshold_formula(self):
+        instance = full_biclique(4, 2)
+        assert instance.gamma_threshold == (16 - 4) + 4 * (4 - 2)
+
+
+class TestBicliqueDecision:
+    def test_complete_graph_has_biclique(self):
+        assert has_biclique(full_biclique(3, 2))
+
+    def test_empty_graph_has_none(self):
+        instance = BipartiteInstance(3, frozenset(), 1)
+        assert not has_biclique(instance)
+
+    def test_diagonal_only(self):
+        diagonal = BipartiteInstance(
+            3, frozenset((i, i) for i in range(3)), 2
+        )
+        assert not has_biclique(diagonal)
+        assert has_biclique(
+            BipartiteInstance(3, frozenset((i, i) for i in range(3)), 1)
+        )
+
+
+class TestReductionClaim:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_both_directions_on_random_instances(self, seed):
+        """cost <= Γ iff biclique exists; otherwise cost >= Γ + 2."""
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        ell = rng.randint(1, n)
+        density = rng.uniform(0.3, 0.9)
+        edges = frozenset(
+            (x, y)
+            for x in range(n)
+            for y in range(n)
+            if rng.random() < density
+        )
+        if not edges:
+            edges = frozenset({(0, 0)})
+        instance = BipartiteInstance(n, edges, ell)
+        cost, threshold, exists = reduction_gap(instance)
+        if exists:
+            assert cost <= threshold
+        else:
+            assert cost >= threshold + 2
+
+    def test_exact_cost_when_clique_exists(self):
+        instance = full_biclique(3, 2)
+        cost = min_edit_cost_by_enumeration(instance)
+        assert cost == instance.gamma_threshold
+
+    def test_missing_edge_increases_cost(self):
+        n = 2
+        # One edge missing from the 2x2 biclique.
+        edges = frozenset({(0, 0), (0, 1), (1, 0)})
+        instance = BipartiteInstance(n, edges, 2)
+        cost, threshold, exists = reduction_gap(instance)
+        assert not exists
+        assert cost == threshold + 2

@@ -1,0 +1,135 @@
+"""API hygiene: documentation coverage and performance guards."""
+
+import inspect
+import time
+
+import pytest
+
+import repro
+
+
+def public_members(module):
+    for name in getattr(module, "__all__", dir(module)):
+        if name.startswith("_"):
+            continue
+        member = getattr(module, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            yield name, member
+
+
+class TestDocumentation:
+    def test_top_level_exports_are_documented(self):
+        for name, member in public_members(repro):
+            assert inspect.getdoc(member), f"{name} lacks a docstring"
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graphs.flow_network",
+            "repro.graphs.spgraph",
+            "repro.graphs.decomposition",
+            "repro.graphs.homomorphism",
+            "repro.sptree.nodes",
+            "repro.sptree.canonical",
+            "repro.sptree.annotate_spec",
+            "repro.sptree.annotate_run",
+            "repro.sptree.validate",
+            "repro.workflow.specification",
+            "repro.workflow.run",
+            "repro.workflow.execution",
+            "repro.workflow.generators",
+            "repro.workflow.real_workflows",
+            "repro.costs.base",
+            "repro.costs.standard",
+            "repro.costs.validation",
+            "repro.matching.hungarian",
+            "repro.matching.noncrossing",
+            "repro.core.deletion",
+            "repro.core.spec_costs",
+            "repro.core.edit_distance",
+            "repro.core.mapping",
+            "repro.core.edit_script",
+            "repro.core.apply",
+            "repro.core.api",
+            "repro.core.postprocess",
+            "repro.baselines.naive",
+            "repro.baselines.exhaustive",
+            "repro.hardness.reduction",
+            "repro.provenance.records",
+            "repro.provenance.capture",
+            "repro.provenance.annotate_diff",
+            "repro.pdiffview.render",
+            "repro.pdiffview.clustering",
+            "repro.pdiffview.session",
+            "repro.io.xml_io",
+            "repro.io.json_io",
+            "repro.io.store",
+        ],
+    )
+    def test_module_and_public_classes_documented(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert inspect.getdoc(module), f"{module_name} lacks a docstring"
+        for name, member in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(member, "__module__", None) != module_name:
+                continue
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert inspect.getdoc(member), (
+                    f"{module_name}.{name} lacks a docstring"
+                )
+
+    def test_public_methods_documented(self):
+        from repro.core.api import DiffResult
+        from repro.graphs.flow_network import FlowNetwork
+        from repro.sptree.nodes import SPTree
+        from repro.workflow.specification import WorkflowSpecification
+
+        for cls in (FlowNetwork, SPTree, WorkflowSpecification, DiffResult):
+            for name, member in vars(cls).items():
+                if name.startswith("_") or not callable(member):
+                    continue
+                assert inspect.getdoc(member), (
+                    f"{cls.__name__}.{name} lacks a docstring"
+                )
+
+
+class TestPerformanceGuards:
+    def test_medium_diff_stays_interactive(self, fig2_spec):
+        """A ~200-total-edge diff should stay well under a second
+        (regression guard for the O(|E|³) pipeline's constants)."""
+        from repro import ExecutionParams, diff_runs, execute_workflow
+
+        params = ExecutionParams(
+            prob_parallel=0.9,
+            max_fork=6,
+            prob_fork=0.8,
+            max_loop=4,
+            prob_loop=0.8,
+        )
+        one = execute_workflow(fig2_spec, params, seed=1)
+        two = execute_workflow(fig2_spec, params, seed=2)
+        start = time.perf_counter()
+        diff_runs(one, two)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, f"diff took {elapsed:.2f}s"
+
+    def test_annotation_is_fast(self):
+        from repro.sptree.annotate_run import annotate_run_tree
+        from repro import ExecutionParams, execute_workflow
+        from repro.workflow.real_workflows import pgaq
+
+        spec = pgaq()
+        params = ExecutionParams(
+            prob_parallel=1.0, max_fork=4, prob_fork=0.9,
+            max_loop=4, prob_loop=0.9,
+        )
+        run = execute_workflow(spec, params, seed=1)
+        start = time.perf_counter()
+        annotate_run_tree(spec, run.graph)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, (
+            f"annotating {run.num_edges} edges took {elapsed:.2f}s"
+        )

@@ -1,0 +1,130 @@
+"""Cross-cost-model consistency properties of the edit distance."""
+
+import pytest
+
+from repro.core.api import diff_runs, edit_distance
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import (
+    fig17b_specification,
+    random_specification,
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def run_pairs(count=4):
+    pairs = []
+    for seed in range(count):
+        spec = random_specification(
+            14, 1.0, num_forks=2, num_loops=1, seed=seed
+        )
+        one = execute_workflow(spec, PARAMS, seed=seed)
+        two = execute_workflow(spec, PARAMS, seed=seed + 100)
+        pairs.append((one, two))
+    return pairs
+
+
+class TestEpsilonMonotonicity:
+    def test_distance_nondecreasing_in_epsilon(self):
+        """γ(l) = l^ε is pointwise nondecreasing in ε (l >= 1), so the
+        minimum script cost is nondecreasing in ε."""
+        epsilons = [0.0, 0.25, 0.5, 0.75, 1.0]
+        for one, two in run_pairs():
+            distances = [
+                edit_distance(one, two, PowerCost(eps))
+                for eps in epsilons
+            ]
+            for before, after in zip(distances, distances[1:]):
+                assert before <= after + 1e-9
+
+    def test_unit_bounds_below_length(self):
+        for one, two in run_pairs():
+            unit = edit_distance(one, two, UnitCost())
+            length = edit_distance(one, two, LengthCost())
+            assert unit <= length + 1e-9
+
+    def test_zero_distance_is_model_independent(self):
+        spec = random_specification(12, 1.0, num_forks=1, seed=3)
+        run = execute_workflow(spec, PARAMS, seed=5)
+        for eps in (0.0, 0.5, 1.0, -1.0):
+            assert edit_distance(run, run, PowerCost(eps)) == 0.0
+
+
+class TestScriptRepricing:
+    def test_own_model_script_is_optimal(self):
+        """A script optimal under ε re-priced under ε equals the
+        distance; re-priced under another model it can only be >= that
+        model's optimum."""
+        spec = fig17b_specification(4)
+        params = ExecutionParams(
+            prob_parallel=0.5, max_fork=4, prob_fork=1.0
+        )
+        one = execute_workflow(spec, params, seed=1)
+        two = execute_workflow(spec, params, seed=2)
+        models = [UnitCost(), PowerCost(0.5), LengthCost()]
+        optima = {
+            model.name: diff_runs(one, two, cost=model).distance
+            for model in models
+        }
+        for producing in models:
+            script = diff_runs(one, two, cost=producing).script
+            for pricing in models:
+                repriced = sum(
+                    pricing.path_cost(
+                        op.length, op.source_label, op.sink_label
+                    )
+                    for op in script.operations
+                )
+                assert repriced >= optima[pricing.name] - 1e-9
+                if pricing.name == producing.name:
+                    assert repriced == pytest.approx(
+                        optima[pricing.name]
+                    )
+
+    def test_negative_epsilon_prefers_long_paths(self):
+        """Under ε < 0 longer paths are cheaper to edit, flipping the
+        Fig. 17(a) preference."""
+        from repro.graphs.flow_network import FlowNetwork
+        from repro.workflow.run import WorkflowRun
+        from repro.workflow.specification import WorkflowSpecification
+
+        graph = FlowNetwork(name="seesaw")
+        for node in ("s", "m1", "m2", "t"):
+            graph.add_node(node)
+        graph.add_edge("s", "t")
+        graph.add_edge("s", "m1")
+        graph.add_edge("m1", "m2")
+        graph.add_edge("m2", "t")
+        spec = WorkflowSpecification(graph, name="seesaw")
+
+        def run_of(name, with_short, with_long):
+            g = FlowNetwork(name=name)
+            g.add_node("s0", "s")
+            g.add_node("t0", "t")
+            if with_short:
+                g.add_edge("s0", "t0")
+            if with_long:
+                g.add_node("m1a", "m1")
+                g.add_node("m2a", "m2")
+                g.add_edge("s0", "m1a")
+                g.add_edge("m1a", "m2a")
+                g.add_edge("m2a", "t0")
+            return WorkflowRun(spec, g, name=name)
+
+        both = run_of("both", True, True)
+        short_only = run_of("short", True, False)
+        long_only = run_of("long", False, True)
+        # Deleting the long branch costs 3^ε, the short one 1^ε = 1.
+        eps = -1.0
+        to_short = edit_distance(both, short_only, PowerCost(eps))
+        to_long = edit_distance(both, long_only, PowerCost(eps))
+        assert to_short == pytest.approx(3.0 ** eps)
+        assert to_long == pytest.approx(1.0)
+        assert to_short < to_long  # flipped vs ε >= 0

@@ -1,0 +1,98 @@
+"""End-to-end pipeline checks over the six real workflows."""
+
+import pytest
+
+from repro.baselines.naive import naive_diff
+from repro.core.api import diff_runs
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.io.xml_io import run_from_xml, run_to_xml
+from repro.sptree.annotate_run import annotate_run_tree
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import all_real_workflows
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.5,
+    max_loop=2,
+    prob_loop=0.5,
+)
+
+
+@pytest.mark.parametrize("name", sorted(all_real_workflows()))
+class TestRealWorkflowPipelines:
+    def test_full_diff_pipeline(self, name):
+        spec = all_real_workflows()[name]
+        one = execute_workflow(spec, PARAMS, seed=1, name="one")
+        two = execute_workflow(spec, PARAMS, seed=2, name="two")
+        result = diff_runs(
+            one, two, cost=UnitCost(), validate_intermediates=True
+        )
+        assert result.script.total_cost == pytest.approx(result.distance)
+        assert result.mapping.cost == pytest.approx(result.distance)
+        assert result.script.final_tree.structure_key() == (
+            two.tree.structure_key()
+        )
+        for graph in result.script.intermediate_graphs:
+            annotate_run_tree(spec, graph)
+
+    def test_serialisation_roundtrip_preserves_distance(self, name):
+        spec = all_real_workflows()[name]
+        one = execute_workflow(spec, PARAMS, seed=3, name="one")
+        two = execute_workflow(spec, PARAMS, seed=4, name="two")
+        direct = diff_runs(one, two, with_script=False).distance
+        one2 = run_from_xml(run_to_xml(one), spec)
+        two2 = run_from_xml(run_to_xml(two), spec)
+        via_xml = diff_runs(one2, two2, with_script=False).distance
+        assert via_xml == pytest.approx(direct)
+
+
+class TestCostModelMonotonicity:
+    def test_unit_cost_counts_operations(self):
+        spec = all_real_workflows()["PA"]
+        one = execute_workflow(spec, PARAMS, seed=5)
+        two = execute_workflow(spec, PARAMS, seed=6)
+        result = diff_runs(one, two, cost=UnitCost())
+        assert result.distance == len(result.script)
+
+    def test_length_cost_counts_edges(self):
+        spec = all_real_workflows()["PA"]
+        one = execute_workflow(spec, PARAMS, seed=5)
+        two = execute_workflow(spec, PARAMS, seed=6)
+        result = diff_runs(one, two, cost=LengthCost())
+        assert result.distance == pytest.approx(
+            sum(op.length for op in result.script.operations)
+        )
+
+    def test_unit_never_exceeds_length(self):
+        spec = all_real_workflows()["EMBOSS"]
+        for seed in range(4):
+            one = execute_workflow(spec, PARAMS, seed=seed)
+            two = execute_workflow(spec, PARAMS, seed=seed + 50)
+            unit = diff_runs(one, two, cost=UnitCost(), with_script=False)
+            length = diff_runs(
+                one, two, cost=LengthCost(), with_script=False
+            )
+            assert unit.distance <= length.distance + 1e-9
+
+
+class TestNaiveBaselineComparison:
+    def test_naive_flags_repetition_on_forked_runs(self):
+        spec = all_real_workflows()["BAIDD"]
+        params = ExecutionParams(
+            prob_parallel=1.0, max_fork=3, prob_fork=1.0
+        )
+        one = execute_workflow(spec, params, seed=1)
+        two = execute_workflow(spec, params, seed=2)
+        assert not naive_diff(one, two).is_exact
+
+    def test_naive_is_exact_for_dataflow_runs(self):
+        spec = all_real_workflows()["MB"]
+        params = ExecutionParams(
+            prob_parallel=1.0, max_fork=1, prob_fork=0.0
+        )
+        one = execute_workflow(spec, params, seed=1)
+        two = execute_workflow(spec, params, seed=2)
+        diff = naive_diff(one, two)
+        assert diff.is_exact
+        assert diff.is_identical  # full execution both times

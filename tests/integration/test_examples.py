@@ -1,0 +1,20 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} produced no output"

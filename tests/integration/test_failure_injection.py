@@ -1,0 +1,177 @@
+"""Failure injection: every malformed input dies with the right error.
+
+A library living at the bottom of a provenance stack must fail loudly and
+precisely; these tests sweep malformed graphs, specifications, runs, cost
+models and scripts through the public API and pin down the exception
+types (all subclasses of :class:`repro.ReproError`).
+"""
+
+import pytest
+
+from repro import (
+    CostModelError,
+    EditScriptError,
+    FlowNetwork,
+    GraphStructureError,
+    InvalidRunError,
+    NotSeriesParallelError,
+    ReproError,
+    SpecificationError,
+    UnitCost,
+    WorkflowRun,
+    WorkflowSpecification,
+    diff_runs,
+)
+from repro.graphs.spgraph import diamond_graph, path_graph
+
+
+class TestGraphFailures:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            GraphStructureError,
+            NotSeriesParallelError,
+            SpecificationError,
+            InvalidRunError,
+            CostModelError,
+            EditScriptError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_two_sink_graph(self):
+        graph = FlowNetwork()
+        for node in "sab":
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("s", "b")
+        with pytest.raises(GraphStructureError, match="sink"):
+            graph.sink()
+
+    def test_self_loop_breaks_acyclicity(self):
+        graph = path_graph(["a", "b", "c"])
+        graph.add_edge("b", "b")
+        assert not graph.is_acyclic()
+        with pytest.raises(GraphStructureError):
+            WorkflowSpecification(graph)
+
+
+class TestSpecificationFailures:
+    def test_diamond_rejected_with_residual(self):
+        with pytest.raises(NotSeriesParallelError) as excinfo:
+            WorkflowSpecification(diamond_graph())
+        assert excinfo.value.residual_edges
+
+    def test_crossing_forks_rejected(self):
+        graph = path_graph(list("abcd"))
+        with pytest.raises(SpecificationError, match="laminar"):
+            WorkflowSpecification(
+                graph,
+                forks=[
+                    [("a", "b", 0), ("b", "c", 0)],
+                    [("b", "c", 0), ("c", "d", 0)],
+                ],
+            )
+
+    def test_fork_equals_loop_rejected(self):
+        graph = path_graph(list("abc"))
+        with pytest.raises(SpecificationError, match="duplicate"):
+            WorkflowSpecification(
+                graph,
+                forks=[[("a", "b", 0)]],
+                loops=[[("a", "b", 0)]],
+            )
+
+    def test_loop_on_branch_rejected(self, fig2_spec):
+        graph = fig2_spec.graph.copy()
+        with pytest.raises(SpecificationError, match="complete"):
+            WorkflowSpecification(
+                graph, loops=[[("2", "3", 0), ("3", "6", 0)]]
+            )
+
+
+class TestRunFailures:
+    def test_empty_run(self, fig2_spec):
+        with pytest.raises(InvalidRunError):
+            WorkflowRun(fig2_spec, FlowNetwork(name="empty"))
+
+    def test_label_not_in_spec(self, fig2_spec):
+        graph = FlowNetwork()
+        graph.add_node("1a", "1")
+        graph.add_node("xx", "99")
+        graph.add_edge("1a", "xx")
+        with pytest.raises(InvalidRunError, match="99"):
+            WorkflowRun(fig2_spec, graph)
+
+    def test_reversed_edge(self, fig2_spec):
+        graph = FlowNetwork()
+        graph.add_node("7a", "7")
+        graph.add_node("6a", "6")
+        graph.add_edge("7a", "6a")
+        with pytest.raises(InvalidRunError):
+            WorkflowRun(fig2_spec, graph)
+
+    def test_partial_series_execution(self, fig2_spec):
+        # Run stops at module 6 (sink must map to 7).
+        graph = FlowNetwork()
+        for node, label in {
+            "1a": "1",
+            "2a": "2",
+            "3a": "3",
+            "6a": "6",
+        }.items():
+            graph.add_node(node, label)
+        graph.add_edge("1a", "2a")
+        graph.add_edge("2a", "3a")
+        graph.add_edge("3a", "6a")
+        with pytest.raises(InvalidRunError, match="sink"):
+            WorkflowRun(fig2_spec, graph)
+
+    def test_two_loop_back_edges_in_a_row(self, fig2_spec):
+        graph = FlowNetwork()
+        for node, label in {
+            "1a": "1",
+            "2a": "2",
+            "3a": "3",
+            "6a": "6",
+            "2b": "2",
+            "6b": "6",
+            "7a": "7",
+        }.items():
+            graph.add_node(node, label)
+        graph.add_edge("1a", "2a")
+        graph.add_edge("2a", "3a")
+        graph.add_edge("3a", "6a")
+        graph.add_edge("6a", "2b")  # back edge ...
+        graph.add_edge("2b", "6b")  # ... but (2,6) is not a spec edge
+        graph.add_edge("6b", "7a")
+        with pytest.raises(InvalidRunError):
+            WorkflowRun(fig2_spec, graph)
+
+
+class TestCostModelFailures:
+    def test_superlinear_epsilon(self):
+        from repro.costs.standard import PowerCost
+
+        with pytest.raises(CostModelError):
+            PowerCost(2.0)
+
+    def test_diffing_with_negative_callable(self, fig2_r1, fig2_r2):
+        from repro.costs.standard import CallableCost
+
+        bad = CallableCost(lambda l, a, b: -1.0)
+        with pytest.raises(CostModelError):
+            diff_runs(fig2_r1, fig2_r2, cost=bad, with_script=False)
+
+
+class TestScriptFailures:
+    def test_compact_script_requires_script(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, with_script=False)
+        with pytest.raises(ReproError, match="with_script"):
+            result.compact_script()
+
+    def test_snapshots_require_recording(self, fig2_r1, fig2_r2):
+        from repro.pdiffview.session import DiffView
+
+        result = diff_runs(fig2_r1, fig2_r2)
+        view = DiffView(result)
+        with pytest.raises(ReproError, match="record_intermediates"):
+            view.state_after_cursor()

@@ -1,0 +1,216 @@
+"""End-to-end checks of every worked example in the paper."""
+
+import pytest
+
+from repro.core.api import diff_runs, edit_distance
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.annotate_run import annotate_run_tree
+from repro.sptree.nodes import NodeType
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+class TestFig6Trees:
+    """Section IV: the annotated trees of Figs. 6(b)-(d)."""
+
+    def test_spec_tree_node_census(self, fig2_spec):
+        counts = {}
+        for node in fig2_spec.tree.iter_nodes("pre"):
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        # Fig. 6(b) plus the loop node of §VI: 8 Q leaves, 4 S nodes
+        # (root chain + three branches), 1 P node, 4 F nodes, 1 L node.
+        assert counts[NodeType.Q] == 8
+        assert counts[NodeType.S] == 4
+        assert counts[NodeType.P] == 1
+        assert counts[NodeType.F] == 4
+        assert counts[NodeType.L] == 1
+
+    def test_t1_census(self, fig2_r1):
+        counts = {}
+        for node in fig2_r1.tree.iter_nodes("pre"):
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        # Fig. 6(c): 8 Q leaves, root F with one copy, three S chains
+        # (outer + two branch copies + one branch copy), P, two true Fs.
+        assert counts[NodeType.Q] == 8
+        assert counts[NodeType.F] == 3
+        assert counts[NodeType.P] == 1
+
+    def test_t2_root_fork_two_copies(self, fig2_r2):
+        assert fig2_r2.tree.kind is NodeType.F
+        assert fig2_r2.tree.degree == 2
+
+
+class TestExample52:
+    """Example 5.2: the bipartite matching at the root F pair."""
+
+    def test_distance_is_four(self, fig2_r1, fig2_r2):
+        assert edit_distance(fig2_r1, fig2_r2, UnitCost()) == 4.0
+
+    def test_matching_structure(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, cost=UnitCost())
+        decision = result.computation.decision(
+            fig2_r1.tree, fig2_r2.tree
+        )
+        # v5 matched to one of R2's copies; the other copy is inserted.
+        assert len(decision.matched) == 1
+        matched_copy = decision.matched[0][1]
+        # The matched R2 copy must be the one sharing instances 2a/6a
+        # (γ(M(v5,v6)) = 2 beats γ(M(v5,v3)) = 3 + cheaper insert).
+        assert matched_copy.source == "1a"
+
+    def test_x_values_from_fig9(self, fig2_spec, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, cost=UnitCost())
+        comp = result.computation
+        v5 = fig2_r1.tree.children[0]
+        assert comp.deletions1.x(v5) == 3.0  # X_T1(v5) = 3
+        copies = list(fig2_r2.tree.children)
+        xs = sorted(comp.deletions2.x(c) for c in copies)
+        assert xs == [2.0, 3.0]  # X_T2(v3) = 2, X_T2(v6) = 3
+
+
+class TestFig3Script:
+    """Fig. 3 / Fig. 7: the concrete minimum-cost script R1 -> R2."""
+
+    def test_script_shape(self, fig2_spec, fig2_r1, fig2_r2):
+        result = diff_runs(
+            fig2_r1, fig2_r2, cost=UnitCost(), validate_intermediates=True
+        )
+        script = result.script
+        assert len(script) == 4
+        # One deletion of a (2,3,6) branch; three insertions.
+        deletions = [
+            op for op in script.operations if op.kind == "path-deletion"
+        ]
+        assert len(deletions) == 1
+        assert deletions[0].path_labels == ("2", "3", "6")
+        insertions = [
+            op for op in script.operations if op.kind == "path-insertion"
+        ]
+        lengths = sorted(op.length for op in insertions)
+        assert lengths == [2, 2, 4]  # two branches + the whole second copy
+
+    def test_intermediates_stay_valid(self, fig2_spec, fig2_r1, fig2_r2):
+        result = diff_runs(
+            fig2_r1, fig2_r2, cost=UnitCost(), validate_intermediates=True
+        )
+        for graph in result.script.intermediate_graphs:
+            annotate_run_tree(fig2_spec, graph)
+
+
+class TestExample62:
+    """Example 6.2: deleting the second loop iteration of R3."""
+
+    def test_two_operations(self, fig2_spec, fig2_r3, fig2_r1):
+        from tests.conftest import build_run
+
+        target = build_run(
+            fig2_spec,
+            "first-iteration-only",
+            {
+                "1a": "1",
+                "2a": "2",
+                "3a": "3",
+                "4a": "4",
+                "4b": "4",
+                "6a": "6",
+                "7a": "7",
+            },
+            [
+                ("1a", "2a"),
+                ("2a", "3a"),
+                ("3a", "6a"),
+                ("2a", "4a"),
+                ("4a", "6a"),
+                ("2a", "4b"),
+                ("4b", "6a"),
+                ("6a", "7a"),
+            ],
+        )
+        result = diff_runs(
+            fig2_r3, target, cost=UnitCost(), validate_intermediates=True
+        )
+        assert result.distance == 2.0
+        kinds = sorted(op.kind for op in result.script.operations)
+        assert kinds == ["path-contraction", "path-deletion"]
+        contraction = next(
+            op
+            for op in result.script.operations
+            if op.kind == "path-contraction"
+        )
+        # The contracted iteration is an elementary path 2 -> x -> 6.
+        assert contraction.length == 2
+        assert contraction.source_label == "2"
+        assert contraction.sink_label == "6"
+
+
+class TestFig17aCostRegimes:
+    """Fig. 17(a): different ε pick different minimum-cost scripts."""
+
+    @pytest.fixture(scope="class")
+    def seesaw(self):
+        # Specification: two branches between 1 and 5 (via 2-3 and via 4),
+        # then two branches between 5 and 6 — runs R1/R2 mirror Fig 17(a)'s
+        # trade-off between deleting long and short paths.
+        graph = FlowNetwork(name="fig17a")
+        for node in "123456":
+            graph.add_node(node)
+        graph.add_edge("1", "2")
+        graph.add_edge("2", "3")
+        graph.add_edge("3", "5")
+        graph.add_edge("1", "4")
+        graph.add_edge("4", "5")
+        graph.add_edge("5", "6")
+        return WorkflowSpecification(graph, name="fig17a")
+
+    def run_both(self, spec):
+        from tests.conftest import build_run
+
+        both = build_run(
+            spec,
+            "both",
+            {
+                "1a": "1",
+                "2a": "2",
+                "3a": "3",
+                "4a": "4",
+                "5a": "5",
+                "6a": "6",
+            },
+            [
+                ("1a", "2a"),
+                ("2a", "3a"),
+                ("3a", "5a"),
+                ("1a", "4a"),
+                ("4a", "5a"),
+                ("5a", "6a"),
+            ],
+        )
+        long_only = build_run(
+            spec,
+            "long",
+            {"1a": "1", "2a": "2", "3a": "3", "5a": "5", "6a": "6"},
+            [
+                ("1a", "2a"),
+                ("2a", "3a"),
+                ("3a", "5a"),
+                ("5a", "6a"),
+            ],
+        )
+        return both, long_only
+
+    def test_unit_cost_one_operation(self, seesaw):
+        both, long_only = self.run_both(seesaw)
+        # Deleting the short branch is a single operation.
+        assert edit_distance(both, long_only, UnitCost()) == 1.0
+
+    def test_length_cost_counts_edges(self, seesaw):
+        both, long_only = self.run_both(seesaw)
+        assert edit_distance(both, long_only, LengthCost()) == 2.0
+
+    def test_intermediate_epsilon(self, seesaw):
+        both, long_only = self.run_both(seesaw)
+        expected = 2.0 ** 0.5
+        assert edit_distance(
+            both, long_only, PowerCost(0.5)
+        ) == pytest.approx(expected)

@@ -1,0 +1,62 @@
+"""Tests for JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io.json_io import (
+    run_from_json,
+    run_to_json,
+    specification_from_json,
+    specification_to_json,
+)
+
+
+class TestSpecification:
+    def test_roundtrip(self, fig2_spec):
+        text = specification_to_json(fig2_spec)
+        restored = specification_from_json(text)
+        assert restored.characteristics() == fig2_spec.characteristics()
+        assert restored.tree.equivalent(fig2_spec.tree)
+
+    def test_payload_shape(self, fig2_spec):
+        payload = json.loads(specification_to_json(fig2_spec))
+        assert payload["kind"] == "specification"
+        assert len(payload["graph"]["nodes"]) == 7
+        assert len(payload["forks"]) == 4
+
+    def test_wrong_kind(self):
+        with pytest.raises(ReproError):
+            specification_from_json(json.dumps({"kind": "nope"}))
+
+
+class TestRun:
+    def test_roundtrip(self, fig2_spec, fig2_r2):
+        restored = run_from_json(run_to_json(fig2_r2), fig2_spec)
+        assert restored.equivalent(fig2_r2)
+        assert restored.name == "R2"
+
+    def test_spec_mismatch(self, fig2_spec, fig2_r1):
+        payload = json.loads(run_to_json(fig2_r1))
+        payload["spec"] = "someone-else"
+        with pytest.raises(ReproError, match="stored for"):
+            run_from_json(json.dumps(payload), fig2_spec)
+
+    def test_wrong_kind(self, fig2_spec):
+        with pytest.raises(ReproError):
+            run_from_json(json.dumps({"kind": "spec"}), fig2_spec)
+
+
+class TestCrossFormat:
+    def test_xml_and_json_agree(self, fig2_spec):
+        from repro.io.xml_io import (
+            specification_from_xml,
+            specification_to_xml,
+        )
+
+        via_xml = specification_from_xml(specification_to_xml(fig2_spec))
+        via_json = specification_from_json(
+            specification_to_json(fig2_spec)
+        )
+        assert via_xml.tree.equivalent(via_json.tree)

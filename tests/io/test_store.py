@@ -1,0 +1,71 @@
+"""Tests for the file-backed workflow store."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io.store import WorkflowStore, _safe_name
+from repro.workflow.execution import execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+
+
+class TestSafeNames:
+    def test_alphanumerics_kept(self):
+        assert _safe_name("PA-2024_v1.xml") == "PA-2024_v1.xml"
+
+    def test_specials_replaced(self):
+        assert _safe_name("a b/c") == "a_b_c"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            _safe_name("")
+
+
+class TestStore:
+    def test_save_and_load_specification(self, tmp_path):
+        store = WorkflowStore(tmp_path)
+        spec = protein_annotation()
+        path = store.save_specification(spec)
+        assert path.exists()
+        restored = store.load_specification("PA")
+        assert restored.characteristics() == spec.characteristics()
+
+    def test_list_specifications(self, tmp_path, fig2_spec):
+        store = WorkflowStore(tmp_path)
+        store.save_specification(fig2_spec)
+        store.save_specification(protein_annotation())
+        assert store.list_specifications() == ["PA", "fig2"]
+
+    def test_missing_specification(self, tmp_path):
+        store = WorkflowStore(tmp_path)
+        with pytest.raises(ReproError, match="no stored"):
+            store.load_specification("ghost")
+
+    def test_save_and_load_run(self, tmp_path, fig2_spec, fig2_r1):
+        store = WorkflowStore(tmp_path)
+        store.save_run(fig2_r1)
+        restored = store.load_run(fig2_spec, "R1")
+        assert restored.equivalent(fig2_r1)
+
+    def test_list_runs(self, tmp_path, fig2_spec, fig2_r1, fig2_r2):
+        store = WorkflowStore(tmp_path)
+        store.save_run(fig2_r1)
+        store.save_run(fig2_r2)
+        assert store.list_runs("fig2") == ["R1", "R2"]
+        assert store.list_runs("unknown") == []
+
+    def test_missing_run(self, tmp_path, fig2_spec):
+        store = WorkflowStore(tmp_path)
+        with pytest.raises(ReproError, match="no stored run"):
+            store.load_run(fig2_spec, "ghost")
+
+    def test_overwrite_is_atomic_replace(self, tmp_path, fig2_spec):
+        store = WorkflowStore(tmp_path)
+        run_a = execute_workflow(fig2_spec, seed=1, name="same")
+        run_b = execute_workflow(fig2_spec, seed=2, name="same")
+        store.save_run(run_a)
+        store.save_run(run_b)
+        restored = store.load_run(fig2_spec, "same")
+        assert restored.equivalent(run_b)
+        # No temp files left behind.
+        leftovers = list(tmp_path.rglob(".tmp-*"))
+        assert leftovers == []

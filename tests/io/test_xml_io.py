@@ -1,0 +1,76 @@
+"""Tests for XML serialisation of specifications and runs."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io.xml_io import (
+    run_from_xml,
+    run_to_xml,
+    specification_from_xml,
+    specification_to_xml,
+)
+from repro.workflow.real_workflows import all_real_workflows
+
+
+class TestSpecificationRoundTrip:
+    def test_fig2(self, fig2_spec):
+        text = specification_to_xml(fig2_spec)
+        restored = specification_from_xml(text)
+        assert restored.name == fig2_spec.name
+        assert restored.graph.structurally_equal(fig2_spec.graph)
+        assert restored.characteristics() == fig2_spec.characteristics()
+        assert restored.tree.equivalent(fig2_spec.tree)
+
+    @pytest.mark.parametrize("name", ["PA", "EMBOSS", "PGAQ"])
+    def test_real_workflows(self, name):
+        spec = all_real_workflows()[name]
+        restored = specification_from_xml(specification_to_xml(spec))
+        assert restored.characteristics() == spec.characteristics()
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(ReproError, match="specification"):
+            specification_from_xml("<other/>")
+
+    def test_missing_nodes_section(self):
+        with pytest.raises(ReproError, match="nodes"):
+            specification_from_xml("<specification name='x'/>")
+
+
+class TestRunRoundTrip:
+    def test_r1(self, fig2_spec, fig2_r1):
+        text = run_to_xml(fig2_r1)
+        restored = run_from_xml(text, fig2_spec)
+        assert restored.name == "R1"
+        assert restored.graph.structurally_equal(fig2_r1.graph)
+        assert restored.tree.equivalent(fig2_r1.tree)
+
+    def test_loop_run(self, fig2_spec, fig2_r3):
+        restored = run_from_xml(run_to_xml(fig2_r3), fig2_spec)
+        assert restored.equivalent(fig2_r3)
+
+    def test_spec_name_mismatch(self, fig2_spec, fig2_r1):
+        from tests.conftest import build_fig2_spec
+
+        other = build_fig2_spec()
+        other.name = "different"
+        with pytest.raises(ReproError, match="stored for"):
+            run_from_xml(run_to_xml(fig2_r1), other)
+
+    def test_wrong_root_tag(self, fig2_spec):
+        with pytest.raises(ReproError, match="run"):
+            run_from_xml("<specification/>", fig2_spec)
+
+    def test_invalid_run_rejected_on_load(self, fig2_spec):
+        bad = """
+        <run name='bad' spec='fig2'>
+          <nodes>
+            <node id='1a' label='1'/>
+            <node id='7a' label='7'/>
+          </nodes>
+          <edges><edge source='1a' target='7a' key='0'/></edges>
+        </run>
+        """
+        from repro.errors import InvalidRunError
+
+        with pytest.raises(InvalidRunError):
+            run_from_xml(bad, fig2_spec)

@@ -1,0 +1,107 @@
+"""Tests for the non-crossing matching DP (L-node matching, Alg. 6)."""
+
+import random
+
+import pytest
+
+from repro.matching.noncrossing import (
+    brute_force_noncrossing,
+    noncrossing_match,
+)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert noncrossing_match(lambda i, j: 0.0, [], []) == (0.0, [])
+
+    def test_all_deletes(self):
+        total, matches = noncrossing_match(
+            lambda i, j: 100.0, [1.0, 2.0], []
+        )
+        assert total == 3.0
+        assert matches == []
+
+    def test_all_inserts(self):
+        total, matches = noncrossing_match(
+            lambda i, j: 100.0, [], [2.0, 2.0]
+        )
+        assert total == 4.0
+
+    def test_perfect_alignment(self):
+        total, matches = noncrossing_match(
+            lambda i, j: 0.0 if i == j else 100.0,
+            [10.0, 10.0],
+            [10.0, 10.0],
+        )
+        assert total == 0.0
+        assert matches == [(0, 0), (1, 1)]
+
+    def test_shift_alignment(self):
+        # Second left iteration matches first right iteration.
+        pair = {(1, 0): 0.0}
+        total, matches = noncrossing_match(
+            lambda i, j: pair.get((i, j), 100.0),
+            [1.0, 50.0],
+            [50.0, 1.0],
+        )
+        assert total == 2.0
+        assert matches == [(1, 0)]
+
+    def test_matches_are_noncrossing(self):
+        rng = random.Random(3)
+        pair = [[rng.uniform(0, 3) for _ in range(6)] for _ in range(6)]
+        _, matches = noncrossing_match(
+            lambda i, j: pair[i][j], [2.0] * 6, [2.0] * 6
+        )
+        for (i1, j1), (i2, j2) in zip(matches, matches[1:]):
+            assert i1 < i2 and j1 < j2
+
+    def test_crossing_would_be_cheaper(self):
+        """The DP must refuse crossing matches even when they'd be free."""
+        pair = {(0, 1): 0.0, (1, 0): 0.0}
+        total, matches = noncrossing_match(
+            lambda i, j: pair.get((i, j), 100.0),
+            [5.0, 5.0],
+            [5.0, 5.0],
+        )
+        # Crossing both pairs would cost 0 but is forbidden: best is one
+        # match plus one delete+insert.
+        assert total == 10.0
+        assert len(matches) == 1
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        n1, n2 = rng.randint(0, 6), rng.randint(0, 6)
+        pair = [
+            [rng.uniform(0, 4) for _ in range(n2)] for _ in range(n1)
+        ]
+        deletes = [rng.uniform(0, 4) for _ in range(n1)]
+        inserts = [rng.uniform(0, 4) for _ in range(n2)]
+        total, _ = noncrossing_match(
+            lambda i, j: pair[i][j], deletes, inserts
+        )
+        expected = brute_force_noncrossing(
+            lambda i, j: pair[i][j], deletes, inserts
+        )
+        assert total == pytest.approx(expected)
+
+    def test_backtrace_cost_consistent(self):
+        rng = random.Random(11)
+        n = 5
+        pair = [[rng.uniform(0, 4) for _ in range(n)] for _ in range(n)]
+        deletes = [rng.uniform(0, 4) for _ in range(n)]
+        inserts = [rng.uniform(0, 4) for _ in range(n)]
+        total, matches = noncrossing_match(
+            lambda i, j: pair[i][j], deletes, inserts
+        )
+        matched_left = {i for i, _ in matches}
+        matched_right = {j for _, j in matches}
+        recomputed = (
+            sum(pair[i][j] for i, j in matches)
+            + sum(deletes[i] for i in range(n) if i not in matched_left)
+            + sum(inserts[j] for j in range(n) if j not in matched_right)
+        )
+        assert total == pytest.approx(recomputed)

@@ -1,0 +1,101 @@
+"""Tests for module clustering and zoomable diff profiles (§VII)."""
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.errors import ReproError
+from repro.pdiffview.clustering import (
+    Cluster,
+    ModuleHierarchy,
+    clustered_diff_profile,
+    collapse_run_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def hierarchy(fig2_spec):
+    return ModuleHierarchy(
+        fig2_spec,
+        [
+            Cluster(
+                name="search",
+                children=[
+                    Cluster(name="blast", labels=["3", "4", "5"]),
+                    Cluster(name="collect", labels=["2", "6"]),
+                ],
+            ),
+            Cluster(name="io", labels=["1", "7"]),
+        ],
+    )
+
+
+class TestHierarchy:
+    def test_depth(self, hierarchy):
+        assert hierarchy.depth() == 3
+
+    def test_level_composites(self, hierarchy):
+        level1 = [c.name for c in hierarchy.composites_at_level(1)]
+        assert level1 == ["search", "io"]
+        level2 = [c.name for c in hierarchy.composites_at_level(2)]
+        assert level2 == ["blast", "collect", "io"]
+
+    def test_composite_of(self, hierarchy):
+        assert hierarchy.composite_of("3", 1) == "search"
+        assert hierarchy.composite_of("3", 2) == "blast"
+        assert hierarchy.composite_of("1", 1) == "io"
+
+    def test_duplicate_label_rejected(self, fig2_spec):
+        with pytest.raises(ReproError, match="appears in clusters"):
+            ModuleHierarchy(
+                fig2_spec,
+                [
+                    Cluster(name="one", labels=["3"]),
+                    Cluster(name="two", labels=["3"]),
+                ],
+            )
+
+    def test_unknown_label_rejected(self, fig2_spec):
+        with pytest.raises(ReproError, match="unknown"):
+            ModuleHierarchy(
+                fig2_spec, [Cluster(name="bad", labels=["99"])]
+            )
+
+
+class TestCollapse:
+    def test_collapsed_run(self, hierarchy, fig2_r1):
+        collapsed = collapse_run_graph(fig2_r1.graph, hierarchy, 1)
+        assert set(collapsed.nodes()) == {"search", "io"}
+        # io -> search (1->2) and search -> io (6->7).
+        assert collapsed.has_edge("io", "search")
+        assert collapsed.has_edge("search", "io")
+
+    def test_finer_level(self, hierarchy, fig2_r1):
+        collapsed = collapse_run_graph(fig2_r1.graph, hierarchy, 2)
+        assert set(collapsed.nodes()) == {"blast", "collect", "io"}
+        # collect(2) -> blast(3,4) edges survive with multiplicity.
+        assert collapsed.edge_multiset()[("collect", "blast")] == 3
+
+
+class TestProfiles:
+    def test_change_attributed_to_search(
+        self, hierarchy, fig2_r1, fig2_r2
+    ):
+        result = diff_runs(fig2_r1, fig2_r2)
+        profile = clustered_diff_profile(result, hierarchy, 1)
+        names = [change.composite for change in profile]
+        assert names[0] == "search"  # all edits touch the blast section
+        total_cost = sum(change.cost for change in profile)
+        assert total_cost == pytest.approx(result.distance)
+
+    def test_zoomed_profile(self, hierarchy, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        profile = clustered_diff_profile(result, hierarchy, 2)
+        by_name = {change.composite: change for change in profile}
+        assert "blast" in by_name or "collect" in by_name
+        for change in profile:
+            assert change.touched_edges >= change.operations
+
+    def test_requires_script(self, hierarchy, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, with_script=False)
+        with pytest.raises(ReproError, match="script"):
+            clustered_diff_profile(result, hierarchy, 1)

@@ -1,0 +1,89 @@
+"""Tests for the ASCII rendering layer."""
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.pdiffview.render import (
+    render_graph,
+    render_operation,
+    render_script,
+    render_side_by_side,
+    render_statistics,
+)
+
+
+class TestGraphRendering:
+    def test_mentions_counts_and_edges(self, fig2_r1):
+        text = render_graph(fig2_r1.graph)
+        assert "7 nodes" in text
+        assert "8 edges" in text
+        assert "1a -> 2a" in text
+
+    def test_levels_are_topological(self, fig2_r1):
+        text = render_graph(fig2_r1.graph)
+        assert text.index("level 0") < text.index("level 1")
+
+    def test_labels_shown_when_distinct(self, fig2_r1):
+        text = render_graph(fig2_r1.graph)
+        assert "1a[1]" in text
+
+
+class TestStatistics:
+    def test_panel(self, fig2_r1):
+        text = render_statistics(fig2_r1.statistics(), title="R1")
+        assert "[R1]" in text
+        assert "nodes" in text
+        assert "fork_copies" in text
+
+
+class TestScriptRendering:
+    def test_overview(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        text = render_script(result)
+        assert "delta(R1, R2) = 4" in text
+        assert "path-insertion" in text
+
+    def test_truncation(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        text = render_script(result, max_operations=2)
+        assert "2 more operations" in text
+
+    def test_operation_glyphs(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2)
+        deletions = [
+            op
+            for op in result.script.operations
+            if op.kind == "path-deletion"
+        ]
+        line = render_operation(1, deletions[0])
+        assert line.strip().startswith("[")
+        assert " - " in line or "- " in line
+
+    def test_no_script(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, with_script=False)
+        assert "no script" in render_script(result)
+
+
+class TestSideBySide:
+    def test_alignment(self):
+        text = render_side_by_side(["aa", "b"], ["x"], gutter="|")
+        lines = text.splitlines()
+        assert lines[0] == "aa|x"
+        assert lines[1] == "b |"
+
+
+class TestCyclicFallback:
+    def test_cyclic_collapsed_graph_renders(self):
+        """Composite collapses can produce cycles; rendering must not
+        fail (falls back to BFS levels)."""
+        from repro.graphs.flow_network import FlowNetwork
+
+        graph = FlowNetwork(name="cyclic")
+        for node in ("io", "work"):
+            graph.add_node(node)
+        graph.add_edge("io", "work")
+        graph.add_edge("work", "io")
+        text = render_graph(graph)
+        assert "cyclic" in text
+        assert "io -> work" in text
+        assert "level" in text

@@ -1,0 +1,114 @@
+"""Tests for the PDiffView session facade."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.pdiffview.session import DiffView, PDiffViewSession
+from repro.workflow.execution import ExecutionParams
+from repro.workflow.real_workflows import protein_annotation
+
+
+@pytest.fixture
+def session(tmp_path):
+    session = PDiffViewSession(tmp_path)
+    session.register_specification(protein_annotation())
+    return session
+
+
+VARIED = ExecutionParams(
+    prob_parallel=0.6, max_fork=3, prob_fork=0.6, max_loop=2, prob_loop=0.6
+)
+
+
+class TestSession:
+    def test_register_and_list(self, session):
+        assert session.specifications() == ["PA"]
+
+    def test_generate_and_list_runs(self, session):
+        session.generate_run("PA", "monday", VARIED, seed=1)
+        session.generate_run("PA", "tuesday", VARIED, seed=2)
+        assert session.runs("PA") == ["monday", "tuesday"]
+
+    def test_reload_from_store(self, session, tmp_path):
+        session.generate_run("PA", "monday", VARIED, seed=1)
+        fresh = PDiffViewSession(tmp_path)
+        spec = fresh.specification("PA")
+        assert spec.characteristics() == protein_annotation().characteristics()
+        run = fresh.run("PA", "monday")
+        assert run.num_edges >= 1
+
+    def test_show_helpers(self, session):
+        session.generate_run("PA", "r", VARIED, seed=3)
+        assert "BlastSwP" in session.show_specification("PA")
+        assert "nodes" in session.show_run("PA", "r")
+
+    def test_diff_view(self, session):
+        session.generate_run("PA", "a", VARIED, seed=4)
+        session.generate_run("PA", "b", VARIED, seed=5)
+        view = session.diff("PA", "a", "b")
+        assert "delta(a, b)" in view.overview()
+        assert "[a]" in view.panes()
+
+
+class TestStepping:
+    def test_forward_and_back(self, session):
+        session.generate_run("PA", "a", VARIED, seed=6)
+        session.generate_run("PA", "b", VARIED, seed=7)
+        view = session.diff("PA", "a", "b")
+        if len(view) == 0:
+            pytest.skip("seeds produced equivalent runs")
+        first = view.step_forward()
+        assert first is not None
+        assert view.position == 1
+        again = view.step_back()
+        assert view.position == 0
+        assert again == first
+
+    def test_snapshots(self, session):
+        session.generate_run("PA", "a", VARIED, seed=6)
+        session.generate_run("PA", "b", VARIED, seed=7)
+        view = session.diff("PA", "a", "b", record_intermediates=True)
+        initial = view.state_after_cursor()
+        assert initial.num_edges >= 1
+        if len(view):
+            view.step_forward()
+            after = view.state_after_cursor()
+            assert after is not None
+
+    def test_exhausted_cursor(self, session):
+        session.generate_run("PA", "a", VARIED, seed=6)
+        session.generate_run("PA", "same", VARIED, seed=6)
+        view = session.diff("PA", "a", "same")
+        assert len(view) == 0
+        assert view.current() is None
+        assert view.step_forward() is None
+        assert view.step_back() is None
+
+
+class TestCompactOverview:
+    def test_compact_overview_renders(self, session):
+        session.generate_run("PA", "a", VARIED, seed=4)
+        session.generate_run("PA", "b", VARIED, seed=5)
+        view = session.diff("PA", "a", "b")
+        text = view.compact_overview()
+        assert "delta(a, b)" in text
+        # The compact form never has more lines than elementary ops + 1.
+        assert len(text.splitlines()) <= len(view) + 1
+
+
+class TestDistanceMatrix:
+    def test_matrix_pairs(self, session):
+        for name, seed in (("a", 1), ("b", 2), ("c", 3)):
+            session.generate_run("PA", name, VARIED, seed=seed)
+        matrix = session.distance_matrix("PA")
+        assert set(matrix) == {("a", "b"), ("a", "c"), ("b", "c")}
+        for value in matrix.values():
+            assert value >= 0.0
+
+    def test_matrix_triangle_inequality(self, session):
+        for name, seed in (("a", 1), ("b", 2), ("c", 3)):
+            session.generate_run("PA", name, VARIED, seed=seed)
+        matrix = session.distance_matrix("PA")
+        ab, ac, bc = matrix[("a", "b")], matrix[("a", "c")], matrix[("b", "c")]
+        assert ac <= ab + bc + 1e-9
+        assert ab <= ac + bc + 1e-9

@@ -1,0 +1,101 @@
+"""Property tests: structure keys are a sound and complete ≡ witness."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import edit_distance
+from repro.costs.standard import UnitCost
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.annotate_run import annotate_run_tree
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import random_specification
+from repro.workflow.run import WorkflowRun
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def rename_instances(graph: FlowNetwork, seed: int) -> FlowNetwork:
+    """A label-preserving random renaming of all node instances."""
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    fresh = [f"n{rng.random():.12f}_{i}" for i in range(len(nodes))]
+    mapping = dict(zip(nodes, fresh))
+    renamed = FlowNetwork(name=graph.name)
+    for node in nodes:
+        renamed.add_node(mapping[node], graph.label(node))
+    for u, v, key in graph.edges():
+        renamed.add_edge(mapping[u], mapping[v], key)
+    return renamed
+
+
+class TestSoundness:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_renaming_preserves_key_and_distance(self, seed):
+        spec = random_specification(
+            10 + seed % 8,
+            1.0,
+            num_forks=seed % 3,
+            num_loops=seed % 2,
+            seed=seed,
+        )
+        run = execute_workflow(spec, PARAMS, seed=seed)
+        renamed_graph = rename_instances(run.graph, seed + 1)
+        renamed = WorkflowRun(spec, renamed_graph, name="renamed")
+        assert run.tree.structure_key() == renamed.tree.structure_key()
+        assert edit_distance(run, renamed, UnitCost()) == 0.0
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_edge_insertion_order_irrelevant(self, seed):
+        spec = random_specification(
+            10 + seed % 8, 1.0, num_forks=seed % 2, seed=seed
+        )
+        run = execute_workflow(spec, PARAMS, seed=seed)
+        rng = random.Random(seed + 2)
+        shuffled = FlowNetwork(name="shuffled")
+        nodes = list(run.graph.nodes())
+        edges = list(run.graph.edges())
+        rng.shuffle(nodes)
+        rng.shuffle(edges)
+        for node in nodes:
+            shuffled.add_node(node, run.graph.label(node))
+        for u, v, key in edges:
+            shuffled.add_edge(u, v, key)
+        tree = annotate_run_tree(spec, shuffled)
+        assert tree.structure_key() == run.tree.structure_key()
+
+
+class TestCompleteness:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    def test_distinct_runs_have_distinct_keys(self, seed):
+        """Zero distance iff equal keys (completeness direction)."""
+        spec = random_specification(
+            10 + seed % 8,
+            1.0,
+            num_forks=seed % 3,
+            num_loops=seed % 2,
+            seed=seed,
+        )
+        one = execute_workflow(spec, PARAMS, seed=seed)
+        two = execute_workflow(spec, PARAMS, seed=seed + 77)
+        same_key = (
+            one.tree.structure_key() == two.tree.structure_key()
+        )
+        distance = edit_distance(one, two, UnitCost())
+        assert same_key == (distance == 0.0)

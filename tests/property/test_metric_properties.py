@@ -1,0 +1,117 @@
+"""Property-based tests: δ is a metric on runs up to ≡ (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import diff_runs, edit_distance
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import random_specification
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def make_spec(seed):
+    return random_specification(
+        10 + seed % 8,
+        [0.5, 1.0, 2.0][seed % 3],
+        num_forks=seed % 3,
+        num_loops=seed % 2,
+        seed=seed,
+    )
+
+
+def cost_for(seed):
+    return [UnitCost(), LengthCost(), PowerCost(0.5)][seed % 3]
+
+
+class TestMetricAxioms:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_identity_of_indiscernibles(self, seed):
+        spec = make_spec(seed)
+        run = execute_workflow(spec, PARAMS, seed=seed)
+        assert edit_distance(run, run, cost_for(seed)) == 0.0
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_symmetry(self, seed):
+        spec = make_spec(seed)
+        one = execute_workflow(spec, PARAMS, seed=seed)
+        two = execute_workflow(spec, PARAMS, seed=seed + 7)
+        cost = cost_for(seed)
+        assert edit_distance(one, two, cost) == pytest.approx(
+            edit_distance(two, one, cost)
+        )
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_triangle_inequality(self, seed):
+        spec = make_spec(seed)
+        a = execute_workflow(spec, PARAMS, seed=seed)
+        b = execute_workflow(spec, PARAMS, seed=seed + 1)
+        c = execute_workflow(spec, PARAMS, seed=seed + 2)
+        cost = cost_for(seed)
+        dab = edit_distance(a, b, cost)
+        dbc = edit_distance(b, c, cost)
+        dac = edit_distance(a, c, cost)
+        assert dac <= dab + dbc + 1e-7
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_positivity_for_distinct_runs(self, seed):
+        spec = make_spec(seed)
+        one = execute_workflow(spec, PARAMS, seed=seed)
+        two = execute_workflow(spec, PARAMS, seed=seed + 13)
+        distance = edit_distance(one, two, cost_for(seed))
+        if one.equivalent(two):
+            assert distance == 0.0
+        else:
+            assert distance > 0.0
+
+
+class TestScriptProperties:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_script_realises_distance(self, seed):
+        spec = make_spec(seed)
+        one = execute_workflow(spec, PARAMS, seed=seed)
+        two = execute_workflow(spec, PARAMS, seed=seed + 3)
+        result = diff_runs(one, two, cost=cost_for(seed))
+        assert result.script.total_cost == pytest.approx(result.distance)
+        assert result.script.final_tree.structure_key() == (
+            two.tree.structure_key()
+        )
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_mapping_cost_equals_distance(self, seed):
+        spec = make_spec(seed)
+        one = execute_workflow(spec, PARAMS, seed=seed)
+        two = execute_workflow(spec, PARAMS, seed=seed + 3)
+        result = diff_runs(one, two, with_script=False)
+        assert result.mapping.cost == pytest.approx(result.distance)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=3_000))
+    def test_mapping_is_well_formed(self, seed):
+        from repro.core.mapping import validate_well_formed
+
+        spec = make_spec(seed)
+        one = execute_workflow(spec, PARAMS, seed=seed)
+        two = execute_workflow(spec, PARAMS, seed=seed + 3)
+        result = diff_runs(one, two, with_script=False)
+        validate_well_formed(result.mapping, one.tree, two.tree)

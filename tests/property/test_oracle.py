@@ -1,0 +1,59 @@
+"""The strongest end-to-end check: Algorithm 4 == exhaustive Dijkstra.
+
+The oracle implements the *definition* of edit distance (shortest path in
+the space of valid runs) without any of the SP-tree DP machinery, so
+agreement on random instances validates the entire polynomial pipeline.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exhaustive import exact_edit_distance
+from repro.core.api import edit_distance
+from repro.costs.standard import LengthCost, UnitCost
+from repro.errors import ReproError
+from repro.workflow.execution import ExecutionParams
+from repro.workflow.generators import random_run_pair, random_specification
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=2,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+@SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2_000),
+    edges=st.integers(min_value=4, max_value=8),
+    cost_index=st.integers(min_value=0, max_value=1),
+)
+def test_polynomial_equals_exact(seed, edges, cost_index):
+    spec = random_specification(
+        edges,
+        [0.5, 1.0, 2.0][seed % 3],
+        num_forks=seed % 2,
+        num_loops=(seed // 2) % 2,
+        seed=seed,
+    )
+    one, two = random_run_pair(spec, PARAMS, seed=seed)
+    if max(one.num_edges, two.num_edges) > 12:
+        return  # keep the oracle tractable
+    cost = [UnitCost(), LengthCost()][cost_index]
+    expected = edit_distance(one, two, cost)
+    try:
+        actual = exact_edit_distance(
+            one, two, cost, extra_leaves=2, max_states=100_000
+        )
+    except ReproError:
+        return  # state cap reached; skip this instance
+    assert actual == pytest.approx(expected)

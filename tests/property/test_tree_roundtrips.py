@@ -1,0 +1,100 @@
+"""Property-based structural round-trips (hypothesis)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.decomposition import roundtrip_graph
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.annotate_run import annotate_run_tree
+from repro.sptree.canonical import canonical_sp_tree
+from repro.sptree.validate import validate_run_tree, validate_spec_tree
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import random_sp_graph, random_specification
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=3,
+    prob_loop=0.6,
+)
+
+
+class TestDecomposition:
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        edges=st.integers(min_value=1, max_value=60),
+        ratio=st.sampled_from([0.0, 0.3, 1.0, 3.0, float("inf")]),
+    )
+    def test_roundtrip(self, seed, edges, ratio):
+        graph = random_sp_graph(edges, ratio, seed=seed)
+        assert roundtrip_graph(graph).structurally_equal(graph)
+
+    @SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        edges=st.integers(min_value=2, max_value=50),
+    )
+    def test_canonical_invariance_under_shuffle(self, seed, edges):
+        graph = random_sp_graph(edges, 1.0, seed=seed)
+        tree = canonical_sp_tree(graph)
+        rng = random.Random(seed + 1)
+        nodes = list(graph.nodes())
+        edge_list = list(graph.edges())
+        rng.shuffle(nodes)
+        rng.shuffle(edge_list)
+        shuffled = FlowNetwork()
+        for node in nodes:
+            shuffled.add_node(node, graph.label(node))
+        for u, v, key in edge_list:
+            shuffled.add_edge(u, v, key)
+        assert canonical_sp_tree(shuffled).equivalent(tree)
+
+
+class TestSpecAndRunTrees:
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_spec_trees_validate(self, seed):
+        spec = random_specification(
+            12 + seed % 10,
+            1.0,
+            num_forks=seed % 3,
+            num_loops=seed % 3,
+            seed=seed,
+        )
+        validate_spec_tree(spec.tree)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_executor_and_annotator_agree(self, seed):
+        spec = random_specification(
+            10 + seed % 8,
+            0.8,
+            num_forks=seed % 3,
+            num_loops=seed % 2,
+            seed=seed,
+        )
+        run = execute_workflow(spec, PARAMS, seed=seed)
+        rebuilt = annotate_run_tree(spec, run.graph)
+        validate_run_tree(rebuilt, require_origin=True)
+        assert rebuilt.equivalent(run.tree)
+
+    @SETTINGS
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_run_graph_tree_graph_roundtrip(self, seed):
+        spec = random_specification(
+            10 + seed % 8, 1.2, num_forks=seed % 2, seed=seed
+        )
+        run = execute_workflow(spec, PARAMS, seed=seed)
+        materialised = run.tree.to_graph()
+        # The annotated tree's graph must be the run graph itself.
+        assert materialised.structurally_equal(run.graph)

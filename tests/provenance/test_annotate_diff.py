@@ -1,0 +1,58 @@
+"""Tests for data-difference annotations over a structural diff."""
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.provenance.annotate_diff import annotate_data_differences
+from repro.provenance.capture import capture_provenance
+
+
+class TestAnnotations:
+    def test_no_parameter_differences_without_drift(
+        self, fig2_r1, fig2_r2
+    ):
+        diff = diff_runs(fig2_r1, fig2_r2)
+        prov1 = capture_provenance(fig2_r1, seed=1, parameter_drift=0.0)
+        prov2 = capture_provenance(fig2_r2, seed=2, parameter_drift=0.0)
+        result = annotate_data_differences(diff, prov1, prov2)
+        assert result.num_parameter_changes == 0
+        # Data differences may still appear downstream of *structural*
+        # differences (the fan-in of module 6 differs between the runs) —
+        # exactly the propagation behaviour real provenance would show.
+        for annotation in result.data_annotations:
+            assert annotation.edge1[0].startswith(("6", "7"))
+
+    def test_drift_produces_annotations(self, fig2_r1, fig2_r2):
+        diff = diff_runs(fig2_r1, fig2_r2)
+        prov1 = capture_provenance(fig2_r1, seed=1, parameter_drift=0.0)
+        prov2 = capture_provenance(fig2_r2, seed=1, parameter_drift=1.0)
+        result = annotate_data_differences(diff, prov1, prov2)
+        assert result.num_parameter_changes > 0
+        assert result.num_data_changes > 0
+
+    def test_annotation_structure(self, fig2_r1, fig2_r2):
+        diff = diff_runs(fig2_r1, fig2_r2)
+        prov1 = capture_provenance(fig2_r1, seed=1, parameter_drift=0.0)
+        prov2 = capture_provenance(fig2_r2, seed=1, parameter_drift=1.0)
+        result = annotate_data_differences(diff, prov1, prov2)
+        annotation = result.parameter_annotations[0]
+        assert annotation.module == fig2_r1.graph.label(annotation.node1)
+        name, value1, value2 = annotation.changed[0]
+        assert value1 != value2
+        assert name.startswith(annotation.module)
+
+    def test_unmatched_instances_reported(self, fig2_r1, fig2_r2):
+        diff = diff_runs(fig2_r1, fig2_r2)
+        prov1 = capture_provenance(fig2_r1, seed=1)
+        prov2 = capture_provenance(fig2_r2, seed=1)
+        result = annotate_data_differences(diff, prov1, prov2)
+        assert "3b" in result.unmatched_invocations_1
+        assert "5a" in result.unmatched_invocations_2
+
+    def test_identical_runs_have_no_structural_unmatched(self, fig2_r1):
+        diff = diff_runs(fig2_r1, fig2_r1)
+        prov = capture_provenance(fig2_r1, seed=1)
+        result = annotate_data_differences(diff, prov, prov)
+        assert result.unmatched_invocations_1 == []
+        assert result.unmatched_invocations_2 == []
+        assert result.num_parameter_changes == 0

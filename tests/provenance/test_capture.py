@@ -1,0 +1,64 @@
+"""Tests for simulated provenance capture."""
+
+import pytest
+
+from repro.provenance.capture import capture_provenance
+from repro.workflow.execution import ExecutionParams, execute_workflow
+
+
+@pytest.fixture(scope="module")
+def run(fig2_spec):
+    return execute_workflow(fig2_spec, seed=1, name="captured")
+
+
+class TestCapture:
+    def test_every_node_has_invocation(self, run):
+        document = capture_provenance(run, seed=0)
+        assert set(document.invocations) == set(run.graph.nodes())
+
+    def test_every_edge_has_product(self, run):
+        document = capture_provenance(run, seed=0)
+        assert set(document.products) == set(run.graph.edges())
+        assert document.num_products == run.num_edges
+
+    def test_deterministic_without_drift(self, run):
+        one = capture_provenance(run, seed=1, parameter_drift=0.0)
+        two = capture_provenance(run, seed=2, parameter_drift=0.0)
+        for node in run.graph.nodes():
+            assert (
+                one.invocations[node].parameters
+                == two.invocations[node].parameters
+            )
+
+    def test_drift_changes_parameters(self, run):
+        baseline = capture_provenance(run, seed=1, parameter_drift=0.0)
+        drifted = capture_provenance(run, seed=1, parameter_drift=1.0)
+        changed = sum(
+            baseline.invocations[n].parameters
+            != drifted.invocations[n].parameters
+            for n in run.graph.nodes()
+        )
+        assert changed == run.num_nodes
+
+    def test_digests_propagate_downstream(self, run):
+        baseline = capture_provenance(run, seed=1, parameter_drift=0.0)
+        drifted = capture_provenance(run, seed=1, parameter_drift=1.0)
+        sink_edges = run.graph.in_edges(run.graph.sink())
+        for edge in sink_edges:
+            assert (
+                baseline.products[edge].content_digest
+                != drifted.products[edge].content_digest
+            )
+
+    def test_invocation_metadata(self, run):
+        document = capture_provenance(run, seed=0)
+        source = run.graph.source()
+        invocation = document.invocations[source]
+        assert invocation.module == run.graph.label(source)
+        assert len(invocation.parameters) == 3
+        assert invocation.duration > 0
+
+    def test_parameter_dict(self, run):
+        document = capture_provenance(run, seed=0)
+        invocation = next(iter(document.invocations.values()))
+        assert invocation.parameter_dict() == dict(invocation.parameters)

@@ -1,0 +1,36 @@
+"""Unit tests for the provenance record types."""
+
+from repro.provenance.records import (
+    DataProduct,
+    ModuleInvocation,
+    ProvenanceDocument,
+)
+
+
+class TestRecords:
+    def test_data_product_equality(self):
+        one = DataProduct("d1", "abc", 10)
+        two = DataProduct("d1", "abc", 10)
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_invocation_parameter_dict(self):
+        invocation = ModuleInvocation(
+            node="3a",
+            module="3",
+            parameters=(("p1", "x"), ("p2", "y")),
+        )
+        assert invocation.parameter_dict() == {"p1": "x", "p2": "y"}
+
+    def test_document_lookups(self):
+        document = ProvenanceDocument(run_name="r")
+        invocation = ModuleInvocation("3a", "3", ())
+        product = DataProduct("d", "fff")
+        document.invocations["3a"] = invocation
+        document.products[("3a", "6a", 0)] = product
+        assert document.invocation("3a") is invocation
+        assert document.invocation("zz") is None
+        assert document.product(("3a", "6a", 0)) is product
+        assert document.product(("x", "y", 0)) is None
+        assert document.num_invocations == 1
+        assert document.num_products == 1

@@ -1,0 +1,221 @@
+"""Tests for Algorithms 2 and 5: annotated run trees (``f''``)."""
+
+import pytest
+
+from repro.errors import InvalidRunError
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.annotate_run import annotate_run_tree, is_valid_sp_run
+from repro.sptree.nodes import NodeType
+from repro.sptree.validate import validate_run_tree
+from repro.workflow.specification import WorkflowSpecification
+
+from tests.conftest import build_run
+
+
+def graph_from(nodes, edges, name="run"):
+    graph = FlowNetwork(name=name)
+    for node, label in nodes.items():
+        graph.add_node(node, label)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestFig2Trees:
+    def test_t1_matches_fig6c(self, fig2_spec, fig2_r1):
+        tree = fig2_r1.tree
+        validate_run_tree(tree, require_origin=True)
+        assert tree.kind is NodeType.F
+        assert tree.degree == 1
+        series = tree.children[0]
+        assert [c.kind for c in series.children] == [
+            NodeType.Q,
+            NodeType.L,
+            NodeType.Q,
+        ]
+        parallel = series.children[1].children[0]
+        assert parallel.kind is NodeType.P
+        fork_degrees = sorted(c.degree for c in parallel.children)
+        assert fork_degrees == [1, 2]  # one copy of 4-branch, two of 3-branch
+
+    def test_t2_matches_fig6d(self, fig2_spec, fig2_r2):
+        tree = fig2_r2.tree
+        assert tree.kind is NodeType.F
+        assert tree.degree == 2  # the whole workflow forked twice
+        for copy in tree.children:
+            assert copy.kind is NodeType.S
+
+    def test_t3_loop_iterations(self, fig2_spec, fig2_r3):
+        tree = fig2_r3.tree
+        series = tree.children[0]
+        loop_node = series.children[1]
+        assert loop_node.kind is NodeType.L
+        assert loop_node.degree == 2
+        first, second = loop_node.children
+        # First iteration: branches 3 and 4 (4 forked twice).
+        assert first.kind is NodeType.P
+        assert second.kind is NodeType.P
+        assert first.source == "2a" and first.sink == "6a"
+        assert second.source == "2b" and second.sink == "6b"
+
+    def test_origins_point_into_spec_tree(self, fig2_spec, fig2_r1):
+        spec_nodes = {id(n) for n in fig2_spec.tree.iter_nodes("pre")}
+        for node in fig2_r1.tree.iter_nodes("pre"):
+            assert id(node.origin) in spec_nodes
+
+
+class TestValidityRejections:
+    @pytest.fixture
+    def chain_spec(self):
+        graph = FlowNetwork(name="chain")
+        for node in "abc":
+            graph.add_node(node)
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        return WorkflowSpecification(graph, name="chain")
+
+    def test_missing_series_step_rejected(self, fig2_spec):
+        # Skip module 2 entirely: edge (1 -> 3) is not a spec edge.
+        graph = graph_from(
+            {"1a": "1", "3a": "3", "6a": "6", "7a": "7"},
+            [("1a", "3a"), ("3a", "6a"), ("6a", "7a")],
+        )
+        assert not is_valid_sp_run(fig2_spec, graph)
+
+    def test_duplicate_nonfork_branch_rejected(self, chain_spec):
+        # Two parallel copies of edge (a, b): the chain spec has no forks.
+        graph = graph_from(
+            {"a1": "a", "b1": "b", "b2": "b", "c1": "c"},
+            [("a1", "b1"), ("a1", "b2"), ("b1", "c1"), ("b2", "c1")],
+        )
+        with pytest.raises(InvalidRunError):
+            annotate_run_tree(chain_spec, graph)
+
+    def test_unrolled_loop_without_loop_rejected(self, chain_spec):
+        graph = graph_from(
+            {"a1": "a", "b1": "b", "c1": "c", "a2": "a", "b2": "b", "c2": "c"},
+            [
+                ("a1", "b1"),
+                ("b1", "c1"),
+                ("c1", "a2"),
+                ("a2", "b2"),
+                ("b2", "c2"),
+            ],
+        )
+        with pytest.raises(InvalidRunError):
+            annotate_run_tree(chain_spec, graph)
+
+    def test_fork_beyond_annotation_rejected(self, fig2_spec):
+        # Two copies of the (6,7) edge: that edge is not forked.
+        graph = graph_from(
+            {
+                "1a": "1",
+                "2a": "2",
+                "3a": "3",
+                "6a": "6",
+                "7a": "7",
+            },
+            [
+                ("1a", "2a"),
+                ("2a", "3a"),
+                ("3a", "6a"),
+                ("6a", "7a"),
+                ("6a", "7a"),
+            ],
+        )
+        with pytest.raises(InvalidRunError):
+            annotate_run_tree(fig2_spec, graph)
+
+    def test_valid_minimal_run_accepted(self, fig2_spec):
+        graph = graph_from(
+            {"1a": "1", "2a": "2", "5a": "5", "6a": "6", "7a": "7"},
+            [
+                ("1a", "2a"),
+                ("2a", "5a"),
+                ("5a", "6a"),
+                ("6a", "7a"),
+            ],
+        )
+        tree = annotate_run_tree(fig2_spec, graph)
+        validate_run_tree(tree, require_origin=True)
+
+
+class TestLoopSegmentation:
+    @pytest.fixture
+    def loop_spec(self):
+        graph = FlowNetwork(name="loopy")
+        for node in "abc":
+            graph.add_node(node)
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        return WorkflowSpecification(
+            graph, loops=[("a", "b")], name="loopy"
+        )
+
+    def test_three_iterations(self, loop_spec):
+        graph = graph_from(
+            {
+                "a1": "a",
+                "b1": "b",
+                "a2": "a",
+                "b2": "b",
+                "a3": "a",
+                "b3": "b",
+                "c1": "c",
+            },
+            [
+                ("a1", "b1"),
+                ("b1", "a2"),
+                ("a2", "b2"),
+                ("b2", "a3"),
+                ("a3", "b3"),
+                ("b3", "c1"),
+            ],
+        )
+        tree = annotate_run_tree(loop_spec, graph)
+        loop_node = tree.find(lambda n: n.kind is NodeType.L)
+        assert loop_node is not None
+        assert loop_node.degree == 3
+
+    def test_iteration_order_preserved(self, loop_spec):
+        graph = graph_from(
+            {"a1": "a", "b1": "b", "a2": "a", "b2": "b", "c1": "c"},
+            [
+                ("a1", "b1"),
+                ("b1", "a2"),
+                ("a2", "b2"),
+                ("b2", "c1"),
+            ],
+        )
+        tree = annotate_run_tree(loop_spec, graph)
+        loop_node = tree.find(lambda n: n.kind is NodeType.L)
+        assert [it.source for it in loop_node.children] == ["a1", "a2"]
+
+    def test_dangling_back_edge_rejected(self, loop_spec):
+        # Back-edge with an empty second iteration: b1 -> a2 -> ???
+        graph = graph_from(
+            {"a1": "a", "b1": "b", "a2": "a", "c1": "c"},
+            [("a1", "b1"), ("b1", "a2"), ("a2", "c1")],
+        )
+        with pytest.raises(InvalidRunError):
+            annotate_run_tree(loop_spec, graph)
+
+
+class TestExecutorAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_annotator_agrees_with_executor(self, fig2_spec, seed):
+        from repro.workflow.execution import (
+            ExecutionParams,
+            execute_workflow,
+        )
+
+        params = ExecutionParams(
+            prob_parallel=0.8,
+            max_fork=3,
+            prob_fork=0.5,
+            max_loop=3,
+            prob_loop=0.5,
+        )
+        run = execute_workflow(fig2_spec, params, seed=seed)
+        rebuilt = annotate_run_tree(fig2_spec, run.graph)
+        assert rebuilt.equivalent(run.tree)

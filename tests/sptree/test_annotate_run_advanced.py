@@ -1,0 +1,181 @@
+"""Advanced annotation scenarios: nesting, ambiguity, whole-graph forks."""
+
+import pytest
+
+from repro.errors import InvalidRunError
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.annotate_run import annotate_run_tree
+from repro.sptree.nodes import NodeType
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def graph_of(nodes, edges, name="run"):
+    graph = FlowNetwork(name=name)
+    for node, label in nodes.items():
+        graph.add_node(node, label)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestNestedLoops:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        # s -> a -> b -> c -> t; inner loop (a..b), outer loop (a..c).
+        graph = FlowNetwork(name="nested-loops")
+        for node in "sabct":
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("c", "t")
+        return WorkflowSpecification(
+            graph,
+            loops=[("a", "b"), ("a", "c")],
+            name="nested-loops",
+        )
+
+    def test_inner_iterations_within_outer(self, spec):
+        # Outer runs twice; first outer iteration runs the inner loop
+        # twice; second once.
+        graph = graph_of(
+            {
+                "s0": "s",
+                "a0": "a",
+                "b0": "b",
+                "a1": "a",
+                "b1": "b",
+                "c0": "c",
+                "a2": "a",
+                "b2": "b",
+                "c1": "c",
+                "t0": "t",
+            },
+            [
+                ("s0", "a0"),
+                ("a0", "b0"),
+                ("b0", "a1"),  # inner back-edge (b -> a)
+                ("a1", "b1"),
+                ("b1", "c0"),
+                ("c0", "a2"),  # outer back-edge (c -> a)
+                ("a2", "b2"),
+                ("b2", "c1"),
+                ("c1", "t0"),
+            ],
+        )
+        tree = annotate_run_tree(spec, graph)
+        outer = tree.find(
+            lambda n: n.kind is NodeType.L and n.sink_label == "c"
+        )
+        assert outer is not None and outer.degree == 2
+        first_outer = outer.children[0]
+        inner = first_outer.find(
+            lambda n: n.kind is NodeType.L and n.sink_label == "b"
+        )
+        assert inner is not None and inner.degree == 2
+        second_outer = outer.children[1]
+        inner2 = second_outer.find(
+            lambda n: n.kind is NodeType.L and n.sink_label == "b"
+        )
+        assert inner2 is not None and inner2.degree == 1
+
+    def test_inner_back_edge_outside_outer_rejected(self, spec):
+        # A (b -> a) back edge appearing after the outer loop finished.
+        graph = graph_of(
+            {
+                "s0": "s",
+                "a0": "a",
+                "b0": "b",
+                "c0": "c",
+                "t0": "t",
+                "a1": "a",
+                "b1": "b",
+            },
+            [
+                ("s0", "a0"),
+                ("a0", "b0"),
+                ("b0", "c0"),
+                ("c0", "t0"),
+                ("c0", "a1"),  # dangling second outer iteration start...
+                ("a1", "b1"),  # ...that never reaches c
+            ],
+        )
+        with pytest.raises(InvalidRunError):
+            annotate_run_tree(spec, graph)
+
+
+class TestAmbiguousBranches:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        # Two identical direct edges u -> v plus a forked third copy.
+        graph = FlowNetwork(name="ambiguous")
+        graph.add_node("u")
+        graph.add_node("v")
+        first = graph.add_edge("u", "v")
+        graph.add_edge("u", "v")
+        return WorkflowSpecification(
+            graph, forks=[[first]], name="ambiguous"
+        )
+
+    def test_flag_set(self, spec):
+        assert spec.has_ambiguous_branches
+
+    def test_copies_distribute_canonically(self, spec):
+        graph = graph_of({"u0": "u", "v0": "v"}, [])
+        for _ in range(4):
+            graph.add_edge("u0", "v0")
+        tree = annotate_run_tree(spec, graph)
+        # One copy fills the plain branch; three land on the fork.
+        parallel = tree
+        assert parallel.kind is NodeType.P
+        fork = next(
+            c for c in parallel.children if c.kind is NodeType.F
+        )
+        assert fork.degree == 3
+
+    def test_equivalent_runs_get_equivalent_trees(self, spec):
+        one = graph_of({"u0": "u", "v0": "v"}, [])
+        two = graph_of({"ux": "u", "vx": "v"}, [])
+        for _ in range(3):
+            one.add_edge("u0", "v0")
+            two.add_edge("ux", "vx")
+        t1 = annotate_run_tree(spec, one)
+        t2 = annotate_run_tree(spec, two)
+        assert t1.structure_key() == t2.structure_key()
+
+    def test_diff_of_equivalent_is_zero(self, spec):
+        from repro.core.api import edit_distance
+
+        one = graph_of({"u0": "u", "v0": "v"}, [])
+        two = graph_of({"ux": "u", "vx": "v"}, [])
+        for _ in range(3):
+            one.add_edge("u0", "v0")
+            two.add_edge("ux", "vx")
+        run1 = WorkflowRun(spec, one, name="one")
+        run2 = WorkflowRun(spec, two, name="two")
+        assert edit_distance(run1, run2) == 0.0
+
+
+class TestWholeGraphFork:
+    def test_fig2_whole_graph_copies_share_terminals(
+        self, fig2_spec, fig2_r2
+    ):
+        root = fig2_r2.tree
+        assert root.kind is NodeType.F
+        for copy in root.children:
+            assert copy.source == "1a"
+            assert copy.sink == "7a"
+
+    def test_three_copies(self, fig2_spec):
+        params = ExecutionParams(
+            prob_parallel=1.0, max_fork=3, prob_fork=1.0
+        )
+        run = execute_workflow(fig2_spec, params, seed=1)
+        # The root fork replicates three whole-workflow copies, each of
+        # which contains its own (fully forked) section copies.
+        assert run.tree.kind is NodeType.F
+        assert run.tree.degree == 3
+        rebuilt = annotate_run_tree(fig2_spec, run.graph)
+        assert rebuilt.equivalent(run.tree)

@@ -1,0 +1,234 @@
+"""Tests for Algorithm 1: annotated specification trees."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graphs.flow_network import FlowNetwork
+from repro.graphs.spgraph import path_graph
+from repro.sptree.annotate_spec import (
+    Annotation,
+    annotate_specification_tree,
+    check_laminar,
+)
+from repro.sptree.canonical import canonical_sp_tree
+from repro.sptree.nodes import NodeType
+from repro.sptree.validate import validate_spec_tree
+
+
+def edge_set(graph, pairs):
+    index = {}
+    for u, v, key in graph.edges():
+        index.setdefault((u, v), []).append((u, v, key))
+    return frozenset(index[(u, v)][0] for (u, v) in pairs)
+
+
+def fork(graph, pairs, name="F"):
+    return Annotation(NodeType.F, edge_set(graph, pairs), name)
+
+
+def loop(graph, pairs, name="L"):
+    return Annotation(NodeType.L, edge_set(graph, pairs), name)
+
+
+@pytest.fixture
+def branching_graph():
+    graph = FlowNetwork(name="g")
+    for node in "sabmt":
+        graph.add_node(node)
+    graph.add_edge("s", "m")
+    graph.add_edge("m", "a")
+    graph.add_edge("a", "t")
+    graph.add_edge("m", "b")
+    graph.add_edge("b", "t")
+    return graph
+
+
+class TestAnnotationObjects:
+    def test_annotation_requires_fork_or_loop(self):
+        with pytest.raises(SpecificationError, match="F or L"):
+            Annotation(NodeType.S, frozenset({("a", "b", 0)}))
+
+    def test_annotation_requires_edges(self):
+        with pytest.raises(SpecificationError, match="non-empty"):
+            Annotation(NodeType.F, frozenset())
+
+
+class TestLaminar:
+    def test_disjoint_ok(self, branching_graph):
+        check_laminar(
+            [
+                fork(branching_graph, [("m", "a"), ("a", "t")], "F1"),
+                fork(branching_graph, [("s", "m")], "F2"),
+            ]
+        )
+
+    def test_nested_ok(self, branching_graph):
+        check_laminar(
+            [
+                fork(branching_graph, [("m", "a")], "F1"),
+                loop(
+                    branching_graph,
+                    [("m", "a"), ("a", "t"), ("m", "b"), ("b", "t")],
+                    "L1",
+                ),
+            ]
+        )
+
+    def test_duplicate_rejected(self, branching_graph):
+        with pytest.raises(SpecificationError, match="duplicate"):
+            check_laminar(
+                [
+                    fork(branching_graph, [("s", "m")], "F1"),
+                    loop(branching_graph, [("s", "m")], "L1"),
+                ]
+            )
+
+    def test_crossing_rejected(self):
+        graph = path_graph(list("abcd"))
+        with pytest.raises(SpecificationError, match="laminar"):
+            check_laminar(
+                [
+                    fork(graph, [("a", "b"), ("b", "c")], "F1"),
+                    fork(graph, [("b", "c"), ("c", "d")], "F2"),
+                ]
+            )
+
+
+class TestForkPlacement:
+    def test_fork_on_single_edge(self, branching_graph):
+        tree, nodes = annotate_specification_tree(
+            canonical_sp_tree(branching_graph),
+            [fork(branching_graph, [("s", "m")], "F1")],
+        )
+        validate_spec_tree(tree)
+        wrapper = next(iter(nodes.values()))
+        assert wrapper.kind is NodeType.F
+        assert wrapper.children[0].kind is NodeType.Q
+
+    def test_fork_on_branch(self, branching_graph):
+        annotation = fork(branching_graph, [("m", "a"), ("a", "t")], "F1")
+        tree, nodes = annotate_specification_tree(
+            canonical_sp_tree(branching_graph), [annotation]
+        )
+        validate_spec_tree(tree)
+        wrapper = nodes[annotation]
+        assert wrapper.kind is NodeType.F
+        assert wrapper.children[0].kind is NodeType.S
+        assert wrapper.leaf_count == 2
+
+    def test_fork_on_consecutive_children_groups(self):
+        graph = path_graph(list("abcde"))
+        annotation = fork(graph, [("b", "c"), ("c", "d")], "F1")
+        tree, nodes = annotate_specification_tree(
+            canonical_sp_tree(graph), [annotation]
+        )
+        validate_spec_tree(tree)
+        assert tree.kind is NodeType.S
+        assert tree.degree == 3  # (a,b), F(S(bc,cd)), (d,e)
+        wrapper = nodes[annotation]
+        assert wrapper.children[0].kind is NodeType.S
+        assert wrapper.children[0].degree == 2
+
+    def test_fork_on_parallel_subgraph_rejected(self, branching_graph):
+        whole_parallel = fork(
+            branching_graph,
+            [("m", "a"), ("a", "t"), ("m", "b"), ("b", "t")],
+            "F1",
+        )
+        with pytest.raises(SpecificationError, match="series"):
+            annotate_specification_tree(
+                canonical_sp_tree(branching_graph), [whole_parallel]
+            )
+
+    def test_fork_on_whole_series_graph(self):
+        graph = path_graph(list("abc"))
+        annotation = fork(graph, [("a", "b"), ("b", "c")], "F1")
+        tree, _ = annotate_specification_tree(
+            canonical_sp_tree(graph), [annotation]
+        )
+        validate_spec_tree(tree)
+        assert tree.kind is NodeType.F
+
+    def test_misaligned_edge_set_rejected(self, branching_graph):
+        # One edge from each parallel branch: not a subgraph of any kind.
+        bad = fork(branching_graph, [("m", "a"), ("m", "b")], "F1")
+        with pytest.raises(SpecificationError):
+            annotate_specification_tree(
+                canonical_sp_tree(branching_graph), [bad]
+            )
+
+    def test_unknown_edges_rejected(self, branching_graph):
+        bad = Annotation(NodeType.F, frozenset({("x", "y", 0)}), "F1")
+        with pytest.raises(SpecificationError, match="not in the"):
+            annotate_specification_tree(
+                canonical_sp_tree(branching_graph), [bad]
+            )
+
+
+class TestLoopPlacement:
+    def test_loop_on_parallel_section(self, branching_graph):
+        annotation = loop(
+            branching_graph,
+            [("m", "a"), ("a", "t"), ("m", "b"), ("b", "t")],
+            "L1",
+        )
+        tree, nodes = annotate_specification_tree(
+            canonical_sp_tree(branching_graph), [annotation]
+        )
+        validate_spec_tree(tree)
+        wrapper = nodes[annotation]
+        assert wrapper.kind is NodeType.L
+        assert wrapper.children[0].kind is NodeType.P
+
+    def test_loop_on_parallel_branch_rejected(self, branching_graph):
+        bad = loop(branching_graph, [("m", "a"), ("a", "t")], "L1")
+        with pytest.raises(SpecificationError, match="complete"):
+            annotate_specification_tree(
+                canonical_sp_tree(branching_graph), [bad]
+            )
+
+    def test_loop_on_whole_graph(self, branching_graph):
+        annotation = loop(
+            branching_graph,
+            [
+                ("s", "m"),
+                ("m", "a"),
+                ("a", "t"),
+                ("m", "b"),
+                ("b", "t"),
+            ],
+            "L1",
+        )
+        tree, _ = annotate_specification_tree(
+            canonical_sp_tree(branching_graph), [annotation]
+        )
+        validate_spec_tree(tree)
+        assert tree.kind is NodeType.L
+
+    def test_nested_fork_inside_loop(self, branching_graph):
+        inner = fork(branching_graph, [("m", "a"), ("a", "t")], "F1")
+        outer = loop(
+            branching_graph,
+            [("m", "a"), ("a", "t"), ("m", "b"), ("b", "t")],
+            "L1",
+        )
+        tree, nodes = annotate_specification_tree(
+            canonical_sp_tree(branching_graph), [inner, outer]
+        )
+        validate_spec_tree(tree)
+        loop_node = nodes[outer]
+        fork_node = nodes[inner]
+        # The fork must sit inside the loop subtree.
+        assert any(n is fork_node for n in loop_node.iter_nodes("pre"))
+
+    def test_fig2_tree_structure(self, fig2_spec):
+        validate_spec_tree(fig2_spec.tree)
+        root = fig2_spec.tree
+        assert root.kind is NodeType.F  # fork over the whole workflow
+        series = root.children[0]
+        assert series.kind is NodeType.S
+        loop_node = series.children[1]
+        assert loop_node.kind is NodeType.L
+        parallel = loop_node.children[0]
+        assert parallel.kind is NodeType.P
+        assert {c.kind for c in parallel.children} == {NodeType.F}

@@ -1,0 +1,96 @@
+"""Tests for canonical SP-tree construction (§IV-A)."""
+
+import random
+
+import pytest
+
+from repro.graphs.flow_network import FlowNetwork
+from repro.graphs.spgraph import path_graph
+from repro.sptree.canonical import canonical_sp_tree
+from repro.sptree.nodes import NodeType
+from repro.workflow.generators import random_sp_graph
+
+
+def shuffled_copy(graph: FlowNetwork, seed: int) -> FlowNetwork:
+    """Same graph with node/edge insertion order permuted."""
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    edges = list(graph.edges())
+    rng.shuffle(nodes)
+    rng.shuffle(edges)
+    clone = FlowNetwork(name=graph.name)
+    for node in nodes:
+        clone.add_node(node, graph.label(node))
+    for u, v, key in edges:
+        clone.add_edge(u, v, key)
+    return clone
+
+
+class TestShapes:
+    def test_single_edge(self):
+        tree = canonical_sp_tree(path_graph(["s", "t"]))
+        assert tree.kind is NodeType.Q
+
+    def test_path_flattens_to_single_s(self):
+        tree = canonical_sp_tree(path_graph(list("abcdef")))
+        assert tree.kind is NodeType.S
+        assert tree.degree == 5
+        assert all(c.kind is NodeType.Q for c in tree.children)
+
+    def test_pure_parallel_flattens_to_single_p(self):
+        graph = FlowNetwork()
+        graph.add_node("u")
+        graph.add_node("v")
+        for _ in range(4):
+            graph.add_edge("u", "v")
+        tree = canonical_sp_tree(graph)
+        assert tree.kind is NodeType.P
+        assert tree.degree == 4
+
+    def test_fig2_shape(self, fig2_spec):
+        tree = canonical_sp_tree(fig2_spec.graph)
+        assert tree.kind is NodeType.S
+        assert tree.degree == 3  # edge(1,2), P-section, edge(6,7)
+        middle = tree.children[1]
+        assert middle.kind is NodeType.P
+        assert middle.degree == 3
+        for branch in middle.children:
+            assert branch.kind is NodeType.S
+            assert branch.degree == 2
+
+    def test_canonical_no_same_type_adjacent(self):
+        graph = random_sp_graph(60, 1.0, seed=9)
+        tree = canonical_sp_tree(graph)
+        for node in tree.iter_nodes("pre"):
+            for child in node.children:
+                assert child.kind is not node.kind
+
+    def test_series_children_order_follows_graph(self):
+        tree = canonical_sp_tree(path_graph(list("abcd")))
+        sources = [c.source for c in tree.children]
+        assert sources == ["a", "b", "c"]
+
+
+class TestUniqueness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_invariant_under_insertion_order(self, seed):
+        graph = random_sp_graph(50, 0.8, seed=seed)
+        base = canonical_sp_tree(graph)
+        for shuffle_seed in range(3):
+            other = canonical_sp_tree(shuffled_copy(graph, shuffle_seed))
+            assert base.equivalent(other)
+
+    def test_leaf_set_preserved(self):
+        graph = random_sp_graph(45, 1.5, seed=2)
+        tree = canonical_sp_tree(graph)
+        tree_edges = sorted(
+            (ref.source, ref.sink, ref.key) for ref in tree.leaf_edges()
+        )
+        graph_edges = sorted(graph.edges())
+        assert tree_edges == graph_edges
+
+    def test_terminals_match_graph(self):
+        graph = random_sp_graph(30, 0.7, seed=4)
+        tree = canonical_sp_tree(graph)
+        assert tree.source == graph.source()
+        assert tree.sink == graph.sink()

@@ -1,0 +1,209 @@
+"""Unit tests for the SP-tree node model."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.sptree.nodes import (
+    EdgeRef,
+    NodeType,
+    SPTree,
+    f_node,
+    l_node,
+    p_node,
+    q_node,
+    s_node,
+    with_origin,
+)
+
+
+def ref(u, v, lu=None, lv=None, key=0):
+    return EdgeRef(u, v, lu or str(u), lv or str(v), key)
+
+
+def q(u, v, **kw):
+    return q_node(ref(u, v, **kw))
+
+
+class TestConstruction:
+    def test_q_node(self):
+        leaf = q("a", "b")
+        assert leaf.is_leaf
+        assert leaf.leaf_count == 1
+        assert leaf.source == "a"
+        assert leaf.sink == "b"
+        assert leaf.source_label == "a"
+
+    def test_q_requires_edge(self):
+        with pytest.raises(GraphStructureError, match="EdgeRef"):
+            SPTree(NodeType.Q, ())
+
+    def test_internal_rejects_edge(self):
+        with pytest.raises(GraphStructureError, match="EdgeRef"):
+            SPTree(NodeType.S, (q("a", "b"), q("b", "c")), edge=ref("x", "y"))
+
+    def test_internal_requires_children(self):
+        with pytest.raises(GraphStructureError, match="children"):
+            SPTree(NodeType.P, ())
+
+    def test_s_node_chains(self):
+        node = s_node([q("a", "b"), q("b", "c")])
+        assert node.source == "a"
+        assert node.sink == "c"
+        assert node.leaf_count == 2
+
+    def test_s_node_rejects_broken_chain(self):
+        with pytest.raises(GraphStructureError, match="chain"):
+            s_node([q("a", "b"), q("x", "y")])
+
+    def test_s_node_requires_two_children(self):
+        with pytest.raises(GraphStructureError, match="two children"):
+            s_node([q("a", "b")])
+
+    def test_p_node_shares_terminals(self):
+        node = p_node([q("a", "b"), q("a", "b", key=1)])
+        assert node.degree == 2
+        assert node.is_true
+
+    def test_p_node_rejects_mismatched_terminals(self):
+        with pytest.raises(GraphStructureError, match="terminals"):
+            p_node([q("a", "b"), q("a", "c")])
+
+    def test_l_node_iterations_share_labels(self):
+        iter1 = q("u1", "v1", lu="u", lv="v")
+        iter2 = q("u2", "v2", lu="u", lv="v")
+        node = l_node([iter1, iter2])
+        assert node.degree == 2
+        assert node.source == "u1"
+        assert node.sink == "v2"
+
+    def test_l_node_rejects_mismatched_labels(self):
+        with pytest.raises(GraphStructureError, match="labels"):
+            l_node([q("u1", "v1", lu="u", lv="v"), q("x1", "y1")])
+
+
+class TestStructure:
+    def test_true_and_pseudo(self):
+        pseudo = p_node([q("a", "b")])
+        assert pseudo.is_pseudo and not pseudo.is_true
+        true = f_node([q("a", "b"), q("a", "b", key=1)])
+        assert true.is_true and not true.is_pseudo
+
+    def test_branch_free(self):
+        path = s_node([q("a", "b"), q("b", "c")])
+        assert path.is_branch_free
+        wrapped = p_node([path])
+        assert wrapped.is_branch_free
+        branched = p_node(
+            [s_node([q("a", "b"), q("b", "c")]), q("a", "c")]
+        )
+        assert not branched.is_branch_free
+
+    def test_true_l_is_not_branch_free(self):
+        node = l_node(
+            [q("u1", "v1", lu="u", lv="v"), q("u2", "v2", lu="u", lv="v")]
+        )
+        assert not node.is_branch_free
+
+    def test_num_nodes(self):
+        tree = s_node([q("a", "b"), p_node([q("b", "c")])])
+        assert tree.num_nodes == 4
+
+    def test_iter_orders(self):
+        tree = s_node([q("a", "b"), q("b", "c")])
+        pre = [n.kind for n in tree.iter_nodes("pre")]
+        post = [n.kind for n in tree.iter_nodes("post")]
+        assert pre == [NodeType.S, NodeType.Q, NodeType.Q]
+        assert post == [NodeType.Q, NodeType.Q, NodeType.S]
+
+    def test_leaves_left_to_right(self):
+        tree = s_node([q("a", "b"), q("b", "c")])
+        assert [leaf.source for leaf in tree.leaves()] == ["a", "b"]
+
+    def test_find(self):
+        tree = s_node([q("a", "b"), q("b", "c")])
+        hit = tree.find(lambda n: n.is_leaf and n.sink == "c")
+        assert hit is not None and hit.source == "b"
+        assert tree.find(lambda n: False) is None
+
+
+class TestEquivalence:
+    def test_p_children_order_irrelevant(self):
+        one = p_node([q("a", "b"), q("a", "b", key=1)])
+        a = s_node([q("x", "a", lu="x", lv="a"), one])
+        two = p_node([q("a", "b", key=1), q("a", "b")])
+        b = s_node([q("x", "a", lu="x", lv="a"), two])
+        assert a.equivalent(b)
+
+    def test_instance_ids_irrelevant(self):
+        left = q("a1", "b1", lu="a", lv="b")
+        right = q("a2", "b2", lu="a", lv="b")
+        assert left.equivalent(right)
+
+    def test_s_order_matters(self):
+        ab = s_node([q("a", "b"), q("b", "a", lu="b", lv="a")])
+        # Reversing series order changes the run.
+        ba = s_node([q("a", "b", lu="b", lv="a"), q("b", "a", lu="a", lv="b")])
+        assert not ab.equivalent(ba)
+
+    def test_l_order_matters(self):
+        long_iter = s_node(
+            [q("u1", "m1", lu="u", lv="m"), q("m1", "v1", lu="m", lv="v")]
+        )
+        short_iter = q("u2", "v2", lu="u", lv="v")
+        forward = l_node([long_iter, short_iter])
+        long_iter2 = s_node(
+            [q("u3", "m2", lu="u", lv="m"), q("m2", "v3", lu="m", lv="v")]
+        )
+        short_iter2 = q("u4", "v4", lu="u", lv="v")
+        backward = l_node([short_iter2, long_iter2])
+        assert not forward.equivalent(backward)
+
+    def test_f_children_order_irrelevant(self):
+        long_copy = s_node(
+            [q("u", "m", lu="u", lv="m"), q("m", "v", lu="m", lv="v")]
+        )
+        short_copy = q("u", "v", lu="u", lv="v")
+        one = f_node([long_copy, short_copy])
+        long_copy2 = s_node(
+            [q("u", "m", lu="u", lv="m"), q("m", "v", lu="m", lv="v")]
+        )
+        short_copy2 = q("u", "v", lu="u", lv="v")
+        two = f_node([short_copy2, long_copy2])
+        assert one.equivalent(two)
+
+
+class TestGraphMaterialisation:
+    def test_simple_path(self):
+        tree = s_node([q("a", "b"), q("b", "c")])
+        graph = tree.to_graph()
+        assert graph.num_nodes == 3
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("b", "c")
+
+    def test_loop_adds_implicit_edges(self):
+        iter1 = q("u1", "v1", lu="u", lv="v")
+        iter2 = q("u2", "v2", lu="u", lv="v")
+        graph = l_node([iter1, iter2]).to_graph()
+        assert graph.has_edge("v1", "u2")  # the implicit back-edge
+        assert graph.num_edges == 3
+
+    def test_multi_edges_get_distinct_keys(self):
+        tree = p_node([q("a", "b"), q("a", "b", key=0)])
+        graph = tree.to_graph()
+        assert graph.num_edges == 2
+
+
+class TestMisc:
+    def test_with_origin(self):
+        origin = q("x", "y")
+        node = with_origin(q("a", "b"), origin)
+        assert node.origin is origin
+
+    def test_pretty_contains_edges(self):
+        text = s_node([q("a", "b"), q("b", "c")]).pretty()
+        assert "'a' -> 'b'" in text
+        assert text.startswith("S")
+
+    def test_repr(self):
+        assert "Q" in repr(q("a", "b"))
+        assert "degree=2" in repr(s_node([q("a", "b"), q("b", "c")]))

@@ -1,0 +1,79 @@
+"""Tests for the spec/run tree validators (Lemmas 4.2 and 4.4)."""
+
+import pytest
+
+from repro.errors import GraphStructureError
+from repro.sptree.nodes import (
+    EdgeRef,
+    NodeType,
+    SPTree,
+    f_node,
+    l_node,
+    p_node,
+    q_node,
+    s_node,
+)
+from repro.sptree.validate import validate_run_tree, validate_spec_tree
+
+
+def q(u, v, lu=None, lv=None, key=0):
+    return q_node(EdgeRef(u, v, lu or str(u), lv or str(v), key))
+
+
+class TestSpecValidator:
+    def test_accepts_fig2(self, fig2_spec):
+        validate_spec_tree(fig2_spec.tree)
+
+    def test_rejects_single_child_p(self):
+        tree = p_node([q("a", "b")])
+        with pytest.raises(GraphStructureError, match=">= 2"):
+            validate_spec_tree(tree)
+
+    def test_rejects_multi_child_f(self):
+        tree = f_node([q("a", "b"), q("a", "b", key=1)])
+        with pytest.raises(GraphStructureError, match="exactly one"):
+            validate_spec_tree(tree)
+
+    def test_rejects_f_with_p_child(self):
+        tree = f_node([p_node([q("a", "b"), q("a", "b", key=1)])])
+        with pytest.raises(GraphStructureError, match="S or Q"):
+            validate_spec_tree(tree)
+
+    def test_accepts_l_with_p_child(self):
+        tree = l_node([p_node([q("a", "b"), q("a", "b", key=1)])])
+        validate_spec_tree(tree)
+
+    def test_rejects_same_type_parent(self):
+        inner = SPTree(NodeType.S, (q("b", "c"), q("c", "d")))
+        outer = SPTree(NodeType.S, (q("a", "b"), inner))
+        with pytest.raises(GraphStructureError, match="same type"):
+            validate_spec_tree(outer)
+
+
+class TestRunValidator:
+    def test_accepts_pseudo_p(self):
+        validate_run_tree(p_node([q("a", "b")]))
+
+    def test_accepts_multi_copy_f(self):
+        validate_run_tree(f_node([q("a", "b"), q("a", "b", key=1)]))
+
+    def test_rejects_mixed_f_children(self):
+        chain = s_node([q("a", "m", lu="a", lv="m"), q("m", "b", lu="m", lv="b")])
+        single = q("a", "b")
+        with pytest.raises(GraphStructureError, match="share a type"):
+            validate_run_tree(f_node([chain, single]))
+
+    def test_rejects_single_child_s(self):
+        bad = SPTree(NodeType.S, (q("a", "b"),))
+        with pytest.raises(GraphStructureError, match=">= 2"):
+            validate_run_tree(bad)
+
+    def test_requires_origins_when_asked(self, fig2_r1):
+        validate_run_tree(fig2_r1.tree, require_origin=True)
+        plain = q("a", "b")
+        with pytest.raises(GraphStructureError, match="origin"):
+            validate_run_tree(plain, require_origin=True)
+
+    def test_accepts_fig2_runs(self, fig2_r1, fig2_r2, fig2_r3):
+        for run in (fig2_r1, fig2_r2, fig2_r3):
+            validate_run_tree(run.tree, require_origin=True)

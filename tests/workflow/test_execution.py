@@ -1,0 +1,114 @@
+"""Tests for the execution function / random run generator."""
+
+import pytest
+
+from repro.sptree.annotate_run import annotate_run_tree
+from repro.sptree.nodes import NodeType
+from repro.sptree.validate import validate_run_tree
+from repro.workflow.execution import ExecutionParams, execute_workflow
+
+
+class TestParams:
+    def test_defaults(self):
+        params = ExecutionParams()
+        assert params.prob_parallel == 0.95
+        assert params.max_fork == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prob_parallel": 1.5},
+            {"prob_fork": -0.1},
+            {"prob_loop": 2.0},
+            {"max_fork": 0},
+            {"max_loop": -1},
+        ],
+    )
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionParams(**kwargs)
+
+
+class TestExecution:
+    def test_deterministic_for_seed(self, fig2_spec):
+        params = ExecutionParams(
+            prob_parallel=0.7, max_fork=3, prob_fork=0.5
+        )
+        one = execute_workflow(fig2_spec, params, seed=99)
+        two = execute_workflow(fig2_spec, params, seed=99)
+        assert one.equivalent(two)
+        assert sorted(one.graph.labels().values()) == sorted(
+            two.graph.labels().values()
+        )
+
+    def test_runs_are_valid(self, fig2_spec):
+        params = ExecutionParams(
+            prob_parallel=0.6,
+            max_fork=4,
+            prob_fork=0.7,
+            max_loop=3,
+            prob_loop=0.7,
+        )
+        for seed in range(10):
+            run = execute_workflow(fig2_spec, params, seed=seed)
+            validate_run_tree(run.tree, require_origin=True)
+            rebuilt = annotate_run_tree(fig2_spec, run.graph)
+            assert rebuilt.equivalent(run.tree)
+
+    def test_fork_counts_bounded(self, fig2_spec):
+        params = ExecutionParams(max_fork=3, prob_fork=1.0)
+        run = execute_workflow(fig2_spec, params, seed=1)
+        for node in run.tree.iter_nodes("pre"):
+            if node.kind is NodeType.F:
+                assert node.degree == 3
+
+    def test_prob_zero_gives_single_copies(self, fig2_spec):
+        params = ExecutionParams(max_fork=10, prob_fork=0.0, max_loop=10)
+        run = execute_workflow(fig2_spec, params, seed=1)
+        for node in run.tree.iter_nodes("pre"):
+            if node.kind in (NodeType.F, NodeType.L):
+                assert node.degree == 1
+
+    def test_at_least_one_parallel_branch(self, fig2_spec):
+        params = ExecutionParams(prob_parallel=0.0)
+        run = execute_workflow(fig2_spec, params, seed=5)
+        for node in run.tree.iter_nodes("pre"):
+            if node.kind is NodeType.P:
+                assert node.degree >= 1
+
+    def test_instance_ids_unique(self, fig2_spec):
+        params = ExecutionParams(
+            prob_parallel=1.0, max_fork=5, prob_fork=1.0, max_loop=4,
+            prob_loop=1.0,
+        )
+        run = execute_workflow(fig2_spec, params, seed=3)
+        nodes = list(run.graph.nodes())
+        assert len(nodes) == len(set(nodes))
+
+    def test_loop_iterations_linked_by_back_edges(self, fig2_spec):
+        params = ExecutionParams(max_loop=3, prob_loop=1.0)
+        run = execute_workflow(fig2_spec, params, seed=7)
+        back_edges = [
+            (u, v)
+            for u, v, _ in run.graph.edges()
+            if (run.graph.label(u), run.graph.label(v)) == ("6", "2")
+        ]
+        assert len(back_edges) == 2  # three iterations -> two back edges
+
+    def test_rng_instance_accepted(self, fig2_spec):
+        import random
+
+        rng = random.Random(0)
+        run = execute_workflow(fig2_spec, seed=rng)
+        assert run.num_edges >= 4
+
+    def test_statistics_shape(self, fig2_spec):
+        run = execute_workflow(fig2_spec, seed=0)
+        stats = run.statistics()
+        assert stats["edges"] == run.num_edges
+        assert stats["q_nodes"] <= stats["edges"]
+        assert "fork_copies" in stats
+
+    def test_run_repr(self, fig2_spec):
+        run = execute_workflow(fig2_spec, seed=0, name="demo")
+        assert "demo" in repr(run)

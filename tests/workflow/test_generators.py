@@ -1,0 +1,104 @@
+"""Tests for the synthetic workload generators (§VIII-B/C setup)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sptree.canonical import is_series_parallel
+from repro.sptree.nodes import NodeType
+from repro.workflow.execution import ExecutionParams
+from repro.workflow.generators import (
+    annotate_random,
+    random_run_pair,
+    random_sp_graph,
+    random_specification,
+)
+
+
+class TestGraphGeneration:
+    @pytest.mark.parametrize("edges", [1, 2, 10, 100])
+    def test_exact_edge_count(self, edges):
+        graph = random_sp_graph(edges, 1.0, seed=0)
+        assert graph.num_edges == edges
+        assert is_series_parallel(graph)
+
+    def test_pure_series_is_a_path(self):
+        graph = random_sp_graph(20, float("inf"), seed=1)
+        assert graph.num_nodes == 21
+        assert all(graph.out_degree(n) <= 1 for n in graph.nodes())
+
+    def test_pure_parallel_is_a_multigraph(self):
+        graph = random_sp_graph(20, 0.0, seed=1)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 20
+
+    def test_ratio_controls_node_count(self):
+        # More series expansions -> more nodes for the same edge count.
+        serial = random_sp_graph(200, 3.0, seed=5)
+        parallel = random_sp_graph(200, 1 / 3, seed=5)
+        assert serial.num_nodes > parallel.num_nodes
+
+    def test_deterministic_for_seed(self):
+        a = random_sp_graph(30, 1.0, seed=42)
+        b = random_sp_graph(30, 1.0, seed=42)
+        assert a.structurally_equal(b)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SpecificationError):
+            random_sp_graph(0, 1.0)
+        with pytest.raises(SpecificationError):
+            random_sp_graph(5, -1.0)
+
+
+class TestAnnotation:
+    def test_requested_counts(self):
+        spec = random_specification(
+            100, 0.5, num_forks=5, num_loops=5, seed=11
+        )
+        assert spec.num_forks == 5
+        assert spec.num_loops == 5
+
+    def test_family_is_laminar(self):
+        spec = random_specification(
+            80, 1.0, num_forks=6, num_loops=4, seed=3
+        )
+        sets = [a.edges for a in spec.fork_elements + spec.loop_elements]
+        for i, left in enumerate(sets):
+            for right in sets[i + 1 :]:
+                assert left != right
+                assert not (
+                    left & right and not (left < right or right < left)
+                )
+
+    def test_impossible_request_raises(self):
+        graph = random_sp_graph(2, float("inf"), seed=0)  # 2-edge path
+        with pytest.raises(SpecificationError, match="place"):
+            annotate_random(graph, num_forks=10, num_loops=0, seed=0)
+
+    def test_zero_annotations(self):
+        spec = random_specification(30, 1.0, seed=7)
+        assert spec.num_forks == 0
+        assert spec.num_loops == 0
+
+
+class TestRunPairs:
+    def test_pair_is_valid_and_distinct_names(self):
+        spec = random_specification(
+            40, 1.0, num_forks=2, num_loops=2, seed=21
+        )
+        params = ExecutionParams(
+            prob_parallel=0.8,
+            max_fork=3,
+            prob_fork=0.5,
+            max_loop=3,
+            prob_loop=0.5,
+        )
+        one, two = random_run_pair(spec, params, seed=5)
+        assert one.name != two.name
+        assert one.spec is spec and two.spec is spec
+
+    def test_pair_deterministic(self):
+        spec = random_specification(25, 1.0, seed=2)
+        a1, b1 = random_run_pair(spec, seed=9)
+        a2, b2 = random_run_pair(spec, seed=9)
+        assert a1.equivalent(a2)
+        assert b1.equivalent(b2)

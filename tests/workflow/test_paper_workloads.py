@@ -1,0 +1,97 @@
+"""Tests for the paper-specific workload builders (§VIII-C/D)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.sptree.nodes import NodeType
+from repro.sptree.validate import validate_spec_tree
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import (
+    balanced_fork_loop_specification,
+    fig17b_specification,
+)
+
+
+class TestFig17b:
+    def test_structure(self):
+        spec = fig17b_specification(num_paths=4)
+        # Path lengths 1, 4, 9, 16 plus the two boundary edges.
+        assert spec.num_edges == 1 + 4 + 9 + 16 + 2
+        assert spec.num_forks == 1
+        assert spec.fork_edge_total == spec.num_edges
+        validate_spec_tree(spec.tree)
+        assert spec.tree.kind is NodeType.F  # fork over the whole graph
+
+    def test_linear_variant(self):
+        spec = fig17b_specification(num_paths=4, squared=False)
+        assert spec.num_edges == 1 + 2 + 3 + 4 + 2
+
+    def test_fork_copies_carry_path_subsets(self):
+        spec = fig17b_specification(num_paths=4)
+        params = ExecutionParams(
+            prob_parallel=0.5, max_fork=5, prob_fork=1.0
+        )
+        run = execute_workflow(spec, params, seed=3)
+        root = run.tree
+        assert root.kind is NodeType.F
+        assert root.degree == 5  # probF = 1 -> exactly maxF copies
+        widths = {copy.children[1].degree for copy in root.children}
+        # With prob_p = 0.5, copies take different path subsets.
+        assert len(widths) >= 1
+        for copy in root.children:
+            parallel = copy.children[1]
+            assert parallel.kind is NodeType.P
+            assert 1 <= parallel.degree <= 4
+
+
+class TestBalancedForkLoop:
+    def test_counts_and_validity(self):
+        spec = balanced_fork_loop_specification(
+            60, 1.0, num_forks=5, num_loops=5, seed=0
+        )
+        assert spec.num_forks == 5
+        assert spec.num_loops == 5
+        validate_spec_tree(spec.tree)
+
+    def test_fork_and_loop_sizes_comparable(self):
+        spec = balanced_fork_loop_specification(
+            60, 1.0, num_forks=5, num_loops=5, seed=1
+        )
+        fork_sizes = sorted(len(a.edges) for a in spec.fork_elements)
+        loop_sizes = sorted(len(a.edges) for a in spec.loop_elements)
+        # Drawn from one candidate pool: total coverage within 4x.
+        assert sum(fork_sizes) <= 4 * sum(loop_sizes)
+        assert sum(loop_sizes) <= 4 * sum(fork_sizes)
+
+    def test_runs_generate_both_ways(self):
+        spec = balanced_fork_loop_specification(
+            50, 1.0, num_forks=4, num_loops=4, seed=2
+        )
+        forky = execute_workflow(
+            spec,
+            ExecutionParams(1.0, 4, 1.0, 1, 0.0),
+            seed=1,
+        )
+        loopy = execute_workflow(
+            spec,
+            ExecutionParams(1.0, 1, 0.0, 4, 1.0),
+            seed=1,
+        )
+        # Balanced elements: replicated runs have comparable sizes.
+        assert forky.num_edges <= 2 * loopy.num_edges
+        assert loopy.num_edges <= 2 * forky.num_edges
+
+    def test_impossible_request_raises(self):
+        with pytest.raises(SpecificationError):
+            balanced_fork_loop_specification(
+                3, 0.0, num_forks=8, num_loops=8, seed=0,
+                max_graph_attempts=2,
+            )
+
+    def test_deterministic(self):
+        a = balanced_fork_loop_specification(40, 1.0, 3, 3, seed=9)
+        b = balanced_fork_loop_specification(40, 1.0, 3, 3, seed=9)
+        assert a.graph.structurally_equal(b.graph)
+        assert [x.edges for x in a.fork_elements] == [
+            x.edges for x in b.fork_elements
+        ]

@@ -1,0 +1,106 @@
+"""The six reconstructed workflows must match Table I exactly."""
+
+import pytest
+
+from repro.sptree.validate import validate_spec_tree
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import (
+    TABLE_I,
+    all_real_workflows,
+    build_segmented_spec,
+    Link,
+    Par,
+    protein_annotation,
+)
+
+
+class TestTableI:
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_characteristics_match_paper(self, name):
+        spec = all_real_workflows()[name]
+        assert spec.characteristics() == TABLE_I[name], name
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_trees_are_valid(self, name):
+        spec = all_real_workflows()[name]
+        validate_spec_tree(spec.tree)
+
+    @pytest.mark.parametrize("name", sorted(TABLE_I))
+    def test_runs_generate_and_validate(self, name):
+        spec = all_real_workflows()[name]
+        params = ExecutionParams(
+            prob_parallel=0.8,
+            max_fork=3,
+            prob_fork=0.5,
+            max_loop=2,
+            prob_loop=0.5,
+        )
+        run = execute_workflow(spec, params, seed=1)
+        assert run.num_edges >= 1
+
+    def test_pa_module_names(self):
+        spec = protein_annotation()
+        labels = set(spec.graph.labels().values())
+        assert "BlastSwP" in labels
+        assert "getProteinSeq" in labels
+        assert spec.graph.label(spec.graph.source()) == "getProteinSeq"
+        assert spec.graph.label(spec.graph.sink()) == "exportAnnotSeq"
+
+    def test_pa_loop_covers_blast_section(self):
+        spec = protein_annotation()
+        loop_edges = spec.loop_elements[0].edges
+        labels = {u for u, _, _ in loop_edges} | {
+            v for _, v, _ in loop_edges
+        }
+        assert "BlastSwP" in labels and "BlastPIR" in labels
+
+
+class TestBuilder:
+    def test_branch_selector(self):
+        spec = build_segmented_spec(
+            "toy",
+            segments=[Link(), Par(2, 2)],
+            forks=[("branch", 1, 0)],
+        )
+        assert spec.num_forks == 1
+        assert spec.fork_edge_total == 2
+
+    def test_run_selector(self):
+        spec = build_segmented_spec(
+            "toy2",
+            segments=[Link(), Link(), Par(2, 2)],
+            loops=[("run", 0, 1)],
+        )
+        assert spec.loop_edge_total == 2
+
+    def test_whole_selector(self):
+        spec = build_segmented_spec(
+            "toy3",
+            segments=[Link(), Link()],
+            forks=[("whole",)],
+        )
+        assert spec.fork_edge_total == 2
+
+    def test_labels_must_cover_nodes(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError, match="shorter"):
+            build_segmented_spec(
+                "toy4", segments=[Link()], labels=["only-one"]
+            )
+
+    def test_par_validation(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            Par(2)
+        with pytest.raises(SpecificationError):
+            Par(0, 2)
+
+    def test_unknown_selector(self):
+        from repro.errors import SpecificationError
+
+        with pytest.raises(SpecificationError, match="selector"):
+            build_segmented_spec(
+                "toy5", segments=[Link()], forks=[("bogus", 1)]
+            )

@@ -1,0 +1,138 @@
+"""Tests for WorkflowSpecification construction and validation."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.graphs.flow_network import FlowNetwork
+from repro.graphs.spgraph import path_graph
+from repro.workflow.specification import (
+    WorkflowSpecification,
+    complete_subgraph_edges,
+    induced_edge_set,
+)
+
+from tests.conftest import build_fig2_spec
+
+
+class TestConstruction:
+    def test_fig2_characteristics(self, fig2_spec):
+        stats = fig2_spec.characteristics()
+        assert stats == {
+            "|V|": 7,
+            "|E|": 8,
+            "|F|": 4,
+            "||F||": 6 + 8,  # three 2-edge branches + the whole graph
+            "|L|": 1,
+            "||L||": 6,
+        }
+
+    def test_duplicate_labels_rejected(self):
+        graph = FlowNetwork()
+        graph.add_node("a", "same")
+        graph.add_node("b", "same")
+        graph.add_edge("a", "b")
+        with pytest.raises(SpecificationError, match="unique"):
+            WorkflowSpecification(graph)
+
+    def test_non_sp_graph_rejected(self):
+        from repro.errors import NotSeriesParallelError
+        from repro.graphs.spgraph import diamond_graph
+
+        with pytest.raises(NotSeriesParallelError):
+            WorkflowSpecification(diamond_graph())
+
+    def test_spec_copies_graph(self, fig2_spec):
+        graph = path_graph(["a", "b", "c"])
+        spec = WorkflowSpecification(graph, name="p")
+        graph.add_node("rogue")
+        assert "rogue" not in spec.graph
+
+    def test_ambiguity_flag(self):
+        graph = FlowNetwork()
+        graph.add_node("u")
+        graph.add_node("v")
+        graph.add_edge("u", "v")
+        graph.add_edge("u", "v")
+        assert WorkflowSpecification(graph).has_ambiguous_branches
+        assert not build_fig2_spec().has_ambiguous_branches
+
+
+class TestElementSyntaxes:
+    def test_fork_by_node_set(self, fig2_spec):
+        # fig2 already uses node sets; cross-check edge totals.
+        assert fig2_spec.fork_elements[0].edges == frozenset(
+            {("2", "3", 0), ("3", "6", 0)}
+        )
+
+    def test_fork_by_edge_ids(self):
+        graph = path_graph(list("abc"))
+        spec = WorkflowSpecification(
+            graph, forks=[[("a", "b", 0)]], name="edges"
+        )
+        assert spec.num_forks == 1
+
+    def test_loop_by_terminal_pair(self, fig2_spec):
+        assert fig2_spec.loop_elements[0].edges == frozenset(
+            {
+                ("2", "3", 0),
+                ("3", "6", 0),
+                ("2", "4", 0),
+                ("4", "6", 0),
+                ("2", "5", 0),
+                ("5", "6", 0),
+            }
+        )
+
+    def test_loop_terminal_pair_adjacent_nodes_reads_induced(self):
+        # (a, b) with a direct edge: induced two-node subgraph, one edge.
+        graph = path_graph(list("abc"))
+        spec = WorkflowSpecification(graph, loops=[("a", "b")], name="x")
+        assert spec.loop_elements[0].edges == frozenset({("a", "b", 0)})
+
+    def test_unknown_edge_rejected(self):
+        graph = path_graph(list("abc"))
+        with pytest.raises(SpecificationError, match="unknown edges"):
+            WorkflowSpecification(graph, forks=[[("z", "w", 0)]])
+
+    def test_empty_element_rejected(self):
+        graph = path_graph(list("abc"))
+        with pytest.raises(SpecificationError, match="empty"):
+            WorkflowSpecification(graph, forks=[[]])
+
+    def test_uninterpretable_element_rejected(self):
+        graph = path_graph(list("abc"))
+        with pytest.raises(SpecificationError):
+            WorkflowSpecification(graph, forks=[[3.14]])
+
+
+class TestHelpers:
+    def test_induced_edge_set(self):
+        graph = path_graph(list("abcd"))
+        assert induced_edge_set(graph, ["b", "c"]) == frozenset(
+            {("b", "c", 0)}
+        )
+
+    def test_induced_unknown_node(self):
+        graph = path_graph(list("ab"))
+        with pytest.raises(SpecificationError, match="unknown nodes"):
+            induced_edge_set(graph, ["zz"])
+
+    def test_complete_subgraph_edges(self, fig2_spec):
+        edges = complete_subgraph_edges(fig2_spec.graph, "2", "6")
+        assert len(edges) == 6
+
+    def test_complete_subgraph_no_path(self):
+        graph = path_graph(list("abc"))
+        with pytest.raises(SpecificationError, match="no paths"):
+            complete_subgraph_edges(graph, "c", "a")
+
+    def test_node_for_label(self, fig2_spec):
+        assert fig2_spec.node_for_label("3") == "3"
+        with pytest.raises(SpecificationError):
+            fig2_spec.node_for_label("nope")
+
+    def test_allowed_back_edges(self, fig2_spec):
+        assert fig2_spec.allowed_back_edges() == {("6", "2")}
+
+    def test_repr(self, fig2_spec):
+        assert "fig2" in repr(fig2_spec)
