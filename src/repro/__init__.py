@@ -18,8 +18,15 @@ Quickstart
 True
 """
 
-from repro.core.api import DiffResult, diff_runs, edit_distance
+from repro.core.api import (
+    DiffResult,
+    diff_runs,
+    distance_only,
+    edit_distance,
+)
 from repro.core.verify import VerificationReport, verify_diff
+from repro.corpus.fingerprint import run_fingerprint, spec_fingerprint
+from repro.corpus.service import DiffService
 from repro.costs.base import CostModel
 from repro.costs.standard import (
     CallableCost,
@@ -63,7 +70,11 @@ __all__ = [
     "__version__",
     "diff_runs",
     "edit_distance",
+    "distance_only",
     "DiffResult",
+    "DiffService",
+    "run_fingerprint",
+    "spec_fingerprint",
     "verify_diff",
     "VerificationReport",
     "FlowNetwork",

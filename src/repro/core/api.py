@@ -58,7 +58,6 @@ class DiffResult:
         into iteration replacements.  Requires ``with_script=True``.
         """
         from repro.core.postprocess import detect_composites
-        from repro.errors import ReproError
 
         if self.script is None:
             raise ReproError(
@@ -80,6 +79,22 @@ class DiffResult:
             f"{self.distance:g} under {self.cost_model.name}"
             + (f" [{breakdown}]" if breakdown else "")
         )
+
+
+def _align_specs(run1: WorkflowRun, run2: WorkflowRun) -> WorkflowRun:
+    """Re-annotate ``run2`` against ``run1``'s specification if needed.
+
+    Raises :class:`ReproError` when the two runs belong to structurally
+    different specifications.
+    """
+    if run2.spec is run1.spec:
+        return run2
+    if not run2.spec.graph.structurally_equal(run1.spec.graph):
+        raise ReproError(
+            "runs belong to different specifications: "
+            f"{run1.spec.name!r} vs {run2.spec.name!r}"
+        )
+    return WorkflowRun(run1.spec, run2.graph, name=run2.name)
 
 
 def diff_runs(
@@ -113,13 +128,7 @@ def diff_runs(
         ``script`` whose total cost equals ``distance``.
     """
     cost = cost or UnitCost()
-    if run2.spec is not run1.spec:
-        if not run2.spec.graph.structurally_equal(run1.spec.graph):
-            raise ReproError(
-                "runs belong to different specifications: "
-                f"{run1.spec.name!r} vs {run2.spec.name!r}"
-            )
-        run2 = WorkflowRun(run1.spec, run2.graph, name=run2.name)
+    run2 = _align_specs(run1, run2)
 
     computation = EditDistanceComputation(
         run1.spec, run1.tree, run2.tree, cost
@@ -143,8 +152,26 @@ def diff_runs(
     )
 
 
+def distance_only(
+    run1: WorkflowRun, run2: WorkflowRun, cost: Optional[CostModel] = None
+) -> float:
+    """Compute ``δ(run1, run2)`` without mapping or script extraction.
+
+    The fast path for corpus-scale sweeps (distance matrices, nearest-run
+    queries, cache fills): it runs the edit-distance DP only, skipping the
+    optimal-mapping backtrace and script generation that
+    :func:`diff_runs` always pays for.  Workers in
+    :class:`repro.corpus.service.DiffService` call this per pair.
+    """
+    cost = cost or UnitCost()
+    run2 = _align_specs(run1, run2)
+    return EditDistanceComputation(
+        run1.spec, run1.tree, run2.tree, cost
+    ).distance
+
+
 def edit_distance(
     run1: WorkflowRun, run2: WorkflowRun, cost: Optional[CostModel] = None
 ) -> float:
-    """Distance-only convenience wrapper around :func:`diff_runs`."""
-    return diff_runs(run1, run2, cost=cost, with_script=False).distance
+    """Distance-only convenience wrapper (same value as ``diff_runs``)."""
+    return distance_only(run1, run2, cost=cost)

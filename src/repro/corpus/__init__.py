@@ -1,0 +1,50 @@
+"""Corpus-scale differencing: fingerprints, caches, and the DiffService.
+
+The :mod:`repro.corpus` package scales the paper's pairwise differ to
+collections of runs — the "which executions cluster together" workload
+from the paper's conclusions:
+
+* :mod:`repro.corpus.fingerprint` — content-addressed run/spec hashes;
+* :mod:`repro.corpus.index` — persistent fingerprint index over a store;
+* :mod:`repro.corpus.cache` — two-tier (LRU + JSON) distance cache;
+* :mod:`repro.corpus.service` — the :class:`DiffService` facade with
+  parallel batch queries and incremental updates;
+* :mod:`repro.corpus.analytics` — medoid / outlier / k-NN queries over
+  distance matrices.
+"""
+
+from repro.corpus.analytics import (
+    k_nearest,
+    matrix_names,
+    mean_distances,
+    medoid,
+    outliers,
+    pair_distance,
+)
+from repro.corpus.cache import CacheStats, DistanceCache, LRUCache
+from repro.corpus.fingerprint import (
+    cost_model_key,
+    pair_key,
+    run_fingerprint,
+    spec_fingerprint,
+)
+from repro.corpus.index import FingerprintIndex
+from repro.corpus.service import DiffService
+
+__all__ = [
+    "DiffService",
+    "FingerprintIndex",
+    "DistanceCache",
+    "LRUCache",
+    "CacheStats",
+    "run_fingerprint",
+    "spec_fingerprint",
+    "cost_model_key",
+    "pair_key",
+    "mean_distances",
+    "medoid",
+    "outliers",
+    "k_nearest",
+    "pair_distance",
+    "matrix_names",
+]

@@ -1,0 +1,194 @@
+"""Two-tier distance cache: in-memory LRU over an on-disk JSON store.
+
+The hot tier is a bounded LRU dictionary; the cold tier is a JSON file
+(``<root>/index/distances.json`` by default) written atomically through
+the :class:`~repro.io.store.WorkflowStore` idiom.  Keys are the symmetric
+``fingerprint|fingerprint|cost_key`` strings from
+:func:`repro.corpus.fingerprint.pair_key`, so cached entries survive run
+renames, store moves, and process restarts — the cache is addressed by
+*content*, never by file name.
+
+Writes go to the hot tier immediately and are batched to disk on
+:meth:`DistanceCache.flush` (the service flushes after every batch
+operation); a crash between flushes loses only recomputable distances.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.io.store import atomic_write
+
+import json
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by tier."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    flushes: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "flushes": self.flushes,
+        }
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping (insertion-ordered dict)."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[str, float]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Optional[float]:
+        """Return the cached value and mark it most recently used."""
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: str, value: float) -> None:
+        """Insert/refresh a value, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def keys(self):
+        return list(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+@dataclass
+class DistanceCache:
+    """The two-tier cache: :class:`LRUCache` over a JSON file.
+
+    Parameters
+    ----------
+    path:
+        Location of the cold tier.  ``None`` disables persistence — the
+        cache is then memory-only (used by tests and ephemeral services).
+    maxsize:
+        Bound of the hot tier.  The cold tier is unbounded; distances
+        are a few dozen bytes each.
+    """
+
+    path: Optional[Path] = None
+    maxsize: int = 4096
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self._memory = LRUCache(self.maxsize)
+        self._disk: Dict[str, float] = {}
+        self._dirty: Dict[str, float] = {}
+        self._loaded = False
+
+    # -- cold tier ------------------------------------------------------
+    def _load_disk(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if self.path is None or not Path(self.path).exists():
+            return
+        try:
+            raw = json.loads(Path(self.path).read_text(encoding="utf8"))
+        except (OSError, ValueError):
+            return  # derived data: a corrupt cache is an empty cache
+        if isinstance(raw, dict):
+            for key, value in raw.items():
+                if isinstance(value, (int, float)):
+                    self._disk[str(key)] = float(value)
+
+    def flush(self) -> None:
+        """Persist batched writes; merges with concurrent writers' work."""
+        if self.path is None or not self._dirty:
+            self._dirty.clear()
+            return
+        self._load_disk()
+        # Re-read so two services sharing a store lose neither's entries.
+        merged: Dict[str, float] = {}
+        if Path(self.path).exists():
+            try:
+                raw = json.loads(
+                    Path(self.path).read_text(encoding="utf8")
+                )
+                if isinstance(raw, dict):
+                    merged = {
+                        str(k): float(v)
+                        for k, v in raw.items()
+                        if isinstance(v, (int, float))
+                    }
+            except (OSError, ValueError):
+                merged = {}
+        merged.update(self._disk)
+        merged.update(self._dirty)
+        self._disk = merged
+        self._dirty = {}
+        atomic_write(
+            Path(self.path), json.dumps(merged, sort_keys=True)
+        )
+        self.stats.flushes += 1
+
+    # -- lookups --------------------------------------------------------
+    def get(self, key: str) -> Optional[float]:
+        """Two-tier lookup; disk hits are promoted into the hot tier."""
+        value = self._memory.get(key)
+        if value is not None:
+            self.stats.memory_hits += 1
+            return value
+        self._load_disk()
+        if key in self._dirty:
+            self.stats.memory_hits += 1
+            return self._dirty[key]
+        if key in self._disk:
+            self.stats.disk_hits += 1
+            value = self._disk[key]
+            self._memory.put(key, value)
+            return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: float) -> None:
+        """Record a freshly computed distance in both tiers (disk lazily)."""
+        self.stats.puts += 1
+        self._memory.put(key, float(value))
+        if self.path is not None:
+            self._dirty[key] = float(value)
+
+    def __len__(self) -> int:
+        """Distinct keys across all tiers (incl. memory-only entries)."""
+        self._load_disk()
+        return len(
+            set(self._disk) | set(self._dirty) | set(self._memory.keys())
+        )

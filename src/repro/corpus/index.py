@@ -1,0 +1,209 @@
+"""Persistent run-fingerprint index over a :class:`WorkflowStore`.
+
+Fingerprinting a run requires parsing its XML and rebuilding the
+annotated SP-tree — exactly the per-query cost the corpus service exists
+to avoid.  :class:`FingerprintIndex` computes each run's fingerprint
+once and persists it in ``<root>/index/fingerprints.json``, keyed by
+specification and run name with the source file's size and mtime
+recorded for invalidation: an overwritten run file is transparently
+re-fingerprinted.  The stamp check shares the usual limitation of
+(size, mtime)-based freshness: a rewrite that keeps the byte length
+identical within one timestamp tick of a coarse-resolution filesystem
+is indistinguishable from no change.  Writes that go through the
+service (``DiffService.add_run``) re-fingerprint unconditionally and
+are immune.
+
+Each specification's section also records the *specification's own
+digest*: run fingerprints embed it, so when a specification is
+re-registered with different structure (same name, new content), the
+whole section is discarded and rebuilt rather than serving fingerprints
+minted under the old spec — even across processes.
+
+The index also memoises loaded :class:`WorkflowRun` objects per spec for
+the lifetime of the service instance, so a batch query parses each run
+at most once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.corpus.fingerprint import run_fingerprint, spec_fingerprint
+from repro.io.store import WorkflowStore
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+INDEX_NAME = "fingerprints"
+
+
+def _file_stamp(path) -> Optional[Tuple[int, int]]:
+    if path is None:
+        return None
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_size, stat.st_mtime_ns)
+
+
+class FingerprintIndex:
+    """Content-addressed run index persisted under the store's root."""
+
+    def __init__(self, store: WorkflowStore):
+        self.store = store
+        #: spec name -> {"spec": spec digest, "runs": {run name: entry}}
+        self._entries: Dict[str, dict] = {}
+        self._spec_digests: Dict[str, str] = {}
+        self._runs: Dict[Tuple[str, str], WorkflowRun] = {}
+        self._dirty = False
+        loaded = store.load_index(INDEX_NAME)
+        if loaded:
+            for spec_name, section in loaded.items():
+                if (
+                    isinstance(section, dict)
+                    and isinstance(section.get("spec"), str)
+                    and isinstance(section.get("runs"), dict)
+                ):
+                    self._entries[str(spec_name)] = {
+                        "spec": section["spec"],
+                        "runs": {
+                            str(name): entry
+                            for name, entry in section["runs"].items()
+                            if isinstance(entry, dict)
+                        },
+                    }
+
+    # -- persistence ----------------------------------------------------
+    def flush(self) -> None:
+        """Persist new/invalidated fingerprints (no-op when clean)."""
+        if not self._dirty:
+            return
+        self.store.save_index(INDEX_NAME, self._entries)
+        self._dirty = False
+
+    # -- sections --------------------------------------------------------
+    def spec_digest(self, spec: WorkflowSpecification) -> str:
+        """Memoised :func:`spec_fingerprint` (keyed by spec name)."""
+        key = spec.name
+        if key not in self._spec_digests:
+            self._spec_digests[key] = spec_fingerprint(spec)
+        return self._spec_digests[key]
+
+    def _section(self, spec: WorkflowSpecification) -> dict:
+        """The spec's index section, discarded if minted under an older
+        version of the specification (run fingerprints embed the spec
+        digest, so they are all stale when it changes)."""
+        digest = self.spec_digest(spec)
+        section = self._entries.get(spec.name)
+        if section is None or section.get("spec") != digest:
+            if section is not None:
+                self._dirty = True
+            section = {"spec": digest, "runs": {}}
+            self._entries[spec.name] = section
+        return section
+
+    def forget_spec(self, spec_name: str) -> None:
+        """Drop everything memoised/indexed for one specification.
+
+        Call after re-registering a specification under an existing
+        name; the next query re-fingerprints against the new content.
+        """
+        if self._entries.pop(spec_name, None) is not None:
+            self._dirty = True
+        self._spec_digests.pop(spec_name, None)
+        for key in [k for k in self._runs if k[0] == spec_name]:
+            del self._runs[key]
+
+    # -- fingerprints ---------------------------------------------------
+    def fingerprint(
+        self, spec: WorkflowSpecification, run_name: str
+    ) -> str:
+        """The run's fingerprint, from the index when still valid.
+
+        A valid entry answers without touching the run's XML beyond one
+        ``stat``; otherwise the run is loaded, fingerprinted, and the
+        index entry refreshed.
+        """
+        stamp = _file_stamp(self.store.locate_run(spec.name, run_name))
+        entry = self._section(spec)["runs"].get(run_name)
+        if (
+            entry is not None
+            and stamp is not None
+            and entry.get("size") == stamp[0]
+            and entry.get("mtime_ns") == stamp[1]
+            and isinstance(entry.get("fingerprint"), str)
+        ):
+            return entry["fingerprint"]
+        run = self.load_run(spec, run_name, refresh=entry is not None)
+        return self.record(run, as_name=run_name)
+
+    def record(
+        self, run: WorkflowRun, as_name: Optional[str] = None
+    ) -> str:
+        """Fingerprint ``run`` and upsert its index entry.
+
+        ``as_name`` indexes the entry under the name the caller used to
+        reach the run — which differs from ``run.name`` when the run was
+        found through the store's literal-stem fallback.  Indexing under
+        the lookup name keeps the stamp pointing at the file actually
+        read, so fallback-reached runs cache like any other.
+        """
+        name = as_name or run.name
+        digest = run_fingerprint(run, self.spec_digest(run.spec))
+        stamp = _file_stamp(self.store.locate_run(run.spec.name, name))
+        entry = {"fingerprint": digest}
+        if stamp is not None:
+            entry["size"], entry["mtime_ns"] = stamp
+        self._section(run.spec)["runs"][name] = entry
+        self._runs[(run.spec.name, name)] = run
+        self._dirty = True
+        return digest
+
+    def forget(self, spec_name: str, run_name: str) -> None:
+        """Drop a run's index entry and memoised object (if any)."""
+        section = self._entries.get(spec_name)
+        if section is not None and section["runs"].pop(run_name, None):
+            self._dirty = True
+        self._runs.pop((spec_name, run_name), None)
+
+    # -- run objects ----------------------------------------------------
+    def load_run(
+        self,
+        spec: WorkflowSpecification,
+        run_name: str,
+        refresh: bool = False,
+    ) -> WorkflowRun:
+        """Load a run through the memo (parse each XML at most once).
+
+        ``refresh`` forces a re-read, used when the on-disk file changed
+        underneath a memoised object.
+        """
+        key = (spec.name, run_name)
+        if refresh or key not in self._runs:
+            self._runs[key] = self.store.load_run(spec, run_name)
+        return self._runs[key]
+
+    def peek_run(
+        self, spec_name: str, run_name: str
+    ) -> Optional[WorkflowRun]:
+        """The memoised run object, or ``None`` (never touches disk)."""
+        return self._runs.get((spec_name, run_name))
+
+    def remember(
+        self, run: WorkflowRun, as_name: Optional[str] = None
+    ) -> WorkflowRun:
+        """Memoise a loaded run, first writer wins; returns the winner.
+
+        The concurrency seam for parallel loaders: parse outside any
+        lock, then publish here.  ``as_name`` keys the memo by the
+        lookup name (which differs from ``run.name`` for runs reached
+        through the store's literal-stem fallback) so later peeks with
+        the same lookup name hit.
+        """
+        key = (run.spec.name, as_name or run.name)
+        return self._runs.setdefault(key, run)
+
+    def cached_entry_count(self, spec_name: str) -> int:
+        section = self._entries.get(spec_name)
+        return len(section["runs"]) if section else 0

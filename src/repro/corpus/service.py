@@ -1,0 +1,344 @@
+"""The corpus diff service: cached, parallel, incremental differencing.
+
+:class:`DiffService` turns the pairwise differ into a corpus-scale
+engine over a :class:`~repro.io.store.WorkflowStore`:
+
+* every stored run is fingerprinted **once** (persisted in
+  ``<root>/index/fingerprints.json``, invalidated by file stamp);
+* every computed distance lands in a two-tier cache keyed by
+  ``(fingerprint, fingerprint, cost model)`` — a warm
+  :meth:`distance_matrix` call performs **zero** edit-distance DPs;
+* cold pairs fan out over a :class:`concurrent.futures` thread pool,
+  each worker running the distance-only fast path
+  (:func:`repro.core.api.distance_only`) — note the DP is pure Python,
+  so under the GIL threads overlap only the I/O/parsing share of a
+  batch; the big speedups here come from the cache tiers, with a
+  process-pool backend the natural next step for CPU parallelism;
+* :meth:`add_run` is incremental: growing an ``N``-run corpus computes
+  exactly the ``N`` new pairs, never the existing ``N x (N-1) / 2``;
+* analytics (:meth:`medoid`, :meth:`outliers`, :meth:`nearest_runs`)
+  answer the paper's "which executions cluster together / differ from
+  the majority" queries on top of the cached matrix.
+
+Runs whose fingerprints coincide are ``≡``-equivalent, so their
+distance is 0 by the identity axiom — the service short-circuits such
+pairs without any DP at all.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.api import distance_only
+from repro.corpus.analytics import k_nearest, medoid, outliers
+from repro.corpus.cache import DistanceCache
+from repro.corpus.fingerprint import (
+    cost_model_key,
+    pair_key,
+    spec_fingerprint,
+)
+from repro.corpus.index import FingerprintIndex
+from repro.costs.base import CostModel
+from repro.costs.standard import UnitCost
+from repro.errors import ReproError
+from repro.io.store import WorkflowStore
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+DISTANCES_INDEX_FILE = "distances.json"
+
+
+class DiffService:
+    """Facade for corpus-scale differencing over one workflow store.
+
+    Parameters
+    ----------
+    store:
+        A :class:`WorkflowStore` or a path to create one at.  Sessions
+        pass their existing store so service and session share files.
+    max_workers:
+        Thread-pool width for batch queries.  ``None`` lets
+        :class:`~concurrent.futures.ThreadPoolExecutor` pick;  ``1``
+        forces serial execution (benchmarks compare the two).  Because
+        the edit-distance DP holds the GIL, expect modest gains from
+        threads on CPU-bound corpora.
+    cache_size:
+        Bound of the in-memory distance-cache tier.
+    persistent:
+        When ``False``, neither distances nor fingerprints are written
+        to disk — an ephemeral, memory-only service.
+    """
+
+    def __init__(
+        self,
+        store,
+        max_workers: Optional[int] = None,
+        cache_size: int = 4096,
+        persistent: bool = True,
+    ):
+        self.store = (
+            store if isinstance(store, WorkflowStore) else WorkflowStore(store)
+        )
+        self.max_workers = max_workers
+        self.persistent = persistent
+        self.index = FingerprintIndex(self.store)
+        cache_path = (
+            self.store.index_dir / DISTANCES_INDEX_FILE
+            if persistent
+            else None
+        )
+        self.cache = DistanceCache(path=cache_path, maxsize=cache_size)
+        self.computed_pairs = 0
+        self._specs: Dict[str, WorkflowSpecification] = {}
+
+    # -- resolution -----------------------------------------------------
+    def specification(self, spec_name: str) -> WorkflowSpecification:
+        if spec_name not in self._specs:
+            self._specs[spec_name] = self.store.load_specification(
+                spec_name
+            )
+        return self._specs[spec_name]
+
+    def invalidate_specification(self, spec_name: str) -> None:
+        """Forget everything memoised for a specification.
+
+        Must be called after re-registering a specification under an
+        existing name (``PDiffViewSession.register_specification`` does
+        this automatically): run fingerprints embed the spec digest, so
+        all of them — and the runs parsed against the old object — are
+        stale.  Cached *distances* need no invalidation; they are keyed
+        by content, and the new fingerprints simply miss.
+        """
+        self._specs.pop(spec_name, None)
+        self.index.forget_spec(spec_name)
+
+    def runs(self, spec_name: str) -> List[str]:
+        return self.store.list_runs(spec_name)
+
+    def _resolve(
+        self, spec_name: str, run_names: Sequence[str]
+    ) -> Tuple[WorkflowSpecification, Dict[str, str]]:
+        """Fingerprint every named run (index hits skip XML parsing)."""
+        spec = self.specification(spec_name)
+        fingerprints = {
+            name: self.index.fingerprint(spec, name) for name in run_names
+        }
+        return spec, fingerprints
+
+    # -- batch computation ----------------------------------------------
+    def _compute_pairs(
+        self,
+        spec: WorkflowSpecification,
+        pairs: Sequence[Tuple[str, str]],
+        fingerprints: Dict[str, str],
+        cost: CostModel,
+    ) -> Dict[Tuple[str, str], float]:
+        """Cache-aware distances for name pairs; cold pairs fan out.
+
+        Equal-fingerprint pairs short-circuit to 0; cacheable pairs are
+        deduplicated by content key so two name pairs backed by the same
+        graphs cost one DP; the remaining work runs on a thread pool.
+        """
+        cost_key = cost_model_key(cost)
+        results: Dict[Tuple[str, str], float] = {}
+        pending: Dict[str, List[Tuple[str, str]]] = {}
+        for a, b in pairs:
+            if a == b or fingerprints[a] == fingerprints[b]:
+                results[(a, b)] = 0.0
+                continue
+            if cost_key is None:
+                # Uncacheable cost model: key by name pair, no dedup
+                # across pairs, no cache traffic.
+                pending.setdefault(f"{a}\x00{b}", []).append((a, b))
+                continue
+            key = pair_key(fingerprints[a], fingerprints[b], cost_key)
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[(a, b)] = cached
+            else:
+                pending.setdefault(key, []).append((a, b))
+
+        if pending:
+            ordered = list(pending.items())
+
+            # Runs are loaded inside the workers; the memo is checked
+            # and published under the GIL's atomic dict ops via
+            # peek/remember, with parsing kept outside any lock.  A
+            # rare race parses the same XML twice; first writer wins.
+            def load(name):
+                run = self.index.peek_run(spec.name, name)
+                if run is None:
+                    run = self.index.remember(
+                        self.store.load_run(spec, name), as_name=name
+                    )
+                return run
+
+            def compute(item):
+                _, group = item
+                a, b = group[0]
+                return distance_only(load(a), load(b), cost=cost)
+
+            if self.max_workers == 1 or len(ordered) == 1:
+                distances = [compute(item) for item in ordered]
+            else:
+                with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.max_workers
+                ) as pool:
+                    distances = list(pool.map(compute, ordered))
+
+            for (key, group), value in zip(ordered, distances):
+                self.computed_pairs += 1
+                if cost_key is not None:
+                    self.cache.put(key, value)
+                for a, b in group:
+                    results[(a, b)] = value
+            self._flush()
+        elif self.persistent:
+            # Even an all-warm query may have refreshed fingerprints.
+            self.index.flush()
+        return results
+
+    def _flush(self) -> None:
+        if self.persistent:
+            self.cache.flush()
+            self.index.flush()
+
+    # -- queries ---------------------------------------------------------
+    def distance(
+        self,
+        spec_name: str,
+        run_a: str,
+        run_b: str,
+        cost: Optional[CostModel] = None,
+    ) -> float:
+        """Cached ``δ(run_a, run_b)`` between two stored runs."""
+        cost = cost or UnitCost()
+        spec, fingerprints = self._resolve(spec_name, [run_a, run_b])
+        return self._compute_pairs(
+            spec, [(run_a, run_b)], fingerprints, cost
+        )[(run_a, run_b)]
+
+    def distance_matrix(
+        self,
+        spec_name: str,
+        cost: Optional[CostModel] = None,
+        runs: Optional[Sequence[str]] = None,
+    ) -> Dict[Tuple[str, str], float]:
+        """All-pairs distances, ``{(run_a, run_b): distance}``.
+
+        Keys are unordered pairs in listing order, matching the seed
+        :meth:`PDiffViewSession.distance_matrix` exactly.  ``runs``
+        restricts the corpus to a subset of stored run names.
+        """
+        cost = cost or UnitCost()
+        names = list(runs) if runs is not None else self.runs(spec_name)
+        spec, fingerprints = self._resolve(spec_name, names)
+        pairs = [
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+        ]
+        return self._compute_pairs(spec, pairs, fingerprints, cost)
+
+    def nearest_runs(
+        self,
+        spec_name: str,
+        run_name: str,
+        k: Optional[int] = None,
+        cost: Optional[CostModel] = None,
+    ) -> List[Tuple[str, float]]:
+        """One-vs-many: ``run_name``'s neighbours by ascending distance.
+
+        Computes (or recalls) only the ``N - 1`` distances involving
+        ``run_name`` — never the full matrix.
+        """
+        cost = cost or UnitCost()
+        names = self.runs(spec_name)
+        if run_name not in names:
+            raise ReproError(
+                f"no stored run {run_name!r} for specification "
+                f"{spec_name!r}"
+            )
+        spec, fingerprints = self._resolve(spec_name, names)
+        pairs = [(run_name, other) for other in names if other != run_name]
+        distances = self._compute_pairs(spec, pairs, fingerprints, cost)
+        return k_nearest(distances, run_name, k=k, names=names)
+
+    # -- incremental updates ----------------------------------------------
+    def add_run(
+        self,
+        run: WorkflowRun,
+        cost: Optional[CostModel] = None,
+    ) -> Dict[Tuple[str, str], float]:
+        """Persist ``run`` and compute only its distances to the corpus.
+
+        On an ``N``-run corpus this performs at most ``N`` new DPs (the
+        pairs pairing the new run with each existing one); the existing
+        ``N x (N-1) / 2`` matrix is untouched.  Returns the new pairs as
+        ``{(existing_name, new_name): distance}``.
+        """
+        cost = cost or UnitCost()
+        spec = run.spec
+        known = self._specs.get(spec.name)
+        if known is None and self.store.has_specification(spec.name):
+            known = self.store.load_specification(spec.name)
+        if known is not None and known is not spec:
+            # Same name, different content would mix runs of two
+            # specifications in one directory and mint fingerprints
+            # under the wrong spec digest — refuse up front.
+            if spec_fingerprint(known) != spec_fingerprint(spec):
+                raise ReproError(
+                    f"a different specification named {spec.name!r} "
+                    "already exists in this corpus; re-register it "
+                    "first if the change is intentional"
+                )
+        if spec.name not in self._specs:
+            # Adopt the run's spec object so later loads agree with it.
+            self._specs[spec.name] = spec
+        if not self.store.has_specification(spec.name):
+            # First run of a never-stored spec: persist the spec too,
+            # or the corpus would be unreadable to other processes.
+            self.store.save_specification(spec)
+        existing = [
+            name for name in self.runs(spec.name) if name != run.name
+        ]
+        self.store.save_run(run)
+        self.index.record(run)
+        fingerprints = {run.name: self.index.fingerprint(spec, run.name)}
+        for name in existing:
+            fingerprints[name] = self.index.fingerprint(spec, name)
+        pairs = [(name, run.name) for name in existing]
+        results = self._compute_pairs(spec, pairs, fingerprints, cost)
+        self._flush()
+        return results
+
+    # -- analytics ---------------------------------------------------------
+    def medoid(
+        self, spec_name: str, cost: Optional[CostModel] = None
+    ) -> Tuple[str, float]:
+        """The corpus's most central run, ``(name, mean distance)``."""
+        # One listing snapshot for both matrix and analytics, so a run
+        # saved concurrently can't appear in one but not the other.
+        names = self.runs(spec_name)
+        matrix = self.distance_matrix(spec_name, cost=cost, runs=names)
+        return medoid(matrix, names=names)
+
+    def outliers(
+        self,
+        spec_name: str,
+        cost: Optional[CostModel] = None,
+        top: Optional[int] = None,
+    ) -> List[Tuple[str, float]]:
+        """Runs ranked by descending mean distance to the corpus."""
+        names = self.runs(spec_name)
+        matrix = self.distance_matrix(spec_name, cost=cost, runs=names)
+        return outliers(matrix, names=names, top=top)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache statistics plus the total DP count this service paid."""
+        merged = self.cache.stats.as_dict()
+        merged["computed_pairs"] = self.computed_pairs
+        return merged

@@ -60,5 +60,19 @@ class CostModel(abc.ABC):
         """Display name (benchmarks key their tables on this)."""
         return type(self).__name__
 
+    @property
+    def cache_key(self):
+        """Stable identity string used to key persisted distance caches.
+
+        Two model instances with equal ``cache_key`` must price every
+        path identically — the contract the corpus distance cache relies
+        on.  Caching is **opt-in**: the default is ``None`` (never
+        cache), because a parameterised subclass that forgot to encode
+        its parameters here would silently poison a persistent cache.
+        Subclasses whose :attr:`name` encodes every parameter (as the
+        standard power family's does) may simply return ``self.name``.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return self.name

@@ -46,6 +46,13 @@ class PowerCost(CostModel):
     def name(self) -> str:
         return f"PowerCost(ε={self.epsilon:g})"
 
+    @property
+    def cache_key(self):
+        # ε is the whole parameterisation.  repr() keeps full float
+        # precision — the :g display name would collide epsilons that
+        # differ beyond six significant digits.
+        return f"PowerCost(ε={self.epsilon!r})"
+
 
 class UnitCost(PowerCost):
     """The unit cost model (``ε = 0``): every edit operation costs one."""
@@ -114,6 +121,19 @@ class LabelWeightedCost(CostModel):
     def name(self) -> str:
         return f"LabelWeighted({self.base.name})"
 
+    @property
+    def cache_key(self):
+        base_key = self.base.cache_key
+        if base_key is None:
+            return None
+        # repr() of the canonical tuple quotes/escapes labels, so no
+        # label content can collide with the delimiters.
+        weights = repr(tuple(sorted(self.weights.items())))
+        return (
+            f"LabelWeighted({base_key};default={self.default_weight!r};"
+            f"{weights})"
+        )
+
 
 class CallableCost(CostModel):
     """Adapter turning a plain function ``f(l, A, B) -> float`` into a model.
@@ -138,3 +158,10 @@ class CallableCost(CostModel):
     @property
     def name(self) -> str:
         return self._name
+
+    @property
+    def cache_key(self):
+        # An arbitrary callable has no stable serialisable identity; two
+        # instances sharing a name may price paths differently, so never
+        # cache distances computed under one.
+        return None

@@ -8,18 +8,31 @@ storage half: a directory layout
 
     <root>/specs/<spec-name>.xml
     <root>/runs/<spec-name>/<run-name>.xml
+    <root>/index/<index-name>.json
 
 with atomic writes (temp file + rename) so a crashed process never leaves
 a half-written catalog entry — the usual durability idiom for file-backed
-stores.
+stores.  The ``index/`` area holds derived data maintained by the corpus
+subsystem (run fingerprints, distance caches); deleting it loses only
+recomputable state, never a specification or run.
+
+Names containing characters outside ``[A-Za-z0-9._-]`` are sanitised for
+the filesystem and suffixed with a short content hash so distinct names
+can never collide on disk (``"a/b"`` and ``"a_b"`` map to different
+files); a per-entry ``<stem>.name`` sidecar records each mangled stem's
+original name so listings stay faithful.  One sidecar file per entry —
+rather than a shared map — keeps every write atomic and free of
+read-modify-write races between concurrent savers.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import json
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.io.xml_io import (
@@ -32,7 +45,13 @@ from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 
 
-def _atomic_write(path: Path, text: str) -> None:
+def atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + fsync + rename).
+
+    Readers never observe a partial file: they see either the previous
+    content or the full new content.  Shared by the store and by the
+    corpus subsystem's derived-data files (distance cache, sidecars).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     descriptor, temp_name = tempfile.mkstemp(
         dir=str(path.parent), prefix=".tmp-", suffix=path.suffix
@@ -52,12 +71,51 @@ def _atomic_write(path: Path, text: str) -> None:
 
 
 def _safe_name(name: str) -> str:
+    """A filesystem-safe, collision-free file stem for ``name``.
+
+    Names already made of ``[A-Za-z0-9._-]`` map to themselves.  Any
+    other name has its unsafe characters replaced by ``_`` and a short
+    hash of the *original* name appended, so two distinct names can
+    never sanitise to the same stem (``"a/b"`` vs ``"a_b"``).
+    """
     cleaned = "".join(
         ch if ch.isalnum() or ch in "-_." else "_" for ch in name
     )
     if not cleaned:
         raise ReproError("cannot derive a file name from an empty name")
+    if cleaned != name:
+        digest = hashlib.sha256(name.encode("utf8")).hexdigest()[:8]
+        cleaned = f"{cleaned}~{digest}"
     return cleaned
+
+
+def _record_name(directory: Path, stem: str, original: str) -> None:
+    """Remember ``stem -> original`` when sanitisation mangled a name.
+
+    Written as an individual ``<stem>.name`` sidecar file: the write is
+    atomic on its own, so concurrent savers of different entries can
+    never lose each other's mappings.
+    """
+    if stem == original:
+        return
+    atomic_write(directory / f"{stem}.name", original)
+
+
+def _original_name(directory: Path, stem: str) -> str:
+    sidecar = directory / f"{stem}.name"
+    if sidecar.exists():
+        try:
+            return sidecar.read_text(encoding="utf8")
+        except OSError:
+            pass
+    return stem
+
+
+def _list_names(directory: Path) -> List[str]:
+    return sorted(
+        _original_name(directory, path.stem)
+        for path in directory.glob("*.xml")
+    )
 
 
 class WorkflowStore:
@@ -69,42 +127,84 @@ class WorkflowStore:
         (self.root / "specs").mkdir(exist_ok=True)
         (self.root / "runs").mkdir(exist_ok=True)
 
+    @staticmethod
+    def _locate(directory: Path, name: str) -> Optional[Path]:
+        """The file holding ``name``, or ``None``.
+
+        Primary lookup is by sanitised stem.  As a recovery path, a
+        ``name`` that is itself the literal stem of an existing file is
+        accepted — so entries whose ``<stem>.name`` sidecar was lost
+        (listed under their raw stem) remain loadable, as do files
+        written under older, unsuffixed manglings *by the stem the
+        listing reports* (their original names are unrecoverable
+        without a sidecar).  Literal stems containing ``~`` only ever
+        arise from mangling, never from sanitising a user name, so the
+        fallback cannot shadow a distinct entry.
+        """
+        primary = directory / f"{_safe_name(name)}.xml"
+        if primary.exists():
+            return primary
+        literal = directory / f"{name}.xml"
+        if literal.name == f"{name}.xml" and literal.exists():
+            return literal
+        return None
+
     # -- specifications -------------------------------------------------
     def save_specification(self, spec: WorkflowSpecification) -> Path:
         """Persist a specification; returns the file path."""
-        path = self.root / "specs" / f"{_safe_name(spec.name)}.xml"
-        _atomic_write(path, specification_to_xml(spec))
+        directory = self.root / "specs"
+        stem = _safe_name(spec.name)
+        path = directory / f"{stem}.xml"
+        # Sidecar first: an orphaned name entry is harmless (listings
+        # iterate *.xml), whereas an unmapped mangled file would list
+        # under its raw stem.
+        _record_name(directory, stem, spec.name)
+        atomic_write(path, specification_to_xml(spec))
         return path
 
+    def has_specification(self, name: str) -> bool:
+        """True when a specification named ``name`` is stored."""
+        return self._locate(self.root / "specs", name) is not None
+
     def load_specification(self, name: str) -> WorkflowSpecification:
-        path = self.root / "specs" / f"{_safe_name(name)}.xml"
-        if not path.exists():
+        path = self._locate(self.root / "specs", name)
+        if path is None:
             raise ReproError(f"no stored specification named {name!r}")
         return specification_from_xml(path.read_text(encoding="utf8"))
 
     def list_specifications(self) -> List[str]:
-        return sorted(
-            path.stem for path in (self.root / "specs").glob("*.xml")
-        )
+        return _list_names(self.root / "specs")
 
     # -- runs --------------------------------------------------------------
+    def run_path(self, spec_name: str, run_name: str) -> Path:
+        """The file path a run of ``spec_name`` named ``run_name`` uses."""
+        return (
+            self.root
+            / "runs"
+            / _safe_name(spec_name)
+            / f"{_safe_name(run_name)}.xml"
+        )
+
+    def locate_run(self, spec_name: str, run_name: str) -> Optional[Path]:
+        """The existing file for a run (with the literal-stem fallback
+        of :meth:`_locate`), or ``None``.  Index consumers stat this
+        path so their freshness stamps track the file actually read."""
+        return self._locate(
+            self.root / "runs" / _safe_name(spec_name), run_name
+        )
+
     def save_run(self, run: WorkflowRun) -> Path:
         """Persist a run under its specification's directory."""
-        directory = self.root / "runs" / _safe_name(run.spec.name)
-        path = directory / f"{_safe_name(run.name)}.xml"
-        _atomic_write(path, run_to_xml(run))
+        path = self.run_path(run.spec.name, run.name)
+        _record_name(path.parent, path.stem, run.name)  # sidecar first
+        atomic_write(path, run_to_xml(run))
         return path
 
     def load_run(
         self, spec: WorkflowSpecification, name: str
     ) -> WorkflowRun:
-        path = (
-            self.root
-            / "runs"
-            / _safe_name(spec.name)
-            / f"{_safe_name(name)}.xml"
-        )
-        if not path.exists():
+        path = self.locate_run(spec.name, name)
+        if path is None:
             raise ReproError(
                 f"no stored run {name!r} for specification {spec.name!r}"
             )
@@ -114,4 +214,35 @@ class WorkflowStore:
         directory = self.root / "runs" / _safe_name(spec_name)
         if not directory.exists():
             return []
-        return sorted(path.stem for path in directory.glob("*.xml"))
+        return _list_names(directory)
+
+    # -- derived indexes (corpus subsystem) -----------------------------
+    @property
+    def index_dir(self) -> Path:
+        """Directory for derived, recomputable data (``<root>/index/``)."""
+        path = self.root / "index"
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def load_index(self, name: str) -> Optional[dict]:
+        """Read a JSON index by name; ``None`` when absent or corrupt.
+
+        A corrupt index is treated as missing — everything under
+        ``index/`` is derived data that callers rebuild on demand.
+        Reading never creates ``index/``, so ephemeral (read-only)
+        consumers leave the store untouched.
+        """
+        path = self.root / "index" / f"{_safe_name(name)}.json"
+        if not path.exists():
+            return None
+        try:
+            loaded = json.loads(path.read_text(encoding="utf8"))
+        except (OSError, ValueError):
+            return None
+        return loaded if isinstance(loaded, dict) else None
+
+    def save_index(self, name: str, payload: dict) -> Path:
+        """Atomically persist a JSON index by name."""
+        path = self.index_dir / f"{_safe_name(name)}.json"
+        atomic_write(path, json.dumps(payload, sort_keys=True))
+        return path

@@ -117,12 +117,28 @@ class PDiffViewSession:
     def __init__(self, root):
         self.store = WorkflowStore(root)
         self._specs: Dict[str, WorkflowSpecification] = {}
+        self._service = None
+
+    @property
+    def diff_service(self):
+        """The corpus :class:`~repro.corpus.service.DiffService` sharing
+        this session's store (created lazily; fingerprints and distances
+        persist under ``<root>/index/``)."""
+        if self._service is None:
+            from repro.corpus.service import DiffService
+
+            self._service = DiffService(self.store)
+        return self._service
 
     # -- specifications -------------------------------------------------
     def register_specification(self, spec: WorkflowSpecification) -> None:
         """Add a specification to the session and persist it."""
         self._specs[spec.name] = spec
         self.store.save_specification(spec)
+        if self._service is not None:
+            # Run fingerprints embed the spec digest; re-registering a
+            # name invalidates everything minted under the old content.
+            self._service.invalidate_specification(spec.name)
 
     def specification(self, name: str) -> WorkflowSpecification:
         if name not in self._specs:
@@ -185,18 +201,24 @@ class PDiffViewSession:
 
         Returns ``{(run_a, run_b): distance}`` for unordered pairs — the
         "which executions cluster together" overview scientists asked for
-        in the paper's conclusions.
+        in the paper's conclusions.  Delegates to the corpus
+        :class:`~repro.corpus.service.DiffService`, so repeated calls hit
+        the fingerprint-keyed distance cache instead of recomputing the
+        O(N²) matrix of O(|E|³) diffs.
         """
-        cost = cost or UnitCost()
-        names = self.runs(spec_name)
-        runs = {name: self.run(spec_name, name) for name in names}
-        matrix: Dict[tuple, float] = {}
-        for i, a in enumerate(names):
-            for b in names[i + 1 :]:
-                matrix[(a, b)] = diff_runs(
-                    runs[a], runs[b], cost=cost, with_script=False
-                ).distance
-        return matrix
+        return self.diff_service.distance_matrix(spec_name, cost=cost)
+
+    def nearest_runs(
+        self,
+        spec_name: str,
+        run_name: str,
+        k: Optional[int] = None,
+        cost: Optional[CostModel] = None,
+    ) -> List[tuple]:
+        """``run_name``'s nearest stored runs, ``[(name, distance), ...]``."""
+        return self.diff_service.nearest_runs(
+            spec_name, run_name, k=k, cost=cost
+        )
 
     # -- rendering ---------------------------------------------------------
     def show_specification(self, spec_name: str) -> str:

@@ -1,0 +1,73 @@
+"""Shared fixtures for the corpus subsystem tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api as core_api
+from repro.io.store import WorkflowStore
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+
+VARIED = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def populate_store(root, n_runs: int) -> WorkflowStore:
+    """A store holding the PA spec and ``n_runs`` varied runs r01..rNN."""
+    store = WorkflowStore(root)
+    spec = protein_annotation()
+    store.save_specification(spec)
+    for seed in range(1, n_runs + 1):
+        run = execute_workflow(spec, VARIED, seed=seed, name=f"r{seed:02d}")
+        store.save_run(run)
+    return store
+
+
+@pytest.fixture
+def varied_params() -> ExecutionParams:
+    return VARIED
+
+
+@pytest.fixture
+def pa_store(tmp_path) -> WorkflowStore:
+    """A 5-run corpus (kept small; the 12-run corpus has its own test)."""
+    return populate_store(tmp_path, 5)
+
+
+@pytest.fixture
+def corpus_factory(tmp_path):
+    """Build an ``n``-run PA corpus store under a fresh directory."""
+
+    def build(n_runs: int) -> WorkflowStore:
+        return populate_store(tmp_path / f"corpus{n_runs}", n_runs)
+
+    return build
+
+
+@pytest.fixture
+def dp_counter(monkeypatch):
+    """Count every edit-distance DP construction, however reached.
+
+    Wraps :class:`repro.core.api.EditDistanceComputation` (the module
+    global both ``diff_runs`` and ``distance_only`` resolve at call
+    time), so the counter observes *all* distance computations — the
+    "zero diff_runs invocations" spy the acceptance criteria call for.
+    """
+    counter = {"count": 0}
+    original = core_api.EditDistanceComputation
+
+    class CountingComputation(original):
+        def __init__(self, *args, **kwargs):
+            counter["count"] += 1
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(
+        core_api, "EditDistanceComputation", CountingComputation
+    )
+    return counter

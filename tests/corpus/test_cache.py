@@ -1,0 +1,111 @@
+"""The two-tier distance cache: LRU behaviour, persistence, merging."""
+
+import json
+
+import pytest
+
+from repro.corpus.cache import DistanceCache, LRUCache
+
+
+class TestLRUCache:
+    def test_get_and_put(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1.0)
+        assert cache.get("a") == 1.0
+        assert cache.get("missing") is None
+        assert len(cache) == 1
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert cache.get("a") == 1.0  # refresh "a"; "b" is now LRU
+        cache.put("c", 3.0)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1.0
+        assert cache.get("c") == 3.0
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("a", 9.0)  # refresh, not insert
+        cache.put("c", 3.0)
+        assert cache.get("a") == 9.0
+        assert cache.get("b") is None
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+
+class TestDistanceCache:
+    def test_memory_only_roundtrip(self):
+        cache = DistanceCache(path=None)
+        assert cache.get("k") is None
+        cache.put("k", 4.0)
+        assert cache.get("k") == 4.0
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+        cache.flush()  # no-op without a path
+        assert cache.stats.flushes == 0
+
+    def test_zero_distance_is_a_hit(self):
+        cache = DistanceCache(path=None)
+        cache.put("k", 0.0)
+        assert cache.get("k") == 0.0
+        assert cache.stats.memory_hits == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "distances.json"
+        warm = DistanceCache(path=path)
+        warm.put("k", 7.5)
+        warm.flush()
+        cold = DistanceCache(path=path)
+        assert cold.get("k") == 7.5
+        assert cold.stats.disk_hits == 1
+        # The disk hit was promoted into the hot tier.
+        assert cold.get("k") == 7.5
+        assert cold.stats.memory_hits == 1
+
+    def test_unflushed_writes_are_still_readable(self, tmp_path):
+        cache = DistanceCache(path=tmp_path / "d.json", maxsize=1)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)  # evicts "a" from the hot tier pre-flush
+        assert cache.get("a") == 1.0  # served from the dirty buffer
+
+    def test_corrupt_disk_file_treated_as_empty(self, tmp_path):
+        path = tmp_path / "distances.json"
+        path.write_text("{not json", encoding="utf8")
+        cache = DistanceCache(path=path)
+        assert cache.get("k") is None
+        cache.put("k", 1.0)
+        cache.flush()
+        assert json.loads(path.read_text(encoding="utf8")) == {"k": 1.0}
+
+    def test_flush_merges_concurrent_writers(self, tmp_path):
+        path = tmp_path / "distances.json"
+        one = DistanceCache(path=path)
+        two = DistanceCache(path=path)
+        one.put("a", 1.0)
+        one.flush()
+        two.put("b", 2.0)
+        two.flush()
+        merged = DistanceCache(path=path)
+        assert merged.get("a") == 1.0
+        assert merged.get("b") == 2.0
+
+    def test_len_counts_all_tiers(self, tmp_path):
+        path = tmp_path / "distances.json"
+        first = DistanceCache(path=path)
+        first.put("a", 1.0)
+        first.flush()
+        second = DistanceCache(path=path)
+        second.put("b", 2.0)
+        assert len(second) == 2
+
+    def test_len_counts_memory_only_entries(self):
+        cache = DistanceCache(path=None)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        assert len(cache) == 2

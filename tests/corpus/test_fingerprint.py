@@ -1,0 +1,134 @@
+"""Content-addressed fingerprints: canonical, order-independent, stable."""
+
+import pytest
+
+from repro.corpus.fingerprint import (
+    cost_model_key,
+    pair_key,
+    run_fingerprint,
+    spec_fingerprint,
+)
+from repro.costs.standard import (
+    CallableCost,
+    LabelWeightedCost,
+    PowerCost,
+    UnitCost,
+)
+from repro.graphs.flow_network import FlowNetwork
+from repro.io.xml_io import run_from_xml, run_to_xml
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+
+def relabelled_copy(spec, run, prefix="x"):
+    """The same run with renamed instance ids and reversed edge order."""
+    graph = FlowNetwork(name=run.graph.name)
+    mapping = {node: f"{prefix}{node}" for node in run.graph.nodes()}
+    for node in reversed(list(run.graph.nodes())):
+        graph.add_node(mapping[node], run.graph.label(node))
+    for u, v, _ in reversed(list(run.graph.edges())):
+        graph.add_edge(mapping[u], mapping[v])
+    return WorkflowRun(spec, graph, name=run.name)
+
+
+class TestRunFingerprints:
+    def test_equivalent_runs_share_a_fingerprint(self, fig2_spec, fig2_r1):
+        permuted = relabelled_copy(fig2_spec, fig2_r1)
+        assert fig2_r1.equivalent(permuted)
+        assert run_fingerprint(fig2_r1) == run_fingerprint(permuted)
+
+    def test_distinct_runs_differ(self, fig2_spec, fig2_r1, fig2_r2):
+        assert not fig2_r1.equivalent(fig2_r2)
+        assert run_fingerprint(fig2_r1) != run_fingerprint(fig2_r2)
+
+    def test_stable_across_xml_roundtrip(self, fig2_spec, fig2_r1):
+        restored = run_from_xml(run_to_xml(fig2_r1), fig2_spec)
+        assert run_fingerprint(restored) == run_fingerprint(fig2_r1)
+
+    def test_spec_digest_shortcut_matches(self, fig2_spec, fig2_r1):
+        digest = spec_fingerprint(fig2_spec)
+        assert run_fingerprint(fig2_r1, digest) == run_fingerprint(fig2_r1)
+
+
+class TestSpecFingerprints:
+    def test_independent_of_name_and_insertion_order(self):
+        def build(name, node_order):
+            graph = FlowNetwork(name=name)
+            for node in node_order:
+                graph.add_node(node)
+            graph.add_edge("s", "a")
+            graph.add_edge("s", "b")
+            graph.add_edge("a", "t")
+            graph.add_edge("b", "t")
+            return WorkflowSpecification(graph, name=name)
+
+        one = build("one", ["s", "a", "b", "t"])
+        two = build("two", ["t", "b", "a", "s"])
+        assert spec_fingerprint(one) == spec_fingerprint(two)
+
+    def test_structure_changes_digest(self, fig2_spec):
+        graph = FlowNetwork(name="chain")
+        for node in "sat":
+            graph.add_node(node)
+        graph.add_edge("s", "a")
+        graph.add_edge("a", "t")
+        chain = WorkflowSpecification(graph, name="chain")
+        assert spec_fingerprint(chain) != spec_fingerprint(fig2_spec)
+
+
+class TestCostModelKeys:
+    def test_power_family_keys_include_epsilon(self):
+        assert cost_model_key(PowerCost(0.5)) != cost_model_key(
+            PowerCost(0.25)
+        )
+        # UnitCost is PowerCost(0): identical pricing, one cache key.
+        assert cost_model_key(UnitCost()) == cost_model_key(PowerCost(0.0))
+
+    def test_power_keys_keep_full_float_precision(self):
+        # :g formatting would collide these two epsilons.
+        assert cost_model_key(PowerCost(0.12345678)) != cost_model_key(
+            PowerCost(0.12345679)
+        )
+
+    def test_label_weighted_keys_include_weights(self):
+        a = LabelWeightedCost(UnitCost(), {("x", "y"): 2.0})
+        b = LabelWeightedCost(UnitCost(), {("x", "y"): 3.0})
+        assert cost_model_key(a) != cost_model_key(b)
+        assert cost_model_key(a) == cost_model_key(
+            LabelWeightedCost(UnitCost(), {("x", "y"): 2.0})
+        )
+
+    def test_callable_cost_is_uncacheable(self):
+        model = CallableCost(lambda l, a, b: float(l), name="f")
+        assert cost_model_key(model) is None
+
+    def test_caching_is_opt_in_for_custom_models(self):
+        # A parameterised subclass that does not override cache_key
+        # must never be cached: equal names with different pricing
+        # would poison the persistent cache.
+        from repro.costs.base import CostModel
+
+        class ThresholdCost(CostModel):
+            def __init__(self, weight):
+                self.weight = weight
+
+            def path_cost(self, length, source_label, sink_label):
+                return self.weight * length
+
+        assert cost_model_key(ThresholdCost(1.0)) is None
+
+    def test_label_weighted_over_uncacheable_base_is_uncacheable(self):
+        base = CallableCost(lambda l, a, b: float(l), name="f")
+        assert cost_model_key(LabelWeightedCost(base, {})) is None
+
+
+class TestPairKeys:
+    def test_symmetric(self):
+        assert pair_key("aa", "bb", "UnitCost") == pair_key(
+            "bb", "aa", "UnitCost"
+        )
+
+    def test_cost_model_separates_entries(self):
+        assert pair_key("aa", "bb", "UnitCost") != pair_key(
+            "aa", "bb", "LengthCost"
+        )

@@ -1,0 +1,79 @@
+"""The persistent fingerprint index: reuse, invalidation, memoisation."""
+
+from repro.corpus.fingerprint import run_fingerprint
+from repro.corpus.index import FingerprintIndex
+from repro.workflow.execution import execute_workflow
+
+
+class TestFingerprintIndex:
+    def test_fingerprint_matches_direct_computation(self, pa_store):
+        index = FingerprintIndex(pa_store)
+        spec = pa_store.load_specification("PA")
+        run = pa_store.load_run(spec, "r01")
+        assert index.fingerprint(spec, "r01") == run_fingerprint(run)
+
+    def test_entries_persist_across_instances(self, pa_store):
+        spec = pa_store.load_specification("PA")
+        first = FingerprintIndex(pa_store)
+        digest = first.fingerprint(spec, "r01")
+        first.flush()
+        second = FingerprintIndex(pa_store)
+        assert second.cached_entry_count("PA") == 1
+        assert second.fingerprint(spec, "r01") == digest
+
+    def test_persisted_entry_skips_the_parser(self, pa_store, monkeypatch):
+        spec = pa_store.load_specification("PA")
+        first = FingerprintIndex(pa_store)
+        digest = first.fingerprint(spec, "r01")
+        first.flush()
+
+        def explode(*args, **kwargs):  # any XML parse fails the test
+            raise AssertionError("run was re-parsed despite a valid index")
+
+        second = FingerprintIndex(pa_store)
+        monkeypatch.setattr(pa_store, "load_run", explode)
+        assert second.fingerprint(spec, "r01") == digest
+
+    def test_overwritten_run_is_reindexed(self, pa_store, varied_params):
+        spec = pa_store.load_specification("PA")
+        index = FingerprintIndex(pa_store)
+        before = index.fingerprint(spec, "r01")
+        replacement = execute_workflow(
+            spec, varied_params, seed=77, name="r01"
+        )
+        pa_store.save_run(replacement)
+        after = index.fingerprint(spec, "r01")
+        assert after == run_fingerprint(replacement)
+        assert after != before
+
+    def test_load_run_memoises(self, pa_store):
+        spec = pa_store.load_specification("PA")
+        index = FingerprintIndex(pa_store)
+        first = index.load_run(spec, "r02")
+        assert index.load_run(spec, "r02") is first
+
+    def test_fallback_loaded_runs_still_get_valid_stamps(self, pa_store):
+        # A run only reachable via the literal-stem fallback (lost
+        # .name sidecar) must still index with a freshness stamp, or it
+        # would be re-parsed on every query.
+        spec = pa_store.load_specification("PA")
+        run = pa_store.load_run(spec, "r01")
+        run.name = "r one/odd"
+        pa_store.save_run(run)
+        (sidecar,) = (pa_store.root / "runs" / "PA").glob("*.name")
+        stem = sidecar.name[: -len(".name")]
+        sidecar.unlink()
+
+        index = FingerprintIndex(pa_store)
+        digest = index.fingerprint(spec, stem)
+        entry = index._entries["PA"]["runs"][stem]
+        assert entry["fingerprint"] == digest
+        assert "mtime_ns" in entry and "size" in entry
+
+    def test_forget_drops_entry(self, pa_store):
+        spec = pa_store.load_specification("PA")
+        index = FingerprintIndex(pa_store)
+        index.fingerprint(spec, "r01")
+        assert index.cached_entry_count("PA") == 1
+        index.forget("PA", "r01")
+        assert index.cached_entry_count("PA") == 0

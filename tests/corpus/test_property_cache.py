@@ -1,0 +1,104 @@
+"""Property test: warm-cache distances ≡ fresh ``diff_runs`` distances.
+
+The cache-correctness contract of the corpus subsystem: for any
+generated corpus and any cacheable cost model, every distance the
+service answers — cold, warm (memory tier), warm across a restart
+(disk tier), and after an incremental ``add_run`` — equals a fresh
+``diff_runs`` computation on the same stored runs.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import diff_runs
+from repro.corpus.service import DiffService
+from repro.io.store import WorkflowStore
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import random_specification
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+COSTS = [UnitCost(), LengthCost(), PowerCost(0.5)]
+
+
+def fresh_matrix(store, spec, names, cost):
+    """The seed algorithm: nested fresh diff_runs over the stored runs."""
+    runs = {name: store.load_run(spec, name) for name in names}
+    return {
+        (a, b): diff_runs(
+            runs[a], runs[b], cost=cost, with_script=False
+        ).distance
+        for i, a in enumerate(names)
+        for b in names[i + 1 :]
+    }
+
+
+@given(
+    spec_seed=st.integers(min_value=0, max_value=40),
+    run_seed=st.integers(min_value=0, max_value=1000),
+    cost_index=st.integers(min_value=0, max_value=len(COSTS) - 1),
+)
+@SETTINGS
+def test_warm_cache_equals_fresh_computation(
+    tmp_path_factory, spec_seed, run_seed, cost_index
+):
+    cost = COSTS[cost_index]
+    root = tmp_path_factory.mktemp("corpus")
+    store = WorkflowStore(root)
+    spec = random_specification(
+        10 + spec_seed % 6,
+        1.0,
+        num_forks=spec_seed % 3,
+        num_loops=spec_seed % 2,
+        seed=spec_seed,
+        name="rand",
+    )
+    store.save_specification(spec)
+    names = []
+    for offset in range(3):
+        name = f"run{offset}"
+        run = execute_workflow(
+            spec, PARAMS, seed=run_seed + offset, name=name
+        )
+        store.save_run(run)
+        names.append(name)
+
+    expected = fresh_matrix(store, spec, names, cost)
+
+    service = DiffService(store)
+    cold = service.distance_matrix("rand", cost=cost)
+    warm = service.distance_matrix("rand", cost=cost)
+    assert cold == expected
+    assert warm == expected
+
+    # Disk tier: a brand-new service answers identically.
+    reopened = DiffService(store)
+    assert reopened.distance_matrix("rand", cost=cost) == expected
+    assert reopened.computed_pairs == 0
+
+    # Incremental update: the grown corpus still matches from-scratch.
+    extra = execute_workflow(
+        spec, PARAMS, seed=run_seed + 7919, name="extra"
+    )
+    new_pairs = service.add_run(extra, cost=cost)
+    assert set(new_pairs) == {(name, "extra") for name in names}
+    grown_names = service.runs("rand")
+    grown_expected = fresh_matrix(store, spec, grown_names, cost)
+    assert service.distance_matrix("rand", cost=cost) == grown_expected

@@ -12,8 +12,20 @@ class TestSafeNames:
     def test_alphanumerics_kept(self):
         assert _safe_name("PA-2024_v1.xml") == "PA-2024_v1.xml"
 
-    def test_specials_replaced(self):
-        assert _safe_name("a b/c") == "a_b_c"
+    def test_specials_replaced_with_hash_suffix(self):
+        mangled = _safe_name("a b/c")
+        assert mangled.startswith("a_b_c~")
+        assert len(mangled) == len("a_b_c~") + 8
+
+    def test_mangled_names_cannot_collide(self):
+        # Regression: "a/b" and "a_b" used to both map to "a_b.xml",
+        # letting one entry silently overwrite the other.
+        assert _safe_name("a/b") != _safe_name("a_b")
+        assert _safe_name("a/b") != _safe_name("a b")
+        assert _safe_name("a_b") == "a_b"
+
+    def test_deterministic(self):
+        assert _safe_name("a/b") == _safe_name("a/b")
 
     def test_empty_rejected(self):
         with pytest.raises(ReproError):
@@ -69,3 +81,70 @@ class TestStore:
         # No temp files left behind.
         leftovers = list(tmp_path.rglob(".tmp-*"))
         assert leftovers == []
+
+
+class TestCollidingNames:
+    def test_colliding_run_names_both_survive(self, tmp_path, fig2_spec):
+        # Regression for the _safe_name collision hazard: without the
+        # hash suffix, the second save silently overwrote the first.
+        store = WorkflowStore(tmp_path)
+        slashed = execute_workflow(fig2_spec, seed=1, name="a/b")
+        underscored = execute_workflow(fig2_spec, seed=2, name="a_b")
+        store.save_run(slashed)
+        store.save_run(underscored)
+        assert sorted(store.list_runs("fig2")) == ["a/b", "a_b"]
+        assert store.load_run(fig2_spec, "a/b").equivalent(slashed)
+        assert store.load_run(fig2_spec, "a_b").equivalent(underscored)
+
+    def test_listing_reports_original_names(self, tmp_path, fig2_spec):
+        store = WorkflowStore(tmp_path)
+        run = execute_workflow(fig2_spec, seed=3, name="day 1/am")
+        store.save_run(run)
+        assert store.list_runs("fig2") == ["day 1/am"]
+        assert store.load_run(fig2_spec, "day 1/am").equivalent(run)
+
+    def test_lost_sidecar_entries_remain_loadable(self, tmp_path, fig2_spec):
+        # If a .name sidecar is lost, listings fall back to raw file
+        # stems; those stems must still round-trip through load_run.
+        store = WorkflowStore(tmp_path)
+        run = execute_workflow(fig2_spec, seed=4, name="a/b")
+        store.save_run(run)
+        (sidecar,) = (tmp_path / "runs" / "fig2").glob("*.name")
+        sidecar.unlink()
+        (listed,) = store.list_runs("fig2")
+        assert listed.startswith("a_b~")  # the raw mangled stem
+        assert store.load_run(fig2_spec, listed).equivalent(run)
+
+    def test_spec_with_special_name_roundtrips(self, tmp_path):
+        from repro.workflow.real_workflows import protein_annotation
+        from repro.workflow.specification import WorkflowSpecification
+
+        store = WorkflowStore(tmp_path)
+        base = protein_annotation()
+        spec = WorkflowSpecification(
+            base.graph, forks=(), loops=(), name="PA v2/beta"
+        )
+        store.save_specification(spec)
+        assert store.list_specifications() == ["PA v2/beta"]
+        restored = store.load_specification("PA v2/beta")
+        assert restored.characteristics() == spec.characteristics()
+
+
+class TestIndexArea:
+    def test_run_path_matches_save_location(self, tmp_path, fig2_spec, fig2_r1):
+        store = WorkflowStore(tmp_path)
+        saved = store.save_run(fig2_r1)
+        assert store.run_path("fig2", "R1") == saved
+
+    def test_index_roundtrip(self, tmp_path):
+        store = WorkflowStore(tmp_path)
+        assert store.load_index("fingerprints") is None
+        payload = {"PA": {"r01": {"fingerprint": "ab", "size": 1}}}
+        path = store.save_index("fingerprints", payload)
+        assert path.parent == store.index_dir
+        assert store.load_index("fingerprints") == payload
+
+    def test_corrupt_index_treated_as_missing(self, tmp_path):
+        store = WorkflowStore(tmp_path)
+        (store.index_dir / "broken.json").write_text("[oops", encoding="utf8")
+        assert store.load_index("broken") is None
