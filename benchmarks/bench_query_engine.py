@@ -1,0 +1,196 @@
+"""Query-engine benchmark: indexed search vs brute-force scan.
+
+Builds a corpus of protein-annotation runs, then measures the paper's
+motivating corpus queries ("which runs dropped the annotation module?")
+three ways:
+
+* **ingest** — the one-time cost of computing, caching, and indexing
+  every pairwise edit script (``QueryEngine.build``);
+* **indexed** — the same predicate evaluated through the persistent
+  inverted index by a *fresh* service (cold process, warm store:
+  fingerprints, scripts, and postings all come from ``<store>/index/``);
+* **scan** — the brute-force baseline that re-loads every run from XML
+  and regenerates every edit script per query.
+
+Both paths must return identical results; the emitted
+``benchmarks/results/BENCH_query.json`` records the timings, the
+speedup, and the equality check.  ``--quick`` shrinks the corpus for CI
+smoke runs; ``REPRO_BENCH_SCALE`` grows it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from _workloads import RESULTS_DIR, emit, scaled
+
+from repro.core.edit_script import PATH_DELETION
+from repro.corpus.service import DiffService
+from repro.io.store import WorkflowStore
+from repro.query.engine import QueryEngine
+from repro.query.predicates import Q
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+#: The headline query: runs that dropped an annotation step, non-trivially.
+PREDICATE = (
+    Q.op_kind(PATH_DELETION)
+    & Q.touches("getGOAnnot", "getBrendaAnnot")
+    & Q.cost(min=2.0)
+)
+
+
+def build_corpus(root: Path, n_runs: int) -> WorkflowStore:
+    store = WorkflowStore(root)
+    spec = protein_annotation()
+    store.save_specification(spec)
+    for seed in range(1, n_runs + 1):
+        store.save_run(
+            execute_workflow(spec, PARAMS, seed=seed, name=f"r{seed:03d}")
+        )
+    return store
+
+
+def timed(func, *args, **kwargs):
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def doc_payload(doc):
+    return (
+        doc.run_a,
+        doc.run_b,
+        doc.distance,
+        tuple(op.to_dict().items() for op in doc.operations),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus for CI smoke runs (12 runs instead of 50)",
+    )
+    args = parser.parse_args()
+    n_runs = scaled(12, minimum=6) if args.quick else scaled(50, minimum=50)
+    n_pairs = n_runs * (n_runs - 1) // 2
+
+    base = Path(tempfile.mkdtemp(prefix="bench-query-"))
+    store = build_corpus(base / "corpus", n_runs)
+
+    results = {
+        "corpus_runs": n_runs,
+        "pairs": n_pairs,
+        "predicate": PREDICATE.describe(),
+        "quick": args.quick,
+    }
+    lines = [
+        f"Query engine (protein annotation, {n_runs} runs, "
+        f"{n_pairs} pairs)",
+        f"predicate: {PREDICATE.describe()}",
+        f"{'workload':<42}{'seconds':>10}",
+    ]
+
+    def record(key: str, label: str, seconds: float, **extra) -> None:
+        results[key] = dict({"seconds": seconds}, **extra)
+        lines.append(f"{label:<42}{seconds:>10.4f}")
+
+    # -- ingest: one-time diff+cache+index over every pair ----------------
+    ingest_service = DiffService(store)
+    ingest_engine = QueryEngine(ingest_service)
+    seconds, covered = timed(ingest_engine.build, "PA")
+    assert covered == n_pairs
+    record(
+        "ingest", "ingest (diff + cache + index, cold)",
+        seconds, computed_scripts=ingest_service.computed_scripts,
+    )
+
+    # -- indexed query: fresh service, warm store -------------------------
+    indexed_service = DiffService(store)
+    indexed_engine = QueryEngine(indexed_service)
+    seconds, indexed_docs = timed(
+        lambda: list(indexed_engine.select("PA", PREDICATE))
+    )
+    record(
+        "query_indexed_cold_process",
+        "indexed query (fresh service, warm store)",
+        seconds,
+        matches=len(indexed_docs),
+        computed_scripts=indexed_service.computed_scripts,
+    )
+    assert indexed_service.computed_scripts == 0
+
+    seconds, warm_docs = timed(
+        lambda: list(indexed_engine.select("PA", PREDICATE))
+    )
+    record(
+        "query_indexed_warm",
+        "indexed query (warm memory)",
+        seconds,
+        matches=len(warm_docs),
+    )
+    indexed_seconds = results["query_indexed_cold_process"]["seconds"]
+
+    # -- aggregation over the index ---------------------------------------
+    seconds, _ = timed(indexed_engine.churn, "PA")
+    record("churn_indexed", "module-churn ranking (indexed)", seconds)
+
+    # -- brute-force scan --------------------------------------------------
+    scan_engine = QueryEngine(DiffService(store, persistent=False))
+    seconds, scanned_docs = timed(
+        lambda: list(scan_engine.scan("PA", PREDICATE))
+    )
+    record(
+        "query_scan",
+        "brute-force scan (re-diff every pair)",
+        seconds,
+        matches=len(scanned_docs),
+    )
+
+    identical = [doc_payload(d) for d in indexed_docs] == [
+        doc_payload(d) for d in scanned_docs
+    ]
+    speedup = results["query_scan"]["seconds"] / max(
+        indexed_seconds, 1e-9
+    )
+    results["identical_results"] = identical
+    results["speedup_indexed_vs_scan"] = speedup
+    lines.append("")
+    lines.append(
+        f"indexed vs scan: {speedup:.0f}x speedup, "
+        f"identical results: {identical}"
+    )
+    assert identical, "indexed query diverged from brute-force scan"
+    assert speedup >= 10, (
+        f"indexed query only {speedup:.1f}x faster than the scan "
+        "baseline (expected >= 10x)"
+    )
+
+    emit("BENCH_query", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_query.json"
+    out.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n",
+        encoding="utf8",
+    )
+    print(f"\nwrote {out}")
+    shutil.rmtree(base, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

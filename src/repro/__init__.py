@@ -46,6 +46,14 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.graphs.flow_network import FlowNetwork
+from repro.query.aggregate import (
+    GroupDivergence,
+    ModuleChurn,
+    module_churn,
+    op_kind_histogram,
+)
+from repro.query.engine import QueryEngine, ScriptDoc
+from repro.query.predicates import Predicate, Q
 from repro.workflow.execution import ExecutionParams, execute_workflow
 from repro.workflow.generators import (
     random_run_pair,
@@ -73,6 +81,14 @@ __all__ = [
     "distance_only",
     "DiffResult",
     "DiffService",
+    "Q",
+    "Predicate",
+    "QueryEngine",
+    "ScriptDoc",
+    "op_kind_histogram",
+    "module_churn",
+    "ModuleChurn",
+    "GroupDivergence",
     "run_fingerprint",
     "spec_fingerprint",
     "verify_diff",

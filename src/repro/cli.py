@@ -1,0 +1,292 @@
+"""``repro`` — command-line access to a workflow store's corpus.
+
+Installed as a console script (``[project.scripts]`` in
+``pyproject.toml``); also runnable as ``python -m repro.cli``.  Three
+subcommands over a store directory (the layout
+:class:`~repro.io.store.WorkflowStore` maintains):
+
+.. code-block:: sh
+
+    repro diff   STORE SPEC RUN_A RUN_B [--cost unit|length|power:E] [--ops]
+    repro matrix STORE SPEC [--cost ...] [--json]
+    repro query  STORE SPEC [--kind K] [--touches L] [--min-cost X]
+                 [--max-cost X] [--min-ops N] [--max-ops N]
+                 [--histogram] [--churn] [--json]
+
+All three share the corpus service's persistent caches under
+``STORE/index/`` — a second invocation of the same query answers from
+the warm index without recomputing a single diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.corpus.service import DiffService
+from repro.costs.base import CostModel
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.errors import ReproError
+from repro.query.engine import QueryEngine
+from repro.query.predicates import Predicate, Q
+
+
+def _cost_model(text: str) -> CostModel:
+    """Parse ``unit``, ``length``, or ``power:<epsilon>``."""
+    lowered = text.strip().lower()
+    if lowered == "unit":
+        return UnitCost()
+    if lowered == "length":
+        return LengthCost()
+    if lowered.startswith("power:"):
+        try:
+            return PowerCost(float(lowered.split(":", 1)[1]))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid power-cost epsilon in {text!r}"
+            )
+    raise argparse.ArgumentTypeError(
+        f"unknown cost model {text!r} (expected unit, length, or power:E)"
+    )
+
+
+def _store_dir(text: str) -> Path:
+    path = Path(text)
+    if not path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"store directory {text!r} does not exist"
+        )
+    return path
+
+
+def _build_predicate(args: argparse.Namespace) -> Optional[Predicate]:
+    """AND together the predicate flags given on the command line."""
+    parts: List[Predicate] = []
+    if args.kind:
+        parts.append(Q.op_kind(*args.kind))
+    if args.touches:
+        parts.append(Q.touches(*args.touches))
+    if args.min_cost is not None or args.max_cost is not None:
+        parts.append(Q.cost(min=args.min_cost, max=args.max_cost))
+    if args.min_ops is not None or args.max_ops is not None:
+        parts.append(Q.op_count(min=args.min_ops, max=args.max_ops))
+    if not parts:
+        return None
+    predicate = parts[0]
+    for part in parts[1:]:
+        predicate = predicate & part
+    return predicate
+
+
+# -- subcommands --------------------------------------------------------
+def _cmd_diff(args: argparse.Namespace) -> int:
+    service = DiffService(args.store)
+    record = service.edit_script(
+        args.spec, args.run_a, args.run_b, cost=args.cost
+    )
+    if args.json:
+        payload = {
+            "spec": args.spec,
+            "run_a": args.run_a,
+            "run_b": args.run_b,
+            "cost_model": args.cost.name,
+            "distance": record.distance,
+            "operations": [op.to_dict() for op in record.operations],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"delta({args.run_a}, {args.run_b}) = {record.distance:g} "
+        f"under {args.cost.name} ({record.op_count} ops)"
+    )
+    if args.ops:
+        for position, op in enumerate(record.operations, start=1):
+            print(f"  {position:3d}. {op}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    service = DiffService(args.store)
+    matrix = service.distance_matrix(args.spec, cost=args.cost)
+    if args.json:
+        payload = {
+            "spec": args.spec,
+            "cost_model": args.cost.name,
+            "distances": {
+                f"{a}|{b}": value for (a, b), value in matrix.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    names = service.runs(args.spec)
+    width = max([4] + [len(name) for name in names])
+    header = " " * (width + 1) + " ".join(
+        f"{name:>{width}}" for name in names
+    )
+    print(header)
+    for a in names:
+        cells = []
+        for b in names:
+            if a == b:
+                cells.append(f"{0.0:>{width}g}")
+            else:
+                value = matrix.get((a, b), matrix.get((b, a), 0.0))
+                cells.append(f"{value:>{width}g}")
+        print(f"{a:>{width}} " + " ".join(cells))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    service = DiffService(args.store)
+    engine = QueryEngine(service)
+    predicate = _build_predicate(args)
+    docs = list(
+        engine.select(args.spec, predicate, cost=args.cost)
+    )
+    # Aggregates and the match count cover the full result set; --limit
+    # only truncates what is displayed.
+    shown_docs = docs if args.limit is None else docs[: args.limit]
+    if args.json:
+        payload = {
+            "spec": args.spec,
+            "cost_model": args.cost.name,
+            "predicate": predicate.describe() if predicate else "*",
+            "total_matches": len(docs),
+            "matches": [
+                {
+                    "run_a": doc.run_a,
+                    "run_b": doc.run_b,
+                    "distance": doc.distance,
+                    "op_count": doc.op_count,
+                }
+                for doc in shown_docs
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    shown = predicate.describe() if predicate else "*"
+    print(
+        f"{len(docs)} matching pair(s) for {shown} "
+        f"under {args.cost.name}"
+        + (
+            f" (showing {len(shown_docs)})"
+            if len(shown_docs) < len(docs)
+            else ""
+        )
+    )
+    for doc in shown_docs:
+        print(f"  {doc}")
+    if args.histogram:
+        from repro.query.aggregate import op_kind_histogram
+
+        print("operation kinds:")
+        for kind, count in sorted(op_kind_histogram(docs).items()):
+            print(f"  {kind}: {count}")
+    if args.churn:
+        from repro.query.aggregate import module_churn
+
+        print("module churn:")
+        for entry in module_churn(docs)[:10]:
+            print(
+                f"  {entry.label}: {entry.operations} ops, "
+                f"cost {entry.total_cost:g} across {entry.pairs} pairs"
+            )
+    return 0
+
+
+# -- wiring -------------------------------------------------------------
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Differencing provenance in scientific workflows: diff, "
+            "distance matrices, and edit-script queries over a store."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "store", type=_store_dir, help="workflow store directory"
+        )
+        sub.add_argument("spec", help="specification name")
+        sub.add_argument(
+            "--cost",
+            type=_cost_model,
+            default=UnitCost(),
+            help="cost model: unit, length, or power:E (default unit)",
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+
+    diff = commands.add_parser(
+        "diff", help="edit distance and script between two stored runs"
+    )
+    common(diff)
+    diff.add_argument("run_a")
+    diff.add_argument("run_b")
+    diff.add_argument(
+        "--ops", action="store_true", help="print every path operation"
+    )
+    diff.set_defaults(func=_cmd_diff)
+
+    matrix = commands.add_parser(
+        "matrix", help="all-pairs distance matrix of a specification"
+    )
+    common(matrix)
+    matrix.set_defaults(func=_cmd_matrix)
+
+    query = commands.add_parser(
+        "query", help="search the corpus's edit scripts with predicates"
+    )
+    common(query)
+    query.add_argument(
+        "--kind",
+        action="append",
+        metavar="KIND",
+        help="require an operation of this kind (repeatable, OR-ed)",
+    )
+    query.add_argument(
+        "--touches",
+        action="append",
+        metavar="LABEL",
+        help="require an operation touching this label (repeatable)",
+    )
+    query.add_argument("--min-cost", type=float, default=None)
+    query.add_argument("--max-cost", type=float, default=None)
+    query.add_argument("--min-ops", type=int, default=None)
+    query.add_argument("--max-ops", type=int, default=None)
+    query.add_argument(
+        "--limit", type=int, default=None, help="show at most N matches"
+    )
+    query.add_argument(
+        "--histogram",
+        action="store_true",
+        help="also print the operation-kind histogram",
+    )
+    query.add_argument(
+        "--churn",
+        action="store_true",
+        help="also print the per-module churn ranking",
+    )
+    query.set_defaults(func=_cmd_query)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point; returns the process exit code."""
+    parser = _parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -48,6 +48,19 @@ PATH_DELETION = "path-deletion"
 PATH_EXPANSION = "path-expansion"
 PATH_CONTRACTION = "path-contraction"
 
+#: Every elementary operation kind, in display order.
+OPERATION_KINDS = (
+    PATH_INSERTION,
+    PATH_DELETION,
+    PATH_EXPANSION,
+    PATH_CONTRACTION,
+)
+
+#: Version tag of the :meth:`PathOperation.to_dict` wire format.  Bump
+#: when the schema changes; persisted caches reject unknown versions and
+#: recompute (everything serialised here is derived data).
+SCRIPT_SCHEMA_VERSION = 1
+
 
 @dataclass
 class PathOperation:
@@ -64,6 +77,72 @@ class PathOperation:
     def __str__(self) -> str:
         path = " -> ".join(self.path_labels)
         return f"{self.kind} [{path}] (cost {self.cost:g})"
+
+    # -- stable serialisation (consumed by corpus caches / query index) --
+    def to_dict(self) -> dict:
+        """A JSON-safe dict capturing the operation exactly.
+
+        The schema is stable across releases (guarded by
+        ``SCRIPT_SCHEMA_VERSION`` at the script level): persisted edit
+        scripts survive process restarts and store moves, and the query
+        engine's inverted index extracts its terms from these fields.
+        """
+        return {
+            "kind": self.kind,
+            "cost": self.cost,
+            "length": self.length,
+            "source": self.source_label,
+            "sink": self.sink_label,
+            "path": list(self.path_labels),
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PathOperation":
+        """Rebuild an operation from :meth:`to_dict` output.
+
+        Raises :class:`EditScriptError` on malformed payloads — callers
+        holding persisted data treat that as a cache miss.
+        """
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                cost=float(payload["cost"]),
+                length=int(payload["length"]),
+                source_label=str(payload["source"]),
+                sink_label=str(payload["sink"]),
+                path_labels=tuple(
+                    str(label) for label in payload["path"]
+                ),
+                note=str(payload.get("note", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise EditScriptError(
+                f"malformed path-operation payload: {exc}"
+            )
+
+    @property
+    def interior_labels(self) -> Tuple[str, ...]:
+        """Labels strictly between the path's terminals.
+
+        These are the modules the operation actually adds or removes;
+        the terminals anchor the path and exist in both runs.  Per-module
+        churn aggregations attribute an operation's cost to exactly
+        these labels.
+        """
+        return self.path_labels[1:-1]
+
+
+def operations_to_payload(operations) -> List[dict]:
+    """Serialise an operation sequence (order is part of the script)."""
+    return [op.to_dict() for op in operations]
+
+
+def operations_from_payload(payload) -> List[PathOperation]:
+    """Rebuild an operation sequence from :func:`operations_to_payload`."""
+    if not isinstance(payload, (list, tuple)):
+        raise EditScriptError("operation payload must be a list")
+    return [PathOperation.from_dict(item) for item in payload]
 
 
 @dataclass

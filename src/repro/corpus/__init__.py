@@ -9,6 +9,10 @@ from the paper's conclusions:
 * :mod:`repro.corpus.cache` — two-tier (LRU + JSON) distance cache;
 * :mod:`repro.corpus.service` — the :class:`DiffService` facade with
   parallel batch queries and incremental updates;
+* :mod:`repro.corpus.script_cache` — persistent, directed edit-script
+  cache (the scripts themselves, not just their costs);
+* :mod:`repro.corpus.script_index` — inverted index over cached scripts
+  (operation kinds, module labels, cost buckets → diff pairs);
 * :mod:`repro.corpus.analytics` — medoid / outlier / k-NN queries over
   distance matrices.
 """
@@ -21,26 +25,47 @@ from repro.corpus.analytics import (
     outliers,
     pair_distance,
 )
-from repro.corpus.cache import CacheStats, DistanceCache, LRUCache
+from repro.corpus.cache import (
+    CacheStats,
+    DistanceCache,
+    LRUCache,
+    TwoTierCache,
+)
 from repro.corpus.fingerprint import (
     cost_model_key,
     pair_key,
     run_fingerprint,
+    script_key,
     spec_fingerprint,
 )
 from repro.corpus.index import FingerprintIndex
+from repro.corpus.script_cache import (
+    ScriptCache,
+    ScriptRecord,
+    decode_script,
+    encode_script,
+)
+from repro.corpus.script_index import ScriptIndex, cost_bucket
 from repro.corpus.service import DiffService
 
 __all__ = [
     "DiffService",
     "FingerprintIndex",
     "DistanceCache",
+    "TwoTierCache",
     "LRUCache",
     "CacheStats",
+    "ScriptCache",
+    "ScriptRecord",
+    "ScriptIndex",
+    "cost_bucket",
+    "encode_script",
+    "decode_script",
     "run_fingerprint",
     "spec_fingerprint",
     "cost_model_key",
     "pair_key",
+    "script_key",
     "mean_distances",
     "medoid",
     "outliers",

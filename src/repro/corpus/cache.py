@@ -1,24 +1,31 @@
-"""Two-tier distance cache: in-memory LRU over an on-disk JSON store.
+"""Two-tier caches: in-memory LRU over an on-disk JSON store.
 
 The hot tier is a bounded LRU dictionary; the cold tier is a JSON file
-(``<root>/index/distances.json`` by default) written atomically through
-the :class:`~repro.io.store.WorkflowStore` idiom.  Keys are the symmetric
-``fingerprint|fingerprint|cost_key`` strings from
-:func:`repro.corpus.fingerprint.pair_key`, so cached entries survive run
-renames, store moves, and process restarts — the cache is addressed by
-*content*, never by file name.
+written atomically through the :class:`~repro.io.store.WorkflowStore`
+idiom.  Keys are content-addressed strings (see
+:mod:`repro.corpus.fingerprint`), so cached entries survive run renames,
+store moves, and process restarts — a cache is addressed by *content*,
+never by file name.
+
+:class:`TwoTierCache` implements the machinery for any JSON-serialisable
+value type; subclasses pin down the value schema through the
+:meth:`~TwoTierCache._decode` hook (a persisted value failing to decode
+is simply a miss — everything here is derived, recomputable data).
+:class:`DistanceCache` stores plain floats (edit distances);
+:class:`~repro.corpus.script_cache.ScriptCache` stores serialised edit
+scripts.
 
 Writes go to the hot tier immediately and are batched to disk on
-:meth:`DistanceCache.flush` (the service flushes after every batch
-operation); a crash between flushes loses only recomputable distances.
+:meth:`TwoTierCache.flush` (the service flushes after every batch
+operation); a crash between flushes loses only recomputable values.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.io.store import atomic_write
 
@@ -60,7 +67,7 @@ class LRUCache:
         if maxsize <= 0:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
-        self._data: "OrderedDict[str, float]" = OrderedDict()
+        self._data: "OrderedDict[str, Any]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -68,14 +75,14 @@ class LRUCache:
     def __contains__(self, key: str) -> bool:
         return key in self._data
 
-    def get(self, key: str) -> Optional[float]:
+    def get(self, key: str) -> Optional[Any]:
         """Return the cached value and mark it most recently used."""
         if key not in self._data:
             return None
         self._data.move_to_end(key)
         return self._data[key]
 
-    def put(self, key: str, value: float) -> None:
+    def put(self, key: str, value: Any) -> None:
         """Insert/refresh a value, evicting the LRU entry when full."""
         if key in self._data:
             self._data.move_to_end(key)
@@ -90,9 +97,8 @@ class LRUCache:
         self._data.clear()
 
 
-@dataclass
-class DistanceCache:
-    """The two-tier cache: :class:`LRUCache` over a JSON file.
+class TwoTierCache:
+    """An :class:`LRUCache` hot tier over a JSON-file cold tier.
 
     Parameters
     ----------
@@ -100,35 +106,59 @@ class DistanceCache:
         Location of the cold tier.  ``None`` disables persistence — the
         cache is then memory-only (used by tests and ephemeral services).
     maxsize:
-        Bound of the hot tier.  The cold tier is unbounded; distances
-        are a few dozen bytes each.
+        Bound of the hot tier.  The cold tier is unbounded.
+
+    Subclasses override :meth:`_decode` to validate values read from
+    disk (return ``None`` to reject — a rejected value is a miss) and
+    :meth:`_encode` to canonicalise values on write.
     """
 
-    path: Optional[Path] = None
-    maxsize: int = 4096
-    stats: CacheStats = field(default_factory=CacheStats)
-
-    def __post_init__(self):
+    def __init__(
+        self,
+        path: Optional[Path] = None,
+        maxsize: int = 4096,
+        stats: Optional[CacheStats] = None,
+    ):
+        self.path = path
+        self.maxsize = maxsize
+        self.stats = stats if stats is not None else CacheStats()
         self._memory = LRUCache(self.maxsize)
-        self._disk: Dict[str, float] = {}
-        self._dirty: Dict[str, float] = {}
+        self._disk: Dict[str, Any] = {}
+        self._dirty: Dict[str, Any] = {}
         self._loaded = False
 
+    # -- value schema hooks ---------------------------------------------
+    def _decode(self, raw: Any) -> Optional[Any]:
+        """Validate one raw JSON value from disk (``None`` rejects it)."""
+        return raw
+
+    def _encode(self, value: Any) -> Any:
+        """Canonicalise a value before storing it."""
+        return value
+
     # -- cold tier ------------------------------------------------------
+    def _read_disk_file(self) -> Dict[str, Any]:
+        """Decode the cold-tier file (corrupt or absent → empty)."""
+        if self.path is None or not Path(self.path).exists():
+            return {}
+        try:
+            raw = json.loads(Path(self.path).read_text(encoding="utf8"))
+        except (OSError, ValueError):
+            return {}  # derived data: a corrupt cache is an empty cache
+        if not isinstance(raw, dict):
+            return {}
+        decoded: Dict[str, Any] = {}
+        for key, value in raw.items():
+            accepted = self._decode(value)
+            if accepted is not None:
+                decoded[str(key)] = accepted
+        return decoded
+
     def _load_disk(self) -> None:
         if self._loaded:
             return
         self._loaded = True
-        if self.path is None or not Path(self.path).exists():
-            return
-        try:
-            raw = json.loads(Path(self.path).read_text(encoding="utf8"))
-        except (OSError, ValueError):
-            return  # derived data: a corrupt cache is an empty cache
-        if isinstance(raw, dict):
-            for key, value in raw.items():
-                if isinstance(value, (int, float)):
-                    self._disk[str(key)] = float(value)
+        self._disk = self._read_disk_file()
 
     def flush(self) -> None:
         """Persist batched writes; merges with concurrent writers' work."""
@@ -137,20 +167,7 @@ class DistanceCache:
             return
         self._load_disk()
         # Re-read so two services sharing a store lose neither's entries.
-        merged: Dict[str, float] = {}
-        if Path(self.path).exists():
-            try:
-                raw = json.loads(
-                    Path(self.path).read_text(encoding="utf8")
-                )
-                if isinstance(raw, dict):
-                    merged = {
-                        str(k): float(v)
-                        for k, v in raw.items()
-                        if isinstance(v, (int, float))
-                    }
-            except (OSError, ValueError):
-                merged = {}
+        merged = self._read_disk_file()
         merged.update(self._disk)
         merged.update(self._dirty)
         self._disk = merged
@@ -161,7 +178,7 @@ class DistanceCache:
         self.stats.flushes += 1
 
     # -- lookups --------------------------------------------------------
-    def get(self, key: str) -> Optional[float]:
+    def get(self, key: str) -> Optional[Any]:
         """Two-tier lookup; disk hits are promoted into the hot tier."""
         value = self._memory.get(key)
         if value is not None:
@@ -179,12 +196,13 @@ class DistanceCache:
         self.stats.misses += 1
         return None
 
-    def put(self, key: str, value: float) -> None:
-        """Record a freshly computed distance in both tiers (disk lazily)."""
+    def put(self, key: str, value: Any) -> None:
+        """Record a freshly computed value in both tiers (disk lazily)."""
         self.stats.puts += 1
-        self._memory.put(key, float(value))
+        encoded = self._encode(value)
+        self._memory.put(key, encoded)
         if self.path is not None:
-            self._dirty[key] = float(value)
+            self._dirty[key] = encoded
 
     def __len__(self) -> int:
         """Distinct keys across all tiers (incl. memory-only entries)."""
@@ -192,3 +210,19 @@ class DistanceCache:
         return len(
             set(self._disk) | set(self._dirty) | set(self._memory.keys())
         )
+
+
+class DistanceCache(TwoTierCache):
+    """The distance cache: float values keyed by symmetric pair keys.
+
+    Keys are the ``fingerprint|fingerprint|cost_key`` strings from
+    :func:`repro.corpus.fingerprint.pair_key`.
+    """
+
+    def _decode(self, raw: Any) -> Optional[float]:
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            return None
+        return float(raw)
+
+    def _encode(self, value: Any) -> float:
+        return float(value)

@@ -88,3 +88,17 @@ def pair_key(
     """
     low, high = sorted((fingerprint_a, fingerprint_b))
     return f"{low}|{high}|{cost_key}"
+
+
+def script_key(
+    fingerprint_from: str, fingerprint_to: str, cost_key: str
+) -> str:
+    """Directed cache key for one (run → run, cost-model) edit script.
+
+    Unlike :func:`pair_key`, the operands are **not** sorted: an edit
+    script transforms the first run into the second, and the reverse
+    transformation is a different script (insertions and deletions swap
+    roles and the operation order inverts).  The ``>`` separator makes
+    the direction legible in persisted index files.
+    """
+    return f"{fingerprint_from}>{fingerprint_to}|{cost_key}"

@@ -1,0 +1,214 @@
+"""Persistent inverted index over cached edit scripts.
+
+Maps query terms to the directed script keys
+(:func:`repro.corpus.fingerprint.script_key`) of the diffs whose scripts
+satisfy them, so the query engine can prune the candidate set of a
+predicate **before** loading a single script:
+
+* ``kind:<operation kind>`` — scripts containing at least one operation
+  of that kind (insertion/deletion/expansion/contraction);
+* ``label:<module label>`` — scripts with at least one operation whose
+  path touches the label (terminals included);
+* ``cost:<bucket>`` — scripts whose total cost (= distance) falls in a
+  power-of-two bucket, supporting range predicates.
+
+The index is *built incrementally as diffs are computed*: the
+:class:`~repro.corpus.service.DiffService` calls :meth:`ScriptIndex.add`
+whenever it computes (or first re-reads) a script, and the postings are
+persisted under ``<store>/index/query/postings.json`` through the same
+merge-on-flush discipline as the caches — concurrent services lose
+neither's postings, and a corrupt file is an empty index to be rebuilt.
+
+Pruning is **conservative by construction**: a term's posting list is a
+superset test only — the engine always re-evaluates the full predicate
+against the candidate scripts, so an over-approximate posting can cost
+time but never correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.io.store import WorkflowStore
+
+INDEX_NAME = "postings"
+INDEX_NAMESPACE = "query"
+INDEX_VERSION = 1
+
+KIND_PREFIX = "kind:"
+LABEL_PREFIX = "label:"
+COST_PREFIX = "cost:"
+
+
+def cost_bucket(distance: float) -> int:
+    """Power-of-two bucket of a script's total cost.
+
+    Bucket 0 holds ``[0, 1)``; bucket ``k >= 1`` holds
+    ``[2^(k-1), 2^k)``.  The function is monotone in ``distance``, which
+    is what makes bucket-range pruning exact: every script with cost in
+    ``[lo, hi]`` lands in a bucket between ``cost_bucket(lo)`` and
+    ``cost_bucket(hi)``.
+    """
+    if distance < 1.0:
+        return 0
+    return int(math.floor(math.log2(distance))) + 1
+
+
+def script_terms(record: dict) -> Set[str]:
+    """The index terms of one encoded script record."""
+    terms = {COST_PREFIX + str(cost_bucket(float(record["distance"])))}
+    for op in record["ops"]:
+        terms.add(KIND_PREFIX + str(op["kind"]))
+        for label in op["path"]:
+            terms.add(LABEL_PREFIX + str(label))
+    return terms
+
+
+class ScriptIndex:
+    """The inverted index: term → posting set, plus a docs table.
+
+    The docs table records ``key → (distance, op count)`` so pure
+    cost/op-count predicates can prune without touching the script
+    cache at all.
+    """
+
+    def __init__(self, store: WorkflowStore, persistent: bool = True):
+        self.store = store
+        self.persistent = persistent
+        self._postings: Dict[str, Set[str]] = {}
+        self._docs: Dict[str, Tuple[float, int]] = {}
+        self._dirty = False
+        if persistent:
+            self._ingest(
+                store.load_index(INDEX_NAME, namespace=INDEX_NAMESPACE)
+            )
+
+    # -- persistence ----------------------------------------------------
+    def _ingest(self, payload: Optional[dict]) -> None:
+        """Merge one persisted payload into the in-memory maps."""
+        if not payload or payload.get("version") != INDEX_VERSION:
+            return
+        postings = payload.get("postings")
+        docs = payload.get("docs")
+        if isinstance(postings, dict):
+            for term, keys in postings.items():
+                if isinstance(keys, list):
+                    self._postings.setdefault(str(term), set()).update(
+                        str(key) for key in keys
+                    )
+        if isinstance(docs, dict):
+            for key, entry in docs.items():
+                if (
+                    isinstance(entry, list)
+                    and len(entry) == 2
+                    and isinstance(entry[0], (int, float))
+                    and not isinstance(entry[0], bool)
+                    and isinstance(entry[1], int)
+                ):
+                    self._docs.setdefault(
+                        str(key), (float(entry[0]), entry[1])
+                    )
+
+    def flush(self) -> None:
+        """Persist the index, merging with concurrent writers' postings."""
+        if not self.persistent or not self._dirty:
+            return
+        # Re-ingest the on-disk state so two services sharing a store
+        # union their postings instead of overwriting each other.
+        self._ingest(
+            self.store.load_index(INDEX_NAME, namespace=INDEX_NAMESPACE)
+        )
+        payload = {
+            "version": INDEX_VERSION,
+            "postings": {
+                term: sorted(keys)
+                for term, keys in self._postings.items()
+            },
+            "docs": {
+                key: [distance, ops]
+                for key, (distance, ops) in self._docs.items()
+            },
+        }
+        self.store.save_index(
+            INDEX_NAME, payload, namespace=INDEX_NAMESPACE
+        )
+        self._dirty = False
+
+    # -- building -------------------------------------------------------
+    def has(self, key: str) -> bool:
+        return key in self._docs
+
+    def add(self, key: str, record: dict) -> None:
+        """Index one encoded script record (idempotent per key)."""
+        if key in self._docs:
+            return
+        for term in script_terms(record):
+            self._postings.setdefault(term, set()).add(key)
+        self._docs[key] = (
+            float(record["distance"]),
+            len(record["ops"]),
+        )
+        self._dirty = True
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def keys(self) -> Set[str]:
+        return set(self._docs)
+
+    def doc(self, key: str) -> Optional[Tuple[float, int]]:
+        """``(distance, op count)`` of an indexed script, or ``None``."""
+        return self._docs.get(key)
+
+    def terms(self) -> List[str]:
+        return sorted(self._postings)
+
+    def postings(self, term: str) -> Set[str]:
+        """The posting set of one term (a copy; empty when unknown)."""
+        return set(self._postings.get(term, ()))
+
+    # -- candidate generation (used by predicates) -----------------------
+    def candidates_for_kinds(self, kinds: Iterable[str]) -> Set[str]:
+        result: Set[str] = set()
+        for kind in kinds:
+            result |= self._postings.get(KIND_PREFIX + kind, set())
+        return result
+
+    def candidates_for_labels(self, labels: Iterable[str]) -> Set[str]:
+        result: Set[str] = set()
+        for label in labels:
+            result |= self._postings.get(LABEL_PREFIX + label, set())
+        return result
+
+    def candidates_for_cost(
+        self,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+    ) -> Set[str]:
+        low = cost_bucket(minimum) if minimum is not None else 0
+        high = cost_bucket(maximum) if maximum is not None else None
+        result: Set[str] = set()
+        for term, keys in self._postings.items():
+            if not term.startswith(COST_PREFIX):
+                continue
+            bucket = int(term[len(COST_PREFIX):])
+            if bucket < low:
+                continue
+            if high is not None and bucket > high:
+                continue
+            result |= keys
+        return result
+
+    def candidates_for_op_count(
+        self,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+    ) -> Set[str]:
+        return {
+            key
+            for key, (_, ops) in self._docs.items()
+            if (minimum is None or ops >= minimum)
+            and (maximum is None or ops <= maximum)
+        }

@@ -18,7 +18,11 @@ engine over a :class:`~repro.io.store.WorkflowStore`:
   exactly the ``N`` new pairs, never the existing ``N x (N-1) / 2``;
 * analytics (:meth:`medoid`, :meth:`outliers`, :meth:`nearest_runs`)
   answer the paper's "which executions cluster together / differ from
-  the majority" queries on top of the cached matrix.
+  the majority" queries on top of the cached matrix;
+* :meth:`edit_script` extends the caching story from distances to the
+  edit scripts themselves (directed, script-cache backed), feeding the
+  inverted :class:`~repro.corpus.script_index.ScriptIndex` that the
+  query engine (:mod:`repro.query`) prunes candidates with.
 
 Runs whose fingerprints coincide are ``≡``-equivalent, so their
 distance is 0 by the identity axiom — the service short-circuits such
@@ -30,15 +34,25 @@ from __future__ import annotations
 import concurrent.futures
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.api import distance_only
+from repro.core.api import diff_runs, distance_only
 from repro.corpus.analytics import k_nearest, medoid, outliers
 from repro.corpus.cache import DistanceCache
 from repro.corpus.fingerprint import (
     cost_model_key,
     pair_key,
+    script_key,
     spec_fingerprint,
 )
 from repro.corpus.index import FingerprintIndex
+from repro.corpus.script_cache import (
+    QUERY_NAMESPACE,
+    SCRIPTS_CACHE_NAME,
+    ScriptCache,
+    ScriptRecord,
+    decode_script,
+    encode_script,
+)
+from repro.corpus.script_index import ScriptIndex
 from repro.costs.base import CostModel
 from repro.costs.standard import UnitCost
 from repro.errors import ReproError
@@ -89,7 +103,19 @@ class DiffService:
             else None
         )
         self.cache = DistanceCache(path=cache_path, maxsize=cache_size)
+        script_path = (
+            self.store.index_path(
+                SCRIPTS_CACHE_NAME, namespace=QUERY_NAMESPACE
+            )
+            if persistent
+            else None
+        )
+        self.script_cache = ScriptCache(
+            path=script_path, maxsize=cache_size
+        )
+        self.script_index = ScriptIndex(self.store, persistent=persistent)
         self.computed_pairs = 0
+        self.computed_scripts = 0
         self._specs: Dict[str, WorkflowSpecification] = {}
 
     # -- resolution -----------------------------------------------------
@@ -125,6 +151,37 @@ class DiffService:
             name: self.index.fingerprint(spec, name) for name in run_names
         }
         return spec, fingerprints
+
+    def fingerprints(
+        self, spec_name: str, runs: Optional[Sequence[str]] = None
+    ) -> Dict[str, str]:
+        """``{run name: content fingerprint}`` for the named runs.
+
+        The public face of the fingerprint index — the query engine maps
+        name pairs onto content-addressed cache/index keys through this.
+        ``runs=None`` covers every stored run of the specification.
+        """
+        names = list(runs) if runs is not None else self.runs(spec_name)
+        _, fingerprints = self._resolve(spec_name, names)
+        if self.persistent:
+            self.index.flush()
+        return fingerprints
+
+    def _load_run(
+        self, spec: WorkflowSpecification, name: str
+    ) -> WorkflowRun:
+        """Load a run through the index memo (parse each XML once).
+
+        The memo is checked and published under the GIL's atomic dict
+        ops via peek/remember, with parsing kept outside any lock — a
+        rare race parses the same XML twice; first writer wins.
+        """
+        run = self.index.peek_run(spec.name, name)
+        if run is None:
+            run = self.index.remember(
+                self.store.load_run(spec, name), as_name=name
+            )
+        return run
 
     # -- batch computation ----------------------------------------------
     def _compute_pairs(
@@ -162,22 +219,14 @@ class DiffService:
         if pending:
             ordered = list(pending.items())
 
-            # Runs are loaded inside the workers; the memo is checked
-            # and published under the GIL's atomic dict ops via
-            # peek/remember, with parsing kept outside any lock.  A
-            # rare race parses the same XML twice; first writer wins.
-            def load(name):
-                run = self.index.peek_run(spec.name, name)
-                if run is None:
-                    run = self.index.remember(
-                        self.store.load_run(spec, name), as_name=name
-                    )
-                return run
-
             def compute(item):
                 _, group = item
                 a, b = group[0]
-                return distance_only(load(a), load(b), cost=cost)
+                return distance_only(
+                    self._load_run(spec, a),
+                    self._load_run(spec, b),
+                    cost=cost,
+                )
 
             if self.max_workers == 1 or len(ordered) == 1:
                 distances = [compute(item) for item in ordered]
@@ -202,6 +251,8 @@ class DiffService:
     def _flush(self) -> None:
         if self.persistent:
             self.cache.flush()
+            self.script_cache.flush()
+            self.script_index.flush()
             self.index.flush()
 
     # -- queries ---------------------------------------------------------
@@ -218,6 +269,24 @@ class DiffService:
         return self._compute_pairs(
             spec, [(run_a, run_b)], fingerprints, cost
         )[(run_a, run_b)]
+
+    def distances(
+        self,
+        spec_name: str,
+        pairs: Sequence[Tuple[str, str]],
+        cost: Optional[CostModel] = None,
+    ) -> Dict[Tuple[str, str], float]:
+        """Cached distances for an explicit list of name pairs.
+
+        The batch analogue of :meth:`distance` — the query engine's
+        group-vs-group divergence uses it to price only the within- and
+        cross-group pairs it needs, never the full matrix.
+        """
+        cost = cost or UnitCost()
+        pair_list = [(a, b) for a, b in pairs]
+        names = sorted({name for pair in pair_list for name in pair})
+        spec, fingerprints = self._resolve(spec_name, names)
+        return self._compute_pairs(spec, pair_list, fingerprints, cost)
 
     def distance_matrix(
         self,
@@ -264,6 +333,102 @@ class DiffService:
         pairs = [(run_name, other) for other in names if other != run_name]
         distances = self._compute_pairs(spec, pairs, fingerprints, cost)
         return k_nearest(distances, run_name, k=k, names=names)
+
+    # -- edit scripts -----------------------------------------------------
+    def cached_script(self, key: str) -> Optional[ScriptRecord]:
+        """The decoded script cached under a directed key, or ``None``.
+
+        Re-reading a script also backfills the inverted index (a cache
+        file can outlive a deleted index file) — any path that touches a
+        script keeps the index complete.
+        """
+        raw = self.script_cache.get(key)
+        if raw is None:
+            return None
+        record = decode_script(raw)
+        if record is None:
+            return None
+        if not self.script_index.has(key):
+            self.script_index.add(key, raw)
+        return record
+
+    def edit_script(
+        self,
+        spec_name: str,
+        run_a: str,
+        run_b: str,
+        cost: Optional[CostModel] = None,
+    ) -> ScriptRecord:
+        """The cached minimum-cost edit script from ``run_a`` to ``run_b``.
+
+        On a miss this pays one full :func:`repro.core.api.diff_runs`
+        (DP + mapping backtrace + script generation), then persists the
+        serialised script in the script cache, feeds the inverted index,
+        and — since a script's total cost *is* the distance — seeds the
+        distance cache for free.  Scripts are directed: ``(a, b)`` and
+        ``(b, a)`` are distinct cache entries.
+        """
+        return self.edit_scripts(spec_name, [(run_a, run_b)], cost)[
+            (run_a, run_b)
+        ]
+
+    def edit_scripts(
+        self,
+        spec_name: str,
+        pairs: Sequence[Tuple[str, str]],
+        cost: Optional[CostModel] = None,
+    ) -> Dict[Tuple[str, str], ScriptRecord]:
+        """Cached edit scripts for a batch of directed name pairs.
+
+        The batch analogue of :meth:`edit_script` — one flush for the
+        whole batch instead of one per computed script, which is what
+        keeps corpus ingest linear in the number of pairs (a per-script
+        flush would rewrite the growing cache file quadratically).
+        Content-duplicate pairs cost one diff: the first computation's
+        put makes every later lookup under the same key a cache hit.
+        """
+        cost = cost or UnitCost()
+        pair_list = [(a, b) for a, b in pairs]
+        names = sorted({name for pair in pair_list for name in pair})
+        spec, fingerprints = self._resolve(spec_name, names)
+        cost_key = cost_model_key(cost)
+        results: Dict[Tuple[str, str], ScriptRecord] = {}
+        for run_a, run_b in pair_list:
+            key = None
+            if cost_key is not None:
+                key = script_key(
+                    fingerprints[run_a], fingerprints[run_b], cost_key
+                )
+                record = self.cached_script(key)
+                if record is not None:
+                    results[(run_a, run_b)] = record
+                    continue
+            result = diff_runs(
+                self._load_run(spec, run_a),
+                self._load_run(spec, run_b),
+                cost=cost,
+                with_script=True,
+            )
+            self.computed_scripts += 1
+            record = ScriptRecord(
+                distance=result.distance,
+                operations=list(result.script.operations),
+            )
+            if key is not None:
+                raw = encode_script(record.distance, record.operations)
+                self.script_cache.put(key, raw)
+                self.script_index.add(key, raw)
+                self.cache.put(
+                    pair_key(
+                        fingerprints[run_a],
+                        fingerprints[run_b],
+                        cost_key,
+                    ),
+                    record.distance,
+                )
+            results[(run_a, run_b)] = record
+        self._flush()
+        return results
 
     # -- incremental updates ----------------------------------------------
     def add_run(
@@ -338,7 +503,17 @@ class DiffService:
     # -- introspection ------------------------------------------------------
     @property
     def stats(self) -> Dict[str, int]:
-        """Cache statistics plus the total DP count this service paid."""
+        """Cache statistics plus the total DP/diff counts this service paid.
+
+        Distance-cache counters keep their historical flat names
+        (``memory_hits``, ``disk_hits``, ...); the edit-script cache's
+        counters ride alongside under a ``script_`` prefix, and
+        ``indexed_scripts`` reports the inverted index's document count.
+        """
         merged = self.cache.stats.as_dict()
+        for name, value in self.script_cache.stats.as_dict().items():
+            merged[f"script_{name}"] = value
         merged["computed_pairs"] = self.computed_pairs
+        merged["computed_scripts"] = self.computed_scripts
+        merged["indexed_scripts"] = len(self.script_index)
         return merged

@@ -216,7 +216,7 @@ class WorkflowStore:
             return []
         return _list_names(directory)
 
-    # -- derived indexes (corpus subsystem) -----------------------------
+    # -- derived indexes (corpus/query subsystems) ----------------------
     @property
     def index_dir(self) -> Path:
         """Directory for derived, recomputable data (``<root>/index/``)."""
@@ -224,7 +224,26 @@ class WorkflowStore:
         path.mkdir(parents=True, exist_ok=True)
         return path
 
-    def load_index(self, name: str) -> Optional[dict]:
+    def index_path(
+        self, name: str, namespace: Optional[str] = None
+    ) -> Path:
+        """The file an index named ``name`` uses (without creating it).
+
+        ``namespace`` selects a subdirectory of ``index/`` — each
+        subsystem keeps its derived files in its own namespace (the
+        corpus distance cache lives at the top level for backwards
+        compatibility; the query engine's files live under
+        ``index/query/``).  Deleting a namespace directory loses only
+        that subsystem's recomputable state.
+        """
+        directory = self.root / "index"
+        if namespace is not None:
+            directory = directory / _safe_name(namespace)
+        return directory / f"{_safe_name(name)}.json"
+
+    def load_index(
+        self, name: str, namespace: Optional[str] = None
+    ) -> Optional[dict]:
         """Read a JSON index by name; ``None`` when absent or corrupt.
 
         A corrupt index is treated as missing — everything under
@@ -232,7 +251,7 @@ class WorkflowStore:
         Reading never creates ``index/``, so ephemeral (read-only)
         consumers leave the store untouched.
         """
-        path = self.root / "index" / f"{_safe_name(name)}.json"
+        path = self.index_path(name, namespace)
         if not path.exists():
             return None
         try:
@@ -241,8 +260,19 @@ class WorkflowStore:
             return None
         return loaded if isinstance(loaded, dict) else None
 
-    def save_index(self, name: str, payload: dict) -> Path:
-        """Atomically persist a JSON index by name."""
-        path = self.index_dir / f"{_safe_name(name)}.json"
+    def save_index(
+        self, name: str, payload: dict, namespace: Optional[str] = None
+    ) -> Path:
+        """Atomically persist a JSON index by name (and namespace)."""
+        path = self.index_path(name, namespace)
         atomic_write(path, json.dumps(payload, sort_keys=True))
         return path
+
+    def list_indexes(self, namespace: Optional[str] = None) -> List[str]:
+        """Names of the stored indexes in one namespace (sorted)."""
+        directory = self.root / "index"
+        if namespace is not None:
+            directory = directory / _safe_name(namespace)
+        if not directory.exists():
+            return []
+        return sorted(path.stem for path in directory.glob("*.json"))

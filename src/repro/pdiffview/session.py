@@ -118,6 +118,7 @@ class PDiffViewSession:
         self.store = WorkflowStore(root)
         self._specs: Dict[str, WorkflowSpecification] = {}
         self._service = None
+        self._query_engine = None
 
     @property
     def diff_service(self):
@@ -129,6 +130,17 @@ class PDiffViewSession:
 
             self._service = DiffService(self.store)
         return self._service
+
+    @property
+    def query_engine(self):
+        """The :class:`~repro.query.engine.QueryEngine` over this
+        session's corpus service (created lazily; scripts and the
+        inverted index persist under ``<root>/index/query/``)."""
+        if self._query_engine is None:
+            from repro.query.engine import QueryEngine
+
+            self._query_engine = QueryEngine(self.diff_service)
+        return self._query_engine
 
     # -- specifications -------------------------------------------------
     def register_specification(self, spec: WorkflowSpecification) -> None:
@@ -218,6 +230,31 @@ class PDiffViewSession:
         """``run_name``'s nearest stored runs, ``[(name, distance), ...]``."""
         return self.diff_service.nearest_runs(
             spec_name, run_name, k=k, cost=cost
+        )
+
+    # -- querying ----------------------------------------------------------
+    def query(
+        self,
+        spec_name: str,
+        predicate=None,
+        cost: Optional[CostModel] = None,
+        runs: Optional[List[str]] = None,
+    ) -> list:
+        """The diffs of stored run pairs matching a ``Q`` predicate.
+
+        Materialised for convenience (``[ScriptDoc, ...]`` in listing
+        order); use :attr:`query_engine` directly for streaming
+        evaluation or aggregations::
+
+            from repro.query import Q
+            docs = session.query(
+                "PA", Q.op_kind("path-deletion") & Q.touches("getGOAnnot")
+            )
+        """
+        return list(
+            self.query_engine.select(
+                spec_name, predicate, cost=cost, runs=runs
+            )
         )
 
     # -- rendering ---------------------------------------------------------

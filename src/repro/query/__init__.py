@@ -1,0 +1,54 @@
+"""Typed query engine over edit scripts and corpora.
+
+Where :mod:`repro.corpus` made *distances* a corpus-scale commodity,
+this package does the same for the *edit scripts themselves*: a
+composable predicate API (:class:`Q`), an indexed streaming evaluator
+(:class:`QueryEngine`), and aggregations (op-kind histograms, per-module
+churn rankings, group-vs-group divergence) — the paper's motivating
+"queries over collections of diffs" as a first-class subsystem.
+
+>>> from repro.query import Q
+>>> predicate = Q.op_kind("path-deletion") & Q.touches("getGOAnnot")
+>>> # engine = QueryEngine(service); engine.select("PA", predicate)
+"""
+
+from repro.query.aggregate import (
+    GroupDivergence,
+    ModuleChurn,
+    group_divergence,
+    module_churn,
+    op_kind_histogram,
+)
+from repro.query.engine import QueryEngine, ScriptDoc
+from repro.query.predicates import (
+    And,
+    Cost,
+    MatchAll,
+    Not,
+    OpCount,
+    OpKind,
+    Or,
+    Predicate,
+    Q,
+    Touches,
+)
+
+__all__ = [
+    "Q",
+    "Predicate",
+    "MatchAll",
+    "And",
+    "Or",
+    "Not",
+    "OpKind",
+    "Touches",
+    "Cost",
+    "OpCount",
+    "QueryEngine",
+    "ScriptDoc",
+    "op_kind_histogram",
+    "module_churn",
+    "ModuleChurn",
+    "GroupDivergence",
+    "group_divergence",
+]

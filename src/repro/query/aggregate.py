@@ -1,0 +1,130 @@
+"""Aggregations over query results: histograms, churn, divergence.
+
+Pure functions over iterables of :class:`~repro.query.engine.ScriptDoc`
+— they consume streams (a single pass, no materialisation of the input)
+and return small summary structures:
+
+* :func:`op_kind_histogram` — how a corpus edits: counts per elementary
+  operation kind;
+* :func:`module_churn` — *where* a corpus edits: per-module operation
+  counts and total cost, ranked.  Cost is attributed to a path
+  operation's **interior** labels (the modules actually inserted or
+  deleted); the terminals anchor the path and exist in both runs;
+* :class:`GroupDivergence` — how far apart two sets of runs sit, built
+  by :meth:`repro.query.engine.QueryEngine.divergence` from within- and
+  cross-group distances plus the cross-pair churn ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+def op_kind_histogram(docs: Iterable) -> Dict[str, int]:
+    """Operation counts per kind, summed over the docs' scripts."""
+    histogram: Dict[str, int] = {}
+    for doc in docs:
+        for op in doc.operations:
+            histogram[op.kind] = histogram.get(op.kind, 0) + 1
+    return histogram
+
+
+@dataclass
+class ModuleChurn:
+    """Churn of one module label across a set of diffs."""
+
+    label: str
+    operations: int = 0
+    total_cost: float = 0.0
+    pairs: int = 0  #: number of diffs with at least one touching op
+
+
+def module_churn(docs: Iterable) -> List[ModuleChurn]:
+    """Per-module churn ranking over the docs' scripts.
+
+    An operation's cost is attributed (in full) to each of its interior
+    labels; operations rewiring a direct edge have no interior module
+    and contribute to no label.  Ranked by descending total cost, ties
+    broken by label.
+    """
+    churn: Dict[str, ModuleChurn] = {}
+    for doc in docs:
+        touched = set()
+        for op in doc.operations:
+            for label in op.interior_labels:
+                entry = churn.get(label)
+                if entry is None:
+                    entry = churn[label] = ModuleChurn(label)
+                entry.operations += 1
+                entry.total_cost += op.cost
+                touched.add(label)
+        for label in touched:
+            churn[label].pairs += 1
+    return sorted(
+        churn.values(), key=lambda e: (-e.total_cost, e.label)
+    )
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class GroupDivergence:
+    """Where and how much two sets of runs diverge.
+
+    ``divergence`` is the mean cross-group distance minus the average
+    of the two mean within-group distances — positive when the groups
+    are farther from each other than from themselves (i.e. they form
+    distinguishable clusters); near zero when the grouping is
+    arbitrary.  ``churn`` ranks the modules the cross-group edit
+    scripts actually touch, answering *where* executions of the two
+    groups diverge most.
+    """
+
+    group_a: Tuple[str, ...]
+    group_b: Tuple[str, ...]
+    mean_within_a: float
+    mean_within_b: float
+    mean_cross: float
+    divergence: float
+    churn: List[ModuleChurn] = field(default_factory=list)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"within {list(self.group_a)}: mean {self.mean_within_a:.3f}",
+            f"within {list(self.group_b)}: mean {self.mean_within_b:.3f}",
+            f"cross: mean {self.mean_cross:.3f} "
+            f"(divergence {self.divergence:+.3f})",
+        ]
+        for entry in self.churn[:5]:
+            lines.append(
+                f"  {entry.label}: {entry.operations} ops, "
+                f"cost {entry.total_cost:g} across {entry.pairs} pairs"
+            )
+        return lines
+
+
+def group_divergence(
+    group_a,
+    group_b,
+    within_a: Dict,
+    within_b: Dict,
+    cross: Dict,
+    cross_docs: Iterable,
+) -> GroupDivergence:
+    """Assemble a :class:`GroupDivergence` from precomputed distances."""
+    mean_a = _mean(within_a.values())
+    mean_b = _mean(within_b.values())
+    mean_cross = _mean(cross.values())
+    return GroupDivergence(
+        group_a=tuple(group_a),
+        group_b=tuple(group_b),
+        mean_within_a=mean_a,
+        mean_within_b=mean_b,
+        mean_cross=mean_cross,
+        divergence=mean_cross - (mean_a + mean_b) / 2.0,
+        churn=module_churn(cross_docs),
+    )

@@ -1,0 +1,289 @@
+"""Composable predicates over edit scripts (the ``Q`` combinator API).
+
+A predicate answers "does this diff's edit script interest me?" and is
+evaluated against :class:`~repro.query.engine.ScriptDoc` objects.  The
+motivating questions from the paper — *which runs dropped the annotation
+module?  which pairs diverge by more than a little?* — compose from
+small primitives::
+
+    Q.op_kind(PATH_DELETION) & Q.touches("getGOAnnot") & Q.cost(min=2.0)
+
+Every predicate implements two faces:
+
+* :meth:`Predicate.matches` — the exact check against a loaded script;
+* :meth:`Predicate.candidates` — a *conservative* candidate set drawn
+  from the inverted :class:`~repro.corpus.script_index.ScriptIndex`
+  (``None`` means "cannot prune, consider everything").  Conjunctions
+  intersect their children's candidate sets, disjunctions union them,
+  and negations decline to prune — so index pruning can skip work but
+  never change an answer; the engine always re-runs :meth:`matches` on
+  the survivors.
+
+Predicates are immutable and freely shareable between queries.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.core.edit_script import OPERATION_KINDS
+from repro.errors import ReproError
+
+
+class Predicate:
+    """Base class: combinator plumbing shared by every predicate."""
+
+    def matches(self, doc) -> bool:
+        raise NotImplementedError
+
+    def candidates(self, index) -> Optional[Set[str]]:
+        """Index-derived superset of matching script keys (None = all)."""
+        return None
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class MatchAll(Predicate):
+    """Matches every diff (the implicit predicate of a bare query)."""
+
+    def matches(self, doc) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "*"
+
+
+class And(Predicate):
+    """Conjunction; candidate sets intersect (any child may prune)."""
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def matches(self, doc) -> bool:
+        return all(part.matches(doc) for part in self.parts)
+
+    def candidates(self, index) -> Optional[Set[str]]:
+        known = [
+            c for c in (p.candidates(index) for p in self.parts)
+            if c is not None
+        ]
+        if not known:
+            return None
+        result = set(known[0])
+        for candidate in known[1:]:
+            result &= candidate
+        return result
+
+    def describe(self) -> str:
+        return "(" + " & ".join(p.describe() for p in self.parts) + ")"
+
+
+class Or(Predicate):
+    """Disjunction; prunes only when *every* child can."""
+
+    def __init__(self, *parts: Predicate):
+        self.parts = tuple(parts)
+
+    def matches(self, doc) -> bool:
+        return any(part.matches(doc) for part in self.parts)
+
+    def candidates(self, index) -> Optional[Set[str]]:
+        result: Set[str] = set()
+        for part in self.parts:
+            candidate = part.candidates(index)
+            if candidate is None:
+                return None
+            result |= candidate
+        return result
+
+    def describe(self) -> str:
+        return "(" + " | ".join(p.describe() for p in self.parts) + ")"
+
+
+class Not(Predicate):
+    """Negation; never prunes (the complement of a superset is useless)."""
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def matches(self, doc) -> bool:
+        return not self.part.matches(doc)
+
+    def describe(self) -> str:
+        return f"~{self.part.describe()}"
+
+
+class OpKind(Predicate):
+    """At least one operation of one of the given kinds."""
+
+    def __init__(self, kinds: Iterable[str]):
+        kind_set = frozenset(kinds)
+        if not kind_set:
+            raise ReproError("op_kind requires at least one kind")
+        unknown = kind_set - frozenset(OPERATION_KINDS)
+        if unknown:
+            raise ReproError(
+                f"unknown operation kind(s) {sorted(unknown)}; "
+                f"expected a subset of {list(OPERATION_KINDS)}"
+            )
+        self.kinds: FrozenSet[str] = kind_set
+
+    def matches(self, doc) -> bool:
+        return any(op.kind in self.kinds for op in doc.operations)
+
+    def candidates(self, index) -> Optional[Set[str]]:
+        return index.candidates_for_kinds(self.kinds)
+
+    def describe(self) -> str:
+        return f"op_kind({', '.join(sorted(self.kinds))})"
+
+
+class Touches(Predicate):
+    """At least one operation whose path touches one of the labels.
+
+    Terminals count as touched: an inserted path ``A → X → B`` touches
+    ``A``, ``X`` and ``B`` (use churn aggregations for the stricter
+    interior-only attribution).
+    """
+
+    def __init__(self, labels: Iterable[str]):
+        label_set = frozenset(labels)
+        if not label_set:
+            raise ReproError("touches requires at least one label")
+        self.labels: FrozenSet[str] = label_set
+
+    def matches(self, doc) -> bool:
+        return any(
+            label in op.path_labels
+            for op in doc.operations
+            for label in self.labels
+        )
+
+    def candidates(self, index) -> Optional[Set[str]]:
+        return index.candidates_for_labels(self.labels)
+
+    def describe(self) -> str:
+        return f"touches({', '.join(sorted(self.labels))})"
+
+
+class Cost(Predicate):
+    """Total script cost (= distance) within ``[minimum, maximum]``."""
+
+    def __init__(
+        self,
+        minimum: Optional[float] = None,
+        maximum: Optional[float] = None,
+    ):
+        if minimum is None and maximum is None:
+            raise ReproError("cost requires min and/or max")
+        if (
+            minimum is not None
+            and maximum is not None
+            and minimum > maximum
+        ):
+            raise ReproError(
+                f"cost range is empty: min {minimum} > max {maximum}"
+            )
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def matches(self, doc) -> bool:
+        if self.minimum is not None and doc.distance < self.minimum:
+            return False
+        if self.maximum is not None and doc.distance > self.maximum:
+            return False
+        return True
+
+    def candidates(self, index) -> Optional[Set[str]]:
+        return index.candidates_for_cost(self.minimum, self.maximum)
+
+    def describe(self) -> str:
+        bounds = []
+        if self.minimum is not None:
+            bounds.append(f"min={self.minimum:g}")
+        if self.maximum is not None:
+            bounds.append(f"max={self.maximum:g}")
+        return f"cost({', '.join(bounds)})"
+
+
+class OpCount(Predicate):
+    """Number of operations in the script within ``[minimum, maximum]``."""
+
+    def __init__(
+        self,
+        minimum: Optional[int] = None,
+        maximum: Optional[int] = None,
+    ):
+        if minimum is None and maximum is None:
+            raise ReproError("op_count requires min and/or max")
+        if (
+            minimum is not None
+            and maximum is not None
+            and minimum > maximum
+        ):
+            raise ReproError(
+                f"op_count range is empty: min {minimum} > max {maximum}"
+            )
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def matches(self, doc) -> bool:
+        count = len(doc.operations)
+        if self.minimum is not None and count < self.minimum:
+            return False
+        if self.maximum is not None and count > self.maximum:
+            return False
+        return True
+
+    def candidates(self, index) -> Optional[Set[str]]:
+        return index.candidates_for_op_count(self.minimum, self.maximum)
+
+    def describe(self) -> str:
+        bounds = []
+        if self.minimum is not None:
+            bounds.append(f"min={self.minimum}")
+        if self.maximum is not None:
+            bounds.append(f"max={self.maximum}")
+        return f"op_count({', '.join(bounds)})"
+
+
+class Q:
+    """Factory namespace for query predicates (the public entry point)."""
+
+    @staticmethod
+    def everything() -> Predicate:
+        """Match every diff (useful as a fold seed)."""
+        return MatchAll()
+
+    @staticmethod
+    def op_kind(*kinds: str) -> Predicate:
+        """Diffs containing at least one operation of the given kinds."""
+        return OpKind(kinds)
+
+    @staticmethod
+    def touches(*labels: str) -> Predicate:
+        """Diffs with an operation whose path touches any given label."""
+        return Touches(labels)
+
+    @staticmethod
+    def cost(min: Optional[float] = None, max: Optional[float] = None) -> Predicate:  # noqa: A002 — mirrors Q.cost(min=..., max=...)
+        """Diffs whose total cost lies within ``[min, max]``."""
+        return Cost(minimum=min, maximum=max)
+
+    @staticmethod
+    def op_count(min: Optional[int] = None, max: Optional[int] = None) -> Predicate:  # noqa: A002
+        """Diffs whose script length lies within ``[min, max]``."""
+        return OpCount(minimum=min, maximum=max)

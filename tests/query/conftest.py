@@ -1,0 +1,73 @@
+"""Shared fixtures for the query-engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import api as core_api
+from repro.corpus.service import DiffService
+from repro.io.store import WorkflowStore
+from repro.query.engine import QueryEngine
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+
+VARIED = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def populate_store(root, n_runs: int) -> WorkflowStore:
+    """A store holding the PA spec and ``n_runs`` varied runs r01..rNN."""
+    store = WorkflowStore(root)
+    spec = protein_annotation()
+    store.save_specification(spec)
+    for seed in range(1, n_runs + 1):
+        run = execute_workflow(spec, VARIED, seed=seed, name=f"r{seed:02d}")
+        store.save_run(run)
+    return store
+
+
+@pytest.fixture
+def pa_store(tmp_path) -> WorkflowStore:
+    """A 5-run corpus (10 pairs — big enough for pruning to matter)."""
+    return populate_store(tmp_path, 5)
+
+
+@pytest.fixture
+def service(pa_store) -> DiffService:
+    return DiffService(pa_store)
+
+
+@pytest.fixture
+def engine(service) -> QueryEngine:
+    return QueryEngine(service)
+
+
+@pytest.fixture
+def diff_counter(monkeypatch):
+    """Count every full diff (script generation) however reached."""
+    counter = {"count": 0}
+    original = core_api.diff_runs
+
+    def counting(*args, **kwargs):
+        counter["count"] += 1
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(core_api, "diff_runs", counting)
+    # The service module resolved diff_runs at import time.
+    import repro.corpus.service as corpus_service
+
+    monkeypatch.setattr(corpus_service, "diff_runs", counting)
+    import repro.query.engine as query_engine
+
+    monkeypatch.setattr(query_engine, "diff_runs", counting)
+    return counter
+
+
+@pytest.fixture
+def varied_params() -> ExecutionParams:
+    return VARIED

@@ -1,0 +1,166 @@
+"""The ``repro`` console script: diff, matrix, query subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDiff:
+    def test_prints_distance_and_ops(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "diff", str(pa_store.root), "PA", "r01", "r02",
+            "--ops",
+        )
+        assert code == 0
+        assert "delta(r01, r02)" in out
+        assert "UnitCost" in out
+        assert "path-" in out  # at least one rendered operation
+
+    def test_json_output_roundtrips(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "diff", str(pa_store.root), "PA", "r01", "r02",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["run_a"] == "r01"
+        assert payload["distance"] == sum(
+            op["cost"] for op in payload["operations"]
+        )
+
+    def test_cost_model_flag(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "diff", str(pa_store.root), "PA", "r01", "r02",
+            "--cost", "power:0.5",
+        )
+        assert code == 0
+        assert "PowerCost" in out
+
+    def test_missing_run_is_a_clean_error(self, pa_store, capsys):
+        code, _, err = run_cli(
+            capsys, "diff", str(pa_store.root), "PA", "r01", "nope"
+        )
+        assert code == 2
+        assert "no stored run" in err
+
+    def test_missing_store_rejected_by_argparse(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["diff", str(tmp_path / "absent"), "PA", "a", "b"])
+
+    def test_bad_cost_model_rejected(self, pa_store, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "diff", str(pa_store.root), "PA", "r01", "r02",
+                "--cost", "quadratic",
+            ])
+
+
+class TestMatrix:
+    def test_table_lists_every_run(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "matrix", str(pa_store.root), "PA"
+        )
+        assert code == 0
+        for name in ("r01", "r02", "r03", "r04", "r05"):
+            assert name in out
+
+    def test_json_has_all_pairs(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "matrix", str(pa_store.root), "PA", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["distances"]) == 10
+
+
+class TestQuery:
+    def test_filters_and_aggregates(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "query", str(pa_store.root), "PA",
+            "--kind", "path-deletion",
+            "--min-cost", "1",
+            "--histogram", "--churn",
+        )
+        assert code == 0
+        assert "matching pair(s)" in out
+        assert "operation kinds:" in out
+        assert "module churn:" in out
+
+    def test_json_matches_are_selectable(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "query", str(pa_store.root), "PA",
+            "--min-cost", "2", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["predicate"] == "cost(min=2)"
+        assert all(
+            match["distance"] >= 2 for match in payload["matches"]
+        )
+
+    def test_limit_truncates_display_not_aggregates(
+        self, pa_store, capsys
+    ):
+        code, out, _ = run_cli(
+            capsys, "query", str(pa_store.root), "PA",
+            "--limit", "1", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["matches"]) == 1
+        assert payload["total_matches"] == 10
+
+        full = run_cli(
+            capsys, "query", str(pa_store.root), "PA", "--histogram"
+        )[1]
+        limited = run_cli(
+            capsys, "query", str(pa_store.root), "PA",
+            "--limit", "1", "--histogram",
+        )[1]
+        # The histogram covers the full match set either way.
+        section = lambda text: text.split("operation kinds:")[1]
+        assert section(limited) == section(full)
+        assert "10 matching pair(s)" in limited
+        assert "(showing 1)" in limited
+
+    def test_unfiltered_query_lists_all_pairs(self, pa_store, capsys):
+        code, out, _ = run_cli(
+            capsys, "query", str(pa_store.root), "PA", "--json"
+        )
+        assert code == 0
+        assert len(json.loads(out)["matches"]) == 10
+
+    def test_second_invocation_is_warm(self, pa_store, capsys):
+        run_cli(capsys, "query", str(pa_store.root), "PA", "--json")
+        # The second process-equivalent reads answer from the store's
+        # persisted caches: no scripts are recomputed.
+        from repro.corpus.service import DiffService
+
+        service = DiffService(pa_store)
+        service.edit_script("PA", "r01", "r02")
+        assert service.computed_scripts == 0
+
+
+class TestEntryPoint:
+    def test_console_script_is_declared(self):
+        from pathlib import Path
+
+        text = Path(__file__).resolve().parents[2].joinpath(
+            "pyproject.toml"
+        ).read_text(encoding="utf8")
+        assert '[project.scripts]' in text
+        assert 'repro = "repro.cli:main"' in text
+
+    def test_module_is_runnable(self, pa_store, capsys):
+        # `python -m repro.cli` uses the same main(); exercised here
+        # in-process to keep the suite fast.
+        assert main(["matrix", str(pa_store.root), "PA"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,144 @@
+"""Property test: indexed query results ≡ brute-force scan results.
+
+The correctness contract of the query subsystem: for any generated
+corpus, any cacheable cost model, and any predicate drawn from the ``Q``
+grammar, :meth:`QueryEngine.select` (script cache + inverted-index
+pruning) returns **exactly** what :meth:`QueryEngine.scan` computes by
+re-diffing every stored pair from XML — same pairs in the same order,
+same distances, same operation sequences — cold, warm, and warm across
+a service restart.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.service import DiffService
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.core.edit_script import OPERATION_KINDS
+from repro.io.store import WorkflowStore
+from repro.query.engine import QueryEngine
+from repro.query.predicates import Q
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import random_specification
+
+SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+COSTS = [UnitCost(), LengthCost(), PowerCost(0.5)]
+
+
+def predicates(draw):
+    """One predicate drawn from the ``Q`` grammar (depth <= 2)."""
+    leaves = [
+        Q.everything(),
+        Q.op_kind(draw(st.sampled_from(OPERATION_KINDS))),
+        Q.touches(f"m{draw(st.integers(min_value=1, max_value=12))}"),
+        Q.cost(min=draw(st.floats(min_value=0.0, max_value=6.0))),
+        Q.cost(max=draw(st.floats(min_value=0.0, max_value=6.0))),
+        Q.op_count(min=draw(st.integers(min_value=0, max_value=6))),
+    ]
+    first = draw(st.sampled_from(leaves))
+    second = draw(st.sampled_from(leaves))
+    combinator = draw(st.sampled_from(["leaf", "and", "or", "not"]))
+    if combinator == "and":
+        return first & second
+    if combinator == "or":
+        return first | second
+    if combinator == "not":
+        return ~first
+    return first
+
+
+def doc_payload(doc):
+    """Full-detail projection: pair, distance, every operation field."""
+    return (
+        doc.run_a,
+        doc.run_b,
+        doc.distance,
+        tuple(op.to_dict()["kind"] for op in doc.operations),
+        tuple(
+            (op.cost, op.length, op.source_label, op.sink_label,
+             op.path_labels, op.note)
+            for op in doc.operations
+        ),
+    )
+
+
+@given(data=st.data())
+@SETTINGS
+def test_indexed_query_equals_brute_force_scan(tmp_path_factory, data):
+    spec_seed = data.draw(st.integers(min_value=0, max_value=40))
+    run_seed = data.draw(st.integers(min_value=0, max_value=1000))
+    n_runs = data.draw(st.integers(min_value=2, max_value=5))
+    cost = COSTS[
+        data.draw(st.integers(min_value=0, max_value=len(COSTS) - 1))
+    ]
+    predicate = predicates(data.draw)
+
+    root = tmp_path_factory.mktemp("query-corpus")
+    store = WorkflowStore(root)
+    spec = random_specification(
+        10 + spec_seed % 6,
+        1.0,
+        num_forks=spec_seed % 3,
+        num_loops=spec_seed % 2,
+        seed=spec_seed,
+        name="rand",
+    )
+    store.save_specification(spec)
+    for offset in range(n_runs):
+        store.save_run(
+            execute_workflow(
+                spec, PARAMS, seed=run_seed + offset, name=f"run{offset}"
+            )
+        )
+
+    engine = QueryEngine(DiffService(store))
+    expected = [doc_payload(d) for d in engine.scan(
+        "rand", predicate, cost=cost
+    )]
+
+    # Cold: the first indexed query computes, caches, and indexes.
+    cold = [doc_payload(d) for d in engine.select(
+        "rand", predicate, cost=cost
+    )]
+    assert cold == expected
+
+    # Warm: the same engine answers from memory.
+    warm = [doc_payload(d) for d in engine.select(
+        "rand", predicate, cost=cost
+    )]
+    assert warm == expected
+
+    # Restart: a fresh service answers from the persisted cache/index
+    # without a single new diff.
+    reopened = QueryEngine(DiffService(store))
+    restarted = [doc_payload(d) for d in reopened.select(
+        "rand", predicate, cost=cost
+    )]
+    assert restarted == expected
+    assert reopened.service.computed_scripts == 0
+
+    # Aggregations agree between the two evaluation paths as well.
+    from repro.query.aggregate import module_churn, op_kind_histogram
+
+    assert op_kind_histogram(
+        engine.select("rand", predicate, cost=cost)
+    ) == op_kind_histogram(engine.scan("rand", predicate, cost=cost))
+    assert module_churn(
+        engine.select("rand", predicate, cost=cost)
+    ) == module_churn(engine.scan("rand", predicate, cost=cost))

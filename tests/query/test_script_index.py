@@ -1,0 +1,153 @@
+"""The inverted script index: terms, buckets, persistence, merging."""
+
+import pytest
+
+from repro.corpus.script_cache import encode_script
+from repro.corpus.script_index import (
+    INDEX_NAME,
+    INDEX_NAMESPACE,
+    INDEX_VERSION,
+    ScriptIndex,
+    cost_bucket,
+    script_terms,
+)
+from repro.core.edit_script import PathOperation
+from repro.io.store import WorkflowStore
+
+
+def op(kind="path-insertion", path=("A", "X", "B"), cost=1.0):
+    return PathOperation(
+        kind=kind,
+        cost=cost,
+        length=len(path) - 1,
+        source_label=path[0],
+        sink_label=path[-1],
+        path_labels=tuple(path),
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return WorkflowStore(tmp_path)
+
+
+class TestCostBuckets:
+    def test_bucket_layout(self):
+        assert cost_bucket(0.0) == 0
+        assert cost_bucket(0.99) == 0
+        assert cost_bucket(1.0) == 1
+        assert cost_bucket(1.99) == 1
+        assert cost_bucket(2.0) == 2
+        assert cost_bucket(3.99) == 2
+        assert cost_bucket(4.0) == 3
+        assert cost_bucket(1024.0) == 11
+
+    def test_monotone(self):
+        values = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 100.0]
+        buckets = [cost_bucket(v) for v in values]
+        assert buckets == sorted(buckets)
+
+
+class TestTermExtraction:
+    def test_terms_cover_kinds_labels_and_bucket(self):
+        record = encode_script(
+            3.0,
+            [op(), op(kind="path-deletion", path=("B", "C"))],
+        )
+        terms = script_terms(record)
+        assert "kind:path-insertion" in terms
+        assert "kind:path-deletion" in terms
+        assert {"label:A", "label:X", "label:B", "label:C"} <= terms
+        assert "cost:2" in terms
+
+    def test_empty_script_still_gets_a_cost_term(self):
+        assert script_terms(encode_script(0.0, [])) == {"cost:0"}
+
+
+class TestScriptIndex:
+    def test_add_and_candidates(self, store):
+        index = ScriptIndex(store)
+        index.add("k1", encode_script(1.0, [op()]))
+        index.add(
+            "k2",
+            encode_script(5.0, [op(kind="path-deletion", path=("C", "D"))]),
+        )
+        assert index.has("k1") and index.has("k2")
+        assert len(index) == 2
+        assert index.candidates_for_kinds(["path-insertion"]) == {"k1"}
+        assert index.candidates_for_labels(["C"]) == {"k2"}
+        assert index.candidates_for_labels(["X", "D"]) == {"k1", "k2"}
+        assert index.candidates_for_cost(2.0, None) == {"k2"}
+        assert index.candidates_for_cost(None, 1.5) == {"k1"}
+        assert index.candidates_for_cost(0.5, 8.0) == {"k1", "k2"}
+        assert index.candidates_for_op_count(1, 1) == {"k1", "k2"}
+
+    def test_add_is_idempotent(self, store):
+        index = ScriptIndex(store)
+        record = encode_script(1.0, [op()])
+        index.add("k", record)
+        index.add("k", encode_script(99.0, [op(kind="path-deletion")]))
+        assert index.doc("k") == (1.0, 1)
+        assert index.candidates_for_kinds(["path-deletion"]) == set()
+
+    def test_flush_and_reload(self, store):
+        index = ScriptIndex(store)
+        index.add("k", encode_script(2.0, [op()]))
+        index.flush()
+        path = store.index_path(INDEX_NAME, namespace=INDEX_NAMESPACE)
+        assert path.exists()
+        reloaded = ScriptIndex(store)
+        assert reloaded.has("k")
+        assert reloaded.doc("k") == (2.0, 1)
+        assert reloaded.candidates_for_labels(["X"]) == {"k"}
+
+    def test_flush_merges_concurrent_writers(self, store):
+        one = ScriptIndex(store)
+        two = ScriptIndex(store)
+        one.add("a", encode_script(1.0, [op()]))
+        one.flush()
+        two.add("b", encode_script(2.0, [op(path=("P", "Q"))]))
+        two.flush()
+        merged = ScriptIndex(store)
+        assert merged.keys() == {"a", "b"}
+
+    def test_unknown_version_ignored(self, store):
+        store.save_index(
+            INDEX_NAME,
+            {"version": INDEX_VERSION + 1, "postings": {}, "docs": {}},
+            namespace=INDEX_NAMESPACE,
+        )
+        assert len(ScriptIndex(store)) == 0
+
+    def test_corrupt_payload_ignored(self, store):
+        path = store.index_path(INDEX_NAME, namespace=INDEX_NAMESPACE)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{broken", encoding="utf8")
+        index = ScriptIndex(store)
+        assert len(index) == 0
+        index.add("k", encode_script(1.0, [op()]))
+        index.flush()
+        assert ScriptIndex(store).has("k")
+
+    def test_non_persistent_index_never_writes(self, store):
+        index = ScriptIndex(store, persistent=False)
+        index.add("k", encode_script(1.0, [op()]))
+        index.flush()
+        assert not store.index_path(
+            INDEX_NAME, namespace=INDEX_NAMESPACE
+        ).exists()
+
+
+class TestStoreNamespaces:
+    def test_namespaced_indexes_are_isolated(self, store):
+        store.save_index("postings", {"top": 1})
+        store.save_index("postings", {"nested": 2}, namespace="query")
+        assert store.load_index("postings") == {"top": 1}
+        assert store.load_index("postings", namespace="query") == {
+            "nested": 2
+        }
+        assert store.list_indexes(namespace="query") == ["postings"]
+        assert "postings" in store.list_indexes()
+
+    def test_missing_namespace_lists_empty(self, store):
+        assert store.list_indexes(namespace="nope") == []
