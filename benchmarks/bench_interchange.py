@@ -1,0 +1,212 @@
+"""Interchange benchmark: PROV-JSON export, import, and SP-ization.
+
+Measures the three interchange paths over growing workloads:
+
+* **export** — rendering generated runs (forks/loops included) to
+  PROV-JSON with an embedded plan;
+* **import (exact)** — re-importing those documents through the
+  embedded-plan path, including full run re-validation;
+* **import (normalize)** — ingesting foreign random PROV documents,
+  including the SP test and — for the non-SP share — layered
+  SP-ization with forced-serialisation accounting;
+* **ingest** — ``DiffService.add_prov_document`` end to end, i.e.
+  import plus fingerprinting plus incremental corpus distances.
+
+Emits ``benchmarks/results/BENCH_interchange.json`` (+ ``.txt``).
+``--quick`` shrinks the sweep for CI smoke runs; ``REPRO_BENCH_SCALE``
+grows it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import tempfile
+from pathlib import Path
+
+from _workloads import RESULTS_DIR, emit, scaled, timed
+
+from repro.corpus.service import DiffService
+from repro.interchange import export_run_json, import_document
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import (
+    random_prov_document,
+    random_specification,
+)
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.5,
+    max_loop=2,
+    prob_loop=0.5,
+)
+
+
+def bench_roundtrip(spec_edges: int, n_runs: int, seed: int) -> dict:
+    spec = random_specification(
+        spec_edges,
+        1.0,
+        num_forks=2,
+        num_loops=1,
+        seed=seed,
+        name=f"bench-{spec_edges}",
+    )
+    runs = [
+        execute_workflow(spec, PARAMS, seed=seed + i, name=f"r{i}")
+        for i in range(n_runs)
+    ]
+
+    export_times, import_times, sizes = [], [], []
+    for run in runs:
+        elapsed, text = timed(export_run_json, run)
+        export_times.append(elapsed)
+        sizes.append(len(text))
+        elapsed, result = timed(import_document, text)
+        import_times.append(elapsed)
+        assert result.run.equivalent(run)
+    return {
+        "spec_edges": spec_edges,
+        "runs": n_runs,
+        "mean_run_edges": statistics.mean(r.num_edges for r in runs),
+        "mean_doc_bytes": statistics.mean(sizes),
+        "export_ms": 1000 * statistics.mean(export_times),
+        "import_exact_ms": 1000 * statistics.mean(import_times),
+    }
+
+
+def bench_normalize(n_activities: int, n_docs: int, seed: int) -> dict:
+    times, non_sp, forced = [], 0, 0
+    for index in range(n_docs):
+        doc = random_prov_document(
+            n_activities, 0.3, seed=seed + index
+        )
+        elapsed, result = timed(
+            import_document, doc, "r", "ext"
+        )
+        times.append(elapsed)
+        if not result.report.was_series_parallel:
+            non_sp += 1
+            forced += len(result.report.forced_serializations)
+    return {
+        "activities": n_activities,
+        "documents": n_docs,
+        "import_normalize_ms": 1000 * statistics.mean(times),
+        "non_sp_share": non_sp / n_docs,
+        "forced_serialisations_total": forced,
+    }
+
+
+def bench_ingest(n_docs: int, n_activities: int, seed: int) -> dict:
+    root = Path(tempfile.mkdtemp(prefix="bench-interchange-"))
+    try:
+        service = DiffService(root / "store")
+        # One derived spec, many runs: export/import a base document,
+        # then add generated variants so distances actually compute.
+        base = random_prov_document(n_activities, 0.3, seed=seed)
+        elapsed_first, (result, _) = timed(
+            service.add_prov_document, base, "doc0", "ext"
+        )
+        times = [elapsed_first]
+        for index in range(1, n_docs):
+            run = execute_workflow(
+                result.spec,
+                ExecutionParams(prob_parallel=0.6),
+                seed=seed + index,
+                name=f"doc{index}",
+            )
+            text = export_run_json(run)
+            elapsed, _ = timed(
+                service.add_prov_document, text, f"doc{index}"
+            )
+            times.append(elapsed)
+        return {
+            "documents": n_docs,
+            "activities": n_activities,
+            "ingest_total_s": sum(times),
+            "ingest_mean_ms": 1000 * statistics.mean(times),
+            "computed_pairs": service.computed_pairs,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizes"
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        roundtrip_sweep = [(10, 5), (20, 5)]
+        normalize_sweep = [(8, 10), (16, 10)]
+        ingest_docs, ingest_acts = 6, 10
+    else:
+        roundtrip_sweep = [
+            (scaled(10), 20),
+            (scaled(25), 20),
+            (scaled(50), 10),
+        ]
+        normalize_sweep = [
+            (scaled(10), 50),
+            (scaled(25), 50),
+            (scaled(50), 25),
+        ]
+        ingest_docs, ingest_acts = scaled(15), scaled(20)
+
+    results = {
+        "roundtrip": [
+            bench_roundtrip(edges, runs, seed=edges)
+            for edges, runs in roundtrip_sweep
+        ],
+        "normalize": [
+            bench_normalize(acts, docs, seed=acts)
+            for acts, docs in normalize_sweep
+        ],
+        "ingest": bench_ingest(ingest_docs, ingest_acts, seed=99),
+    }
+
+    lines = ["BENCH_interchange", ""]
+    lines.append(
+        f"{'spec edges':>10} {'run edges':>10} {'doc bytes':>10} "
+        f"{'export ms':>10} {'import ms':>10}"
+    )
+    for row in results["roundtrip"]:
+        lines.append(
+            f"{row['spec_edges']:>10} {row['mean_run_edges']:>10.1f} "
+            f"{row['mean_doc_bytes']:>10.0f} {row['export_ms']:>10.2f} "
+            f"{row['import_exact_ms']:>10.2f}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'activities':>10} {'docs':>6} {'norm ms':>10} "
+        f"{'non-SP':>7} {'forced':>7}"
+    )
+    for row in results["normalize"]:
+        lines.append(
+            f"{row['activities']:>10} {row['documents']:>6} "
+            f"{row['import_normalize_ms']:>10.2f} "
+            f"{row['non_sp_share']:>7.0%} "
+            f"{row['forced_serialisations_total']:>7}"
+        )
+    ingest = results["ingest"]
+    lines.append("")
+    lines.append(
+        f"ingest: {ingest['documents']} documents in "
+        f"{ingest['ingest_total_s']:.2f}s "
+        f"({ingest['ingest_mean_ms']:.1f} ms/doc, "
+        f"{ingest['computed_pairs']} distance pairs)"
+    )
+    emit("BENCH_interchange", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_interchange.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n",
+        encoding="utf8",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ from repro.errors import (
     CostModelError,
     EditScriptError,
     GraphStructureError,
+    InterchangeError,
     InvalidRunError,
     MatchingError,
     NotSeriesParallelError,
@@ -46,6 +47,15 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.graphs.flow_network import FlowNetwork
+from repro.interchange import (
+    ImportResult,
+    NormalizationReport,
+    export_run_document,
+    export_run_json,
+    export_script_document,
+    import_document,
+)
+from repro.pdiffview.session import DiffView, PDiffViewSession
 from repro.query.aggregate import (
     GroupDivergence,
     ModuleChurn,
@@ -56,6 +66,7 @@ from repro.query.engine import QueryEngine, ScriptDoc
 from repro.query.predicates import Predicate, Q
 from repro.workflow.execution import ExecutionParams, execute_workflow
 from repro.workflow.generators import (
+    random_prov_document,
     random_run_pair,
     random_sp_graph,
     random_specification,
@@ -107,6 +118,15 @@ __all__ = [
     "random_sp_graph",
     "random_specification",
     "random_run_pair",
+    "random_prov_document",
+    "PDiffViewSession",
+    "DiffView",
+    "ImportResult",
+    "NormalizationReport",
+    "import_document",
+    "export_run_document",
+    "export_run_json",
+    "export_script_document",
     "all_real_workflows",
     "protein_annotation",
     "emboss",
@@ -122,4 +142,5 @@ __all__ = [
     "CostModelError",
     "EditScriptError",
     "MatchingError",
+    "InterchangeError",
 ]

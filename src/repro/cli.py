@@ -12,10 +12,16 @@ subcommands over a store directory (the layout
     repro query  STORE SPEC [--kind K] [--touches L] [--min-cost X]
                  [--max-cost X] [--min-ops N] [--max-ops N]
                  [--histogram] [--churn] [--json]
+    repro import STORE DOC.json [--name RUN] [--spec-name NAME] [--json]
+    repro export STORE SPEC RUN [--output FILE] [--script RUN_B]
 
-All three share the corpus service's persistent caches under
+The first three share the corpus service's persistent caches under
 ``STORE/index/`` — a second invocation of the same query answers from
-the warm index without recomputing a single diff.
+the warm index without recomputing a single diff.  ``import`` ingests a
+PROV-JSON/OPM document (SP-izing foreign graphs, with a report of any
+forced serialisations) and computes the new run's distances to the
+corpus; ``export`` writes a stored run — or, with ``--script``, the
+edit script between two runs — back out as PROV-JSON.
 """
 
 from __future__ import annotations
@@ -197,6 +203,79 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_import(args: argparse.Namespace) -> int:
+    service = DiffService(args.store)
+    result, distances = service.add_prov_document(
+        args.document,
+        run_name=args.name,
+        spec_name=args.spec_name,
+        cost=args.cost,
+    )
+    report = result.report
+    if args.json:
+        payload = {
+            "spec": result.spec.name,
+            "run": result.run.name,
+            "origin": result.origin,
+            "nodes": result.run.num_nodes,
+            "edges": result.run.num_edges,
+            "report": report.to_dict(),
+            "new_pairs": {
+                f"{a}|{b}": value for (a, b), value in distances.items()
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"imported run {result.run.name!r} "
+        f"({result.run.num_nodes} nodes, {result.run.num_edges} edges) "
+        f"into specification {result.spec.name!r} [{result.origin}]"
+    )
+    for line in report.summary_lines():
+        print(f"  {line}")
+    print(f"  distances to existing corpus: {len(distances)} pair(s)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.interchange.convert import (
+        export_run_json,
+        export_script_document,
+    )
+
+    service = DiffService(args.store)
+    if args.script:
+        record = service.edit_script(
+            args.spec, args.run, args.script, cost=args.cost
+        )
+        text = json.dumps(
+            export_script_document(
+                record.operations,
+                record.distance,
+                args.run,
+                args.script,
+                spec_name=args.spec,
+            ),
+            indent=2,
+            sort_keys=True,
+        )
+    else:
+        spec = service.specification(args.spec)
+        run = service.store.load_run(spec, args.run)
+        text = export_run_json(run)
+    if args.output:
+        try:
+            Path(args.output).write_text(text + "\n", encoding="utf8")
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write {args.output!r}: {exc}"
+            ) from None
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 # -- wiring -------------------------------------------------------------
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -274,6 +353,64 @@ def _parser() -> argparse.ArgumentParser:
         help="also print the per-module churn ranking",
     )
     query.set_defaults(func=_cmd_query)
+
+    imp = commands.add_parser(
+        "import",
+        help="ingest a PROV-JSON/OPM provenance document into a store",
+    )
+    # The store is created on demand: importing into a fresh directory
+    # is the natural first step of a new corpus.
+    imp.add_argument(
+        "store", type=Path, help="workflow store directory (created)"
+    )
+    imp.add_argument(
+        "document", help="PROV-JSON (or OPM dialect) file to import"
+    )
+    imp.add_argument(
+        "--name", default="", help="run name (defaults from the document)"
+    )
+    imp.add_argument(
+        "--spec-name",
+        default=None,
+        help="specification name for foreign documents (default "
+        "'imported'; embedded plans keep their own name)",
+    )
+    imp.add_argument(
+        "--cost",
+        type=_cost_model,
+        default=UnitCost(),
+        help="cost model for the new run's corpus distances",
+    )
+    imp.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    imp.set_defaults(func=_cmd_import)
+
+    exp = commands.add_parser(
+        "export",
+        help="write a stored run (or an edit script) as PROV-JSON",
+    )
+    exp.add_argument(
+        "store", type=_store_dir, help="workflow store directory"
+    )
+    exp.add_argument("spec", help="specification name")
+    exp.add_argument("run", help="run to export")
+    exp.add_argument(
+        "--script",
+        metavar="RUN_B",
+        default=None,
+        help="export the edit script from RUN to RUN_B instead",
+    )
+    exp.add_argument(
+        "--cost",
+        type=_cost_model,
+        default=UnitCost(),
+        help="cost model for --script (default unit)",
+    )
+    exp.add_argument(
+        "--output", "-o", default=None, help="write to a file"
+    )
+    exp.set_defaults(func=_cmd_export)
     return parser
 
 
@@ -286,6 +423,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe early —
+        # the conventional exit, not a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

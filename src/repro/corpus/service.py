@@ -222,6 +222,24 @@ class DiffService:
             def compute(item):
                 _, group = item
                 a, b = group[0]
+                # Canonical DP direction: δ is symmetric mathematically
+                # but the DP's float accumulation is not — δ(a, b) and
+                # δ(b, a) can differ in the last ULP.  The cache key is
+                # undirected, so always compute lexicographically
+                # (= listing order, the direction every fresh
+                # ``distance_matrix`` comparison uses); otherwise a
+                # value cached by ``add_run``'s (existing, new) order
+                # mismatches a later warm read bit-for-bit.
+                # (Name order, *not* fingerprint order, on purpose:
+                # fingerprint order would disagree with listing order
+                # for roughly half of all ordinary pairs and reintroduce
+                # the mismatch.  The residual corner — two name pairs of
+                # ≡-duplicate runs sharing one content key with opposite
+                # name orders — is inherent to content-keyed dedup: even
+                # a fixed direction cannot make the DPs of two distinct
+                # equivalent trees bit-identical.)
+                if b < a:
+                    a, b = b, a
                 return distance_only(
                     self._load_run(spec, a),
                     self._load_run(spec, b),
@@ -418,14 +436,20 @@ class DiffService:
                 raw = encode_script(record.distance, record.operations)
                 self.script_cache.put(key, raw)
                 self.script_index.add(key, raw)
-                self.cache.put(
-                    pair_key(
-                        fingerprints[run_a],
-                        fingerprints[run_b],
-                        cost_key,
-                    ),
-                    record.distance,
-                )
+                if run_a <= run_b:
+                    # Seed the (undirected) distance cache only from
+                    # the canonical direction — the same one
+                    # ``_compute_pairs`` uses — so every cached
+                    # distance is bit-identical to a fresh
+                    # listing-order computation.
+                    self.cache.put(
+                        pair_key(
+                            fingerprints[run_a],
+                            fingerprints[run_b],
+                            cost_key,
+                        ),
+                        record.distance,
+                    )
             results[(run_a, run_b)] = record
         self._flush()
         return results
@@ -477,6 +501,31 @@ class DiffService:
         results = self._compute_pairs(spec, pairs, fingerprints, cost)
         self._flush()
         return results
+
+    def add_prov_document(
+        self,
+        source,
+        run_name: str = "",
+        spec_name: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+    ):
+        """Import a PROV-JSON/OPM document and fold it into the corpus.
+
+        The interchange layer turns the document into a validated run
+        (exactly, via an embedded plan, or through SP-ization — see
+        :func:`repro.interchange.convert.import_document`);
+        :meth:`add_run` then persists it and computes only the new
+        distance pairs, so imported runs flow straight into the
+        fingerprint index, distance cache, and script index like
+        native ones.  Returns ``(import_result, new_pair_distances)``.
+        """
+        from repro.interchange.convert import import_document
+
+        result = import_document(
+            source, run_name=run_name, spec_name=spec_name
+        )
+        distances = self.add_run(result.run, cost=cost)
+        return result, distances
 
     # -- analytics ---------------------------------------------------------
     def medoid(

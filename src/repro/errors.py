@@ -64,3 +64,13 @@ class EditScriptError(ReproError):
 
 class MatchingError(ReproError):
     """An assignment-problem instance is infeasible or malformed."""
+
+
+class InterchangeError(ReproError):
+    """A foreign provenance document cannot be parsed or normalised.
+
+    Raised by the PROV-JSON/OPM interchange layer for invalid JSON,
+    structurally malformed documents (non-object sections, relations
+    missing their endpoints), cyclic dependency graphs, and embedded
+    specifications that fail re-validation.
+    """

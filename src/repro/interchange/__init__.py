@@ -1,0 +1,44 @@
+"""Provenance interchange: PROV-JSON/OPM import and export.
+
+The bridge between the paper's series-parallel run model and the
+entity/activity provenance graphs real systems emit.  See
+:mod:`repro.interchange.prov_json` (document model + dialects),
+:mod:`repro.interchange.normalize` (SP-ization of foreign DAGs), and
+:mod:`repro.interchange.convert` (run/script import–export).
+"""
+
+from repro.interchange.convert import (
+    ImportResult,
+    export_run_document,
+    export_run_json,
+    export_script_document,
+    import_document,
+)
+from repro.interchange.normalize import (
+    NormalizationReport,
+    NormalizedImport,
+    normalize_document,
+)
+from repro.interchange.prov_json import (
+    ProvDocument,
+    ProvRelation,
+    document_to_json,
+    document_to_mapping,
+    parse_prov_json,
+)
+
+__all__ = [
+    "ImportResult",
+    "NormalizationReport",
+    "NormalizedImport",
+    "ProvDocument",
+    "ProvRelation",
+    "document_to_json",
+    "document_to_mapping",
+    "export_run_document",
+    "export_run_json",
+    "export_script_document",
+    "import_document",
+    "normalize_document",
+    "parse_prov_json",
+]

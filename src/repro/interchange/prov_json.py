@@ -1,0 +1,343 @@
+"""PROV-JSON / OPM document model, parser and serialiser.
+
+Real provenance arrives as W3C PROV-style *entity/activity* graphs, not
+as the SP run graphs of the paper.  This module reads the two dialects
+we care about into one neutral :class:`ProvDocument`:
+
+* **PROV-JSON** (the W3C member submission): top-level sections
+  ``entity`` / ``activity`` / ``used`` / ``wasGeneratedBy`` /
+  ``wasInformedBy`` / ``wasDerivedFrom``, each a JSON object mapping
+  statement ids to attribute objects with ``prov:``-prefixed roles.
+* The **OPM dialect** used by older workflow systems: ``artifact`` for
+  entity, ``process`` for activity, ``wasTriggeredBy`` for
+  ``wasInformedBy``, and ``cause`` / ``effect`` role names instead of
+  ``prov:entity`` / ``prov:activity``.
+
+Only the *dependency-bearing* statements are modelled; agents,
+attributions and other PROV statements are preserved-by-ignoring (they
+do not affect the activity dependency relation the differ consumes).
+
+Everything raised here is :class:`~repro.errors.InterchangeError`, so
+callers (CLI, store ingest) can turn any malformed input into a clean
+diagnostic instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import InterchangeError
+
+#: Section aliases: foreign name -> canonical PROV-JSON section.
+_SECTION_ALIASES = {
+    "entity": "entity",
+    "artifact": "entity",  # OPM
+    "activity": "activity",
+    "process": "activity",  # OPM
+}
+
+#: Relation sections: canonical kind -> (subject roles, object roles).
+#: The *subject* is the downstream element (generated entity / informed
+#: activity), the *object* the upstream one, per the PROV-DM reading
+#: "subject relation object" (e.g. ``used(activity, entity)``).
+_RELATION_ROLES = {
+    "used": (("prov:activity", "activity", "effect"),
+             ("prov:entity", "entity", "cause")),
+    "wasGeneratedBy": (("prov:entity", "entity", "effect"),
+                       ("prov:activity", "activity", "cause")),
+    "wasInformedBy": (("prov:informed", "informed", "effect"),
+                      ("prov:informant", "informant", "cause")),
+    "wasDerivedFrom": (
+        ("prov:generatedEntity", "generatedEntity", "effect"),
+        ("prov:usedEntity", "usedEntity", "cause"),
+    ),
+}
+
+#: Foreign relation-section names accepted as aliases.
+_RELATION_ALIASES = {
+    "used": "used",
+    "wasGeneratedBy": "wasGeneratedBy",
+    "wasInformedBy": "wasInformedBy",
+    "wasTriggeredBy": "wasInformedBy",  # OPM
+    "wasDerivedFrom": "wasDerivedFrom",
+}
+
+
+@dataclass
+class ProvRelation:
+    """One dependency-bearing statement: ``kind(subject, object)``."""
+
+    kind: str
+    subject: str
+    object: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ProvDocument:
+    """A parsed PROV-JSON/OPM document (dependency-bearing subset)."""
+
+    prefixes: Dict[str, str] = field(default_factory=dict)
+    entities: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    activities: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    relations: List[ProvRelation] = field(default_factory=list)
+
+    # -- convenience views ----------------------------------------------
+    def relations_of(self, kind: str) -> List[ProvRelation]:
+        return [rel for rel in self.relations if rel.kind == kind]
+
+    def generators(self) -> Dict[str, str]:
+        """``{entity: generating activity}`` (first generation wins)."""
+        result: Dict[str, str] = {}
+        for rel in self.relations_of("wasGeneratedBy"):
+            result.setdefault(rel.subject, rel.object)
+        return result
+
+    def dependency_pairs(self) -> List[Tuple[str, str]]:
+        """Activity dependencies ``(upstream, downstream)``, deduplicated.
+
+        Two channels produce dependencies:
+
+        * ``wasInformedBy(a2, a1)`` — a direct ``a1 -> a2`` edge;
+        * ``used(a2, e)`` joined with ``wasGeneratedBy(e, a1)`` — the
+          dataflow reading: ``a2`` consumed what ``a1`` produced.
+
+        Self-dependencies are dropped (an activity trivially "depends"
+        on itself when it reads back its own output); genuine cycles
+        between *distinct* activities are left in and rejected later by
+        the normaliser.  Order is first-appearance, so imports are
+        deterministic for a fixed document.
+        """
+        pairs: List[Tuple[str, str]] = []
+        seen = set()
+
+        def add(upstream: str, downstream: str) -> None:
+            if upstream == downstream:
+                return
+            pair = (upstream, downstream)
+            if pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+
+        for rel in self.relations_of("wasInformedBy"):
+            add(rel.object, rel.subject)
+        generators = self.generators()
+        for rel in self.relations_of("used"):
+            producer = generators.get(rel.object)
+            if producer is not None:
+                add(producer, rel.subject)
+        return pairs
+
+    def activity_ids(self) -> List[str]:
+        """Every activity id, declared or merely referenced, in
+        first-appearance order (declarations first)."""
+        ordered = list(self.activities)
+        known = set(ordered)
+        for rel in self.relations:
+            mentioned: Tuple[str, ...]
+            if rel.kind == "wasInformedBy":
+                mentioned = (rel.object, rel.subject)
+            elif rel.kind == "used":
+                mentioned = (rel.subject,)
+            elif rel.kind == "wasGeneratedBy":
+                mentioned = (rel.object,)
+            else:
+                mentioned = ()
+            for name in mentioned:
+                if name not in known:
+                    known.add(name)
+                    ordered.append(name)
+        return ordered
+
+
+def local_name(identifier: str) -> str:
+    """The prefix-less part of a qualified id (``run:2a`` -> ``2a``)."""
+    _, _, local = identifier.rpartition(":")
+    return local or identifier
+
+
+def activity_label(
+    doc: ProvDocument, activity_id: str
+) -> str:
+    """Display label for an activity: ``repro:label``, ``prov:label``,
+    or the id's local name, in that order."""
+    attrs = doc.activities.get(activity_id, {})
+    for key in ("repro:label", "prov:label"):
+        value = attrs.get(key)
+        if isinstance(value, str) and value:
+            return value
+        # PROV-JSON allows attribute values as {"$": ..., "type": ...}.
+        if isinstance(value, dict) and isinstance(value.get("$"), str):
+            return value["$"]
+    return local_name(activity_id)
+
+
+# ---------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------
+def _require_object(value, context: str) -> dict:
+    if not isinstance(value, dict):
+        raise InterchangeError(
+            f"{context} must be a JSON object, got "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _role_value(record: dict, roles: Tuple[str, ...], context: str) -> str:
+    for role in roles:
+        value = record.get(role)
+        if isinstance(value, str) and value:
+            return value
+    raise InterchangeError(
+        f"{context} is missing a usable endpoint (tried roles "
+        f"{', '.join(roles)})"
+    )
+
+
+def parse_prov_json(source) -> ProvDocument:
+    """Parse PROV-JSON (or the OPM dialect) into a :class:`ProvDocument`.
+
+    ``source`` may be a JSON text or an already-decoded ``dict``.
+    Unknown top-level sections are ignored; the recognised ones are
+    validated strictly enough that every later stage can assume
+    well-typed ids.  Raises :class:`InterchangeError` on any problem.
+    """
+    if isinstance(source, (str, bytes)):
+        try:
+            source = json.loads(source)
+        except ValueError as exc:
+            raise InterchangeError(
+                f"provenance document is not valid JSON: {exc}"
+            ) from None
+    document = _require_object(source, "provenance document")
+
+    doc = ProvDocument()
+    prefix = document.get("prefix", {})
+    if prefix:
+        doc.prefixes = {
+            str(name): str(iri)
+            for name, iri in _require_object(prefix, "'prefix'").items()
+        }
+
+    for section_name, canonical in _SECTION_ALIASES.items():
+        section = document.get(section_name)
+        if section is None:
+            continue
+        target = doc.entities if canonical == "entity" else doc.activities
+        for identifier, attrs in _require_object(
+            section, f"section {section_name!r}"
+        ).items():
+            attrs = _require_object(
+                attrs if attrs is not None else {},
+                f"{section_name} {identifier!r}",
+            )
+            target.setdefault(str(identifier), dict(attrs))
+
+    for section_name, kind in _RELATION_ALIASES.items():
+        section = document.get(section_name)
+        if section is None:
+            continue
+        subject_roles, object_roles = _RELATION_ROLES[kind]
+        for statement_id, record in _require_object(
+            section, f"section {section_name!r}"
+        ).items():
+            record = _require_object(
+                record, f"{section_name} {statement_id!r}"
+            )
+            context = f"{section_name} statement {statement_id!r}"
+            doc.relations.append(
+                ProvRelation(
+                    kind=kind,
+                    subject=_role_value(record, subject_roles, context),
+                    object=_role_value(record, object_roles, context),
+                    attributes={
+                        key: value
+                        for key, value in record.items()
+                        if key not in subject_roles + object_roles
+                    },
+                )
+            )
+
+    if not doc.activities and not any(
+        rel.kind in ("wasInformedBy", "used", "wasGeneratedBy")
+        for rel in doc.relations
+    ):
+        raise InterchangeError(
+            "provenance document declares no activities (or processes) "
+            "and no dependency statements"
+        )
+    return doc
+
+
+# ---------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------
+def document_to_mapping(doc: ProvDocument) -> dict:
+    """Render a :class:`ProvDocument` back to PROV-JSON structure.
+
+    Statement ids are minted deterministically (``_:<kind><index>``), so
+    serialising the same document twice yields byte-identical JSON.
+    """
+    payload: Dict[str, dict] = {}
+    if doc.prefixes:
+        payload["prefix"] = dict(sorted(doc.prefixes.items()))
+    if doc.entities:
+        payload["entity"] = {
+            name: dict(attrs) for name, attrs in doc.entities.items()
+        }
+    if doc.activities:
+        payload["activity"] = {
+            name: dict(attrs) for name, attrs in doc.activities.items()
+        }
+    counters: Dict[str, int] = {}
+    for rel in doc.relations:
+        subject_roles, object_roles = _RELATION_ROLES[rel.kind]
+        counters[rel.kind] = counters.get(rel.kind, 0) + 1
+        record = {
+            subject_roles[0]: rel.subject,
+            object_roles[0]: rel.object,
+        }
+        record.update(rel.attributes)
+        payload.setdefault(rel.kind, {})[
+            f"_:{rel.kind}{counters[rel.kind]}"
+        ] = record
+    return payload
+
+
+def document_to_json(doc: ProvDocument) -> str:
+    """Deterministic PROV-JSON text for a document."""
+    return json.dumps(
+        document_to_mapping(doc), indent=2, sort_keys=True
+    )
+
+
+def load_prov_source(source) -> ProvDocument:
+    """Resolve the importer's polymorphic ``source`` into a document.
+
+    Accepts an already-decoded ``dict``, a JSON text, or a filesystem
+    path (``pathlib.Path``, or a string that does not start like JSON).
+    File errors surface as :class:`InterchangeError` so the CLI exits
+    with a message instead of a traceback.
+    """
+    from pathlib import Path
+
+    if isinstance(source, Path) or (
+        isinstance(source, str)
+        and not source.lstrip().startswith(("{", "["))
+    ):
+        path = Path(source)
+        if not path.exists():
+            raise InterchangeError(
+                f"provenance document {str(path)!r} does not exist"
+            )
+        try:
+            text = path.read_text(encoding="utf8")
+        except OSError as exc:
+            raise InterchangeError(
+                f"cannot read provenance document {str(path)!r}: {exc}"
+            ) from None
+        return parse_prov_json(text)
+    return parse_prov_json(source)

@@ -216,6 +216,45 @@ class WorkflowStore:
             return []
         return _list_names(directory)
 
+    # -- external provenance (interchange subsystem) --------------------
+    def ingest_prov(
+        self,
+        source,
+        run_name: str = "",
+        spec_name: Optional[str] = None,
+    ):
+        """Import a PROV-JSON/OPM document and persist spec and run.
+
+        ``source`` is a mapping, JSON text, or file path (see
+        :func:`repro.interchange.convert.import_document`).  Documents
+        exported by this library reconstruct exactly through their
+        embedded plan; foreign documents are SP-ized and land with a
+        :class:`~repro.interchange.normalize.NormalizationReport`.
+        Returns the :class:`~repro.interchange.convert.ImportResult`.
+        """
+        from repro.corpus.fingerprint import spec_fingerprint
+        from repro.interchange.convert import import_document
+
+        result = import_document(
+            source, run_name=run_name, spec_name=spec_name
+        )
+        if self.has_specification(result.spec.name):
+            # Never silently overwrite a same-name specification with
+            # different content: that would orphan every run already
+            # stored under it.  (The corpus service applies the same
+            # guard in ``add_run``.)
+            stored = self.load_specification(result.spec.name)
+            if spec_fingerprint(stored) != spec_fingerprint(result.spec):
+                raise ReproError(
+                    f"a different specification named "
+                    f"{result.spec.name!r} already exists in this "
+                    "store; import with another spec_name or remove "
+                    "the old specification first"
+                )
+        self.save_specification(result.spec)
+        self.save_run(result.run)
+        return result
+
     # -- derived indexes (corpus/query subsystems) ----------------------
     @property
     def index_dir(self) -> Path:

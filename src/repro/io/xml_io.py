@@ -47,6 +47,22 @@ def _graph_to_element(graph: FlowNetwork, tag: str, name: str) -> ET.Element:
     return root
 
 
+def _edge_id(edge: ET.Element) -> Tuple:
+    """The ``(source, target, key)`` triple of one ``<edge>`` element.
+
+    Validates the key attribute so corrupted files surface as
+    :class:`ReproError`, never as a bare :class:`ValueError`.
+    """
+    raw_key = edge.get("key", "0")
+    try:
+        key = int(raw_key)
+    except ValueError:
+        raise ReproError(
+            f"edge key {raw_key!r} is not an integer"
+        ) from None
+    return (edge.get("source"), edge.get("target"), key)
+
+
 def _graph_from_element(element: ET.Element) -> FlowNetwork:
     graph = FlowNetwork(name=element.get("name", ""))
     nodes = element.find("nodes")
@@ -58,9 +74,7 @@ def _graph_from_element(element: ET.Element) -> FlowNetwork:
     if edges is None:
         raise ReproError("missing <edges> section")
     for edge in edges.findall("edge"):
-        graph.add_edge(
-            edge.get("source"), edge.get("target"), int(edge.get("key", "0"))
-        )
+        graph.add_edge(*_edge_id(edge))
     return graph
 
 
@@ -87,9 +101,23 @@ def specification_to_xml(spec: WorkflowSpecification) -> str:
     return ET.tostring(root, encoding="unicode")
 
 
+def _parse_xml(text: str, what: str) -> ET.Element:
+    """Parse XML, turning syntax errors into :class:`ReproError`.
+
+    Stored catalog files can be corrupted out-of-band (truncated copies,
+    editor accidents); a raw :class:`xml.etree.ElementTree.ParseError`
+    would escape the library's exception hierarchy and surface as a
+    traceback in the CLI.
+    """
+    try:
+        return ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ReproError(f"malformed {what} XML: {exc}") from None
+
+
 def specification_from_xml(text: str) -> WorkflowSpecification:
     """Parse a specification from XML (re-validating everything)."""
-    root = ET.fromstring(text)
+    root = _parse_xml(text, "specification")
     if root.tag != "specification":
         raise ReproError(f"expected <specification>, got <{root.tag}>")
     graph = _graph_from_element(root)
@@ -101,14 +129,7 @@ def specification_from_xml(text: str) -> WorkflowSpecification:
             return result
         for item in section.findall(item_tag):
             result.append(
-                [
-                    (
-                        edge.get("source"),
-                        edge.get("target"),
-                        int(edge.get("key", "0")),
-                    )
-                    for edge in item.findall("edge")
-                ]
+                [_edge_id(edge) for edge in item.findall("edge")]
             )
         return result
 
@@ -132,7 +153,7 @@ def run_from_xml(
     text: str, spec: WorkflowSpecification
 ) -> WorkflowRun:
     """Parse and re-validate a run against ``spec``."""
-    root = ET.fromstring(text)
+    root = _parse_xml(text, "run")
     if root.tag != "run":
         raise ReproError(f"expected <run>, got <{root.tag}>")
     declared = root.get("spec")

@@ -167,6 +167,43 @@ class PDiffViewSession:
         """Validate (implicitly, via WorkflowRun) and persist a run."""
         self.store.save_run(run)
 
+    # -- external provenance ------------------------------------------------
+    def import_prov(
+        self,
+        source,
+        name: str = "",
+        spec_name: Optional[str] = None,
+    ):
+        """Import a PROV-JSON/OPM document into the session's store.
+
+        Registers the (embedded or derived) specification and persists
+        the run, so the imported execution is immediately diffable and
+        queryable.  Importing under a name that already denotes a
+        *different* specification is refused (the store's guard) —
+        runs stored under the old content would become unreadable.
+        Returns the :class:`~repro.interchange.convert.ImportResult`,
+        whose ``report`` details any SP-ization the document needed.
+        """
+        result = self.store.ingest_prov(
+            source, run_name=name, spec_name=spec_name
+        )
+        # The guard above ensures any pre-existing spec of this name
+        # has identical content (equal fingerprints), so session and
+        # service memos stay valid; keep the first object for identity.
+        self._specs.setdefault(result.spec.name, result.spec)
+        return result
+
+    def export_prov(self, spec_name: str, run_name: str) -> str:
+        """A stored run as deterministic PROV-JSON text.
+
+        The document embeds the specification as a ``prov:Plan``
+        entity, so :meth:`import_prov` (here or in another store)
+        reconstructs the run exactly.
+        """
+        from repro.interchange.convert import export_run_json
+
+        return export_run_json(self.run(spec_name, run_name))
+
     def generate_run(
         self,
         spec_name: str,

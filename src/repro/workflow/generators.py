@@ -311,6 +311,102 @@ def fig17b_specification(
     return WorkflowSpecification(graph, forks=[whole], name="fig17b")
 
 
+def random_prov_document(
+    num_activities: int,
+    edge_probability: float = 0.3,
+    seed: Optional[int] = None,
+    entity_ratio: float = 0.5,
+    opm_dialect: bool = False,
+    label_prefix: str = "act",
+) -> dict:
+    """A random PROV-JSON (or OPM-dialect) document for interchange tests.
+
+    Activities are placed on a random topological order; each forward
+    pair gains a dependency with ``edge_probability``.  A dependency is
+    expressed either directly (``wasInformedBy`` / ``wasTriggeredBy``)
+    or through a mediating entity (``wasGeneratedBy`` + ``used``),
+    chosen per edge with ``entity_ratio`` — so both extraction channels
+    of the importer are exercised.  Dense documents routinely contain
+    the four-node forbidden minor, i.e. they are **not**
+    series-parallel, which is exactly what the SP-izing normaliser and
+    its forced-serialisation report are tested against.
+
+    Returns a plain ``dict`` (the decoded-JSON form the importer
+    accepts), deterministic for a fixed ``seed``.
+    """
+    if num_activities < 1:
+        raise SpecificationError("num_activities must be >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise SpecificationError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    activities = [f"{label_prefix}{i}" for i in range(num_activities)]
+
+    activity_section = "process" if opm_dialect else "activity"
+    entity_section = "artifact" if opm_dialect else "entity"
+    informed_section = (
+        "wasTriggeredBy" if opm_dialect else "wasInformedBy"
+    )
+
+    document: dict = {
+        "prefix": {"ex": "urn:example:"},
+        activity_section: {
+            name: {"prov:label": name} for name in activities
+        },
+        entity_section: {},
+        informed_section: {},
+        "used": {},
+        "wasGeneratedBy": {},
+    }
+
+    def informed_record(upstream: str, downstream: str) -> dict:
+        if opm_dialect:
+            return {"effect": downstream, "cause": upstream}
+        return {
+            "prov:informed": downstream,
+            "prov:informant": upstream,
+        }
+
+    def used_record(activity: str, entity: str) -> dict:
+        if opm_dialect:
+            return {"effect": activity, "cause": entity}
+        return {"prov:activity": activity, "prov:entity": entity}
+
+    def generated_record(entity: str, activity: str) -> dict:
+        if opm_dialect:
+            return {"effect": entity, "cause": activity}
+        return {"prov:entity": entity, "prov:activity": activity}
+
+    statement = [0]
+
+    def fresh_id() -> str:
+        statement[0] += 1
+        return f"_:s{statement[0]}"
+
+    entity_counter = [0]
+    for i in range(num_activities):
+        for j in range(i + 1, num_activities):
+            if rng.random() >= edge_probability:
+                continue
+            upstream, downstream = activities[i], activities[j]
+            if rng.random() < entity_ratio:
+                entity_counter[0] += 1
+                entity = f"data{entity_counter[0]}"
+                document[entity_section][entity] = {
+                    "prov:label": entity
+                }
+                document["wasGeneratedBy"][fresh_id()] = (
+                    generated_record(entity, upstream)
+                )
+                document["used"][fresh_id()] = used_record(
+                    downstream, entity
+                )
+            else:
+                document[informed_section][fresh_id()] = (
+                    informed_record(upstream, downstream)
+                )
+    return document
+
+
 def random_run_pair(
     spec: WorkflowSpecification,
     params: Optional[ExecutionParams] = None,

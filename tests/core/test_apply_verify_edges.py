@@ -1,0 +1,126 @@
+"""Edge cases for the script engine and the diff verifier.
+
+The satellite cases the seed suite leaves uncovered: empty edit
+scripts, scripts checked against the *wrong* source run, and idempotent
+no-op transformations (freeze twice, apply-to-self).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.api import diff_runs
+from repro.core.apply import IdAllocator, MirrorFreezer, build_mirror
+from repro.core.verify import verify_diff
+from repro.errors import ReproError
+
+
+class TestEmptyEditScript:
+    def test_equivalent_runs_yield_empty_script(self, fig2_spec, fig2_r1):
+        result = diff_runs(fig2_r1, fig2_r1)
+        assert result.distance == 0.0
+        assert len(result.script.operations) == 0
+        assert result.script.total_cost == 0.0
+        # The empty script still materialises valid initial/final
+        # graphs, and they are the same run.
+        assert result.script.final_tree.structure_key() == (
+            fig2_r1.tree.structure_key()
+        )
+        assert result.script.initial_graph.structurally_equal(
+            result.script.final_graph
+        )
+
+    def test_empty_script_verifies_with_intermediates(self, fig2_r1):
+        result = diff_runs(
+            fig2_r1, fig2_r1, record_intermediates=True
+        )
+        report = verify_diff(result, check_intermediates=True)
+        assert report.ok, str(report)
+        assert result.script.intermediate_graphs == []
+
+    def test_compact_overview_of_empty_script(self, fig2_r1):
+        compact = diff_runs(fig2_r1, fig2_r1).compact_script()
+        assert compact.composites == []
+        assert compact.residual == []
+        assert compact.total_cost == 0.0
+        assert compact.summary_lines() == []
+
+
+class TestWrongSourceRun:
+    def test_script_checked_against_wrong_source_is_flagged(
+        self, fig2_r1, fig2_r2, fig2_r3
+    ):
+        # Forge a result whose script transforms R1 but whose claimed
+        # target is R3: every script-level guarantee must trip.
+        genuine = diff_runs(fig2_r1, fig2_r2)
+        forged = dataclasses.replace(genuine, run2=fig2_r3)
+        report = verify_diff(forged)
+        assert not report.ok
+        assert any(
+            "does not produce run 2" in problem
+            for problem in report.problems
+        )
+        with pytest.raises(ReproError, match="verification failed"):
+            forged_report = verify_diff(forged)
+            forged_report.raise_on_failure()
+
+    def test_swapped_direction_is_flagged(self, fig2_r1, fig2_r2):
+        # A script is directed: verifying (R2 -> R1) metadata against a
+        # (R1 -> R2) computation must fail unless the runs are ≡.
+        genuine = diff_runs(fig2_r1, fig2_r2)
+        forged = dataclasses.replace(
+            genuine, run1=genuine.run2, run2=genuine.run1
+        )
+        report = verify_diff(forged)
+        assert not report.ok
+
+    def test_wrong_specification_rejected_up_front(self, fig2_r1):
+        from repro.workflow.generators import random_specification
+        from repro.workflow.execution import execute_workflow
+
+        other_spec = random_specification(6, 1.0, seed=5, name="other")
+        foreign = execute_workflow(other_spec, seed=1, name="foreign")
+        with pytest.raises(ReproError, match="different specifications"):
+            diff_runs(fig2_r1, foreign)
+
+
+class TestIdempotentNoOps:
+    def test_freezing_twice_is_stable(self, fig2_r1):
+        # Freezing an untouched mirror is a no-op transformation: the
+        # result equals the original tree, and freezing the same mirror
+        # again yields the identical structure (idempotence).
+        root, _ = build_mirror(fig2_r1.tree)
+        once = MirrorFreezer(IdAllocator()).freeze(
+            root, fig2_r1.tree.source, fig2_r1.tree.sink
+        )
+        twice = MirrorFreezer(IdAllocator()).freeze(
+            root, fig2_r1.tree.source, fig2_r1.tree.sink
+        )
+        assert once.structure_key() == fig2_r1.tree.structure_key()
+        assert once.structure_key() == twice.structure_key()
+
+    def test_self_diff_script_leaves_graph_unchanged(self, fig2_r2):
+        result = diff_runs(
+            fig2_r2, fig2_r2, record_intermediates=True
+        )
+        assert result.script.intermediate_graphs == []
+        assert result.script.final_graph.structurally_equal(
+            result.script.initial_graph
+        )
+
+    def test_zero_distance_iff_equivalent_check(self, fig2_r1, fig2_r2):
+        # Tamper a nonzero-distance result to claim zero: the
+        # zero-iff-equivalent verifier axiom must flag it.
+        genuine = diff_runs(fig2_r1, fig2_r2, with_script=False)
+        forged = dataclasses.replace(genuine, distance=0.0)
+        report = verify_diff(forged)
+        assert any(
+            "does not coincide" in problem or "!=" in problem
+            for problem in report.problems
+        )
+
+    def test_script_skipped_note_for_distance_only(self, fig2_r1, fig2_r2):
+        result = diff_runs(fig2_r1, fig2_r2, with_script=False)
+        report = verify_diff(result)
+        assert report.ok
+        assert "script-skipped" in report.checks_run

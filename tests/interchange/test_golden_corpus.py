@@ -1,0 +1,81 @@
+"""Golden-corpus regression suite for the interchange subsystem.
+
+Six checked-in PROV-JSON fixtures under ``golden/`` — four exports of
+Fig. 2 runs (embedded plan), one OPM-dialect pipeline, one
+non-series-parallel document — with committed expectations for their
+normalised runs and for the edit-script costs between the fixture
+pairs that share a specification.  Any change to the importer, the
+normaliser, the differ, or the export format that alters observable
+behaviour shows up here as a diff against ``expected.json``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.corpus.service import DiffService
+from repro.interchange import import_document
+from repro.costs.standard import LengthCost, UnitCost
+
+GOLDEN = Path(__file__).parent / "golden"
+EXPECTED = json.loads((GOLDEN / "expected.json").read_text("utf8"))
+COSTS = {"unit": UnitCost, "length": LengthCost}
+
+_TOLERANCE = 1e-9
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED["fixtures"]))
+def test_fixture_normalises_as_committed(name):
+    want = EXPECTED["fixtures"][name]
+    result = import_document(
+        GOLDEN / f"{name}.json", run_name=name, spec_name=want["spec"]
+    )
+    assert result.origin == want["origin"]
+    assert result.run.num_nodes == want["nodes"]
+    assert result.run.num_edges == want["edges"]
+    assert (
+        result.report.was_series_parallel == want["series_parallel"]
+    )
+    assert (
+        len(result.report.forced_serializations)
+        == want["forced_serializations"]
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_corpus(tmp_path_factory):
+    """All embedded-plan fixtures ingested into one corpus store."""
+    root = tmp_path_factory.mktemp("golden-corpus")
+    service = DiffService(root)
+    for name, want in sorted(EXPECTED["fixtures"].items()):
+        if want["origin"] != "embedded-plan":
+            continue
+        result, _ = service.add_prov_document(
+            GOLDEN / f"{name}.json", run_name=name
+        )
+        assert result.spec.name == want["spec"]
+    return service
+
+
+@pytest.mark.parametrize(
+    "pair",
+    EXPECTED["pairs"],
+    ids=[f"{p['a']}-vs-{p['b']}-{p['cost']}" for p in EXPECTED["pairs"]],
+)
+def test_fixture_pair_costs_match_committed(golden_corpus, pair):
+    spec_name = EXPECTED["fixtures"][pair["a"]]["spec"]
+    record = golden_corpus.edit_script(
+        spec_name, pair["a"], pair["b"], cost=COSTS[pair["cost"]]()
+    )
+    assert abs(record.distance - pair["distance"]) <= _TOLERANCE
+    assert len(record.operations) == pair["operations"]
+
+
+def test_non_sp_fixture_reports_the_expected_forced_pair():
+    result = import_document(
+        GOLDEN / "non_sp_minor.json", run_name="nsm"
+    )
+    assert result.report.forced_serializations == [
+        ("stage", "analyze2")
+    ]

@@ -1,0 +1,190 @@
+"""Unit tests for SP-ization of foreign provenance graphs."""
+
+import pytest
+
+from repro.errors import InterchangeError
+from repro.graphs.decomposition import is_series_parallel
+from repro.interchange.normalize import normalize_document
+from repro.interchange.prov_json import parse_prov_json
+
+
+def informed(edges) -> dict:
+    """A PROV document from explicit activity dependency edges."""
+    activities = {}
+    for a, b in edges:
+        activities.setdefault(a, {})
+        activities.setdefault(b, {})
+    return {
+        "activity": activities,
+        "wasInformedBy": {
+            f"_:{i}": {"prov:informed": b, "prov:informant": a}
+            for i, (a, b) in enumerate(edges)
+        },
+    }
+
+
+def normalize(edges, **kwargs):
+    return normalize_document(
+        parse_prov_json(informed(edges)), **kwargs
+    )
+
+
+def dependencies(run):
+    """Transitive order relation over the run graph's nodes."""
+    graph = run.graph
+    pairs = set()
+    for node in graph.nodes():
+        for other in graph._reachable_from(node) - {node}:
+            pairs.add((node, other))
+    return pairs
+
+
+def test_sp_document_kept_verbatim():
+    result = normalize(
+        [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")], name="diamond"
+    )
+    report = result.report
+    assert report.was_series_parallel
+    assert report.exact
+    assert report.synthetic_source is None
+    assert report.synthetic_sink is None
+    assert result.run.num_nodes == 4
+    assert result.run.num_edges == 4
+    assert result.spec.name == "diamond"
+
+
+def test_multiple_sources_and_sinks_get_synthetic_terminals():
+    result = normalize([("a", "c"), ("b", "c"), ("c", "d"), ("c", "e")])
+    report = result.report
+    assert report.synthetic_source == "__source__"
+    assert report.synthetic_sink == "__sink__"
+    graph = result.run.graph
+    assert graph.source() == "__source__"
+    assert graph.sink() == "__sink__"
+    # Original dependencies all survive.
+    deps = dependencies(result.run)
+    for pair in [("a", "c"), ("b", "c"), ("c", "d"), ("c", "e")]:
+        assert pair in deps
+
+
+def test_single_isolated_activity_is_wrapped():
+    result = normalize_document(
+        parse_prov_json({"activity": {"only": {}}})
+    )
+    graph = result.run.graph
+    assert list(graph.nodes()) == ["__source__", "only", "__sink__"]
+    assert result.report.synthetic_source == "__source__"
+
+
+def test_non_sp_n_graph_serialises_exactly():
+    # The forbidden minor: its order relation is already total, so
+    # SP-ization needs no forced serialisations — just the chain.
+    result = normalize(
+        [("s", "v1"), ("s", "v2"), ("v1", "v2"), ("v1", "t"), ("v2", "t")]
+    )
+    report = result.report
+    assert not report.was_series_parallel
+    assert report.exact  # dependency relation preserved exactly
+    assert report.forced_serializations == []
+    assert [u for u, _, _ in result.run.graph.edges()] == ["s", "v1", "v2"]
+
+
+#: A short parallel branch (u) beside the four-node forbidden minor
+#: (w1, w2): non-SP overall, with (u, w2) incomparable but landing on
+#: different longest-path layers — the forced-serialisation case.
+NON_SP_WITH_INCOMPARABLE = [
+    ("s", "u"),
+    ("u", "t"),
+    ("s", "w1"),
+    ("s", "w2"),
+    ("w1", "w2"),
+    ("w1", "t"),
+    ("w2", "t"),
+]
+
+
+def test_non_sp_with_incomparable_pairs_reports_forced_serialisations():
+    result = normalize(NON_SP_WITH_INCOMPARABLE)
+    report = result.report
+    assert not report.was_series_parallel
+    assert report.forced_serializations == [("u", "w2")]
+    # Every original dependency survives; every forced pair is ordered.
+    deps = dependencies(result.run)
+    for pair in NON_SP_WITH_INCOMPARABLE:
+        assert pair in deps
+    for a, b in report.forced_serializations:
+        assert (a, b) in deps
+    # The result graph really is series-parallel and a valid run.
+    assert is_series_parallel(result.run.graph)
+
+
+def test_junctions_are_inserted_between_branching_layers():
+    # Two parallel pairs in sequence force a junction.
+    edges = [
+        ("s", "a"),
+        ("s", "b"),
+        ("a", "c"),
+        ("a", "d"),
+        ("b", "c"),
+        ("b", "d"),
+        ("c", "t"),
+        ("d", "t"),
+        ("a", "t"),  # breaks series-parallelism
+    ]
+    result = normalize(edges)
+    assert not result.report.was_series_parallel
+    assert result.report.junctions
+    for junction in result.report.junctions:
+        assert junction in result.run.graph
+
+
+def test_duplicate_labels_are_renamed_and_reported():
+    doc = parse_prov_json(
+        {
+            "activity": {
+                "x:align": {},
+                "y:align": {},
+                "z:merge": {},
+            },
+            "wasInformedBy": {
+                "_:1": {
+                    "prov:informed": "z:merge",
+                    "prov:informant": "x:align",
+                },
+                "_:2": {
+                    "prov:informed": "z:merge",
+                    "prov:informant": "y:align",
+                },
+            },
+        }
+    )
+    result = normalize_document(doc)
+    assert result.report.renamed_labels == {"y:align": "align~2"}
+    labels = set(result.run.graph.labels().values())
+    assert {"align", "align~2", "merge"} <= labels
+
+
+def test_cyclic_documents_are_rejected():
+    with pytest.raises(InterchangeError, match="cyclic"):
+        normalize([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+def test_report_round_trips_to_dict_and_summarises():
+    result = normalize(NON_SP_WITH_INCOMPARABLE)
+    payload = result.report.to_dict()
+    assert payload["was_series_parallel"] is False
+    assert payload["forced_serializations"]
+    lines = result.report.summary_lines()
+    assert any("forced serialisations" in line for line in lines)
+
+
+def test_activity_named_like_synthetic_does_not_collide():
+    result = normalize(
+        [("__source__", "a"), ("b", "a"), ("a", "c"), ("a", "d")]
+    )
+    graph = result.run.graph
+    # Two sources (__source__, b) demand a synthetic; it must not fuse
+    # with the user's activity of the same name.
+    assert result.report.synthetic_source == "__source__~2"
+    assert "__source__" in graph
+    assert "__source__~2" in graph

@@ -1,0 +1,154 @@
+"""Unit tests for the PROV-JSON/OPM document model and parser."""
+
+import json
+
+import pytest
+
+from repro.errors import InterchangeError
+from repro.interchange.prov_json import (
+    ProvDocument,
+    activity_label,
+    document_to_json,
+    document_to_mapping,
+    load_prov_source,
+    local_name,
+    parse_prov_json,
+)
+
+
+def minimal_doc() -> dict:
+    return {
+        "activity": {"ex:a": {"prov:label": "align"}, "ex:b": {}},
+        "entity": {"ex:d1": {}},
+        "wasGeneratedBy": {
+            "_:g1": {"prov:entity": "ex:d1", "prov:activity": "ex:a"}
+        },
+        "used": {
+            "_:u1": {"prov:activity": "ex:b", "prov:entity": "ex:d1"}
+        },
+    }
+
+
+def test_parse_prov_json_accepts_text_and_mapping():
+    as_dict = parse_prov_json(minimal_doc())
+    as_text = parse_prov_json(json.dumps(minimal_doc()))
+    assert as_dict.activities == as_text.activities
+    assert as_dict.dependency_pairs() == as_text.dependency_pairs()
+
+
+def test_dependency_via_entity_join():
+    doc = parse_prov_json(minimal_doc())
+    assert doc.dependency_pairs() == [("ex:a", "ex:b")]
+
+
+def test_dependency_via_was_informed_by():
+    doc = parse_prov_json(
+        {
+            "activity": {"a": {}, "b": {}},
+            "wasInformedBy": {
+                "_:i1": {"prov:informed": "b", "prov:informant": "a"}
+            },
+        }
+    )
+    assert doc.dependency_pairs() == [("a", "b")]
+
+
+def test_opm_dialect_sections_and_roles():
+    doc = parse_prov_json(
+        {
+            "process": {"p1": {}, "p2": {}, "p3": {}},
+            "artifact": {"art1": {}},
+            "wasTriggeredBy": {
+                "_:t1": {"effect": "p2", "cause": "p1"}
+            },
+            "wasGeneratedBy": {
+                "_:g1": {"effect": "art1", "cause": "p2"}
+            },
+            "used": {"_:u1": {"effect": "p3", "cause": "art1"}},
+        }
+    )
+    assert set(doc.activities) == {"p1", "p2", "p3"}
+    assert "art1" in doc.entities
+    assert doc.dependency_pairs() == [("p1", "p2"), ("p2", "p3")]
+
+
+def test_dependency_pairs_dedupe_and_drop_self_loops():
+    doc = parse_prov_json(
+        {
+            "activity": {"a": {}, "b": {}},
+            "wasInformedBy": {
+                "_:1": {"prov:informed": "b", "prov:informant": "a"},
+                "_:2": {"prov:informed": "b", "prov:informant": "a"},
+                "_:3": {"prov:informed": "a", "prov:informant": "a"},
+            },
+        }
+    )
+    assert doc.dependency_pairs() == [("a", "b")]
+
+
+def test_referenced_but_undeclared_activities_are_known():
+    doc = parse_prov_json(
+        {
+            "wasInformedBy": {
+                "_:1": {"prov:informed": "late", "prov:informant": "early"}
+            }
+        }
+    )
+    assert doc.activity_ids() == ["early", "late"]
+
+
+def test_activity_label_preference_order():
+    doc = ProvDocument(
+        activities={
+            "ex:x": {"repro:label": "ours", "prov:label": "theirs"},
+            "ex:y": {"prov:label": "theirs"},
+            "ex:z": {},
+            "ex:w": {"prov:label": {"$": "typed", "type": "xsd:string"}},
+        }
+    )
+    assert activity_label(doc, "ex:x") == "ours"
+    assert activity_label(doc, "ex:y") == "theirs"
+    assert activity_label(doc, "ex:z") == "z"
+    assert activity_label(doc, "ex:w") == "typed"
+    assert local_name("no-prefix") == "no-prefix"
+
+
+@pytest.mark.parametrize(
+    "broken",
+    [
+        "{not json",
+        "[]",
+        '"just a string"',
+        {"activity": []},
+        {"activity": {"a": {}}, "used": {"_:u": {"prov:activity": "a"}}},
+        {"activity": {"a": {}}, "used": "nope"},
+        {},
+        {"agent": {"who": {}}},
+    ],
+)
+def test_malformed_documents_raise_interchange_error(broken):
+    with pytest.raises(InterchangeError):
+        parse_prov_json(broken)
+
+
+def test_serialisation_is_deterministic_and_reparseable():
+    doc = parse_prov_json(minimal_doc())
+    text = document_to_json(doc)
+    assert text == document_to_json(parse_prov_json(text))
+    rebuilt = parse_prov_json(json.loads(text))
+    assert rebuilt.dependency_pairs() == doc.dependency_pairs()
+    mapping = document_to_mapping(doc)
+    assert set(mapping) >= {"activity", "entity", "used"}
+
+
+def test_load_prov_source_paths_and_errors(tmp_path):
+    path = tmp_path / "doc.json"
+    path.write_text(json.dumps(minimal_doc()), encoding="utf8")
+    assert load_prov_source(path).dependency_pairs() == [("ex:a", "ex:b")]
+    assert load_prov_source(str(path)).dependency_pairs() == [
+        ("ex:a", "ex:b")
+    ]
+    with pytest.raises(InterchangeError):
+        load_prov_source(tmp_path / "missing.json")
+    with pytest.raises(InterchangeError):
+        load_prov_source(str(tmp_path / "missing.json"))
