@@ -13,7 +13,8 @@ Run with:  python examples/corpus_service.py
 import tempfile
 import time
 
-from repro import DiffService, ExecutionParams, execute_workflow
+from repro import ExecutionParams, execute_workflow
+from repro.corpus.service import DiffService
 from repro.pdiffview.session import PDiffViewSession
 from repro.workflow.real_workflows import protein_annotation
 

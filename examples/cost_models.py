@@ -18,9 +18,9 @@ from repro import (
     ExecutionParams,
     PowerCost,
     WorkflowSpecification,
-    diff_runs,
     execute_workflow,
 )
+from repro.core.api import diff_runs
 from repro.workflow.generators import fig17b_specification
 
 

@@ -14,13 +14,9 @@ import json
 import tempfile
 from pathlib import Path
 
-from repro import (
-    DiffService,
-    ExecutionParams,
-    Q,
-    QueryEngine,
-    execute_workflow,
-)
+from repro import ExecutionParams, Q, execute_workflow
+from repro.corpus.service import DiffService
+from repro.query.engine import QueryEngine
 
 # A provenance document as another system might emit it: entity-mediated
 # dataflow plus direct activity ordering.  `stage` and `analyze2` are

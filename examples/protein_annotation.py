@@ -12,7 +12,8 @@ the largest change (the BLAST search section).
 Run with:  python examples/protein_annotation.py
 """
 
-from repro import ExecutionParams, UnitCost, diff_runs, protein_annotation
+from repro import ExecutionParams, UnitCost, protein_annotation
+from repro.core.api import diff_runs
 from repro.pdiffview.clustering import (
     Cluster,
     ModuleHierarchy,

@@ -10,7 +10,8 @@ on matched edges, and the structurally unmatched invocations.
 Run with:  python examples/provenance_capture.py
 """
 
-from repro import ExecutionParams, UnitCost, diff_runs, protein_annotation
+from repro import ExecutionParams, UnitCost, protein_annotation
+from repro.core.api import diff_runs
 from repro.provenance.annotate_diff import annotate_data_differences
 from repro.provenance.capture import capture_provenance
 from repro.workflow.execution import execute_workflow

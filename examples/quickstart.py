@@ -1,19 +1,23 @@
-"""Quickstart: diff two runs of a small SP-workflow.
+"""Quickstart: a Workspace over the paper's running example.
 
-Builds the paper's running example (Fig. 2), executes it twice with
-different fork/loop behaviour, computes the edit distance and prints the
-minimum-cost edit script.
+Builds the Fig. 2 specification, opens a :class:`repro.Workspace` on a
+temporary store, generates three runs with different fork/loop
+behaviour, and walks the unified API: ``diff`` (typed outcome),
+``matrix`` (cached all-pairs distances), and ``view`` (the interactive
+PDiffView panes).
 
 Run with:  python examples/quickstart.py
 """
 
+import tempfile
+
 from repro import (
     ExecutionParams,
     FlowNetwork,
+    ReproConfig,
     UnitCost,
+    Workspace,
     WorkflowSpecification,
-    diff_runs,
-    execute_workflow,
 )
 
 
@@ -36,34 +40,46 @@ def build_specification() -> WorkflowSpecification:
 
 
 def main() -> None:
-    spec = build_specification()
-    print(f"specification: {spec}")
-    print(spec.tree.pretty())
-    print()
+    with tempfile.TemporaryDirectory() as root:
+        # One config wires everything: cost model, execution backend,
+        # parallelism, caches.  backend="process" runs cold batches on
+        # every core; "serial" and "thread" are drop-in equivalents.
+        ws = Workspace(
+            root, ReproConfig(cost=UnitCost(), backend="thread")
+        )
+        ws.register(build_specification())
+        print(f"workspace: {ws}")
+        print()
 
-    params = ExecutionParams(
-        prob_parallel=0.7,   # each branch taken with probability 0.7
-        max_fork=3,          # forks replicate up to 3 copies
-        prob_fork=0.6,
-        max_loop=3,          # loops run up to 3 iterations
-        prob_loop=0.6,
-    )
-    run1 = execute_workflow(spec, params, seed=7, name="monday")
-    run2 = execute_workflow(spec, params, seed=8, name="friday")
-    print(f"run1: {run1}")
-    print(f"run2: {run2}")
-    print()
+        params = ExecutionParams(
+            prob_parallel=0.7,   # each branch taken with probability 0.7
+            max_fork=3,          # forks replicate up to 3 copies
+            prob_fork=0.6,
+            max_loop=3,          # loops run up to 3 iterations
+            prob_loop=0.6,
+        )
+        for seed, name in ((7, "monday"), (8, "friday"), (9, "sunday")):
+            run = ws.generate_run(name, params=params, seed=seed)
+            print(f"generated {run}")
+        print()
 
-    result = diff_runs(run1, run2, cost=UnitCost())
-    print(result.summary())
-    for index, op in enumerate(result.script.operations, start=1):
-        print(f"  {index:2d}. {op}")
-    print()
+        # One pair: a typed DiffOutcome with the full edit script.
+        outcome = ws.diff("monday", "friday")
+        print(outcome)
+        for index, op in enumerate(outcome.operations, start=1):
+            print(f"  {index:2d}. {op}")
+        print()
 
-    corr = result.correspondence()
-    print(f"matched instances: {len(corr.matched)}")
-    print(f"only in {run1.name}: {sorted(map(str, corr.left_only))}")
-    print(f"only in {run2.name}: {sorted(map(str, corr.right_only))}")
+        # All pairs: answered through the persistent distance cache
+        # (a second call performs zero edit-distance DPs).
+        print("distance matrix:")
+        for (a, b), distance in sorted(ws.matrix().items()):
+            print(f"  delta({a}, {b}) = {distance:g}")
+        print()
+
+        # The PDiffView surface: step through operations interactively.
+        view = ws.view("monday", "friday")
+        print(view.overview(max_operations=5))
 
 
 if __name__ == "__main__":

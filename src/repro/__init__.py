@@ -9,24 +9,42 @@ scripts with valid intermediates, and the PDiffView prototype.
 
 Quickstart
 ----------
->>> from repro import protein_annotation, execute_workflow, diff_runs
->>> spec = protein_annotation()
->>> run1 = execute_workflow(spec, seed=1)
->>> run2 = execute_workflow(spec, seed=2)
->>> result = diff_runs(run1, run2)
->>> result.distance >= 0
+The client API is the :class:`Workspace`: one façade over storage,
+differencing, querying, interchange and viewing, configured by a single
+:class:`ReproConfig` (cost model, execution backend, parallelism,
+caches):
+
+>>> from repro import ReproConfig, Workspace, protein_annotation
+>>> ws = Workspace(path, ReproConfig(backend="process"))  # doctest: +SKIP
+>>> ws.register(protein_annotation())
+>>> ws.generate_run("monday", seed=1)
+>>> ws.generate_run("tuesday", seed=2)
+>>> ws.diff("monday", "tuesday").distance >= 0
 True
+
+The pre-workspace entry points (``diff_runs``, ``DiffService``,
+``PDiffViewSession``, ``QueryEngine``) remain importable from here as
+deprecated shims; ``docs/MIGRATION.md`` maps every legacy call site to
+its workspace equivalent.
 """
 
+import warnings as _warnings
+
+from repro.backends.base import (
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.config import ReproConfig
 from repro.core.api import (
     DiffResult,
-    diff_runs,
     distance_only,
     edit_distance,
 )
 from repro.core.verify import VerificationReport, verify_diff
 from repro.corpus.fingerprint import run_fingerprint, spec_fingerprint
-from repro.corpus.service import DiffService
 from repro.costs.base import CostModel
 from repro.costs.standard import (
     CallableCost,
@@ -55,14 +73,14 @@ from repro.interchange import (
     export_script_document,
     import_document,
 )
-from repro.pdiffview.session import DiffView, PDiffViewSession
+from repro.pdiffview.session import DiffView
 from repro.query.aggregate import (
     GroupDivergence,
     ModuleChurn,
     module_churn,
     op_kind_histogram,
 )
-from repro.query.engine import QueryEngine, ScriptDoc
+from repro.query.engine import ScriptDoc
 from repro.query.predicates import Predicate, Q
 from repro.workflow.execution import ExecutionParams, execute_workflow
 from repro.workflow.generators import (
@@ -82,51 +100,122 @@ from repro.workflow.real_workflows import (
 )
 from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
+from repro.workspace import DiffOutcome, Workspace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Legacy entry points, kept importable as deprecated shims.  Each maps
+#: to ``(defining module, attribute, workspace replacement)``; accessing
+#: ``repro.<name>`` emits exactly one :class:`DeprecationWarning` and
+#: returns the real object, so existing code keeps working unchanged.
+#: New code (and everything inside this package) imports from the
+#: defining modules or uses the :class:`Workspace` API directly —
+#: ``python -W error::DeprecationWarning`` runs clean unless a caller
+#: touches a legacy name.
+_DEPRECATED = {
+    "diff_runs": (
+        "repro.core.api",
+        "diff_runs",
+        "Workspace.diff(a, b) (repro.core.api.diff_runs for the "
+        "low-level two-run form)",
+    ),
+    "DiffService": (
+        "repro.corpus.service",
+        "DiffService",
+        "Workspace (matrix/diff_many/nearest on a configured backend)",
+    ),
+    "PDiffViewSession": (
+        "repro.pdiffview.session",
+        "PDiffViewSession",
+        "Workspace (register/generate_run/diff/view/import_prov)",
+    ),
+    "QueryEngine": (
+        "repro.query.engine",
+        "QueryEngine",
+        "Workspace.query / Workspace.engine",
+    ),
+}
+
+
+def __getattr__(name):
+    """Serve the legacy entry points lazily, with a deprecation notice."""
+    try:
+        module_name, attribute, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    _warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead "
+        "(see docs/MIGRATION.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED))
+
 
 __all__ = [
     "__version__",
-    "diff_runs",
+    # -- the client API ------------------------------------------------
+    "Workspace",
+    "ReproConfig",
+    "DiffOutcome",
+    "DiffView",
+    # -- execution backends --------------------------------------------
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    # -- core differencing ----------------------------------------------
     "edit_distance",
     "distance_only",
     "DiffResult",
-    "DiffService",
+    "verify_diff",
+    "VerificationReport",
+    # -- querying --------------------------------------------------------
     "Q",
     "Predicate",
-    "QueryEngine",
     "ScriptDoc",
     "op_kind_histogram",
     "module_churn",
     "ModuleChurn",
     "GroupDivergence",
+    # -- corpus fingerprints ---------------------------------------------
     "run_fingerprint",
     "spec_fingerprint",
-    "verify_diff",
-    "VerificationReport",
+    # -- model -----------------------------------------------------------
     "FlowNetwork",
     "WorkflowSpecification",
     "WorkflowRun",
     "ExecutionParams",
     "execute_workflow",
+    # -- cost models -----------------------------------------------------
     "CostModel",
     "UnitCost",
     "LengthCost",
     "PowerCost",
     "LabelWeightedCost",
     "CallableCost",
+    # -- generators ------------------------------------------------------
     "random_sp_graph",
     "random_specification",
     "random_run_pair",
     "random_prov_document",
-    "PDiffViewSession",
-    "DiffView",
+    # -- interchange -----------------------------------------------------
     "ImportResult",
     "NormalizationReport",
     "import_document",
     "export_run_document",
     "export_run_json",
     "export_script_document",
+    # -- real workflows --------------------------------------------------
     "all_real_workflows",
     "protein_annotation",
     "emboss",
@@ -134,6 +223,7 @@ __all__ = [
     "mb",
     "pgaq",
     "baidd",
+    # -- errors ----------------------------------------------------------
     "ReproError",
     "GraphStructureError",
     "NotSeriesParallelError",
@@ -144,3 +234,10 @@ __all__ = [
     "MatchingError",
     "InterchangeError",
 ]
+
+# The deprecated shims (``diff_runs``, ``DiffService``,
+# ``PDiffViewSession``, ``QueryEngine``) are deliberately *not* in
+# ``__all__``: a star import must not drag legacy names (and their
+# warnings) into code that only uses the Workspace API.  They remain
+# importable by name through ``__getattr__`` above and are listed by
+# ``dir(repro)``.

@@ -1,0 +1,52 @@
+"""Pluggable execution backends for corpus-scale differencing.
+
+The edit-distance DP is pure Python and O(|E|³), so *where* a batch of
+pairwise diffs executes determines how the corpus layer scales:
+
+* :class:`SerialBackend` — in-process, one pair at a time.  Zero
+  overhead, deterministic scheduling; the baseline every other backend
+  is checked against.
+* :class:`ThreadBackend` — a :class:`concurrent.futures`
+  ``ThreadPoolExecutor``.  Under the GIL only the I/O/parsing share of
+  a batch overlaps, but the backend is cheap to spin up and never
+  requires picklable payloads.
+* :class:`ProcessBackend` — a ``ProcessPoolExecutor``.  Payloads are
+  pickled to worker processes, so the DP itself runs on every core;
+  this is the backend that makes a cold ``distance_matrix`` scale with
+  the machine (see ``benchmarks/bench_backends.py``).
+
+All three implement the :class:`ExecutorBackend` contract — ``map`` a
+module-level worker function over picklable task payloads — and are
+interchangeable by construction: property tests assert bit-identical
+distance matrices and edit-script costs across backends.  Select one
+through :class:`repro.config.ReproConfig` (``backend="process"``,
+``jobs=8``) or pass an instance anywhere a backend is accepted.
+"""
+
+from repro.backends.base import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.backends.work import (
+    DistanceTask,
+    ScriptTask,
+    compute_distance,
+    compute_script,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
+    "DistanceTask",
+    "ScriptTask",
+    "compute_distance",
+    "compute_script",
+]

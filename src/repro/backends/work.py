@@ -1,0 +1,64 @@
+"""Picklable work payloads and module-level workers for the backends.
+
+The corpus layer resolves runs (XML parse, fingerprint memo) in the
+parent process, then ships these self-contained payloads to whichever
+:class:`~repro.backends.base.ExecutorBackend` is configured.  Workers
+are plain module-level functions — importable by name, the requirement
+process pools impose — and return plain data (floats, operation lists),
+never service handles.
+
+A payload carries the two :class:`~repro.workflow.run.WorkflowRun`
+objects and the cost model; a chunked process dispatch pickles each
+chunk as one unit, so the shared specification object serialises once
+per chunk, not once per pair (both runs of a pair — and usually the
+whole corpus — reference the same spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.api import diff_runs, distance_only
+from repro.core.edit_script import PathOperation
+from repro.costs.base import CostModel
+from repro.workflow.run import WorkflowRun
+
+
+@dataclass
+class DistanceTask:
+    """One distance-only DP: ``δ(run_a, run_b)`` under ``cost``.
+
+    ``run_a``/``run_b`` are already in the canonical (lexicographic)
+    DP direction — the corpus layer orders them before dispatch so a
+    cached value stays bit-identical to a fresh listing-order
+    computation regardless of backend.
+    """
+
+    run_a: WorkflowRun
+    run_b: WorkflowRun
+    cost: CostModel
+
+
+@dataclass
+class ScriptTask:
+    """One full diff: the minimum-cost edit script for a directed pair."""
+
+    run_a: WorkflowRun
+    run_b: WorkflowRun
+    cost: CostModel
+
+
+def compute_distance(task: DistanceTask) -> float:
+    """Worker: the distance-only fast path for one pair."""
+    return distance_only(task.run_a, task.run_b, cost=task.cost)
+
+
+def compute_script(
+    task: ScriptTask,
+) -> Tuple[float, List[PathOperation]]:
+    """Worker: one full diff, returned as ``(distance, operations)``."""
+    result = diff_runs(
+        task.run_a, task.run_b, cost=task.cost, with_script=True
+    )
+    return result.distance, list(result.script.operations)

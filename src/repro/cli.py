@@ -8,16 +8,21 @@ subcommands over a store directory (the layout
 .. code-block:: sh
 
     repro diff   STORE SPEC RUN_A RUN_B [--cost unit|length|power:E] [--ops]
+                 [--backend serial|thread|process] [--jobs N]
     repro matrix STORE SPEC [--cost ...] [--json]
+                 [--backend serial|thread|process] [--jobs N]
     repro query  STORE SPEC [--kind K] [--touches L] [--min-cost X]
                  [--max-cost X] [--min-ops N] [--max-ops N]
                  [--histogram] [--churn] [--json]
     repro import STORE DOC.json [--name RUN] [--spec-name NAME] [--json]
     repro export STORE SPEC RUN [--output FILE] [--script RUN_B]
 
-The first three share the corpus service's persistent caches under
-``STORE/index/`` — a second invocation of the same query answers from
-the warm index without recomputing a single diff.  ``import`` ingests a
+Every subcommand is a thin shell over a :class:`repro.Workspace`
+configured through :class:`repro.ReproConfig`, so they share the
+corpus's persistent caches under ``STORE/index/`` — a second invocation
+of the same query answers from the warm index without recomputing a
+single diff.  ``--backend``/``--jobs`` pick where cold batches execute
+(``process`` runs the O(|E|³) DP on every core).  ``import`` ingests a
 PROV-JSON/OPM document (SP-izing foreign graphs, with a report of any
 forced serialisations) and computes the new run's distances to the
 corpus; ``export`` writes a stored run — or, with ``--script``, the
@@ -32,12 +37,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.corpus.service import DiffService
+from repro.backends.base import BACKEND_NAMES
+from repro.config import ReproConfig
 from repro.costs.base import CostModel
 from repro.costs.standard import LengthCost, PowerCost, UnitCost
 from repro.errors import ReproError
-from repro.query.engine import QueryEngine
 from repro.query.predicates import Predicate, Q
+from repro.workspace import Workspace
 
 
 def _cost_model(text: str) -> CostModel:
@@ -88,35 +94,38 @@ def _build_predicate(args: argparse.Namespace) -> Optional[Predicate]:
 
 
 # -- subcommands --------------------------------------------------------
+def _workspace(args: argparse.Namespace) -> Workspace:
+    """The workspace a subcommand operates on, built from its flags."""
+    return Workspace(
+        args.store,
+        ReproConfig(
+            cost=args.cost,
+            backend=getattr(args, "backend", "thread"),
+            jobs=getattr(args, "jobs", None),
+        ),
+    )
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
-    service = DiffService(args.store)
-    record = service.edit_script(
-        args.spec, args.run_a, args.run_b, cost=args.cost
+    outcome = _workspace(args).diff(
+        args.run_a, args.run_b, spec=args.spec
     )
     if args.json:
-        payload = {
-            "spec": args.spec,
-            "run_a": args.run_a,
-            "run_b": args.run_b,
-            "cost_model": args.cost.name,
-            "distance": record.distance,
-            "operations": [op.to_dict() for op in record.operations],
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(json.dumps(outcome.to_dict(), indent=2, sort_keys=True))
         return 0
     print(
-        f"delta({args.run_a}, {args.run_b}) = {record.distance:g} "
-        f"under {args.cost.name} ({record.op_count} ops)"
+        f"delta({args.run_a}, {args.run_b}) = {outcome.distance:g} "
+        f"under {args.cost.name} ({outcome.op_count} ops)"
     )
     if args.ops:
-        for position, op in enumerate(record.operations, start=1):
+        for position, op in enumerate(outcome.operations, start=1):
             print(f"  {position:3d}. {op}")
     return 0
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
-    service = DiffService(args.store)
-    matrix = service.distance_matrix(args.spec, cost=args.cost)
+    workspace = _workspace(args)
+    matrix = workspace.matrix(spec=args.spec)
     if args.json:
         payload = {
             "spec": args.spec,
@@ -127,7 +136,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    names = service.runs(args.spec)
+    names = workspace.runs(spec=args.spec)
     width = max([4] + [len(name) for name in names])
     header = " " * (width + 1) + " ".join(
         f"{name:>{width}}" for name in names
@@ -146,12 +155,9 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    service = DiffService(args.store)
-    engine = QueryEngine(service)
+    workspace = _workspace(args)
     predicate = _build_predicate(args)
-    docs = list(
-        engine.select(args.spec, predicate, cost=args.cost)
-    )
+    docs = workspace.query(predicate, spec=args.spec, cost=args.cost)
     # Aggregates and the match count cover the full result set; --limit
     # only truncates what is displayed.
     shown_docs = docs if args.limit is None else docs[: args.limit]
@@ -204,11 +210,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_import(args: argparse.Namespace) -> int:
-    service = DiffService(args.store)
-    result, distances = service.add_prov_document(
+    result, distances = _workspace(args).import_prov(
         args.document,
-        run_name=args.name,
+        name=args.name,
         spec_name=args.spec_name,
+        diff=True,
         cost=args.cost,
     )
     report = result.report
@@ -238,31 +244,17 @@ def _cmd_import(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from repro.interchange.convert import (
-        export_run_json,
-        export_script_document,
-    )
-
-    service = DiffService(args.store)
+    workspace = _workspace(args)
     if args.script:
-        record = service.edit_script(
-            args.spec, args.run, args.script, cost=args.cost
-        )
         text = json.dumps(
-            export_script_document(
-                record.operations,
-                record.distance,
-                args.run,
-                args.script,
-                spec_name=args.spec,
+            workspace.export_script(
+                args.run, args.script, spec=args.spec, cost=args.cost
             ),
             indent=2,
             sort_keys=True,
         )
     else:
-        spec = service.specification(args.spec)
-        run = service.store.load_run(spec, args.run)
-        text = export_run_json(run)
+        text = workspace.export_prov(args.run, spec=args.spec)
     if args.output:
         try:
             Path(args.output).write_text(text + "\n", encoding="utf8")
@@ -302,6 +294,22 @@ def _parser() -> argparse.ArgumentParser:
             "--json", action="store_true", help="machine-readable output"
         )
 
+    def backend_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--backend",
+            choices=list(BACKEND_NAMES),
+            default="thread",
+            help="where cold diff batches execute (default thread; "
+            "process uses every core)",
+        )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="parallelism of the backend (default: auto)",
+        )
+
     diff = commands.add_parser(
         "diff", help="edit distance and script between two stored runs"
     )
@@ -311,12 +319,14 @@ def _parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--ops", action="store_true", help="print every path operation"
     )
+    backend_flags(diff)
     diff.set_defaults(func=_cmd_diff)
 
     matrix = commands.add_parser(
         "matrix", help="all-pairs distance matrix of a specification"
     )
     common(matrix)
+    backend_flags(matrix)
     matrix.set_defaults(func=_cmd_matrix)
 
     query = commands.add_parser(

@@ -1,0 +1,91 @@
+"""Typed configuration for a :class:`~repro.workspace.Workspace`.
+
+One dataclass carries every knob the layered subsystems used to take
+separately — cost model, execution backend, parallelism, cache sizing,
+persistence — so a workspace (and the CLI) wires store, diff service,
+query engine and view layers consistently from a single object::
+
+    from repro import ReproConfig, Workspace
+    ws = Workspace(path, ReproConfig(backend="process", jobs=8))
+
+Configs are plain frozen dataclasses: build variants with
+:func:`dataclasses.replace` and pass them around freely — a config
+never holds live resources (the backend is constructed on demand by
+:meth:`ReproConfig.make_backend`, unless the caller supplies an
+instance to share).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.backends.base import (
+    BACKEND_NAMES,
+    ExecutorBackend,
+    make_backend,
+)
+from repro.costs.base import CostModel
+from repro.costs.standard import UnitCost
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Everything a workspace needs to wire its subsystems.
+
+    Attributes
+    ----------
+    cost:
+        Default cost model ``γ`` for every operation that accepts one
+        (each call can still override it per invocation).
+    backend:
+        Execution substrate for cold batches: ``"serial"``,
+        ``"thread"``, ``"process"``, or an
+        :class:`~repro.backends.base.ExecutorBackend` instance (shared
+        as-is, e.g. to reuse one process pool across workspaces).
+    jobs:
+        Parallelism for a backend given by name; ``None`` picks for the
+        machine.  Must be ``None`` when ``backend`` is an instance.
+    cache_size:
+        Bound of the in-memory distance/script cache tiers.
+    persistent:
+        When ``False`` the workspace keeps all derived state (caches,
+        fingerprints, indexes) in memory only — nothing lands under
+        ``<store>/index/``.
+    record_intermediates:
+        Whether :meth:`Workspace.view` diffs keep per-operation graph
+        snapshots (needed for stepping through intermediate states).
+    """
+
+    cost: CostModel = field(default_factory=UnitCost)
+    backend: Union[str, ExecutorBackend] = "thread"
+    jobs: Optional[int] = None
+    cache_size: int = 4096
+    persistent: bool = True
+    record_intermediates: bool = True
+
+    def __post_init__(self):
+        if self.jobs is not None and self.jobs < 1:
+            raise ReproError(
+                f"ReproConfig.jobs must be >= 1, got {self.jobs}"
+            )
+        if isinstance(self.backend, ExecutorBackend):
+            # Enforce the documented contract at construction, where
+            # the mistake is made — not later at Workspace() time.
+            if self.jobs is not None:
+                raise ReproError(
+                    "ReproConfig.jobs must be None when backend is an "
+                    "already-constructed instance "
+                    f"({self.backend.describe()} carries its own width)"
+                )
+        elif str(self.backend).strip().lower() not in BACKEND_NAMES:
+            raise ReproError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {', '.join(BACKEND_NAMES)} "
+                "or an ExecutorBackend instance)"
+            )
+
+    def make_backend(self) -> ExecutorBackend:
+        """Resolve :attr:`backend`/:attr:`jobs` to a live backend."""
+        return make_backend(self.backend, self.jobs)

@@ -7,10 +7,14 @@ mapping → minimum-cost edit script (Lemma 5.1).
 
 Example
 -------
->>> from repro import diff_runs, UnitCost
+>>> from repro.core.api import diff_runs
+>>> from repro import UnitCost
 >>> result = diff_runs(run1, run2, cost=UnitCost())   # doctest: +SKIP
 >>> result.distance                                    # doctest: +SKIP
 4.0
+
+(Client code usually reaches this through :meth:`repro.Workspace.diff`,
+which adds store resolution and corpus caching on top.)
 """
 
 from __future__ import annotations

@@ -8,12 +8,11 @@ engine over a :class:`~repro.io.store.WorkflowStore`:
 * every computed distance lands in a two-tier cache keyed by
   ``(fingerprint, fingerprint, cost model)`` — a warm
   :meth:`distance_matrix` call performs **zero** edit-distance DPs;
-* cold pairs fan out over a :class:`concurrent.futures` thread pool,
-  each worker running the distance-only fast path
-  (:func:`repro.core.api.distance_only`) — note the DP is pure Python,
-  so under the GIL threads overlap only the I/O/parsing share of a
-  batch; the big speedups here come from the cache tiers, with a
-  process-pool backend the natural next step for CPU parallelism;
+* cold pairs fan out over a pluggable
+  :class:`~repro.backends.base.ExecutorBackend` — the thread backend
+  (default) overlaps the I/O share of a batch under the GIL, while the
+  process backend pickles ``(run, run, cost)`` payloads to worker
+  processes so the pure-Python O(|E|³) DP itself scales with cores;
 * :meth:`add_run` is incremental: growing an ``N``-run corpus computes
   exactly the ``N`` new pairs, never the existing ``N x (N-1) / 2``;
 * analytics (:meth:`medoid`, :meth:`outliers`, :meth:`nearest_runs`)
@@ -31,10 +30,20 @@ pairs without any DP at all.
 
 from __future__ import annotations
 
-import concurrent.futures
+import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.api import diff_runs, distance_only
+from repro.backends.base import (
+    ExecutorBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.backends.work import (
+    DistanceTask,
+    ScriptTask,
+    compute_distance,
+    compute_script,
+)
 from repro.corpus.analytics import k_nearest, medoid, outliers
 from repro.corpus.cache import DistanceCache
 from repro.corpus.fingerprint import (
@@ -72,16 +81,22 @@ class DiffService:
         A :class:`WorkflowStore` or a path to create one at.  Sessions
         pass their existing store so service and session share files.
     max_workers:
-        Thread-pool width for batch queries.  ``None`` lets
-        :class:`~concurrent.futures.ThreadPoolExecutor` pick;  ``1``
-        forces serial execution (benchmarks compare the two).  Because
-        the edit-distance DP holds the GIL, expect modest gains from
-        threads on CPU-bound corpora.
+        Parallelism for batch queries when ``backend`` is given by name
+        (or defaulted).  ``None`` lets the backend pick for the
+        machine; ``1`` forces serial execution (benchmarks compare the
+        two).  Ignored when ``backend`` is an already-constructed
+        instance, which carries its own width.
     cache_size:
         Bound of the in-memory distance-cache tier.
     persistent:
         When ``False``, neither distances nor fingerprints are written
         to disk — an ephemeral, memory-only service.
+    backend:
+        Where cold batches execute: a name from
+        :data:`repro.backends.base.BACKEND_NAMES` or an
+        :class:`~repro.backends.base.ExecutorBackend` instance.
+        Defaults to the thread backend (the historical behaviour);
+        ``"process"`` runs the DP itself on every core.
     """
 
     def __init__(
@@ -90,11 +105,20 @@ class DiffService:
         max_workers: Optional[int] = None,
         cache_size: int = 4096,
         persistent: bool = True,
+        backend=None,
     ):
         self.store = (
             store if isinstance(store, WorkflowStore) else WorkflowStore(store)
         )
         self.max_workers = max_workers
+        if backend is None:
+            self.backend: ExecutorBackend = ThreadBackend(max_workers)
+        elif isinstance(backend, ExecutorBackend):
+            # An instance carries its own width; max_workers is the
+            # by-name convenience knob and is documented as ignored.
+            self.backend = backend
+        else:
+            self.backend = make_backend(backend, max_workers)
         self.persistent = persistent
         self.index = FingerprintIndex(self.store)
         cache_path = (
@@ -141,6 +165,16 @@ class DiffService:
 
     def runs(self, spec_name: str) -> List[str]:
         return self.store.list_runs(spec_name)
+
+    def load_run(self, spec_name: str, run_name: str) -> WorkflowRun:
+        """A stored run, served through the parsed-run memo.
+
+        The public face of the per-run parse cache the batch paths
+        use — interactive callers (the workspace's ``run``/``view``)
+        go through here so a corpus whose matrix is warm never
+        re-parses a run's XML to view it.
+        """
+        return self._load_run(self.specification(spec_name), run_name)
 
     def _resolve(
         self, spec_name: str, run_names: Sequence[str]
@@ -195,7 +229,13 @@ class DiffService:
 
         Equal-fingerprint pairs short-circuit to 0; cacheable pairs are
         deduplicated by content key so two name pairs backed by the same
-        graphs cost one DP; the remaining work runs on a thread pool.
+        graphs cost one DP; the remaining work runs on the configured
+        :class:`~repro.backends.base.ExecutorBackend`.  In-process
+        backends load runs *inside* the workers (threads overlap the
+        XML-parsing share of a cold batch under the GIL); the process
+        backend gets pre-resolved, picklable
+        :class:`~repro.backends.work.DistanceTask` payloads, so its
+        workers receive ready trees and never touch the store.
         """
         cost_key = cost_model_key(cost)
         results: Dict[Tuple[str, str], float] = {}
@@ -218,9 +258,8 @@ class DiffService:
 
         if pending:
             ordered = list(pending.items())
-
-            def compute(item):
-                _, group = item
+            directed = []
+            for _, group in ordered:
                 a, b = group[0]
                 # Canonical DP direction: δ is symmetric mathematically
                 # but the DP's float accumulation is not — δ(a, b) and
@@ -240,19 +279,26 @@ class DiffService:
                 # equivalent trees bit-identical.)
                 if b < a:
                     a, b = b, a
-                return distance_only(
-                    self._load_run(spec, a),
-                    self._load_run(spec, b),
+                directed.append((a, b))
+
+            def task(pair) -> DistanceTask:
+                a, b = pair
+                return DistanceTask(
+                    run_a=self._load_run(spec, a),
+                    run_b=self._load_run(spec, b),
                     cost=cost,
                 )
 
-            if self.max_workers == 1 or len(ordered) == 1:
-                distances = [compute(item) for item in ordered]
+            if self.backend.requires_pickling:
+                # Resolve every run here: workers get ready trees.
+                distances = self.backend.map(
+                    compute_distance, [task(pair) for pair in directed]
+                )
             else:
-                with concurrent.futures.ThreadPoolExecutor(
-                    max_workers=self.max_workers
-                ) as pool:
-                    distances = list(pool.map(compute, ordered))
+                # Resolve inside the workers: threads overlap parsing.
+                distances = self.backend.map(
+                    lambda pair: compute_distance(task(pair)), directed
+                )
 
             for (key, group), value in zip(ordered, distances):
                 self.computed_pairs += 1
@@ -272,6 +318,15 @@ class DiffService:
             self.script_cache.flush()
             self.script_index.flush()
             self.index.flush()
+
+    def flush(self) -> None:
+        """Persist every dirty cache tier now (no-op when ephemeral).
+
+        Query methods flush themselves; this exists for callers that
+        batch with ``edit_scripts(..., flush=False)`` and settle once
+        at the end.
+        """
+        self._flush()
 
     # -- queries ---------------------------------------------------------
     def distance(
@@ -395,6 +450,7 @@ class DiffService:
         spec_name: str,
         pairs: Sequence[Tuple[str, str]],
         cost: Optional[CostModel] = None,
+        flush: bool = True,
     ) -> Dict[Tuple[str, str], ScriptRecord]:
         """Cached edit scripts for a batch of directed name pairs.
 
@@ -402,8 +458,15 @@ class DiffService:
         whole batch instead of one per computed script, which is what
         keeps corpus ingest linear in the number of pairs (a per-script
         flush would rewrite the growing cache file quadratically).
-        Content-duplicate pairs cost one diff: the first computation's
-        put makes every later lookup under the same key a cache hit.
+        Callers that chunk one logical sweep into many batches (the
+        workspace's streaming ``diff_many``) pass ``flush=False`` per
+        chunk and call :meth:`flush` once at the end, for the same
+        reason.
+        Content-duplicate pairs cost one diff (cold work is deduped by
+        directed content key before dispatch), and the cold diffs of a
+        batch fan out as :class:`~repro.backends.work.ScriptTask`
+        payloads on the configured backend — batch script generation
+        parallelises exactly like the distance sweeps.
         """
         cost = cost or UnitCost()
         pair_list = [(a, b) for a, b in pairs]
@@ -411,6 +474,13 @@ class DiffService:
         spec, fingerprints = self._resolve(spec_name, names)
         cost_key = cost_model_key(cost)
         results: Dict[Tuple[str, str], ScriptRecord] = {}
+        # Cold work, deduped: one entry per distinct directed content
+        # key (or per directed name pair under uncacheable costs — the
+        # DP is deterministic, so duplicates would only repeat it).
+        # ``keys`` records the cache key of each cold group's
+        # representative pair for the post-dispatch put/seed step.
+        keys: Dict[Tuple[str, str], Optional[str]] = {}
+        cold: Dict[object, List[Tuple[str, str]]] = {}
         for run_a, run_b in pair_list:
             key = None
             if cost_key is not None:
@@ -421,37 +491,74 @@ class DiffService:
                 if record is not None:
                     results[(run_a, run_b)] = record
                     continue
-            result = diff_runs(
-                self._load_run(spec, run_a),
-                self._load_run(spec, run_b),
-                cost=cost,
-                with_script=True,
-            )
-            self.computed_scripts += 1
-            record = ScriptRecord(
-                distance=result.distance,
-                operations=list(result.script.operations),
-            )
-            if key is not None:
-                raw = encode_script(record.distance, record.operations)
-                self.script_cache.put(key, raw)
-                self.script_index.add(key, raw)
-                if run_a <= run_b:
-                    # Seed the (undirected) distance cache only from
-                    # the canonical direction — the same one
-                    # ``_compute_pairs`` uses — so every cached
-                    # distance is bit-identical to a fresh
-                    # listing-order computation.
-                    self.cache.put(
-                        pair_key(
-                            fingerprints[run_a],
-                            fingerprints[run_b],
-                            cost_key,
-                        ),
-                        record.distance,
+            keys[(run_a, run_b)] = key
+            cold.setdefault(
+                key if key is not None else (run_a, run_b), []
+            ).append((run_a, run_b))
+
+        if cold:
+            ordered = list(cold.items())
+
+            def task(group) -> ScriptTask:
+                return ScriptTask(
+                    run_a=self._load_run(spec, group[0][0]),
+                    run_b=self._load_run(spec, group[0][1]),
+                    cost=cost,
+                )
+
+            if self.backend.requires_pickling:
+                outcomes = self.backend.map(
+                    compute_script,
+                    [task(group) for _, group in ordered],
+                )
+            else:
+                outcomes = self.backend.map(
+                    lambda item: compute_script(task(item[1])), ordered
+                )
+            for (_, group), (distance, operations) in zip(
+                ordered, outcomes
+            ):
+                self.computed_scripts += 1
+                record = ScriptRecord(
+                    distance=distance, operations=list(operations)
+                )
+                for run_a, run_b in group:
+                    # Every pair gets its own record with its own
+                    # operation objects (PathOperation is a mutable
+                    # dataclass): deduped pairs must not alias any
+                    # mutable result state, matching the independent
+                    # per-pair decodes of the cache-hit path.
+                    results[(run_a, run_b)] = ScriptRecord(
+                        distance=record.distance,
+                        operations=[
+                            dataclasses.replace(op)
+                            for op in record.operations
+                        ],
                     )
-            results[(run_a, run_b)] = record
-        self._flush()
+                run_a, run_b = group[0]
+                key = keys[(run_a, run_b)]
+                if key is not None:
+                    raw = encode_script(
+                        record.distance, record.operations
+                    )
+                    self.script_cache.put(key, raw)
+                    self.script_index.add(key, raw)
+                    if run_a <= run_b:
+                        # Seed the (undirected) distance cache only
+                        # from the canonical direction — the same one
+                        # ``_compute_pairs`` uses — so every cached
+                        # distance is bit-identical to a fresh
+                        # listing-order computation.
+                        self.cache.put(
+                            pair_key(
+                                fingerprints[run_a],
+                                fingerprints[run_b],
+                                cost_key,
+                            ),
+                            record.distance,
+                        )
+        if flush:
+            self._flush()
         return results
 
     # -- incremental updates ----------------------------------------------

@@ -1,5 +1,13 @@
 """PDiffView sessions: the prototype's facade (Section VII).
 
+.. deprecated:: 1.1
+   :class:`repro.Workspace` supersedes this facade — one client API
+   over storage, differencing, querying, interchange and viewing, on
+   pluggable execution backends (``docs/MIGRATION.md`` maps every
+   method).  The class remains fully functional; :class:`DiffView`
+   stays the canonical interactive view type and is what
+   :meth:`repro.Workspace.view` returns.
+
 A :class:`PDiffViewSession` ties the pieces of the prototype together:
 
 * a :class:`~repro.io.store.WorkflowStore` for persistence,

@@ -233,6 +233,29 @@ class SPTree:
         return self._branch_free
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Slot state minus the ``structure_key`` memo.
+
+        Trees travel to process-pool workers (and into persisted
+        payloads) constantly; the memo is derived data that can hold a
+        large nested tuple, so dropping it keeps pickles lean and makes
+        a pickle byte-stable regardless of which queries ran before it.
+        """
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_structure_key"
+        }
+
+    def __setstate__(self, state):
+        """Restore slots; the memo starts empty and recomputes on demand."""
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._structure_key = None
+
+    # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
     def iter_nodes(self, order: str = "pre") -> Iterator["SPTree"]:

@@ -1,0 +1,538 @@
+"""The unified client API: one :class:`Workspace` over every subsystem.
+
+Historically the library grew four parallel entry points — the
+functional core (``diff_runs``), the corpus service (``DiffService``),
+the prototype session (``PDiffViewSession``) and the query engine
+(``QueryEngine``) — each wiring its own store, cost model and caches.
+A :class:`Workspace` is the single coherent surface over all of them:
+constructed from a path plus a :class:`~repro.config.ReproConfig`, it
+owns the :class:`~repro.io.store.WorkflowStore`, the corpus
+:class:`~repro.corpus.service.DiffService` (on the configured
+execution backend), the :class:`~repro.query.engine.QueryEngine`, the
+interchange layer and the PDiffView rendering layer, and exposes one
+documented API:
+
+>>> from repro import ReproConfig, Workspace          # doctest: +SKIP
+>>> ws = Workspace(path, ReproConfig(backend="process"))
+>>> ws.register(protein_annotation())
+>>> ws.generate_run("monday", seed=1)
+>>> ws.generate_run("tuesday", seed=2)
+>>> ws.diff("monday", "tuesday").distance
+4.0
+>>> ws.matrix()                       # all pairs, cached, parallel
+>>> ws.query(Q.op_kind("path-deletion"))
+>>> ws.view("monday", "tuesday").overview()
+
+Every result that prices or lists edits is a typed
+:class:`DiffOutcome`; streaming batch work (:meth:`Workspace.diff_many`)
+yields outcomes as their backend chunks complete.  The legacy entry
+points remain importable as deprecated shims — see
+``docs/MIGRATION.md`` for the call-site mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.config import ReproConfig
+from repro.core.api import diff_runs
+from repro.core.edit_script import PathOperation
+from repro.corpus.service import DiffService
+from repro.costs.base import CostModel
+from repro.errors import ReproError
+from repro.io.store import WorkflowStore
+from repro.pdiffview.session import DiffView
+from repro.query.engine import QueryEngine, ScriptDoc
+from repro.query.predicates import Predicate
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.run import WorkflowRun
+from repro.workflow.specification import WorkflowSpecification
+
+#: A run argument: the name of a stored run, or an in-memory run object.
+RunRef = Union[str, WorkflowRun]
+
+
+@dataclass
+class DiffOutcome:
+    """One priced diff: a directed run pair and its minimum-cost script.
+
+    The workspace's uniform result type — :meth:`Workspace.diff` returns
+    one, :meth:`Workspace.diff_many` streams them.  ``operations`` is
+    the full elementary edit script from ``run_a`` to ``run_b``; its
+    summed cost equals ``distance`` by construction.
+    """
+
+    spec_name: str
+    run_a: str
+    run_b: str
+    cost_model: str  #: display name of the cost model used
+    distance: float
+    operations: List[PathOperation]
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The directed ``(run_a, run_b)`` name pair."""
+        return (self.run_a, self.run_b)
+
+    @property
+    def op_count(self) -> int:
+        """Number of elementary operations in the script."""
+        return len(self.operations)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the CLI's ``--json`` payload)."""
+        return {
+            "spec": self.spec_name,
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "cost_model": self.cost_model,
+            "distance": self.distance,
+            "operations": [op.to_dict() for op in self.operations],
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"delta({self.run_a}, {self.run_b}) = {self.distance:g} "
+            f"under {self.cost_model} ({self.op_count} ops)"
+        )
+
+
+class Workspace:
+    """A store-backed provenance workspace: the library's client API.
+
+    Parameters
+    ----------
+    root:
+        Directory of the workflow store (created on demand), or an
+        existing :class:`~repro.io.store.WorkflowStore` to share.
+    config:
+        A :class:`~repro.config.ReproConfig`; defaults to
+        ``ReproConfig()`` (unit cost, thread backend, persistent
+        caches).
+
+    Attributes
+    ----------
+    store / service / engine / backend:
+        The owned subsystem objects, exposed for advanced use (e.g.
+        streaming query evaluation via ``ws.engine.select``); everyday
+        work goes through the workspace methods.
+    """
+
+    def __init__(self, root, config: Optional[ReproConfig] = None):
+        self.config = config or ReproConfig()
+        self.store = (
+            root if isinstance(root, WorkflowStore) else WorkflowStore(root)
+        )
+        self.backend = self.config.make_backend()
+        self.service = DiffService(
+            self.store,
+            cache_size=self.config.cache_size,
+            persistent=self.config.persistent,
+            backend=self.backend,
+        )
+        self.engine = QueryEngine(self.service)
+        self._specs: Dict[str, WorkflowSpecification] = {}
+
+    # -- specification management ---------------------------------------
+    def register(self, spec: WorkflowSpecification) -> None:
+        """Persist a specification and adopt it for later calls.
+
+        Re-registering an existing name invalidates every fingerprint
+        minted under the old content (the corpus service's rule).
+        """
+        self._specs[spec.name] = spec
+        self.store.save_specification(spec)
+        self.service.invalidate_specification(spec.name)
+
+    def specification(self, name: str) -> WorkflowSpecification:
+        """The named specification (session-memoised)."""
+        if name not in self._specs:
+            self._specs[name] = self.service.specification(name)
+        return self._specs[name]
+
+    def specifications(self) -> List[str]:
+        """Names of every specification this workspace knows."""
+        return sorted(
+            set(self._specs) | set(self.store.list_specifications())
+        )
+
+    def _spec_name(self, spec: Optional[str]) -> str:
+        """Resolve the default specification for spec-less calls.
+
+        A workspace holding exactly one specification lets every call
+        omit ``spec=``; with zero or several, the ambiguity is refused
+        with the available names spelled out.
+        """
+        if spec is not None:
+            return spec
+        names = self.specifications()
+        if len(names) == 1:
+            return names[0]
+        if not names:
+            raise ReproError(
+                "workspace holds no specifications; register one first"
+            )
+        raise ReproError(
+            "workspace holds several specifications "
+            f"({', '.join(names)}); pass spec= to disambiguate"
+        )
+
+    # -- run management ---------------------------------------------------
+    def add_run(
+        self, run: WorkflowRun, cost: Optional[CostModel] = None
+    ) -> Dict[Tuple[str, str], float]:
+        """Persist ``run`` and price only its pairs against the corpus.
+
+        Incremental: an ``N``-run corpus pays at most ``N`` new DPs.
+        Returns ``{(existing_name, new_name): distance}``.
+        """
+        return self.service.add_run(run, cost=cost or self.config.cost)
+
+    def import_run(self, run: WorkflowRun) -> None:
+        """Persist a run without pricing it against the corpus."""
+        self.store.save_run(run)
+
+    def generate_run(
+        self,
+        name: str,
+        spec: Optional[str] = None,
+        params: Optional[ExecutionParams] = None,
+        seed: Optional[int] = None,
+    ) -> WorkflowRun:
+        """Generate, persist and return a random run of a specification."""
+        specification = self.specification(self._spec_name(spec))
+        run = execute_workflow(specification, params, seed=seed, name=name)
+        self.store.save_run(run)
+        return run
+
+    def run(self, name: str, spec: Optional[str] = None) -> WorkflowRun:
+        """Load a stored run (through the corpus parse memo: a run is
+        parsed once per workspace, however many calls touch it)."""
+        return self.service.load_run(self._spec_name(spec), name)
+
+    def runs(self, spec: Optional[str] = None) -> List[str]:
+        """Names of the stored runs of a specification."""
+        return self.store.list_runs(self._spec_name(spec))
+
+    # -- differencing -----------------------------------------------------
+    def _resolve_pair(
+        self, a: RunRef, b: RunRef, spec: Optional[str]
+    ) -> Tuple[Optional[str], RunRef, RunRef]:
+        """Validate a diff argument pair; returns ``(spec_name, a, b)``.
+
+        Name pairs resolve against the (default) specification; run
+        objects are used as-is.  Mixing a name with a run object is
+        refused — the name's store identity and the object's in-memory
+        identity could silently disagree.
+        """
+        a_is_run = isinstance(a, WorkflowRun)
+        b_is_run = isinstance(b, WorkflowRun)
+        if a_is_run != b_is_run:
+            raise ReproError(
+                "diff arguments must be two run names or two "
+                "WorkflowRun objects, not a mix"
+            )
+        if a_is_run:
+            return None, a, b
+        return self._spec_name(spec), a, b
+
+    @staticmethod
+    def _outcome(
+        spec_name: str,
+        run_a: str,
+        run_b: str,
+        cost: CostModel,
+        distance: float,
+        operations,
+    ) -> DiffOutcome:
+        """The one place a :class:`DiffOutcome` is assembled."""
+        return DiffOutcome(
+            spec_name=spec_name,
+            run_a=run_a,
+            run_b=run_b,
+            cost_model=cost.name,
+            distance=distance,
+            operations=list(operations),
+        )
+
+    def diff(
+        self,
+        a: RunRef,
+        b: RunRef,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+    ) -> DiffOutcome:
+        """The minimum-cost edit script from ``a`` to ``b``, priced.
+
+        ``a``/``b`` are stored run names (answered through the corpus
+        caches) or two in-memory :class:`WorkflowRun` objects (diffed
+        directly, nothing persisted).
+        """
+        cost = cost or self.config.cost
+        spec_name, a, b = self._resolve_pair(a, b, spec)
+        if spec_name is None:
+            result = diff_runs(a, b, cost=cost, with_script=True)
+            return self._outcome(
+                a.spec.name, a.name, b.name, cost,
+                result.distance, result.script.operations,
+            )
+        record = self.service.edit_script(spec_name, a, b, cost=cost)
+        return self._outcome(
+            spec_name, a, b, cost, record.distance, record.operations
+        )
+
+    def diff_many(
+        self,
+        pairs: Iterable[Tuple[str, str]],
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+    ) -> Iterator[DiffOutcome]:
+        """Stream :class:`DiffOutcome` results for directed name pairs.
+
+        Pairs are dispatched to the execution backend in chunks sized
+        to its parallelism, and outcomes are yielded in input order as
+        each chunk completes — a million-pair sweep starts producing
+        results after the first chunk, not after the last.  Persistence
+        settles once: chunks are computed with ``flush=False`` and the
+        cache tiers flush when the sweep finishes (or the consumer
+        abandons the iterator), so a long sweep never rewrites the
+        growing script-cache file per chunk.
+        """
+        cost = cost or self.config.cost
+        spec_name = self._spec_name(spec)
+        # Process pools are built per dispatched batch, so chunks on a
+        # pickling backend are sized much larger — amortising pool
+        # startup over ~64 pairs per worker instead of paying a full
+        # fork/teardown cycle every 4.
+        per_job = 64 if self.backend.requires_pickling else 4
+        chunk_size = max(1, per_job * self.backend.effective_jobs)
+        batch: List[Tuple[str, str]] = []
+
+        def drain(batch: List[Tuple[str, str]]):
+            records = self.service.edit_scripts(
+                spec_name, batch, cost, flush=False
+            )
+            for a, b in batch:
+                record = records[(a, b)]
+                yield self._outcome(
+                    spec_name, a, b, cost,
+                    record.distance, record.operations,
+                )
+
+        try:
+            for pair in pairs:
+                batch.append(tuple(pair))
+                if len(batch) >= chunk_size:
+                    yield from drain(batch)
+                    batch = []
+            if batch:
+                yield from drain(batch)
+        finally:
+            # Runs on completion and on early abandonment alike —
+            # whatever was computed is persisted exactly once.
+            self.service.flush()
+
+    def matrix(
+        self,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+        runs: Optional[Sequence[str]] = None,
+    ) -> Dict[Tuple[str, str], float]:
+        """All-pairs distances ``{(run_a, run_b): distance}``.
+
+        Unordered pairs in listing order; cold pairs fan out on the
+        configured backend, warm pairs answer from the cache tiers.
+        """
+        return self.service.distance_matrix(
+            self._spec_name(spec), cost=cost or self.config.cost, runs=runs
+        )
+
+    def nearest(
+        self,
+        run_name: str,
+        k: Optional[int] = None,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+    ) -> List[Tuple[str, float]]:
+        """``run_name``'s neighbours by ascending distance (one-vs-many)."""
+        return self.service.nearest_runs(
+            self._spec_name(spec),
+            run_name,
+            k=k,
+            cost=cost or self.config.cost,
+        )
+
+    def medoid(
+        self,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+    ) -> Tuple[str, float]:
+        """The corpus's most central run, ``(name, mean distance)``."""
+        return self.service.medoid(
+            self._spec_name(spec), cost=cost or self.config.cost
+        )
+
+    def outliers(
+        self,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+        top: Optional[int] = None,
+    ) -> List[Tuple[str, float]]:
+        """Runs ranked by descending mean distance to the corpus."""
+        return self.service.outliers(
+            self._spec_name(spec), cost=cost or self.config.cost, top=top
+        )
+
+    # -- querying ----------------------------------------------------------
+    def query(
+        self,
+        predicate: Optional[Predicate] = None,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+        runs: Optional[Sequence[str]] = None,
+    ) -> List[ScriptDoc]:
+        """The diffs of stored run pairs matching a ``Q`` predicate.
+
+        Materialised in listing order; use ``ws.engine.select`` for
+        streaming evaluation and ``ws.engine``'s aggregation methods
+        (``histogram``/``churn``/``divergence``) beyond these::
+
+            from repro import Q
+            ws.query(Q.op_kind("path-deletion") & Q.touches("getGOAnnot"))
+        """
+        return list(
+            self.engine.select(
+                self._spec_name(spec),
+                predicate,
+                cost=cost or self.config.cost,
+                runs=runs,
+            )
+        )
+
+    # -- interchange -------------------------------------------------------
+    def import_prov(
+        self,
+        source,
+        name: str = "",
+        spec_name: Optional[str] = None,
+        diff: bool = False,
+        cost: Optional[CostModel] = None,
+    ):
+        """Import a PROV-JSON/OPM document into the workspace's store.
+
+        Registers the embedded or derived specification, persists the
+        run, and — with ``diff=True`` — also prices the newcomer
+        against the existing corpus.  Returns the
+        :class:`~repro.interchange.convert.ImportResult`, or
+        ``(ImportResult, {(existing, new): distance})`` when
+        ``diff=True``.
+        """
+        if diff:
+            result, distances = self.service.add_prov_document(
+                source,
+                run_name=name,
+                spec_name=spec_name,
+                cost=cost or self.config.cost,
+            )
+            self._specs.setdefault(result.spec.name, result.spec)
+            return result, distances
+        result = self.store.ingest_prov(
+            source, run_name=name, spec_name=spec_name
+        )
+        self._specs.setdefault(result.spec.name, result.spec)
+        return result
+
+    def export_prov(
+        self, run_name: str, spec: Optional[str] = None
+    ) -> str:
+        """A stored run as deterministic PROV-JSON text (exact round trip)."""
+        from repro.interchange.convert import export_run_json
+
+        return export_run_json(self.run(run_name, spec=spec))
+
+    def export_script(
+        self,
+        a: str,
+        b: str,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+    ) -> dict:
+        """The ``a``→``b`` edit script as a PROV-JSON document (dict)."""
+        from repro.interchange.convert import export_script_document
+
+        spec_name = self._spec_name(spec)
+        outcome = self.diff(a, b, spec=spec_name, cost=cost)
+        return export_script_document(
+            outcome.operations,
+            outcome.distance,
+            a,
+            b,
+            spec_name=spec_name,
+        )
+
+    # -- viewing -----------------------------------------------------------
+    def view(
+        self,
+        a: RunRef,
+        b: RunRef,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+        record_intermediates: Optional[bool] = None,
+    ) -> DiffView:
+        """An interactive :class:`DiffView` over the ``a``→``b`` diff.
+
+        The PDiffView surface: overview panes, per-operation stepping,
+        and (when intermediates are recorded — the config default)
+        graph snapshots after every operation.
+        """
+        cost = cost or self.config.cost
+        record = (
+            self.config.record_intermediates
+            if record_intermediates is None
+            else record_intermediates
+        )
+        spec_name, a, b = self._resolve_pair(a, b, spec)
+        if spec_name is not None:
+            a = self.service.load_run(spec_name, a)
+            b = self.service.load_run(spec_name, b)
+        return DiffView(
+            diff_runs(a, b, cost=cost, record_intermediates=record)
+        )
+
+    def show_specification(self, spec: Optional[str] = None) -> str:
+        """ASCII rendering of a specification's flow network."""
+        from repro.pdiffview.render import render_graph
+
+        return render_graph(
+            self.specification(self._spec_name(spec)).graph
+        )
+
+    def show_run(
+        self, run_name: str, spec: Optional[str] = None
+    ) -> str:
+        """ASCII rendering of a stored run's flow network."""
+        from repro.pdiffview.render import render_graph
+
+        return render_graph(self.run(run_name, spec=spec).graph)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache/DP counters of the underlying corpus service."""
+        return self.service.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Workspace({str(self.store.root)!r}, "
+            f"backend={self.backend.describe()})"
+        )

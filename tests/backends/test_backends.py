@@ -1,0 +1,176 @@
+"""Unit tests for the execution backends and their factory."""
+
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    DistanceTask,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    compute_distance,
+    make_backend,
+)
+from repro.costs.standard import CallableCost, UnitCost
+from repro.errors import ReproError
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+ALL_BACKENDS = [SerialBackend(), ThreadBackend(2), ProcessBackend(2)]
+
+
+def _square(x):
+    return x * x
+
+
+def _first(x):
+    return x[0] if isinstance(x, list) else x
+
+
+class TestMapContract:
+    @pytest.mark.parametrize(
+        "backend", ALL_BACKENDS, ids=[b.name for b in ALL_BACKENDS]
+    )
+    def test_preserves_input_order(self, backend):
+        assert backend.map(_square, [3, 1, 2, 5]) == [9, 1, 4, 25]
+
+    @pytest.mark.parametrize(
+        "backend", ALL_BACKENDS, ids=[b.name for b in ALL_BACKENDS]
+    )
+    def test_empty_batch(self, backend):
+        assert backend.map(_square, []) == []
+
+    def test_serial_and_thread_accept_closures(self):
+        offset = 10
+        for backend in (SerialBackend(), ThreadBackend(2)):
+            assert backend.map(lambda x: x + offset, [1, 2]) == [11, 12]
+
+    def test_worker_exception_propagates(self):
+        def boom(x):
+            raise ValueError("deliberate")
+
+        for backend in (SerialBackend(), ThreadBackend(2)):
+            with pytest.raises(ValueError):
+                backend.map(boom, [1])
+
+    def test_single_item_runs_inline_on_thread_backend(self):
+        """A 1-task batch (or jobs=1) never pays pool startup."""
+        sentinel = object()
+        assert ThreadBackend(8).map(lambda x: x, [sentinel])[0] is sentinel
+        assert ThreadBackend(1).map(lambda x: x, [sentinel, sentinel]) == [
+            sentinel,
+            sentinel,
+        ]
+
+
+class TestProcessBackend:
+    def test_distance_task_roundtrip(self):
+        spec = protein_annotation()
+        a = execute_workflow(spec, PARAMS, seed=1, name="a")
+        b = execute_workflow(spec, PARAMS, seed=2, name="b")
+        task = DistanceTask(run_a=a, run_b=b, cost=UnitCost())
+        expected = compute_distance(task)
+        assert ProcessBackend(1).map(compute_distance, [task]) == [
+            expected
+        ]
+
+    def test_unpicklable_task_rejected_up_front(self):
+        spec = protein_annotation()
+        a = execute_workflow(spec, PARAMS, seed=1, name="a")
+        bad = DistanceTask(
+            run_a=a,
+            run_b=a,
+            cost=CallableCost(lambda l, s, t: 1.0),
+        )
+        with pytest.raises(ReproError, match="picklable"):
+            ProcessBackend(1).map(compute_distance, [bad])
+
+    def test_unpicklable_function_rejected(self):
+        with pytest.raises(ReproError, match="worker function"):
+            ProcessBackend(1).map(lambda x: x, [1, 2])
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_names_resolve(self, name):
+        backend = make_backend(name, jobs=3)
+        assert backend.name == name
+        assert backend.jobs == 3
+
+    def test_case_insensitive(self):
+        assert make_backend(" Serial ").name == "serial"
+
+    def test_instance_passes_through(self):
+        backend = ThreadBackend(4)
+        assert make_backend(backend) is backend
+        assert make_backend(backend, jobs=4) is backend
+
+    def test_instance_with_conflicting_jobs_refused(self):
+        with pytest.raises(ReproError, match="conflicts"):
+            make_backend(ThreadBackend(4), jobs=2)
+
+    def test_unknown_name_refused(self):
+        with pytest.raises(ReproError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_invalid_jobs_refused(self):
+        with pytest.raises(ReproError, match=">= 1"):
+            SerialBackend(0)
+
+    def test_describe_mentions_name_and_jobs(self):
+        assert ProcessBackend(2).describe() == "process(jobs=2)"
+        assert SerialBackend().describe() == "serial(jobs=auto)"
+
+    def test_effective_jobs_positive(self):
+        assert SerialBackend().effective_jobs == 1  # never parallel
+        assert ThreadBackend(5).effective_jobs == 5
+        assert ThreadBackend().effective_jobs >= 1
+
+    def test_mid_batch_pickling_failure_is_a_repro_error(self):
+        """A payload that escapes the first-task probe still surfaces
+        as ReproError, not a raw PicklingError."""
+        tasks = [1, lambda x: x, 2]  # unpicklable in position 1
+        with pytest.raises(ReproError, match="mid-batch"):
+            ProcessBackend(1).map(_square, tasks)
+
+    def test_mid_batch_typeerror_pickling_failure_wrapped(self):
+        """Unpicklable objects commonly raise TypeError ('cannot
+        pickle ... object'); those wrap too, while a worker's own
+        TypeError propagates untouched."""
+        import threading
+
+        tasks = [[1], [2], threading.Lock()]
+        with pytest.raises(ReproError, match="mid-batch"):
+            ProcessBackend(2).map(_first, tasks)
+
+        def raises_typeerror(x):
+            raise TypeError("not about serialisation")
+
+        with pytest.raises(TypeError, match="serialisation"):
+            SerialBackend().map(raises_typeerror, [1])
+
+    def test_instance_backend_ignores_service_max_workers(self, tmp_path):
+        """DiffService's documented contract: max_workers is the
+        by-name knob, ignored for an already-constructed instance."""
+        from repro.corpus.service import DiffService
+
+        backend = ThreadBackend()
+        service = DiffService(
+            tmp_path, max_workers=4, backend=backend
+        )
+        assert service.backend is backend
+
+    def test_only_process_requires_pickling(self):
+        """In-process backends accept closures (the corpus layer defers
+        store reads into their workers); process does not."""
+        assert SerialBackend().requires_pickling is False
+        assert ThreadBackend().requires_pickling is False
+        assert ProcessBackend().requires_pickling is True

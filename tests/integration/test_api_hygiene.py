@@ -1,20 +1,91 @@
-"""API hygiene: documentation coverage and performance guards."""
+"""API hygiene: exports, documentation coverage and performance guards."""
 
 import inspect
 import time
+import warnings
 
 import pytest
 
 import repro
+
+#: Legacy entry points served through the deprecation shims; accessing
+#: them from the top level warns by design (see test_deprecation.py).
+LEGACY_NAMES = sorted(repro._DEPRECATED)
+
+
+def resolve_export(name):
+    """``getattr(repro, name)`` with shim warnings silenced."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return getattr(repro, name)
 
 
 def public_members(module):
     for name in getattr(module, "__all__", dir(module)):
         if name.startswith("_"):
             continue
-        member = getattr(module, name)
+        member = resolve_export(name)
         if inspect.isclass(member) or inspect.isfunction(member):
             yield name, member
+
+
+class TestAllConsistency:
+    """Every ``__all__`` name is importable, documented, and accounted
+    for: either a live export or a legacy name covered by the
+    deprecation-shim suite."""
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert resolve_export(name) is not None, name
+
+    def test_every_export_is_documented(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            member = resolve_export(name)
+            if inspect.ismodule(member):
+                continue
+            assert inspect.getdoc(member), f"{name} lacks a docstring"
+
+    def test_no_stray_public_attributes(self):
+        """Public attributes of the package are all declared exports
+        (modules imported as submodule side effects are exempt, as are
+        the legacy shims — public but kept out of star imports)."""
+        declared = set(repro.__all__) | set(LEGACY_NAMES)
+        for name in dir(repro):
+            if name.startswith("_"):
+                continue
+            if inspect.ismodule(resolve_export(name)):
+                continue
+            assert name in declared, f"undeclared public name {name}"
+
+    def test_legacy_names_stay_accessible_but_out_of_star_import(self):
+        """The shims remain importable by name until removal, but a
+        star import must not drag deprecated names (and their
+        warnings) into Workspace-only code."""
+        for name in LEGACY_NAMES:
+            assert name not in repro.__all__
+            assert resolve_export(name) is not None
+
+    def test_star_import_is_warning_free(self):
+        """``from repro import *`` resolves every __all__ name without
+        touching a shim."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            namespace = {}
+            exec("from repro import *", namespace)
+        assert "Workspace" in namespace
+        assert "diff_runs" not in namespace
+
+    def test_dir_covers_lazy_names(self):
+        for name in LEGACY_NAMES:
+            assert name in dir(repro)
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_an_export
 
 
 class TestDocumentation:
@@ -64,6 +135,10 @@ class TestDocumentation:
             "repro.io.xml_io",
             "repro.io.json_io",
             "repro.io.store",
+            "repro.workspace",
+            "repro.config",
+            "repro.backends.base",
+            "repro.backends.work",
         ],
     )
     def test_module_and_public_classes_documented(self, module_name):
@@ -100,7 +175,8 @@ class TestPerformanceGuards:
     def test_medium_diff_stays_interactive(self, fig2_spec):
         """A ~200-total-edge diff should stay well under a second
         (regression guard for the O(|E|³) pipeline's constants)."""
-        from repro import ExecutionParams, diff_runs, execute_workflow
+        from repro import ExecutionParams, execute_workflow
+        from repro.core.api import diff_runs
 
         params = ExecutionParams(
             prob_parallel=0.9,

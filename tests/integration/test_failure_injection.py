@@ -20,8 +20,8 @@ from repro import (
     UnitCost,
     WorkflowRun,
     WorkflowSpecification,
-    diff_runs,
 )
+from repro.core.api import diff_runs
 from repro.graphs.spgraph import diamond_graph, path_graph
 
 

@@ -58,10 +58,11 @@ def diff_counter(monkeypatch):
         return original(*args, **kwargs)
 
     monkeypatch.setattr(core_api, "diff_runs", counting)
-    # The service module resolved diff_runs at import time.
-    import repro.corpus.service as corpus_service
+    # The backend worker module resolved diff_runs at import time (the
+    # service's batch script generation runs through it).
+    import repro.backends.work as backend_work
 
-    monkeypatch.setattr(corpus_service, "diff_runs", counting)
+    monkeypatch.setattr(backend_work, "diff_runs", counting)
     import repro.query.engine as query_engine
 
     monkeypatch.setattr(query_engine, "diff_runs", counting)

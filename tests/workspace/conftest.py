@@ -1,0 +1,33 @@
+"""Shared fixtures for the workspace suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ReproConfig
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+from repro.workspace import Workspace
+
+VARIED = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+@pytest.fixture
+def ws(tmp_path) -> Workspace:
+    """A serial-backend workspace over a 4-run protein-annotation corpus."""
+    workspace = Workspace(tmp_path, ReproConfig(backend="serial"))
+    workspace.register(protein_annotation())
+    for seed in range(1, 5):
+        workspace.generate_run(f"r{seed:02d}", params=VARIED, seed=seed)
+    return workspace
+
+
+@pytest.fixture
+def varied_params() -> ExecutionParams:
+    return VARIED

@@ -1,0 +1,86 @@
+"""The ``--backend``/``--jobs`` CLI flags on ``diff`` and ``matrix``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io.store import WorkflowStore
+
+
+@pytest.fixture
+def store_root(ws):
+    return str(ws.store.root)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestBackendFlags:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_diff_runs_on_every_backend(
+        self, store_root, capsys, backend
+    ):
+        code, out, _ = run_cli(
+            capsys, "diff", store_root, "PA", "r01", "r02",
+            "--backend", backend, "--jobs", "2",
+        )
+        assert code == 0
+        assert "delta(r01, r02)" in out
+
+    def test_backends_agree_on_the_matrix(self, store_root, capsys):
+        payloads = {}
+        for backend in ("serial", "thread", "process"):
+            code, out, _ = run_cli(
+                capsys, "matrix", store_root, "PA", "--json",
+                "--backend", backend,
+            )
+            assert code == 0
+            payloads[backend] = json.loads(out)["distances"]
+        assert payloads["serial"] == payloads["thread"]
+        assert payloads["serial"] == payloads["process"]
+
+    def test_unknown_backend_rejected_by_argparse(
+        self, store_root, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main([
+                "matrix", store_root, "PA", "--backend", "gpu",
+            ])
+
+    def test_invalid_jobs_is_a_clean_error(self, store_root, capsys):
+        code, _, err = run_cli(
+            capsys, "matrix", store_root, "PA", "--jobs", "0"
+        )
+        assert code == 2
+        assert "jobs" in err
+
+    def test_query_and_export_have_no_backend_flag(
+        self, store_root, capsys
+    ):
+        """The flags ride only on the batch-heavy subcommands."""
+        with pytest.raises(SystemExit):
+            main([
+                "query", store_root, "PA", "--backend", "serial",
+            ])
+
+    def test_flags_share_the_persistent_cache(
+        self, store_root, capsys, ws
+    ):
+        """A process-backend run warms the same on-disk cache a later
+        default-backend invocation answers from."""
+        code, _, _ = run_cli(
+            capsys, "matrix", store_root, "PA", "--backend", "process",
+        )
+        assert code == 0
+        from repro.config import ReproConfig
+        from repro.workspace import Workspace
+
+        warm = Workspace(
+            WorkflowStore(store_root), ReproConfig(backend="serial")
+        )
+        warm.matrix()
+        assert warm.service.computed_pairs == 0

@@ -1,0 +1,110 @@
+"""The legacy entry points: importable shims, exactly one warning each.
+
+The workspace redesign kept ``diff_runs``, ``DiffService``,
+``PDiffViewSession`` and ``QueryEngine`` importable from the package
+top level, served through a module ``__getattr__`` that emits exactly
+one :class:`DeprecationWarning` per access and returns the *real*
+object from its defining module — so every pre-existing suite and
+script keeps passing, while ``-W error::DeprecationWarning`` proves the
+new internal code paths never touch the shims (importing ``repro``
+itself must stay silent).
+"""
+
+import importlib
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+import repro
+
+SHIMS = {
+    "diff_runs": ("repro.core.api", "diff_runs"),
+    "DiffService": ("repro.corpus.service", "DiffService"),
+    "PDiffViewSession": ("repro.pdiffview.session", "PDiffViewSession"),
+    "QueryEngine": ("repro.query.engine", "QueryEngine"),
+}
+
+
+class TestShims:
+    @pytest.mark.parametrize("name", sorted(SHIMS))
+    def test_exactly_one_deprecation_warning(self, name):
+        with pytest.warns(DeprecationWarning) as captured:
+            getattr(repro, name)
+        assert len(captured) == 1
+        message = str(captured[0].message)
+        assert name in message
+        assert "MIGRATION" in message
+
+    @pytest.mark.parametrize("name", sorted(SHIMS))
+    def test_shim_returns_the_real_object(self, name):
+        module_name, attribute = SHIMS[name]
+        real = getattr(importlib.import_module(module_name), attribute)
+        with pytest.warns(DeprecationWarning):
+            shimmed = getattr(repro, name)
+        assert shimmed is real
+
+    def test_from_import_goes_through_the_shim(self):
+        # NB: a ``from``-import performs two attribute lookups (the
+        # import protocol's hasattr probe, then the real getattr), so
+        # under ``simplefilter("always")`` it can surface the warning
+        # twice — an importlib artifact shared by every PEP 562 module
+        # deprecation, deduplicated by the default warning filters.
+        # The exactly-once contract is pinned on direct access above.
+        with pytest.warns(DeprecationWarning):
+            from repro import diff_runs  # noqa: F401
+
+    def test_shimmed_diff_runs_still_works(self, fig2_spec):
+        """Legacy call sites keep their behaviour, not just importability."""
+        from repro.workflow.execution import execute_workflow
+
+        with pytest.warns(DeprecationWarning):
+            legacy_diff_runs = repro.diff_runs
+        one = execute_workflow(fig2_spec, seed=1)
+        two = execute_workflow(fig2_spec, seed=2)
+        result = legacy_diff_runs(one, two)
+        assert result.distance >= 0
+
+    def test_coverage_matches_the_registry(self):
+        """This suite covers exactly the names the package deprecates."""
+        assert set(SHIMS) == set(repro._DEPRECATED)
+
+
+class TestImportStaysSilent:
+    def test_importing_repro_emits_no_warnings(self):
+        """The package (and its internals) never touch the shims —
+        checked in a clean interpreter so prior imports can't mask a
+        warning raised at import time."""
+        code = (
+            "import warnings\n"
+            "warnings.simplefilter('error', DeprecationWarning)\n"
+            "import repro\n"
+            "import repro.workspace, repro.cli, repro.corpus.service\n"
+            "import repro.query.engine, repro.pdiffview.session\n"
+            "import repro.interchange, repro.backends\n"
+            "print('clean')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_workspace_end_to_end_emits_no_deprecation(self, tmp_path):
+        """A full workspace round trip runs warning-free."""
+        from repro.config import ReproConfig
+        from repro.workspace import Workspace
+        from repro.workflow.real_workflows import protein_annotation
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            ws = Workspace(tmp_path, ReproConfig(backend="serial"))
+            ws.register(protein_annotation())
+            ws.generate_run("a", seed=1)
+            ws.generate_run("b", seed=2)
+            ws.diff("a", "b")
+            ws.matrix()
+            ws.query()
