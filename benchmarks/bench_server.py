@@ -1,0 +1,158 @@
+"""HTTP diff-server benchmark: requests/sec for cold vs cached diffs.
+
+Boots an in-process :class:`~repro.service.server.DiffServer` over a
+generated protein-annotation corpus and measures ``GET /diff/{a}/{b}``
+throughput from a :class:`~repro.client.RemoteWorkspace` in three
+regimes:
+
+* **cold** — empty caches: every request pays the full O(|E|³) DP plus
+  the HTTP round trip;
+* **warm** — the persistent script cache answers server-side: requests
+  pay parsing/serialisation and the round trip, never a DP;
+* **revalidated** — the client sends ``If-None-Match`` and the server
+  304s off the fingerprint index: two ``stat`` calls and an empty body.
+
+Also times a cold vs warm ``POST /matrix`` and reports the server's own
+counters as a cross-check (cold DPs must equal the pair count; warm and
+revalidated runs must add zero).  Emits
+``benchmarks/results/BENCH_server.json``.
+
+Scale with ``REPRO_BENCH_SCALE`` or pass ``--quick`` for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _workloads import RESULTS_DIR, emit, scaled, timed
+
+from repro.client import RemoteWorkspace
+from repro.config import ReproConfig
+from repro.io.store import WorkflowStore
+from repro.service.server import DiffServer
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.8,
+    max_fork=4,
+    prob_fork=0.7,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def build_corpus(root: Path, n_runs: int) -> WorkflowStore:
+    store = WorkflowStore(root)
+    spec = protein_annotation()
+    store.save_specification(spec)
+    for seed in range(1, n_runs + 1):
+        store.save_run(
+            execute_workflow(spec, PARAMS, seed=seed, name=f"r{seed:03d}")
+        )
+    return store
+
+
+def sweep(client: RemoteWorkspace, pairs) -> float:
+    """Seconds to fetch every pair's diff once, sequentially."""
+    start = time.perf_counter()
+    for a, b in pairs:
+        client.diff(a, b, spec="PA")
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    n_runs = scaled(6 if quick else 12, minimum=4)
+    base = Path(tempfile.mkdtemp(prefix="bench-server-"))
+    store = build_corpus(base / "corpus", n_runs)
+    names = [f"r{seed:03d}" for seed in range(1, n_runs + 1)]
+    pairs = [
+        (a, b) for i, a in enumerate(names) for b in names[i + 1:]
+    ]
+
+    results = {"corpus_runs": n_runs, "diff_requests": len(pairs)}
+    lines = [
+        f"HTTP diff server (protein annotation, {n_runs} runs, "
+        f"{len(pairs)} diff requests per sweep)",
+        f"{'regime':<14}{'seconds':>10}{'req/s':>10}{'DPs':>6}",
+    ]
+
+    with DiffServer(store, ReproConfig(backend="serial")) as server:
+        fresh_client = RemoteWorkspace(server.url)
+
+        cold_seconds = sweep(fresh_client, pairs)
+        cold_dps = fresh_client.stats["computed_scripts"]
+
+        # Same client: ETag memo → 304 revalidations, no payloads.
+        revalidated_seconds = sweep(fresh_client, pairs)
+        revalidated_304s = fresh_client.stats["server_not_modified"]
+
+        # A new client (no ETag memo) against the warm server cache.
+        warm_seconds = sweep(RemoteWorkspace(server.url), pairs)
+        final = fresh_client.stats
+        warm_dps = final["computed_scripts"] - cold_dps
+
+        matrix_cold_store = build_corpus(base / "matrix", n_runs)
+        with DiffServer(
+            matrix_cold_store, ReproConfig(backend="serial")
+        ) as matrix_server:
+            matrix_client = RemoteWorkspace(matrix_server.url)
+            matrix_cold, _ = timed(matrix_client.matrix, spec="PA")
+            matrix_warm, _ = timed(matrix_client.matrix, spec="PA")
+
+    for regime, seconds, dps in [
+        ("cold", cold_seconds, cold_dps),
+        ("warm-cache", warm_seconds, warm_dps),
+        ("revalidated", revalidated_seconds, 0),
+    ]:
+        rate = len(pairs) / seconds if seconds else float("inf")
+        results[regime.replace("-", "_")] = {
+            "seconds": seconds,
+            "requests_per_second": rate,
+            "dp_computations": dps,
+        }
+        lines.append(
+            f"{regime:<14}{seconds:>10.4f}{rate:>10.1f}{dps:>6}"
+        )
+
+    results["matrix"] = {
+        "cold_seconds": matrix_cold,
+        "warm_seconds": matrix_warm,
+    }
+    results["revalidated_304s"] = revalidated_304s
+    results["warm_speedup_vs_cold"] = (
+        cold_seconds / warm_seconds if warm_seconds else float("inf")
+    )
+    lines.append(
+        f"matrix: cold {matrix_cold:.4f}s, warm {matrix_warm:.4f}s"
+    )
+    lines.append(
+        f"warm-cache sweep is {results['warm_speedup_vs_cold']:.1f}x "
+        f"the cold sweep; {revalidated_304s} of {len(pairs)} "
+        "revalidations answered 304"
+    )
+
+    # Cross-checks: the counters must tell the caching story exactly.
+    assert cold_dps == len(pairs), (cold_dps, len(pairs))
+    assert warm_dps == 0, warm_dps
+    assert revalidated_304s == len(pairs), revalidated_304s
+
+    emit("BENCH_server", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_server.json"
+    out.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n",
+        encoding="utf8",
+    )
+    print(f"\nwrote {out}")
+    shutil.rmtree(base, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,16 @@ its workspace equivalent.
 
 import warnings as _warnings
 
+from repro.api_types import (
+    DiffOutcome,
+    ErrorEnvelope,
+    ImportSummary,
+    MatrixResult,
+    QueryFilter,
+    QueryPage,
+    StatsSnapshot,
+    WorkspaceAPI,
+)
 from repro.backends.base import (
     ExecutorBackend,
     ProcessBackend,
@@ -37,6 +47,7 @@ from repro.backends.base import (
     ThreadBackend,
     make_backend,
 )
+from repro.client import RemoteWorkspace
 from repro.config import ReproConfig
 from repro.core.api import (
     DiffResult,
@@ -54,12 +65,14 @@ from repro.costs.standard import (
     UnitCost,
 )
 from repro.errors import (
+    ConflictError,
     CostModelError,
     EditScriptError,
     GraphStructureError,
     InterchangeError,
     InvalidRunError,
     MatchingError,
+    NotFoundError,
     NotSeriesParallelError,
     ReproError,
     SpecificationError,
@@ -74,6 +87,7 @@ from repro.interchange import (
     import_document,
 )
 from repro.pdiffview.session import DiffView
+from repro.service import DiffServer, serve
 from repro.query.aggregate import (
     GroupDivergence,
     ModuleChurn,
@@ -100,9 +114,9 @@ from repro.workflow.real_workflows import (
 )
 from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
-from repro.workspace import DiffOutcome, Workspace
+from repro.workspace import Workspace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Legacy entry points, kept importable as deprecated shims.  Each maps
 #: to ``(defining module, attribute, workspace replacement)``; accessing
@@ -163,10 +177,21 @@ def __dir__():
 __all__ = [
     "__version__",
     # -- the client API ------------------------------------------------
+    "WorkspaceAPI",
     "Workspace",
+    "RemoteWorkspace",
     "ReproConfig",
     "DiffOutcome",
+    "MatrixResult",
+    "QueryFilter",
+    "QueryPage",
+    "StatsSnapshot",
+    "ImportSummary",
+    "ErrorEnvelope",
     "DiffView",
+    # -- the HTTP diff service -------------------------------------------
+    "DiffServer",
+    "serve",
     # -- execution backends --------------------------------------------
     "ExecutorBackend",
     "SerialBackend",
@@ -225,6 +250,8 @@ __all__ = [
     "baidd",
     # -- errors ----------------------------------------------------------
     "ReproError",
+    "NotFoundError",
+    "ConflictError",
     "GraphStructureError",
     "NotSeriesParallelError",
     "SpecificationError",

@@ -1,9 +1,10 @@
 """``repro`` — command-line access to a workflow store's corpus.
 
 Installed as a console script (``[project.scripts]`` in
-``pyproject.toml``); also runnable as ``python -m repro.cli``.  Three
-subcommands over a store directory (the layout
-:class:`~repro.io.store.WorkflowStore` maintains):
+``pyproject.toml``); also runnable as ``python -m repro.cli``.
+Subcommands over a store directory (the layout
+:class:`~repro.io.store.WorkflowStore` maintains) — or, with
+``--remote URL``, over a running ``repro serve`` endpoint:
 
 .. code-block:: sh
 
@@ -16,17 +17,29 @@ subcommands over a store directory (the layout
                  [--histogram] [--churn] [--json]
     repro import STORE DOC.json [--name RUN] [--spec-name NAME] [--json]
     repro export STORE SPEC RUN [--output FILE] [--script RUN_B]
+    repro serve  STORE [--host H] [--port N]
+                 [--backend serial|thread|process] [--jobs N]
 
-Every subcommand is a thin shell over a :class:`repro.Workspace`
-configured through :class:`repro.ReproConfig`, so they share the
-corpus's persistent caches under ``STORE/index/`` — a second invocation
-of the same query answers from the warm index without recomputing a
-single diff.  ``--backend``/``--jobs`` pick where cold batches execute
-(``process`` runs the O(|E|³) DP on every core).  ``import`` ingests a
-PROV-JSON/OPM document (SP-izing foreign graphs, with a report of any
-forced serialisations) and computes the new run's distances to the
-corpus; ``export`` writes a stored run — or, with ``--script``, the
-edit script between two runs — back out as PROV-JSON.
+Every subcommand is a thin shell over the
+:class:`repro.api_types.WorkspaceAPI` protocol: a local
+:class:`repro.Workspace` (configured through
+:class:`repro.ReproConfig`, sharing the corpus's persistent caches
+under ``STORE/index/``) or a :class:`repro.client.RemoteWorkspace`
+when ``--remote URL`` replaces the STORE argument — ``repro diff
+--remote http://host:8321 SPEC A B`` runs the same code path against a
+server.  ``serve`` hosts a store over HTTP
+(:mod:`repro.service`); ``--backend``/``--jobs`` pick where cold
+batches execute (``process`` runs the O(|E|³) DP on every core).
+``import`` ingests a PROV-JSON/OPM document (SP-izing foreign graphs,
+with a report of any forced serialisations) and computes the new run's
+distances to the corpus; ``export`` writes a stored run — or, with
+``--script``, the edit script between two runs — back out as
+PROV-JSON.
+
+Exit codes are stable: ``0`` on success, ``1`` for any
+:class:`~repro.errors.ReproError` (missing run, malformed document,
+unreachable server, ...), ``2`` for command-line usage errors
+(argparse's convention).
 """
 
 from __future__ import annotations
@@ -35,34 +48,28 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Union
 
+from repro import __version__
+from repro.api_types import QueryFilter
 from repro.backends.base import BACKEND_NAMES
+from repro.client import RemoteWorkspace
 from repro.config import ReproConfig
 from repro.costs.base import CostModel
-from repro.costs.standard import LengthCost, PowerCost, UnitCost
-from repro.errors import ReproError
-from repro.query.predicates import Predicate, Q
+from repro.costs.standard import UnitCost, cost_from_spec
+from repro.errors import CostModelError, ReproError
 from repro.workspace import Workspace
+
+#: What a subcommand operates on: local store or remote endpoint.
+AnyWorkspace = Union[Workspace, RemoteWorkspace]
 
 
 def _cost_model(text: str) -> CostModel:
     """Parse ``unit``, ``length``, or ``power:<epsilon>``."""
-    lowered = text.strip().lower()
-    if lowered == "unit":
-        return UnitCost()
-    if lowered == "length":
-        return LengthCost()
-    if lowered.startswith("power:"):
-        try:
-            return PowerCost(float(lowered.split(":", 1)[1]))
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"invalid power-cost epsilon in {text!r}"
-            )
-    raise argparse.ArgumentTypeError(
-        f"unknown cost model {text!r} (expected unit, length, or power:E)"
-    )
+    try:
+        return cost_from_spec(text)
+    except CostModelError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _store_dir(text: str) -> Path:
@@ -74,30 +81,41 @@ def _store_dir(text: str) -> Path:
     return path
 
 
-def _build_predicate(args: argparse.Namespace) -> Optional[Predicate]:
-    """AND together the predicate flags given on the command line."""
-    parts: List[Predicate] = []
-    if args.kind:
-        parts.append(Q.op_kind(*args.kind))
-    if args.touches:
-        parts.append(Q.touches(*args.touches))
-    if args.min_cost is not None or args.max_cost is not None:
-        parts.append(Q.cost(min=args.min_cost, max=args.max_cost))
-    if args.min_ops is not None or args.max_ops is not None:
-        parts.append(Q.op_count(min=args.min_ops, max=args.max_ops))
-    if not parts:
-        return None
-    predicate = parts[0]
-    for part in parts[1:]:
-        predicate = predicate & part
-    return predicate
+def _build_filter(args: argparse.Namespace) -> QueryFilter:
+    """The declarative filter the query flags describe."""
+    return QueryFilter(
+        kinds=tuple(args.kind or ()),
+        touches=tuple(args.touches or ()),
+        min_cost=args.min_cost,
+        max_cost=args.max_cost,
+        min_ops=args.min_ops,
+        max_ops=args.max_ops,
+    )
 
 
 # -- subcommands --------------------------------------------------------
-def _workspace(args: argparse.Namespace) -> Workspace:
-    """The workspace a subcommand operates on, built from its flags."""
+def _workspace(args: argparse.Namespace) -> AnyWorkspace:
+    """The workspace a subcommand operates on, built from its flags.
+
+    ``--remote URL`` selects a :class:`RemoteWorkspace` (the STORE
+    positional must then be omitted); otherwise a local
+    :class:`Workspace` over the STORE directory.
+    """
+    remote = getattr(args, "remote", None)
+    store = getattr(args, "store", None)
+    if remote:
+        if store is not None:
+            raise ReproError(
+                "pass either a STORE directory or --remote URL, "
+                "not both"
+            )
+        return RemoteWorkspace(remote, cost=args.cost)
+    if store is None:
+        raise ReproError(
+            "a STORE directory is required (or pass --remote URL)"
+        )
     return Workspace(
-        args.store,
+        store,
         ReproConfig(
             cost=args.cost,
             backend=getattr(args, "backend", "thread"),
@@ -115,7 +133,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         return 0
     print(
         f"delta({args.run_a}, {args.run_b}) = {outcome.distance:g} "
-        f"under {args.cost.name} ({outcome.op_count} ops)"
+        f"under {outcome.cost_model} ({outcome.op_count} ops)"
     )
     if args.ops:
         for position, op in enumerate(outcome.operations, start=1):
@@ -127,16 +145,11 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     workspace = _workspace(args)
     matrix = workspace.matrix(spec=args.spec)
     if args.json:
-        payload = {
-            "spec": args.spec,
-            "cost_model": args.cost.name,
-            "distances": {
-                f"{a}|{b}": value for (a, b), value in matrix.items()
-            },
-        }
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(
+            json.dumps(matrix.to_dict(), indent=2, sort_keys=True)
+        )
         return 0
-    names = workspace.runs(spec=args.spec)
+    names = matrix.runs
     width = max([4] + [len(name) for name in names])
     header = " " * (width + 1) + " ".join(
         f"{name:>{width}}" for name in names
@@ -156,8 +169,8 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     workspace = _workspace(args)
-    predicate = _build_predicate(args)
-    docs = workspace.query(predicate, spec=args.spec, cost=args.cost)
+    filter = _build_filter(args)
+    docs = workspace.query(filter, spec=args.spec, cost=args.cost)
     # Aggregates and the match count cover the full result set; --limit
     # only truncates what is displayed.
     shown_docs = docs if args.limit is None else docs[: args.limit]
@@ -165,7 +178,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         payload = {
             "spec": args.spec,
             "cost_model": args.cost.name,
-            "predicate": predicate.describe() if predicate else "*",
+            "predicate": filter.describe(),
             "total_matches": len(docs),
             "matches": [
                 {
@@ -179,9 +192,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    shown = predicate.describe() if predicate else "*"
     print(
-        f"{len(docs)} matching pair(s) for {shown} "
+        f"{len(docs)} matching pair(s) for {filter.describe()} "
         f"under {args.cost.name}"
         + (
             f" (showing {len(shown_docs)})"
@@ -190,7 +202,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     )
     for doc in shown_docs:
-        print(f"  {doc}")
+        print(
+            f"  {doc.run_a} -> {doc.run_b}: "
+            f"distance {doc.distance:g}, {doc.op_count} ops"
+        )
     if args.histogram:
         from repro.query.aggregate import op_kind_histogram
 
@@ -210,7 +225,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_import(args: argparse.Namespace) -> int:
-    result, distances = _workspace(args).import_prov(
+    workspace = _workspace(args)
+    if isinstance(workspace, RemoteWorkspace):
+        return _import_remote(workspace, args)
+    result, distances = workspace.import_prov(
         args.document,
         name=args.name,
         spec_name=args.spec_name,
@@ -240,6 +258,56 @@ def _cmd_import(args: argparse.Namespace) -> int:
     for line in report.summary_lines():
         print(f"  {line}")
     print(f"  distances to existing corpus: {len(distances)} pair(s)")
+    return 0
+
+
+def _import_remote(
+    workspace: RemoteWorkspace, args: argparse.Namespace
+) -> int:
+    """``repro import --remote``: POST the document, print the summary."""
+    summary = workspace.import_prov(
+        args.document,
+        name=args.name,
+        spec_name=args.spec_name,
+        diff=True,
+        cost=args.cost,
+    )
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"imported run {summary.run_name!r} "
+        f"({summary.nodes} nodes, {summary.edges} edges) "
+        f"into specification {summary.spec_name!r} [{summary.origin}]"
+    )
+    for line in summary.report_lines:
+        print(f"  {line}")
+    print(
+        f"  distances to existing corpus: "
+        f"{len(summary.new_pairs)} pair(s)"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: host a store over HTTP until interrupted."""
+    from repro.service.server import DiffServer
+
+    server = DiffServer(
+        args.store,
+        ReproConfig(
+            cost=args.cost, backend=args.backend, jobs=args.jobs
+        ),
+        host=args.host,
+        port=args.port,
+    )
+    print(f"serving {args.store} at {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.httpd.server_close()
     return 0
 
 
@@ -274,14 +342,24 @@ def _parser() -> argparse.ArgumentParser:
         prog="repro",
         description=(
             "Differencing provenance in scientific workflows: diff, "
-            "distance matrices, and edit-script queries over a store."
+            "distance matrices, and edit-script queries over a store "
+            "or a remote diff server."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
     def common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
-            "store", type=_store_dir, help="workflow store directory"
+            "store",
+            type=_store_dir,
+            nargs="?",
+            default=None,
+            help="workflow store directory (omit with --remote)",
         )
         sub.add_argument("spec", help="specification name")
         sub.add_argument(
@@ -292,6 +370,13 @@ def _parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--json", action="store_true", help="machine-readable output"
+        )
+        sub.add_argument(
+            "--remote",
+            metavar="URL",
+            default=None,
+            help="operate on a running `repro serve` endpoint "
+            "instead of a local store directory",
         )
 
     def backend_flags(sub: argparse.ArgumentParser) -> None:
@@ -371,7 +456,17 @@ def _parser() -> argparse.ArgumentParser:
     # The store is created on demand: importing into a fresh directory
     # is the natural first step of a new corpus.
     imp.add_argument(
-        "store", type=Path, help="workflow store directory (created)"
+        "store",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="workflow store directory (created; omit with --remote)",
+    )
+    imp.add_argument(
+        "--remote",
+        metavar="URL",
+        default=None,
+        help="import into a running `repro serve` endpoint instead",
     )
     imp.add_argument(
         "document", help="PROV-JSON (or OPM dialect) file to import"
@@ -421,18 +516,53 @@ def _parser() -> argparse.ArgumentParser:
         "--output", "-o", default=None, help="write to a file"
     )
     exp.set_defaults(func=_cmd_export)
+
+    srv = commands.add_parser(
+        "serve",
+        help="serve a workflow store over HTTP (the diff service)",
+    )
+    # Created on demand: serving an empty directory is a valid way to
+    # start a corpus — clients register and import over the wire.
+    srv.add_argument(
+        "store", type=Path, help="workflow store directory (created)"
+    )
+    srv.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        metavar="N",
+        help="bind port (default 8321; 0 picks a free port)",
+    )
+    srv.add_argument(
+        "--cost",
+        type=_cost_model,
+        default=UnitCost(),
+        help="server-side default cost model (default unit)",
+    )
+    backend_flags(srv)
+    srv.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Console-script entry point; returns the process exit code."""
+    """Console-script entry point; returns the process exit code.
+
+    Exit codes are part of the CLI contract: ``0`` success, ``1`` any
+    :class:`ReproError`, ``2`` usage errors (argparse), ``141`` broken
+    pipe.
+    """
     parser = _parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     except BrokenPipeError:
         # Downstream consumer (e.g. ``| head``) closed the pipe early —
         # the conventional exit, not a traceback.

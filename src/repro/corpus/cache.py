@@ -18,10 +18,18 @@ scripts.
 Writes go to the hot tier immediately and are batched to disk on
 :meth:`TwoTierCache.flush` (the service flushes after every batch
 operation); a crash between flushes loses only recomputable values.
+
+Every public operation is thread-safe: one re-entrant lock per cache
+serialises tier lookups, inserts, and flushes, so the HTTP service
+layer can hammer one cache from many request threads without corrupting
+the LRU order or losing batched writes.  Disk I/O inside ``flush`` runs
+under the lock too — flushes are rare (once per batch), and the
+merge-read + atomic write must be indivisible against concurrent puts.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -126,6 +134,7 @@ class TwoTierCache:
         self._disk: Dict[str, Any] = {}
         self._dirty: Dict[str, Any] = {}
         self._loaded = False
+        self._lock = threading.RLock()
 
     # -- value schema hooks ---------------------------------------------
     def _decode(self, raw: Any) -> Optional[Any]:
@@ -162,54 +171,61 @@ class TwoTierCache:
 
     def flush(self) -> None:
         """Persist batched writes; merges with concurrent writers' work."""
-        if self.path is None or not self._dirty:
-            self._dirty.clear()
-            return
-        self._load_disk()
-        # Re-read so two services sharing a store lose neither's entries.
-        merged = self._read_disk_file()
-        merged.update(self._disk)
-        merged.update(self._dirty)
-        self._disk = merged
-        self._dirty = {}
-        atomic_write(
-            Path(self.path), json.dumps(merged, sort_keys=True)
-        )
-        self.stats.flushes += 1
+        with self._lock:
+            if self.path is None or not self._dirty:
+                self._dirty.clear()
+                return
+            self._load_disk()
+            # Re-read so two services sharing a store lose neither's
+            # entries.
+            merged = self._read_disk_file()
+            merged.update(self._disk)
+            merged.update(self._dirty)
+            self._disk = merged
+            self._dirty = {}
+            atomic_write(
+                Path(self.path), json.dumps(merged, sort_keys=True)
+            )
+            self.stats.flushes += 1
 
     # -- lookups --------------------------------------------------------
     def get(self, key: str) -> Optional[Any]:
         """Two-tier lookup; disk hits are promoted into the hot tier."""
-        value = self._memory.get(key)
-        if value is not None:
-            self.stats.memory_hits += 1
-            return value
-        self._load_disk()
-        if key in self._dirty:
-            self.stats.memory_hits += 1
-            return self._dirty[key]
-        if key in self._disk:
-            self.stats.disk_hits += 1
-            value = self._disk[key]
-            self._memory.put(key, value)
-            return value
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            value = self._memory.get(key)
+            if value is not None:
+                self.stats.memory_hits += 1
+                return value
+            self._load_disk()
+            if key in self._dirty:
+                self.stats.memory_hits += 1
+                return self._dirty[key]
+            if key in self._disk:
+                self.stats.disk_hits += 1
+                value = self._disk[key]
+                self._memory.put(key, value)
+                return value
+            self.stats.misses += 1
+            return None
 
     def put(self, key: str, value: Any) -> None:
         """Record a freshly computed value in both tiers (disk lazily)."""
-        self.stats.puts += 1
-        encoded = self._encode(value)
-        self._memory.put(key, encoded)
-        if self.path is not None:
-            self._dirty[key] = encoded
+        with self._lock:
+            self.stats.puts += 1
+            encoded = self._encode(value)
+            self._memory.put(key, encoded)
+            if self.path is not None:
+                self._dirty[key] = encoded
 
     def __len__(self) -> int:
         """Distinct keys across all tiers (incl. memory-only entries)."""
-        self._load_disk()
-        return len(
-            set(self._disk) | set(self._dirty) | set(self._memory.keys())
-        )
+        with self._lock:
+            self._load_disk()
+            return len(
+                set(self._disk)
+                | set(self._dirty)
+                | set(self._memory.keys())
+            )
 
 
 class DistanceCache(TwoTierCache):

@@ -22,11 +22,18 @@ minted under the old spec — even across processes.
 The index also memoises loaded :class:`WorkflowRun` objects per spec for
 the lifetime of the service instance, so a batch query parses each run
 at most once.
+
+Entry and digest tables are guarded by a re-entrant lock (the service
+layer is multi-threaded); the run memo deliberately stays lock-free —
+XML parsing runs outside any lock and :meth:`remember` publishes with
+first-writer-wins dict semantics, so a rare duplicate parse costs time,
+never correctness.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Optional, Tuple
 
 from repro.corpus.fingerprint import run_fingerprint, spec_fingerprint
@@ -57,6 +64,10 @@ class FingerprintIndex:
         self._spec_digests: Dict[str, str] = {}
         self._runs: Dict[Tuple[str, str], WorkflowRun] = {}
         self._dirty = False
+        # Guards the entry/digest tables and the dirty flag.  The run
+        # memo stays on bare dict ops (peek/remember's first-writer-wins
+        # contract): parsing happens outside any lock by design.
+        self._lock = threading.RLock()
         loaded = store.load_index(INDEX_NAME)
         if loaded:
             for spec_name, section in loaded.items():
@@ -77,31 +88,34 @@ class FingerprintIndex:
     # -- persistence ----------------------------------------------------
     def flush(self) -> None:
         """Persist new/invalidated fingerprints (no-op when clean)."""
-        if not self._dirty:
-            return
-        self.store.save_index(INDEX_NAME, self._entries)
-        self._dirty = False
+        with self._lock:
+            if not self._dirty:
+                return
+            self.store.save_index(INDEX_NAME, self._entries)
+            self._dirty = False
 
     # -- sections --------------------------------------------------------
     def spec_digest(self, spec: WorkflowSpecification) -> str:
         """Memoised :func:`spec_fingerprint` (keyed by spec name)."""
         key = spec.name
-        if key not in self._spec_digests:
-            self._spec_digests[key] = spec_fingerprint(spec)
-        return self._spec_digests[key]
+        with self._lock:
+            if key not in self._spec_digests:
+                self._spec_digests[key] = spec_fingerprint(spec)
+            return self._spec_digests[key]
 
     def _section(self, spec: WorkflowSpecification) -> dict:
         """The spec's index section, discarded if minted under an older
         version of the specification (run fingerprints embed the spec
         digest, so they are all stale when it changes)."""
         digest = self.spec_digest(spec)
-        section = self._entries.get(spec.name)
-        if section is None or section.get("spec") != digest:
-            if section is not None:
-                self._dirty = True
-            section = {"spec": digest, "runs": {}}
-            self._entries[spec.name] = section
-        return section
+        with self._lock:
+            section = self._entries.get(spec.name)
+            if section is None or section.get("spec") != digest:
+                if section is not None:
+                    self._dirty = True
+                section = {"spec": digest, "runs": {}}
+                self._entries[spec.name] = section
+            return section
 
     def forget_spec(self, spec_name: str) -> None:
         """Drop everything memoised/indexed for one specification.
@@ -109,11 +123,12 @@ class FingerprintIndex:
         Call after re-registering a specification under an existing
         name; the next query re-fingerprints against the new content.
         """
-        if self._entries.pop(spec_name, None) is not None:
-            self._dirty = True
-        self._spec_digests.pop(spec_name, None)
-        for key in [k for k in self._runs if k[0] == spec_name]:
-            del self._runs[key]
+        with self._lock:
+            if self._entries.pop(spec_name, None) is not None:
+                self._dirty = True
+            self._spec_digests.pop(spec_name, None)
+            for key in [k for k in self._runs if k[0] == spec_name]:
+                del self._runs[key]
 
     # -- fingerprints ---------------------------------------------------
     def fingerprint(
@@ -126,15 +141,16 @@ class FingerprintIndex:
         index entry refreshed.
         """
         stamp = _file_stamp(self.store.locate_run(spec.name, run_name))
-        entry = self._section(spec)["runs"].get(run_name)
-        if (
-            entry is not None
-            and stamp is not None
-            and entry.get("size") == stamp[0]
-            and entry.get("mtime_ns") == stamp[1]
-            and isinstance(entry.get("fingerprint"), str)
-        ):
-            return entry["fingerprint"]
+        with self._lock:
+            entry = self._section(spec)["runs"].get(run_name)
+            if (
+                entry is not None
+                and stamp is not None
+                and entry.get("size") == stamp[0]
+                and entry.get("mtime_ns") == stamp[1]
+                and isinstance(entry.get("fingerprint"), str)
+            ):
+                return entry["fingerprint"]
         run = self.load_run(spec, run_name, refresh=entry is not None)
         return self.record(run, as_name=run_name)
 
@@ -155,17 +171,21 @@ class FingerprintIndex:
         entry = {"fingerprint": digest}
         if stamp is not None:
             entry["size"], entry["mtime_ns"] = stamp
-        self._section(run.spec)["runs"][name] = entry
-        self._runs[(run.spec.name, name)] = run
-        self._dirty = True
+        with self._lock:
+            self._section(run.spec)["runs"][name] = entry
+            self._runs[(run.spec.name, name)] = run
+            self._dirty = True
         return digest
 
     def forget(self, spec_name: str, run_name: str) -> None:
         """Drop a run's index entry and memoised object (if any)."""
-        section = self._entries.get(spec_name)
-        if section is not None and section["runs"].pop(run_name, None):
-            self._dirty = True
-        self._runs.pop((spec_name, run_name), None)
+        with self._lock:
+            section = self._entries.get(spec_name)
+            if section is not None and section["runs"].pop(
+                run_name, None
+            ):
+                self._dirty = True
+            self._runs.pop((spec_name, run_name), None)
 
     # -- run objects ----------------------------------------------------
     def load_run(
@@ -205,5 +225,6 @@ class FingerprintIndex:
         return self._runs.setdefault(key, run)
 
     def cached_entry_count(self, spec_name: str) -> int:
-        section = self._entries.get(spec_name)
-        return len(section["runs"]) if section else 0
+        with self._lock:
+            section = self._entries.get(spec_name)
+            return len(section["runs"]) if section else 0

@@ -23,11 +23,17 @@ Pruning is **conservative by construction**: a term's posting list is a
 superset test only — the engine always re-evaluates the full predicate
 against the candidate scripts, so an over-approximate posting can cost
 time but never correctness.
+
+All public methods are thread-safe (one re-entrant lock per index):
+candidate generation copies its result sets under the lock, so a
+request thread can never iterate a posting set while another mutates
+it in place.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.io.store import WorkflowStore
@@ -79,6 +85,10 @@ class ScriptIndex:
         self._postings: Dict[str, Set[str]] = {}
         self._docs: Dict[str, Tuple[float, int]] = {}
         self._dirty = False
+        # Posting sets are mutated in place; every public read and
+        # write holds this re-entrant lock so concurrent request
+        # threads can never observe a half-updated index.
+        self._lock = threading.RLock()
         if persistent:
             self._ingest(
                 store.load_index(INDEX_NAME, namespace=INDEX_NAMESPACE)
@@ -112,75 +122,90 @@ class ScriptIndex:
 
     def flush(self) -> None:
         """Persist the index, merging with concurrent writers' postings."""
-        if not self.persistent or not self._dirty:
-            return
-        # Re-ingest the on-disk state so two services sharing a store
-        # union their postings instead of overwriting each other.
-        self._ingest(
-            self.store.load_index(INDEX_NAME, namespace=INDEX_NAMESPACE)
-        )
-        payload = {
-            "version": INDEX_VERSION,
-            "postings": {
-                term: sorted(keys)
-                for term, keys in self._postings.items()
-            },
-            "docs": {
-                key: [distance, ops]
-                for key, (distance, ops) in self._docs.items()
-            },
-        }
-        self.store.save_index(
-            INDEX_NAME, payload, namespace=INDEX_NAMESPACE
-        )
-        self._dirty = False
+        with self._lock:
+            if not self.persistent or not self._dirty:
+                return
+            # Re-ingest the on-disk state so two services sharing a
+            # store union their postings instead of overwriting each
+            # other.
+            self._ingest(
+                self.store.load_index(
+                    INDEX_NAME, namespace=INDEX_NAMESPACE
+                )
+            )
+            payload = {
+                "version": INDEX_VERSION,
+                "postings": {
+                    term: sorted(keys)
+                    for term, keys in self._postings.items()
+                },
+                "docs": {
+                    key: [distance, ops]
+                    for key, (distance, ops) in self._docs.items()
+                },
+            }
+            self.store.save_index(
+                INDEX_NAME, payload, namespace=INDEX_NAMESPACE
+            )
+            self._dirty = False
 
     # -- building -------------------------------------------------------
     def has(self, key: str) -> bool:
-        return key in self._docs
+        with self._lock:
+            return key in self._docs
 
     def add(self, key: str, record: dict) -> None:
         """Index one encoded script record (idempotent per key)."""
-        if key in self._docs:
-            return
-        for term in script_terms(record):
-            self._postings.setdefault(term, set()).add(key)
-        self._docs[key] = (
-            float(record["distance"]),
-            len(record["ops"]),
-        )
-        self._dirty = True
+        with self._lock:
+            if key in self._docs:
+                return
+            for term in script_terms(record):
+                self._postings.setdefault(term, set()).add(key)
+            self._docs[key] = (
+                float(record["distance"]),
+                len(record["ops"]),
+            )
+            self._dirty = True
 
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
-        return len(self._docs)
+        with self._lock:
+            return len(self._docs)
 
     def keys(self) -> Set[str]:
-        return set(self._docs)
+        with self._lock:
+            return set(self._docs)
 
     def doc(self, key: str) -> Optional[Tuple[float, int]]:
         """``(distance, op count)`` of an indexed script, or ``None``."""
-        return self._docs.get(key)
+        with self._lock:
+            return self._docs.get(key)
 
     def terms(self) -> List[str]:
-        return sorted(self._postings)
+        with self._lock:
+            return sorted(self._postings)
 
     def postings(self, term: str) -> Set[str]:
         """The posting set of one term (a copy; empty when unknown)."""
-        return set(self._postings.get(term, ()))
+        with self._lock:
+            return set(self._postings.get(term, ()))
 
     # -- candidate generation (used by predicates) -----------------------
     def candidates_for_kinds(self, kinds: Iterable[str]) -> Set[str]:
-        result: Set[str] = set()
-        for kind in kinds:
-            result |= self._postings.get(KIND_PREFIX + kind, set())
-        return result
+        with self._lock:
+            result: Set[str] = set()
+            for kind in kinds:
+                result |= self._postings.get(KIND_PREFIX + kind, set())
+            return result
 
     def candidates_for_labels(self, labels: Iterable[str]) -> Set[str]:
-        result: Set[str] = set()
-        for label in labels:
-            result |= self._postings.get(LABEL_PREFIX + label, set())
-        return result
+        with self._lock:
+            result: Set[str] = set()
+            for label in labels:
+                result |= self._postings.get(
+                    LABEL_PREFIX + label, set()
+                )
+            return result
 
     def candidates_for_cost(
         self,
@@ -189,26 +214,28 @@ class ScriptIndex:
     ) -> Set[str]:
         low = cost_bucket(minimum) if minimum is not None else 0
         high = cost_bucket(maximum) if maximum is not None else None
-        result: Set[str] = set()
-        for term, keys in self._postings.items():
-            if not term.startswith(COST_PREFIX):
-                continue
-            bucket = int(term[len(COST_PREFIX):])
-            if bucket < low:
-                continue
-            if high is not None and bucket > high:
-                continue
-            result |= keys
-        return result
+        with self._lock:
+            result: Set[str] = set()
+            for term, keys in self._postings.items():
+                if not term.startswith(COST_PREFIX):
+                    continue
+                bucket = int(term[len(COST_PREFIX):])
+                if bucket < low:
+                    continue
+                if high is not None and bucket > high:
+                    continue
+                result |= keys
+            return result
 
     def candidates_for_op_count(
         self,
         minimum: Optional[int] = None,
         maximum: Optional[int] = None,
     ) -> Set[str]:
-        return {
-            key
-            for key, (_, ops) in self._docs.items()
-            if (minimum is None or ops >= minimum)
-            and (maximum is None or ops <= maximum)
-        }
+        with self._lock:
+            return {
+                key
+                for key, (_, ops) in self._docs.items()
+                if (minimum is None or ops >= minimum)
+                and (maximum is None or ops <= maximum)
+            }

@@ -26,11 +26,21 @@ engine over a :class:`~repro.io.store.WorkflowStore`:
 Runs whose fingerprints coincide are ``≡``-equivalent, so their
 distance is 0 by the identity axiom — the service short-circuits such
 pairs without any DP at all.
+
+The service is a **coarse-grained monitor**: one re-entrant lock
+serialises every compute-and-cache section (``_compute_pairs``,
+``edit_scripts``, ``add_run``), so concurrent callers — the HTTP
+service layer runs one thread per request — can never compute the same
+cold pair twice or interleave half-written cache state.  Parallelism
+lives *inside* a batch (the execution backend fans a cold batch's DPs
+out across threads or processes while the monitor is held), not across
+callers; warm calls pass through the monitor in microseconds.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backends.base import (
@@ -64,7 +74,7 @@ from repro.corpus.script_cache import (
 from repro.corpus.script_index import ScriptIndex
 from repro.costs.base import CostModel
 from repro.costs.standard import UnitCost
-from repro.errors import ReproError
+from repro.errors import ConflictError, NotFoundError
 from repro.io.store import WorkflowStore
 from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
@@ -141,14 +151,20 @@ class DiffService:
         self.computed_pairs = 0
         self.computed_scripts = 0
         self._specs: Dict[str, WorkflowSpecification] = {}
+        # The monitor: every compute-and-cache path acquires it (see
+        # the module docstring).  Re-entrant, because the batch methods
+        # nest (edit_script → edit_scripts → cached_script) and the
+        # analytics call the matrix path while already inside.
+        self._lock = threading.RLock()
 
     # -- resolution -----------------------------------------------------
     def specification(self, spec_name: str) -> WorkflowSpecification:
-        if spec_name not in self._specs:
-            self._specs[spec_name] = self.store.load_specification(
-                spec_name
-            )
-        return self._specs[spec_name]
+        with self._lock:
+            if spec_name not in self._specs:
+                self._specs[spec_name] = self.store.load_specification(
+                    spec_name
+                )
+            return self._specs[spec_name]
 
     def invalidate_specification(self, spec_name: str) -> None:
         """Forget everything memoised for a specification.
@@ -160,8 +176,9 @@ class DiffService:
         stale.  Cached *distances* need no invalidation; they are keyed
         by content, and the new fingerprints simply miss.
         """
-        self._specs.pop(spec_name, None)
-        self.index.forget_spec(spec_name)
+        with self._lock:
+            self._specs.pop(spec_name, None)
+            self.index.forget_spec(spec_name)
 
     def runs(self, spec_name: str) -> List[str]:
         return self.store.list_runs(spec_name)
@@ -195,11 +212,14 @@ class DiffService:
         name pairs onto content-addressed cache/index keys through this.
         ``runs=None`` covers every stored run of the specification.
         """
-        names = list(runs) if runs is not None else self.runs(spec_name)
-        _, fingerprints = self._resolve(spec_name, names)
-        if self.persistent:
-            self.index.flush()
-        return fingerprints
+        with self._lock:
+            names = (
+                list(runs) if runs is not None else self.runs(spec_name)
+            )
+            _, fingerprints = self._resolve(spec_name, names)
+            if self.persistent:
+                self.index.flush()
+            return fingerprints
 
     def _load_run(
         self, spec: WorkflowSpecification, name: str
@@ -237,6 +257,19 @@ class DiffService:
         :class:`~repro.backends.work.DistanceTask` payloads, so its
         workers receive ready trees and never touch the store.
         """
+        with self._lock:
+            return self._compute_pairs_locked(
+                spec, pairs, fingerprints, cost
+            )
+
+    def _compute_pairs_locked(
+        self,
+        spec: WorkflowSpecification,
+        pairs: Sequence[Tuple[str, str]],
+        fingerprints: Dict[str, str],
+        cost: CostModel,
+    ) -> Dict[Tuple[str, str], float]:
+        """:meth:`_compute_pairs` body; caller holds the monitor."""
         cost_key = cost_model_key(cost)
         results: Dict[Tuple[str, str], float] = {}
         pending: Dict[str, List[Tuple[str, str]]] = {}
@@ -313,11 +346,12 @@ class DiffService:
         return results
 
     def _flush(self) -> None:
-        if self.persistent:
-            self.cache.flush()
-            self.script_cache.flush()
-            self.script_index.flush()
-            self.index.flush()
+        with self._lock:
+            if self.persistent:
+                self.cache.flush()
+                self.script_cache.flush()
+                self.script_index.flush()
+                self.index.flush()
 
     def flush(self) -> None:
         """Persist every dirty cache tier now (no-op when ephemeral).
@@ -398,7 +432,7 @@ class DiffService:
         cost = cost or UnitCost()
         names = self.runs(spec_name)
         if run_name not in names:
-            raise ReproError(
+            raise NotFoundError(
                 f"no stored run {run_name!r} for specification "
                 f"{spec_name!r}"
             )
@@ -415,15 +449,16 @@ class DiffService:
         file can outlive a deleted index file) — any path that touches a
         script keeps the index complete.
         """
-        raw = self.script_cache.get(key)
-        if raw is None:
-            return None
-        record = decode_script(raw)
-        if record is None:
-            return None
-        if not self.script_index.has(key):
-            self.script_index.add(key, raw)
-        return record
+        with self._lock:
+            raw = self.script_cache.get(key)
+            if raw is None:
+                return None
+            record = decode_script(raw)
+            if record is None:
+                return None
+            if not self.script_index.has(key):
+                self.script_index.add(key, raw)
+            return record
 
     def edit_script(
         self,
@@ -468,6 +503,19 @@ class DiffService:
         payloads on the configured backend — batch script generation
         parallelises exactly like the distance sweeps.
         """
+        with self._lock:
+            return self._edit_scripts_locked(
+                spec_name, pairs, cost, flush
+            )
+
+    def _edit_scripts_locked(
+        self,
+        spec_name: str,
+        pairs: Sequence[Tuple[str, str]],
+        cost: Optional[CostModel],
+        flush: bool,
+    ) -> Dict[Tuple[str, str], ScriptRecord]:
+        """:meth:`edit_scripts` body; caller holds the monitor."""
         cost = cost or UnitCost()
         pair_list = [(a, b) for a, b in pairs]
         names = sorted({name for pair in pair_list for name in pair})
@@ -574,6 +622,13 @@ class DiffService:
         ``N x (N-1) / 2`` matrix is untouched.  Returns the new pairs as
         ``{(existing_name, new_name): distance}``.
         """
+        with self._lock:
+            return self._add_run_locked(run, cost)
+
+    def _add_run_locked(
+        self, run: WorkflowRun, cost: Optional[CostModel]
+    ) -> Dict[Tuple[str, str], float]:
+        """:meth:`add_run` body; caller holds the monitor."""
         cost = cost or UnitCost()
         spec = run.spec
         known = self._specs.get(spec.name)
@@ -584,7 +639,7 @@ class DiffService:
             # specifications in one directory and mint fingerprints
             # under the wrong spec digest — refuse up front.
             if spec_fingerprint(known) != spec_fingerprint(spec):
-                raise ReproError(
+                raise ConflictError(
                     f"a different specification named {spec.name!r} "
                     "already exists in this corpus; re-register it "
                     "first if the change is intentional"

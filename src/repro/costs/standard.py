@@ -165,3 +165,50 @@ class CallableCost(CostModel):
         # instances sharing a name may price paths differently, so never
         # cache distances computed under one.
         return None
+
+
+# -- wire specs ---------------------------------------------------------
+def cost_from_spec(text: str) -> CostModel:
+    """Parse a cost-model spec string: ``unit``, ``length``, ``power:E``.
+
+    The textual cost-model grammar shared by the CLI ``--cost`` flag and
+    the HTTP service's ``cost=`` parameter.  Raises
+    :class:`~repro.errors.CostModelError` on anything else, including a
+    non-numeric epsilon.
+    """
+    lowered = str(text).strip().lower()
+    if lowered == "unit":
+        return UnitCost()
+    if lowered == "length":
+        return LengthCost()
+    if lowered.startswith("power:"):
+        try:
+            return PowerCost(float(lowered.split(":", 1)[1]))
+        except ValueError:
+            raise CostModelError(
+                f"invalid power-cost epsilon in {text!r}"
+            ) from None
+    raise CostModelError(
+        f"unknown cost model {text!r} (expected unit, length, or power:E)"
+    )
+
+
+def cost_to_spec(cost: CostModel) -> str:
+    """The spec string :func:`cost_from_spec` rebuilds ``cost`` from.
+
+    Only the power family travels over the wire; weighted and callable
+    models have no portable serialisation, so a remote client refuses
+    them with :class:`~repro.errors.CostModelError` instead of silently
+    pricing with a different model on the server.
+    """
+    if isinstance(cost, UnitCost):
+        return "unit"
+    if isinstance(cost, LengthCost):
+        return "length"
+    if isinstance(cost, PowerCost):
+        # repr() keeps full float precision (mirrors PowerCost.cache_key)
+        return f"power:{cost.epsilon!r}"
+    raise CostModelError(
+        f"cost model {cost.name} is not wire-serialisable "
+        "(only unit, length, and power:E travel to a remote workspace)"
+    )

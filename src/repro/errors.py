@@ -74,3 +74,24 @@ class InterchangeError(ReproError):
     missing their endpoints), cyclic dependency graphs, and embedded
     specifications that fail re-validation.
     """
+
+
+class NotFoundError(ReproError):
+    """A named specification or run does not exist in the store.
+
+    The store and corpus layers raise this (rather than the bare
+    :class:`ReproError`) so the HTTP service layer can map "unknown
+    name" failures to a 404 response instead of a generic client
+    error — and so programmatic callers can distinguish a typo from a
+    structural problem.
+    """
+
+
+class ConflictError(ReproError):
+    """A write collides with existing state of different content.
+
+    Raised when a specification is imported or added under a name that
+    already denotes a *different* specification — overwriting would
+    orphan every run stored under the old content.  The HTTP service
+    layer maps this to a 409 response.
+    """

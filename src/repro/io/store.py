@@ -34,7 +34,7 @@ import tempfile
 from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.errors import ConflictError, NotFoundError, ReproError
 from repro.io.xml_io import (
     run_from_xml,
     run_to_xml,
@@ -169,7 +169,9 @@ class WorkflowStore:
     def load_specification(self, name: str) -> WorkflowSpecification:
         path = self._locate(self.root / "specs", name)
         if path is None:
-            raise ReproError(f"no stored specification named {name!r}")
+            raise NotFoundError(
+                f"no stored specification named {name!r}"
+            )
         return specification_from_xml(path.read_text(encoding="utf8"))
 
     def list_specifications(self) -> List[str]:
@@ -205,7 +207,7 @@ class WorkflowStore:
     ) -> WorkflowRun:
         path = self.locate_run(spec.name, name)
         if path is None:
-            raise ReproError(
+            raise NotFoundError(
                 f"no stored run {name!r} for specification {spec.name!r}"
             )
         return run_from_xml(path.read_text(encoding="utf8"), spec)
@@ -245,7 +247,7 @@ class WorkflowStore:
             # guard in ``add_run``.)
             stored = self.load_specification(result.spec.name)
             if spec_fingerprint(stored) != spec_fingerprint(result.spec):
-                raise ReproError(
+                raise ConflictError(
                     f"a different specification named "
                     f"{result.spec.name!r} already exists in this "
                     "store; import with another spec_name or remove "

@@ -1,0 +1,28 @@
+"""The HTTP diff service: a workspace served over the wire.
+
+This package turns a :class:`repro.workspace.Workspace` into a network
+service speaking the wire schema of :mod:`repro.api_types`:
+
+* :mod:`repro.service.app` — the framework-free request router: pure
+  ``HttpRequest -> HttpResponse`` functions over a workspace, with
+  structured :class:`~repro.api_types.ErrorEnvelope` failures and
+  ETag revalidation for diff reads;
+* :mod:`repro.service.server` — the stdlib
+  :class:`~http.server.ThreadingHTTPServer` host binding the app to a
+  socket (``repro serve`` and the test fixtures drive it).
+
+The matching client is :class:`repro.client.RemoteWorkspace`, which
+implements the same :class:`~repro.api_types.WorkspaceAPI` protocol the
+local workspace does — over this service.
+"""
+
+from repro.service.app import HttpRequest, HttpResponse, WorkspaceApp
+from repro.service.server import DiffServer, serve
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "WorkspaceApp",
+    "DiffServer",
+    "serve",
+]

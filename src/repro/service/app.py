@@ -1,0 +1,527 @@
+"""The diff service's request router: resource routes over a workspace.
+
+Framework-free by design: an :class:`HttpRequest` goes in, an
+:class:`HttpResponse` comes out, and the stdlib server in
+:mod:`repro.service.server` (or any test) drives the app without a
+socket.  Routes mirror the :class:`~repro.api_types.WorkspaceAPI`
+surface:
+
+========  ==========================  =====================================
+method    path                        meaning
+========  ==========================  =====================================
+GET       ``/healthz``                liveness + version
+GET       ``/stats``                  service counters (StatsSnapshot)
+GET       ``/specs``                  list specification names
+GET       ``/specs/{name}``           spec summary (XML via ``Accept``)
+PUT       ``/specs/{name}``           register a specification (XML body)
+GET       ``/runs?spec=``             list run names of a specification
+GET       ``/runs/{name}?spec=``      run summary (PROV-JSON via ``Accept``)
+PUT       ``/runs/{name}?spec=``      import a run (PROV-JSON body)
+GET       ``/diff/{a}/{b}?spec&cost`` priced diff (DiffOutcome, ETag'd)
+POST      ``/matrix``                 all-pairs distances (MatrixResult)
+POST      ``/query``                  paged query (QueryFilter → QueryPage)
+POST      ``/prov/import``            ingest a PROV document (ImportSummary)
+========  ==========================  =====================================
+
+Path segments are percent-decoded, so names containing ``/`` and other
+reserved characters round-trip.  Content negotiation: ``GET /runs/{n}``
+returns PROV-JSON when the ``Accept`` header asks for
+``application/prov+json``, ``GET /specs/{n}`` returns the catalog XML
+for ``application/xml``.
+
+Diff reads are **ETag-revalidated against the corpus fingerprint
+index**: the tag digests ``(fingerprint_a, fingerprint_b, cost key)``,
+so a client's ``If-None-Match`` costs the server two index ``stat``
+calls — no XML parse, no DP — and a ``304 Not Modified`` round trip
+when the runs are unchanged.  Misses are answered from the persistent
+script cache through the ordinary service path, so repeated diff
+requests never recompute.
+
+Every failure leaves as a structured
+:class:`~repro.api_types.ErrorEnvelope` (404 unknown run/spec, 409
+conflicting specification, 400 malformed input, 500 with a generic
+message — never a traceback).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+from urllib.parse import unquote
+
+from repro.api_types import (
+    ErrorEnvelope,
+    ImportSummary,
+    QueryFilter,
+    WIRE_VERSION,
+)
+from repro.corpus.fingerprint import cost_model_key, script_key
+from repro.costs.standard import cost_from_spec
+from repro.errors import NotFoundError, ReproError
+from repro.io.xml_io import specification_from_xml, specification_to_xml
+from repro.workspace import Workspace
+
+#: Content types the service speaks.
+JSON_TYPE = "application/json"
+PROV_JSON_TYPE = "application/prov+json"
+XML_TYPE = "application/xml"
+
+
+def _package_version() -> str:
+    """The installed package version (lazy: avoids a circular import)."""
+    import repro
+
+    return repro.__version__
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP request, transport-independent."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)  #: lower-cased keys
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        """A header value by case-insensitive name."""
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def segments(self) -> List[str]:
+        """Percent-decoded, non-empty path segments."""
+        return [
+            unquote(part)
+            for part in self.path.split("/")
+            if part != ""
+        ]
+
+    def json_body(self) -> Any:
+        """The request body parsed as JSON (``{}`` when empty).
+
+        Raises :class:`ReproError` (→ 400) on malformed JSON.
+        """
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ReproError(
+                f"request body is not valid JSON: {exc}"
+            ) from None
+
+
+@dataclass
+class HttpResponse:
+    """One response: status, body, and headers to put on the wire."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = JSON_TYPE
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "HttpResponse":
+        """A JSON response with deterministic (sorted-key) encoding."""
+        return cls(
+            status=status,
+            body=(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            ).encode("utf8"),
+            content_type=JSON_TYPE,
+            headers=dict(headers or {}),
+        )
+
+    @classmethod
+    def text(
+        cls,
+        text: str,
+        content_type: str,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "HttpResponse":
+        """A response carrying pre-serialised text of a given type."""
+        return cls(
+            status=status,
+            body=text.encode("utf8"),
+            content_type=content_type,
+            headers=dict(headers or {}),
+        )
+
+    def json_payload(self) -> Any:
+        """Decode the body as JSON (test convenience)."""
+        return json.loads(self.body.decode("utf8"))
+
+
+def _run_list(value, what: str) -> Optional[List[str]]:
+    """Validate an optional ``runs`` body member: a list of names."""
+    if value is None:
+        return None
+    if not isinstance(value, list) or not all(
+        isinstance(name, str) for name in value
+    ):
+        raise ReproError(
+            f"{what} 'runs' must be a list of run names"
+        )
+    return value
+
+
+def _error_response(envelope: ErrorEnvelope) -> HttpResponse:
+    """The wire form of a structured error."""
+    return HttpResponse.json(envelope.to_dict(), status=envelope.status)
+
+
+def _status_error(message: str, status: int) -> HttpResponse:
+    """A routing-level error (unknown route, wrong method, ...)."""
+    return _error_response(
+        ErrorEnvelope(
+            type=(
+                "NotFoundError" if status == 404 else "ReproError"
+            ),
+            message=message,
+            status=status,
+        )
+    )
+
+
+class WorkspaceApp:
+    """Routes HTTP requests onto one :class:`Workspace`.
+
+    The workspace's own concurrency discipline (the corpus service
+    monitor plus per-cache locks) makes the app safe to drive from the
+    threading server's one-thread-per-request model without further
+    coordination; the app itself keeps only trivial counters.
+    """
+
+    def __init__(self, workspace: Workspace):
+        self.workspace = workspace
+        #: Request counters surfaced under ``/stats`` (``server_*``).
+        self.requests = 0
+        self.not_modified = 0
+        self.errors = 0
+
+    # -- entry point ----------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one request; every failure becomes an envelope."""
+        self.requests += 1
+        try:
+            response = self._route(request)
+        except ReproError as exc:
+            self.errors += 1
+            response = _error_response(ErrorEnvelope.from_exception(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            # Unknown failures must still leave as structured 500s:
+            # the envelope names the exception type, never the
+            # traceback or its message (which could leak paths).
+            self.errors += 1
+            response = _error_response(ErrorEnvelope.from_exception(exc))
+        if response.status == 304:
+            self.not_modified += 1
+        return response
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        """Match ``(method, segments)`` to a resource handler."""
+        parts = request.segments
+        method = request.method.upper()
+        if parts == ["healthz"] and method == "GET":
+            return self._healthz()
+        if parts == ["stats"] and method == "GET":
+            return self._stats()
+        if parts == ["specs"] and method == "GET":
+            return self._specs_list()
+        if len(parts) == 2 and parts[0] == "specs":
+            if method == "GET":
+                return self._spec_get(request, parts[1])
+            if method == "PUT":
+                return self._spec_put(request, parts[1])
+            return _status_error(
+                f"method {method} not allowed on /specs/{{name}}", 405
+            )
+        if parts == ["runs"] and method == "GET":
+            return self._runs_list(request)
+        if len(parts) == 2 and parts[0] == "runs":
+            if method == "GET":
+                return self._run_get(request, parts[1])
+            if method == "PUT":
+                return self._run_put(request, parts[1])
+            return _status_error(
+                f"method {method} not allowed on /runs/{{name}}", 405
+            )
+        if len(parts) == 3 and parts[0] == "diff" and method == "GET":
+            return self._diff(request, parts[1], parts[2])
+        if parts == ["matrix"] and method == "POST":
+            return self._matrix(request)
+        if parts == ["query"] and method == "POST":
+            return self._query(request)
+        if parts == ["prov", "import"] and method == "POST":
+            return self._prov_import(request)
+        return _status_error(
+            f"no route for {method} {request.path}", 404
+        )
+
+    # -- parameter plumbing ---------------------------------------------
+    def _check_spec(self, spec: Optional[str]) -> Optional[str]:
+        """Verify an (optional) spec name exists; passes ``None`` through."""
+        if spec is not None:
+            spec = str(spec)
+            if spec not in set(self.workspace.specifications()):
+                raise NotFoundError(
+                    f"no stored specification named {spec!r}"
+                )
+        return spec
+
+    def _spec_param(self, request: HttpRequest) -> Optional[str]:
+        """The ``spec=`` parameter, verified to exist when given."""
+        return self._check_spec(request.query.get("spec"))
+
+    def _cost_param(self, source: Optional[str]):
+        """A cost spec string resolved to a model (``None`` → default)."""
+        if source is None:
+            return self.workspace.config.cost
+        return cost_from_spec(source)
+
+    # -- health and stats -----------------------------------------------
+    def _healthz(self) -> HttpResponse:
+        return HttpResponse.json(
+            {
+                "status": "ok",
+                "version": _package_version(),
+                "wire_version": WIRE_VERSION,
+                "specifications": len(self.workspace.specifications()),
+            }
+        )
+
+    def _stats(self) -> HttpResponse:
+        snapshot = self.workspace.stats_snapshot()
+        snapshot.source = "server"
+        snapshot.counters["server_requests"] = self.requests
+        snapshot.counters["server_not_modified"] = self.not_modified
+        snapshot.counters["server_errors"] = self.errors
+        return HttpResponse.json(snapshot.to_dict())
+
+    # -- specifications -------------------------------------------------
+    def _specs_list(self) -> HttpResponse:
+        return HttpResponse.json(
+            {"specs": self.workspace.specifications()}
+        )
+
+    def _spec_get(
+        self, request: HttpRequest, name: str
+    ) -> HttpResponse:
+        spec = self.workspace.specification(name)
+        if XML_TYPE in request.header("accept"):
+            return HttpResponse.text(
+                specification_to_xml(spec), XML_TYPE
+            )
+        return HttpResponse.json(
+            {
+                "spec": spec.name,
+                "nodes": spec.graph.num_nodes,
+                "edges": spec.graph.num_edges,
+                "runs": len(self.workspace.runs(spec=spec.name)),
+            }
+        )
+
+    def _spec_put(
+        self, request: HttpRequest, name: str
+    ) -> HttpResponse:
+        try:
+            text = request.body.decode("utf8")
+        except UnicodeDecodeError:
+            raise ReproError(
+                "specification body must be UTF-8 XML"
+            ) from None
+        spec = specification_from_xml(text)
+        if spec.name != name:
+            from repro.errors import ConflictError
+
+            raise ConflictError(
+                f"URL names specification {name!r} but the document "
+                f"declares {spec.name!r}"
+            )
+        self.workspace.register(spec)
+        return HttpResponse.json(
+            {"spec": spec.name, "registered": True}
+        )
+
+    # -- runs -------------------------------------------------------------
+    def _runs_list(self, request: HttpRequest) -> HttpResponse:
+        spec = self._spec_param(request)
+        resolved = self.workspace._spec_name(spec)
+        return HttpResponse.json(
+            {
+                "spec": resolved,
+                "runs": self.workspace.runs(spec=resolved),
+            }
+        )
+
+    def _run_get(
+        self, request: HttpRequest, name: str
+    ) -> HttpResponse:
+        spec = self._spec_param(request)
+        if PROV_JSON_TYPE in request.header("accept"):
+            return HttpResponse.text(
+                self.workspace.export_prov(name, spec=spec),
+                PROV_JSON_TYPE,
+            )
+        run = self.workspace.run(name, spec=spec)
+        fingerprint = self.workspace.service.fingerprints(
+            run.spec.name, [name]
+        )[name]
+        return HttpResponse.json(
+            {
+                "spec": run.spec.name,
+                "run": name,
+                "nodes": run.num_nodes,
+                "edges": run.num_edges,
+                "fingerprint": fingerprint,
+            }
+        )
+
+    def _run_put(
+        self, request: HttpRequest, name: str
+    ) -> HttpResponse:
+        content_type = request.header("content-type", JSON_TYPE)
+        if (
+            PROV_JSON_TYPE not in content_type
+            and JSON_TYPE not in content_type
+        ):
+            raise ReproError(
+                f"unsupported run content type {content_type!r} "
+                f"(send {PROV_JSON_TYPE})"
+            )
+        try:
+            text = request.body.decode("utf8")
+        except UnicodeDecodeError:
+            raise ReproError(
+                "run body must be UTF-8 PROV-JSON"
+            ) from None
+        result = self.workspace.import_prov(text, name=name)
+        return HttpResponse.json(
+            {
+                "spec": result.spec.name,
+                "run": result.run.name,
+                "origin": result.origin,
+            },
+            status=201,
+        )
+
+    # -- differencing -----------------------------------------------------
+    def _diff(
+        self, request: HttpRequest, run_a: str, run_b: str
+    ) -> HttpResponse:
+        spec = self._spec_param(request)
+        cost = self._cost_param(request.query.get("cost"))
+        spec_name = self.workspace._spec_name(spec)
+        headers: Dict[str, str] = {}
+        cost_key = cost_model_key(cost)
+        if cost_key is not None:
+            # Revalidation is two index stats: unchanged run files
+            # answer from the fingerprint index without XML parsing.
+            fingerprints = self.workspace.service.fingerprints(
+                spec_name, [run_a, run_b]
+            )
+            tag = script_key(
+                fingerprints[run_a], fingerprints[run_b], cost_key
+            )
+            etag = '"' + hashlib.sha256(
+                tag.encode("utf8")
+            ).hexdigest()[:32] + '"'
+            headers["ETag"] = etag
+            headers["Cache-Control"] = "no-cache"
+            if request.header("if-none-match") == etag:
+                return HttpResponse(
+                    status=304, body=b"", headers=headers
+                )
+        outcome = self.workspace.diff(
+            run_a, run_b, spec=spec_name, cost=cost
+        )
+        return HttpResponse.json(outcome.to_dict(), headers=headers)
+
+    def _matrix(self, request: HttpRequest) -> HttpResponse:
+        body = request.json_body()
+        if not isinstance(body, dict):
+            raise ReproError("matrix request body must be an object")
+        spec = self._check_spec(body.get("spec"))
+        cost = self._cost_param(body.get("cost"))
+        runs = _run_list(body.get("runs"), "matrix")
+        result = self.workspace.matrix(
+            spec=spec, cost=cost, runs=runs
+        )
+        return HttpResponse.json(result.to_dict())
+
+    # -- querying ---------------------------------------------------------
+    def _query(self, request: HttpRequest) -> HttpResponse:
+        body = request.json_body()
+        if not isinstance(body, dict):
+            raise ReproError("query request body must be an object")
+        spec = self._check_spec(body.get("spec"))
+        cost = self._cost_param(body.get("cost"))
+        limit = body.get("limit")
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int):
+                raise ReproError(
+                    f"query 'limit' must be an integer, got {limit!r}"
+                )
+        cursor = body.get("cursor")
+        if cursor is not None and not isinstance(cursor, str):
+            raise ReproError(
+                f"query 'cursor' must be a string, got {cursor!r}"
+            )
+        page = self.workspace.query_page(
+            filter=QueryFilter.from_dict(body.get("filter")),
+            spec=spec,
+            cost=cost,
+            cursor=cursor,
+            limit=limit,
+            runs=_run_list(body.get("runs"), "query"),
+        )
+        return HttpResponse.json(page.to_dict())
+
+    # -- interchange -------------------------------------------------------
+    def _prov_import(self, request: HttpRequest) -> HttpResponse:
+        try:
+            text = request.body.decode("utf8")
+        except UnicodeDecodeError:
+            raise ReproError(
+                "PROV document must be UTF-8 JSON"
+            ) from None
+        if not text.strip():
+            raise ReproError("PROV import requires a document body")
+        name = request.query.get("name", "")
+        spec_name = request.query.get("spec_name")
+        diff = request.query.get("diff", "1") not in ("0", "false")
+        cost = self._cost_param(request.query.get("cost"))
+        if diff:
+            result, distances = self.workspace.import_prov(
+                text,
+                name=name,
+                spec_name=spec_name,
+                diff=True,
+                cost=cost,
+            )
+        else:
+            result = self.workspace.import_prov(
+                text, name=name, spec_name=spec_name
+            )
+            distances = {}
+        report = result.report
+        summary = ImportSummary(
+            spec_name=result.spec.name,
+            run_name=result.run.name,
+            origin=result.origin,
+            nodes=result.run.num_nodes,
+            edges=result.run.num_edges,
+            report=report.to_dict(),
+            report_lines=list(report.summary_lines()),
+            new_pairs=dict(distances),
+        )
+        return HttpResponse.json(summary.to_dict(), status=201)

@@ -1,0 +1,178 @@
+"""The stdlib HTTP host for the diff service (``repro serve``).
+
+Binds a :class:`~repro.service.app.WorkspaceApp` to a
+:class:`~http.server.ThreadingHTTPServer`: one thread per in-flight
+request, all funnelled into one shared :class:`Workspace` (whose corpus
+service is a lock-disciplined monitor — see
+:mod:`repro.corpus.service`).  No third-party dependencies: the wire
+layer is ~a hundred lines over ``http.server``.
+
+Two driving styles:
+
+* ``DiffServer(store, config).serve_forever()`` — the CLI's blocking
+  mode (``repro serve``);
+* ``with DiffServer(store) as server: ...`` — background-thread mode
+  for tests and embedded use; ``server.url`` is ready on entry, and
+  leaving the block shuts the socket down cleanly.
+
+``port=0`` asks the OS for a free port (the test fixtures' default),
+reported through :attr:`DiffServer.port`.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.config import ReproConfig
+from repro.service.app import HttpRequest, WorkspaceApp
+from repro.workspace import Workspace
+
+
+def _make_handler(app: WorkspaceApp):
+    """A request-handler class bound to one app instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        """Adapts ``http.server`` requests onto the framework-free app."""
+
+        # Keep-alive responses; every response carries Content-Length.
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self) -> None:
+            parsed = urlsplit(self.path)
+            query = {
+                key: values[-1]
+                for key, values in parse_qs(
+                    parsed.query, keep_blank_values=True
+                ).items()
+            }
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                length = 0
+            body = self.rfile.read(length) if length > 0 else b""
+            request = HttpRequest(
+                method=self.command,
+                path=parsed.path,
+                query=query,
+                headers={
+                    key.lower(): value
+                    for key, value in self.headers.items()
+                },
+                body=body,
+            )
+            response = app.handle(request)
+            self.send_response(response.status)
+            if response.body:
+                self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            if response.body:
+                self.wfile.write(response.body)
+
+        do_GET = _dispatch
+        do_PUT = _dispatch
+        do_POST = _dispatch
+        do_DELETE = _dispatch
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            """Silence per-request stderr logging (servers log via
+            ``/stats``; tests would otherwise spam the console)."""
+
+    return Handler
+
+
+class DiffServer:
+    """One workspace served over HTTP.
+
+    Parameters
+    ----------
+    root:
+        Store directory, an existing
+        :class:`~repro.io.store.WorkflowStore`, or a fully built
+        :class:`Workspace` to share.
+    config:
+        The :class:`ReproConfig` for a workspace built from a path
+        (ignored when ``root`` is already a workspace).
+    host / port:
+        Bind address.  ``port=0`` picks a free port.
+    """
+
+    def __init__(
+        self,
+        root,
+        config: Optional[ReproConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.workspace = (
+            root
+            if isinstance(root, Workspace)
+            else Workspace(root, config)
+        )
+        self.app = WorkspaceApp(self.workspace)
+        self.httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(self.app)
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """The bound host address."""
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the OS's pick under ``port=0``)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The service base URL, e.g. ``http://127.0.0.1:8321``."""
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (blocking)."""
+        self.httpd.serve_forever()
+
+    def start(self) -> "DiffServer":
+        """Serve on a background daemon thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.httpd.serve_forever,
+                name=f"repro-diff-server:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "DiffServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve(
+    root,
+    config: Optional[ReproConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+) -> None:
+    """Blocking convenience: build a :class:`DiffServer` and serve.
+
+    The programmatic equivalent of ``repro serve STORE --port N``.
+    """
+    DiffServer(root, config, host=host, port=port).serve_forever()

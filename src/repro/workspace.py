@@ -25,14 +25,17 @@ documented API:
 
 Every result that prices or lists edits is a typed
 :class:`DiffOutcome`; streaming batch work (:meth:`Workspace.diff_many`)
-yields outcomes as their backend chunks complete.  The legacy entry
-points remain importable as deprecated shims — see
+yields outcomes as their backend chunks complete.  The full public
+surface is pinned down by the :class:`repro.api_types.WorkspaceAPI`
+protocol, which :class:`repro.client.RemoteWorkspace` also satisfies —
+the same code runs against a local store or a ``repro serve`` endpoint.
+The legacy entry points remain importable as deprecated shims — see
 ``docs/MIGRATION.md`` for the call-site mapping.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
 from typing import (
     Dict,
     Iterable,
@@ -44,12 +47,21 @@ from typing import (
     Union,
 )
 
+from repro.api_types import (
+    DiffOutcome,
+    MatrixResult,
+    QueryFilter,
+    QueryPage,
+    StatsSnapshot,
+    decode_cursor,
+    encode_cursor,
+)
 from repro.config import ReproConfig
 from repro.core.api import diff_runs
-from repro.core.edit_script import PathOperation
+from repro.corpus.fingerprint import cost_model_key
 from repro.corpus.service import DiffService
 from repro.costs.base import CostModel
-from repro.errors import ReproError
+from repro.errors import NotFoundError, ReproError
 from repro.io.store import WorkflowStore
 from repro.pdiffview.session import DiffView
 from repro.query.engine import QueryEngine, ScriptDoc
@@ -58,53 +70,10 @@ from repro.workflow.execution import ExecutionParams, execute_workflow
 from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 
+__all__ = ["DiffOutcome", "RunRef", "Workspace"]
+
 #: A run argument: the name of a stored run, or an in-memory run object.
 RunRef = Union[str, WorkflowRun]
-
-
-@dataclass
-class DiffOutcome:
-    """One priced diff: a directed run pair and its minimum-cost script.
-
-    The workspace's uniform result type — :meth:`Workspace.diff` returns
-    one, :meth:`Workspace.diff_many` streams them.  ``operations`` is
-    the full elementary edit script from ``run_a`` to ``run_b``; its
-    summed cost equals ``distance`` by construction.
-    """
-
-    spec_name: str
-    run_a: str
-    run_b: str
-    cost_model: str  #: display name of the cost model used
-    distance: float
-    operations: List[PathOperation]
-
-    @property
-    def pair(self) -> Tuple[str, str]:
-        """The directed ``(run_a, run_b)`` name pair."""
-        return (self.run_a, self.run_b)
-
-    @property
-    def op_count(self) -> int:
-        """Number of elementary operations in the script."""
-        return len(self.operations)
-
-    def to_dict(self) -> dict:
-        """JSON-safe representation (the CLI's ``--json`` payload)."""
-        return {
-            "spec": self.spec_name,
-            "run_a": self.run_a,
-            "run_b": self.run_b,
-            "cost_model": self.cost_model,
-            "distance": self.distance,
-            "operations": [op.to_dict() for op in self.operations],
-        }
-
-    def __str__(self) -> str:
-        return (
-            f"delta({self.run_a}, {self.run_b}) = {self.distance:g} "
-            f"under {self.cost_model} ({self.op_count} ops)"
-        )
 
 
 class Workspace:
@@ -142,6 +111,9 @@ class Workspace:
         )
         self.engine = QueryEngine(self.service)
         self._specs: Dict[str, WorkflowSpecification] = {}
+        # Guards the session spec memo; the heavyweight state below it
+        # (service, caches, indexes) carries its own lock discipline.
+        self._spec_lock = threading.RLock()
 
     # -- specification management ---------------------------------------
     def register(self, spec: WorkflowSpecification) -> None:
@@ -150,15 +122,17 @@ class Workspace:
         Re-registering an existing name invalidates every fingerprint
         minted under the old content (the corpus service's rule).
         """
-        self._specs[spec.name] = spec
-        self.store.save_specification(spec)
-        self.service.invalidate_specification(spec.name)
+        with self._spec_lock:
+            self._specs[spec.name] = spec
+            self.store.save_specification(spec)
+            self.service.invalidate_specification(spec.name)
 
     def specification(self, name: str) -> WorkflowSpecification:
         """The named specification (session-memoised)."""
-        if name not in self._specs:
-            self._specs[name] = self.service.specification(name)
-        return self._specs[name]
+        with self._spec_lock:
+            if name not in self._specs:
+                self._specs[name] = self.service.specification(name)
+            return self._specs[name]
 
     def specifications(self) -> List[str]:
         """Names of every specification this workspace knows."""
@@ -221,8 +195,24 @@ class Workspace:
         return self.service.load_run(self._spec_name(spec), name)
 
     def runs(self, spec: Optional[str] = None) -> List[str]:
-        """Names of the stored runs of a specification."""
-        return self.store.list_runs(self._spec_name(spec))
+        """Names of the stored runs of a specification.
+
+        An explicitly named but unknown specification raises
+        :class:`~repro.errors.NotFoundError` (the remote workspace
+        behaves identically) — an empty listing is reserved for
+        specifications that exist and simply have no runs yet.
+        """
+        spec_name = self._spec_name(spec)
+        with self._spec_lock:
+            known = (
+                spec_name in self._specs
+                or self.store.has_specification(spec_name)
+            )
+        if not known:
+            raise NotFoundError(
+                f"no stored specification named {spec_name!r}"
+            )
+        return self.store.list_runs(spec_name)
 
     # -- differencing -----------------------------------------------------
     def _resolve_pair(
@@ -263,6 +253,7 @@ class Workspace:
             cost_model=cost.name,
             distance=distance,
             operations=list(operations),
+            cost_key=cost_model_key(cost),
         )
 
     def diff(
@@ -347,14 +338,27 @@ class Workspace:
         spec: Optional[str] = None,
         cost: Optional[CostModel] = None,
         runs: Optional[Sequence[str]] = None,
-    ) -> Dict[Tuple[str, str], float]:
-        """All-pairs distances ``{(run_a, run_b): distance}``.
+    ) -> MatrixResult:
+        """All-pairs distances as a typed :class:`MatrixResult`.
 
-        Unordered pairs in listing order; cold pairs fan out on the
+        The result still reads as the historical
+        ``{(run_a, run_b): distance}`` mapping (unordered pairs in
+        listing order) while carrying the spec name, cost identity and
+        run listing for transport.  Cold pairs fan out on the
         configured backend, warm pairs answer from the cache tiers.
         """
-        return self.service.distance_matrix(
-            self._spec_name(spec), cost=cost or self.config.cost, runs=runs
+        cost = cost or self.config.cost
+        spec_name = self._spec_name(spec)
+        names = list(runs) if runs is not None else self.runs(spec_name)
+        distances = self.service.distance_matrix(
+            spec_name, cost=cost, runs=names
+        )
+        return MatrixResult(
+            spec_name=spec_name,
+            cost_model=cost.name,
+            cost_key=cost_model_key(cost),
+            runs=names,
+            distances=distances,
         )
 
     def nearest(
@@ -396,20 +400,24 @@ class Workspace:
     # -- querying ----------------------------------------------------------
     def query(
         self,
-        predicate: Optional[Predicate] = None,
+        predicate: Optional[Union[Predicate, QueryFilter]] = None,
         spec: Optional[str] = None,
         cost: Optional[CostModel] = None,
         runs: Optional[Sequence[str]] = None,
     ) -> List[ScriptDoc]:
         """The diffs of stored run pairs matching a ``Q`` predicate.
 
-        Materialised in listing order; use ``ws.engine.select`` for
-        streaming evaluation and ``ws.engine``'s aggregation methods
+        Materialised in listing order; accepts either a live ``Q``
+        predicate or the declarative (wire-safe)
+        :class:`~repro.api_types.QueryFilter`.  Use ``ws.engine.select``
+        for streaming evaluation and ``ws.engine``'s aggregation methods
         (``histogram``/``churn``/``divergence``) beyond these::
 
             from repro import Q
             ws.query(Q.op_kind("path-deletion") & Q.touches("getGOAnnot"))
         """
+        if isinstance(predicate, QueryFilter):
+            predicate = predicate.to_predicate()
         return list(
             self.engine.select(
                 self._spec_name(spec),
@@ -417,6 +425,57 @@ class Workspace:
                 cost=cost or self.config.cost,
                 runs=runs,
             )
+        )
+
+    def query_page(
+        self,
+        filter: Optional[QueryFilter] = None,
+        spec: Optional[str] = None,
+        cost: Optional[CostModel] = None,
+        cursor: Optional[str] = None,
+        limit: Optional[int] = None,
+        runs: Optional[Sequence[str]] = None,
+    ) -> QueryPage:
+        """One page of the diffs matching a :class:`QueryFilter`.
+
+        The paginated face of :meth:`query` — results are enumerated in
+        the corpus's deterministic listing order, so an opaque cursor
+        (``page.next_cursor``) resumes exactly where the previous page
+        stopped.  ``limit=None`` returns everything in one page.
+        """
+        filter = filter if filter is not None else QueryFilter()
+        cost = cost or self.config.cost
+        spec_name = self._spec_name(spec)
+        docs = list(
+            self.engine.select(
+                spec_name,
+                filter.to_predicate(),
+                cost=cost,
+                runs=runs,
+            )
+        )
+        offset = decode_cursor(cursor)
+        if limit is not None and limit < 0:
+            raise ReproError(f"limit must be >= 0, got {limit}")
+        end = len(docs) if limit is None else min(offset + limit, len(docs))
+        items = [
+            self._outcome(
+                spec_name, doc.run_a, doc.run_b, cost,
+                doc.distance, doc.operations,
+            )
+            for doc in docs[offset:end]
+        ]
+        return QueryPage(
+            spec_name=spec_name,
+            cost_model=cost.name,
+            cost_key=cost_model_key(cost),
+            filter=filter,
+            total_matches=len(docs),
+            items=items,
+            cursor=cursor,
+            next_cursor=(
+                encode_cursor(end) if end < len(docs) else None
+            ),
         )
 
     # -- interchange -------------------------------------------------------
@@ -530,6 +589,10 @@ class Workspace:
     def stats(self) -> Dict[str, int]:
         """Cache/DP counters of the underlying corpus service."""
         return self.service.stats
+
+    def stats_snapshot(self) -> StatsSnapshot:
+        """The service counters as a typed, transportable snapshot."""
+        return StatsSnapshot(counters=dict(self.stats), source="local")
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

@@ -139,6 +139,10 @@ class TestDocumentation:
             "repro.config",
             "repro.backends.base",
             "repro.backends.work",
+            "repro.api_types",
+            "repro.client",
+            "repro.service.app",
+            "repro.service.server",
         ],
     )
     def test_module_and_public_classes_documented(self, module_name):

@@ -4,7 +4,8 @@
 against a missing store, corrupted index files, corrupted catalog XML,
 and malformed PROV documents.  Corrupted *index* files are derived data
 and recover silently (documented store behaviour); everything else must
-fail with exit code 2 and a one-line diagnostic on stderr.
+fail with a stable nonzero exit code (1 for ReproErrors, 2 for usage
+errors) and a one-line diagnostic on stderr.
 """
 
 import json

@@ -48,7 +48,7 @@ class TestDiff:
         code, _, err = run_cli(
             capsys, "diff", str(pa_store.root), "PA", "r01", "nope"
         )
-        assert code == 2
+        assert code == 1  # ReproError → 1; usage errors → 2 (argparse)
         assert "no stored run" in err
 
     def test_missing_store_rejected_by_argparse(self, tmp_path, capsys):

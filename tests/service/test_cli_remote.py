@@ -1,0 +1,126 @@
+"""The CLI against a live server: ``--remote`` on every subcommand.
+
+The same ``repro diff/matrix/query/import`` invocations, pointed at a
+``repro serve`` endpoint instead of a store directory, must print the
+same payloads — the CLI is a shell over the :class:`WorkspaceAPI`
+protocol, not over a particular implementation.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.workflow.generators import random_prov_document
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRemoteFlag:
+    def test_remote_diff_matches_local(
+        self, corpus_root, server_url, capsys
+    ):
+        code, local_out, _ = run_cli(
+            capsys, "diff", str(corpus_root), "PA", "r01", "r02",
+            "--json",
+        )
+        assert code == 0
+        code, remote_out, _ = run_cli(
+            capsys, "diff", "--remote", server_url, "PA",
+            "r01", "r02", "--json",
+        )
+        assert code == 0
+        assert json.loads(local_out) == json.loads(remote_out)
+
+    def test_remote_matrix_matches_local(
+        self, corpus_root, server_url, capsys
+    ):
+        _, local_out, _ = run_cli(
+            capsys, "matrix", str(corpus_root), "PA", "--json"
+        )
+        code, remote_out, _ = run_cli(
+            capsys, "matrix", "--remote", server_url, "PA", "--json"
+        )
+        assert code == 0
+        assert json.loads(local_out) == json.loads(remote_out)
+
+    def test_remote_query_matches_local(
+        self, corpus_root, server_url, capsys
+    ):
+        args = ["query", "--min-cost", "1", "--json"]
+        _, local_out, _ = run_cli(
+            capsys, args[0], str(corpus_root), "PA", *args[1:]
+        )
+        code, remote_out, _ = run_cli(
+            capsys, args[0], "--remote", server_url, "PA", *args[1:]
+        )
+        assert code == 0
+        local, remote = json.loads(local_out), json.loads(remote_out)
+        assert local["total_matches"] == remote["total_matches"]
+        assert local["matches"] == remote["matches"]
+        assert local["predicate"] == remote["predicate"]
+
+    def test_remote_query_aggregates_render(
+        self, server_url, capsys
+    ):
+        code, out, _ = run_cli(
+            capsys, "query", "--remote", server_url, "PA",
+            "--histogram", "--churn",
+        )
+        assert code == 0
+        assert "matching pair(s)" in out
+        assert "operation kinds:" in out
+
+    def test_remote_import_prints_summary(
+        self, server_url, tmp_path, capsys
+    ):
+        document = tmp_path / "doc.json"
+        document.write_text(
+            json.dumps(random_prov_document(6, seed=21)),
+            encoding="utf8",
+        )
+        code, out, _ = run_cli(
+            capsys, "import", "--remote", server_url, str(document),
+            "--name", "wired", "--spec-name", "cli-ext", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["run"] == "wired"
+        assert payload["spec"] == "cli-ext"
+
+    def test_store_and_remote_together_refused(
+        self, corpus_root, server_url, capsys
+    ):
+        code, _, err = run_cli(
+            capsys, "diff", str(corpus_root), "PA", "r01", "r02",
+            "--remote", server_url,
+        )
+        assert code == 1
+        assert "not both" in err
+
+    def test_neither_store_nor_remote_refused(self, capsys):
+        code, _, err = run_cli(capsys, "query", "PA")
+        assert code == 1
+        assert "STORE directory is required" in err
+
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "matrix", "--remote", "http://127.0.0.1:1", "PA"
+        )
+        assert code == 1
+        assert "cannot reach" in err
+
+
+class TestVersionFlag:
+    def test_version_reports_the_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out

@@ -1,0 +1,266 @@
+"""The HTTP layer itself: routes, negotiation, ETags, live sockets.
+
+Most tests drive the framework-free :class:`WorkspaceApp` directly
+(request in, response out — no socket); the live-server class at the
+end exercises the real ``ThreadingHTTPServer`` + ``urllib`` path,
+including keep-alive and percent-encoded names.
+"""
+
+import json
+
+import pytest
+
+from repro.client import RemoteWorkspace
+from repro.config import ReproConfig
+from repro.io.xml_io import specification_to_xml
+from repro.service.app import (
+    HttpRequest,
+    PROV_JSON_TYPE,
+    WorkspaceApp,
+    XML_TYPE,
+)
+from repro.workflow.real_workflows import emboss
+from repro.workspace import Workspace
+
+
+@pytest.fixture(scope="module")
+def app(corpus_root):
+    return WorkspaceApp(
+        Workspace(corpus_root, ReproConfig(backend="serial"))
+    )
+
+
+def get(app, path, query=None, headers=None):
+    return app.handle(
+        HttpRequest(
+            method="GET",
+            path=path,
+            query=dict(query or {}),
+            headers={
+                key.lower(): value
+                for key, value in (headers or {}).items()
+            },
+        )
+    )
+
+
+def post(app, path, payload=None, query=None, body=None, headers=None):
+    if payload is not None:
+        body = json.dumps(payload).encode("utf8")
+    return app.handle(
+        HttpRequest(
+            method="POST",
+            path=path,
+            query=dict(query or {}),
+            headers={
+                key.lower(): value
+                for key, value in (headers or {}).items()
+            },
+            body=body or b"",
+        )
+    )
+
+
+class TestRoutes:
+    def test_healthz(self, app):
+        response = get(app, "/healthz")
+        assert response.status == 200
+        payload = response.json_payload()
+        assert payload["status"] == "ok"
+        assert payload["specifications"] == 1
+
+    def test_stats_carries_service_and_server_counters(self, app):
+        payload = get(app, "/stats").json_payload()
+        assert payload["source"] == "server"
+        assert "computed_pairs" in payload["counters"]
+        assert payload["counters"]["server_requests"] >= 1
+
+    def test_specs_listing_and_summary(self, app, spec_name):
+        assert get(app, "/specs").json_payload()["specs"] == [
+            spec_name
+        ]
+        summary = get(app, f"/specs/{spec_name}").json_payload()
+        assert summary["spec"] == spec_name
+        assert summary["nodes"] > 0
+        assert summary["runs"] == 4
+
+    def test_spec_content_negotiation(self, app, spec_name):
+        response = get(
+            app, f"/specs/{spec_name}", headers={"Accept": XML_TYPE}
+        )
+        assert response.content_type == XML_TYPE
+        assert b"<specification" in response.body
+
+    def test_runs_listing_resolves_default_spec(self, app, spec_name):
+        payload = get(app, "/runs").json_payload()
+        assert payload["spec"] == spec_name
+        assert payload["runs"] == ["r01", "r02", "r03", "r04"]
+
+    def test_run_summary_and_prov_negotiation(self, app):
+        summary = get(app, "/runs/r01").json_payload()
+        assert summary["run"] == "r01"
+        assert len(summary["fingerprint"]) == 64
+        response = get(
+            app, "/runs/r01", headers={"Accept": PROV_JSON_TYPE}
+        )
+        assert response.content_type == PROV_JSON_TYPE
+        document = json.loads(response.body.decode("utf8"))
+        assert "activity" in document
+
+    def test_diff_payload_is_a_versioned_outcome(self, app):
+        payload = get(app, "/diff/r01/r02").json_payload()
+        assert payload["v"] == 1
+        assert payload["run_a"] == "r01"
+        assert payload["cost_key"] == "PowerCost(ε=0.0)"
+        assert payload["distance"] == pytest.approx(
+            sum(op["cost"] for op in payload["operations"])
+        )
+
+    def test_matrix_route(self, app, spec_name):
+        payload = post(app, "/matrix", payload={}).json_payload()
+        assert payload["spec"] == spec_name
+        assert len(payload["distances"]) == 6
+        subset = post(
+            app, "/matrix", payload={"runs": ["r01", "r02"]}
+        ).json_payload()
+        assert len(subset["distances"]) == 1
+
+    def test_query_route_pages(self, app):
+        first = post(
+            app, "/query", payload={"limit": 4}
+        ).json_payload()
+        assert first["total_matches"] == 6
+        assert len(first["items"]) == 4
+        assert first["next_cursor"]
+        second = post(
+            app,
+            "/query",
+            payload={"limit": 4, "cursor": first["next_cursor"]},
+        ).json_payload()
+        assert len(second["items"]) == 2
+        assert second["next_cursor"] is None
+
+    def test_unknown_route_is_an_envelope_404(self, app):
+        response = get(app, "/nonsense")
+        assert response.status == 404
+        assert (
+            response.json_payload()["error"]["type"] == "NotFoundError"
+        )
+
+    def test_wrong_method_is_405(self, app):
+        response = post(app, "/specs/PA", payload={})
+        assert response.status == 405
+
+
+class TestEtagCaching:
+    def test_repeated_diff_revalidates_to_304(self, app):
+        first = get(app, "/diff/r01/r03")
+        etag = first.headers["ETag"]
+        assert etag.startswith('"')
+        again = get(
+            app, "/diff/r01/r03", headers={"If-None-Match": etag}
+        )
+        assert again.status == 304
+        assert again.body == b""
+        assert again.headers["ETag"] == etag
+
+    def test_etag_differs_per_direction_and_cost(self, app):
+        forward = get(app, "/diff/r01/r03").headers["ETag"]
+        backward = get(app, "/diff/r03/r01").headers["ETag"]
+        lengthwise = get(
+            app, "/diff/r01/r03", query={"cost": "length"}
+        ).headers["ETag"]
+        assert len({forward, backward, lengthwise}) == 3
+
+    def test_stale_etag_gets_a_fresh_body(self, app):
+        response = get(
+            app, "/diff/r01/r03", headers={"If-None-Match": '"stale"'}
+        )
+        assert response.status == 200
+        assert response.json_payload()["run_a"] == "r01"
+
+    def test_etag_changes_when_a_run_changes(
+        self, app, varied_params
+    ):
+        """Rewriting a run's file invalidates the tag through the
+        fingerprint index's stamp check."""
+        from repro.workflow.execution import execute_workflow
+
+        ws = app.workspace
+        spec = ws.specification("PA")
+        ws.import_run(
+            execute_workflow(spec, varied_params, seed=401, name="mut")
+        )
+        first = get(app, "/diff/r01/mut").headers["ETag"]
+        ws.import_run(
+            execute_workflow(spec, varied_params, seed=402, name="mut")
+        )
+        second = get(app, "/diff/r01/mut").headers["ETag"]
+        assert first != second
+
+    def test_every_wire_cost_carries_an_identity_and_tags(self, app):
+        """Every cost the wire grammar can express has a cache
+        identity, so every served diff is revalidatable."""
+        response = get(
+            app, "/diff/r01/r02", query={"cost": "power:0.25"}
+        )
+        assert "ETag" in response.headers
+
+
+class TestLiveServer:
+    """Through the real socket: server fixture + urllib client."""
+
+    def test_percent_encoded_names_round_trip(
+        self, server, varied_params
+    ):
+        from repro.workflow.execution import execute_workflow
+
+        remote = RemoteWorkspace(server.url)
+        spec = server.workspace.specification("PA")
+        weird = "runs/are weird? yes#1"
+        run = execute_workflow(
+            spec, varied_params, seed=55, name=weird
+        )
+        remote.import_run(run)
+        assert weird in remote.runs(spec="PA")
+        outcome = remote.diff("r01", weird, spec="PA")
+        assert outcome.run_b == weird
+        assert remote.run(weird, spec="PA").equivalent(run)
+
+    def test_client_etag_memo_survives_across_calls(self, server):
+        remote = RemoteWorkspace(server.url)
+        before = server.app.not_modified
+        first = remote.diff("r01", "r04")
+        second = remote.diff("r01", "r04")
+        assert first.to_dict() == second.to_dict()
+        assert server.app.not_modified == before + 1
+
+    def test_healthz_over_the_wire(self, server):
+        assert RemoteWorkspace(server.url).healthz()["status"] == "ok"
+
+    def test_register_over_the_wire_conflicts_on_name_mismatch(
+        self, server
+    ):
+        import urllib.request
+
+        from repro.errors import ConflictError
+
+        body = specification_to_xml(emboss()).encode("utf8")
+        request = urllib.request.Request(
+            server.url + "/specs/not-emboss",
+            data=body,
+            method="PUT",
+            headers={"Content-Type": XML_TYPE},
+        )
+        with pytest.raises(Exception):  # urllib surfaces HTTP 409
+            urllib.request.urlopen(request)
+        # The client maps the same failure to ConflictError.
+        remote = RemoteWorkspace(server.url)
+        renamed = emboss()
+        with pytest.raises(ConflictError):
+            remote._request(
+                "PUT",
+                "/specs/not-emboss",
+                body=specification_to_xml(renamed).encode("utf8"),
+                headers={"Content-Type": XML_TYPE},
+            )

@@ -55,7 +55,7 @@ class TestBackendFlags:
         code, _, err = run_cli(
             capsys, "matrix", store_root, "PA", "--jobs", "0"
         )
-        assert code == 2
+        assert code == 1  # ReproError → 1; usage errors → 2 (argparse)
         assert "jobs" in err
 
     def test_query_and_export_have_no_backend_flag(
