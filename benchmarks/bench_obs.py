@@ -1,0 +1,181 @@
+"""Observability overhead: instrumented vs bare request throughput.
+
+Boots two in-process diff servers over identical warm corpora — one
+with the metrics registry enabled (the production default), one with
+``metrics=False`` (every instrument a no-op) — and measures the
+warm-cache ``GET /diff/{a}/{b}`` sweep plus a ``GET /healthz`` hammer
+against both.  Logging is off in both regimes so the delta isolates
+the cost of the instruments themselves: per-route counters, latency
+histogram buckets, cache/DP counters, and the lock-wait monitor.
+
+The acceptance budget is **< 3% overhead** on the warm sweep (the
+regime where instrument cost is largest relative to useful work — cold
+sweeps bury it under the O(|E|³) DP).  The run cross-checks the
+instrumented server's counters against ground truth: the scrape must
+account for every request the benchmark made.
+
+Emits ``benchmarks/results/BENCH_obs.json``.  Scale with
+``REPRO_BENCH_SCALE`` or pass ``--quick`` for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _workloads import RESULTS_DIR, emit, scaled
+
+from bench_server import build_corpus
+from repro.client import RemoteWorkspace
+from repro.config import ReproConfig
+from repro.obs.promcheck import parse_exposition
+from repro.service.server import DiffServer
+
+
+def sweep_diffs(client: RemoteWorkspace, pairs) -> float:
+    start = time.perf_counter()
+    for a, b in pairs:
+        client.diff(a, b, spec="PA")
+    return time.perf_counter() - start
+
+
+def hammer_healthz(client: RemoteWorkspace, n: int) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        client.healthz()
+    return time.perf_counter() - start
+
+
+def measure(base: Path, n_runs: int, pairs, repeats: int,
+            healthz_n: int) -> dict:
+    """Interleaved A/B: both servers up, sweeps alternate per repeat.
+
+    Alternation cancels slow environmental drift (allocator state, CPU
+    frequency, page cache) that a sequential A-then-B comparison folds
+    into the regime delta.
+    """
+    chunk = max(1, healthz_n // repeats)
+    with DiffServer(
+        build_corpus(base / "on", n_runs),
+        ReproConfig(backend="serial", log_format="off", metrics=True),
+    ) as on_server, DiffServer(
+        build_corpus(base / "off", n_runs),
+        ReproConfig(backend="serial", log_format="off", metrics=False),
+    ) as off_server:
+        regimes = {
+            "instrumented": {
+                "server": on_server, "diff_seconds": 0.0,
+                "healthz_seconds": 0.0,
+            },
+            "bare": {
+                "server": off_server, "diff_seconds": 0.0,
+                "healthz_seconds": 0.0,
+            },
+        }
+        for regime in regimes.values():
+            warmup = RemoteWorkspace(regime["server"].url)
+            for a, b in pairs:  # pay every DP before the clock starts
+                warmup.diff(a, b, spec="PA")
+            # No ETag memo: timed sweeps transfer full bodies.
+            regime["client"] = RemoteWorkspace(regime["server"].url)
+        for _ in range(repeats):
+            for regime in regimes.values():
+                regime["diff_seconds"] += sweep_diffs(
+                    regime["client"], pairs
+                )
+            for regime in regimes.values():
+                regime["healthz_seconds"] += hammer_healthz(
+                    regime["client"], chunk
+                )
+
+        results = {}
+        for name, regime in regimes.items():
+            results[name] = {
+                "metrics": name == "instrumented",
+                "diff_requests": len(pairs) * repeats,
+                "diff_seconds": regime["diff_seconds"],
+                "diff_rps": (
+                    len(pairs) * repeats / regime["diff_seconds"]
+                ),
+                "healthz_requests": chunk * repeats,
+                "healthz_seconds": regime["healthz_seconds"],
+                "healthz_rps": chunk * repeats
+                / regime["healthz_seconds"],
+            }
+
+        # Ground truth: the scrape accounts for every request made.
+        client = regimes["instrumented"]["client"]
+        text = client._request("GET", "/metrics")[2].decode("utf8")
+        families = parse_exposition(text)
+        counted = sum(
+            value
+            for _, _, value in families["server_requests_total"][
+                "samples"
+            ]
+        )
+        expected = (
+            len(pairs)  # warm-up sweep
+            + len(pairs) * repeats  # timed sweeps
+            + chunk * repeats
+        )
+        assert counted == expected, (counted, expected)
+        results["instrumented"]["scrape_counted_requests"] = counted
+    return results
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    n_runs = scaled(6 if quick else 10, minimum=4)
+    repeats = scaled(3 if quick else 6, minimum=1)
+    healthz_n = scaled(200 if quick else 600, minimum=50)
+    names = [f"r{seed:03d}" for seed in range(1, n_runs + 1)]
+    pairs = [
+        (a, b) for i, a in enumerate(names) for b in names[i + 1:]
+    ]
+    base = Path(tempfile.mkdtemp(prefix="bench-obs-"))
+
+    measured = measure(base, n_runs, pairs, repeats, healthz_n)
+    instrumented, bare = measured["instrumented"], measured["bare"]
+
+    def overhead(key: str) -> float:
+        return (
+            instrumented[key] / bare[key] - 1.0
+        ) * 100.0
+
+    results = {
+        "corpus_runs": n_runs,
+        "instrumented": instrumented,
+        "bare": bare,
+        "diff_overhead_pct": overhead("diff_seconds"),
+        "healthz_overhead_pct": overhead("healthz_seconds"),
+    }
+    lines = [
+        f"Observability overhead (warm diff sweep x{repeats}, "
+        f"{len(pairs)} pairs; {healthz_n} healthz)",
+        f"{'regime':<14}{'diff req/s':>12}{'healthz req/s':>15}",
+        f"{'metrics on':<14}{instrumented['diff_rps']:>12.1f}"
+        f"{instrumented['healthz_rps']:>15.1f}",
+        f"{'metrics off':<14}{bare['diff_rps']:>12.1f}"
+        f"{bare['healthz_rps']:>15.1f}",
+        f"overhead: diff {results['diff_overhead_pct']:+.2f}%, "
+        f"healthz {results['healthz_overhead_pct']:+.2f}% "
+        "(budget < 3%)",
+    ]
+
+    emit("BENCH_obs", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_obs.json"
+    out.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n",
+        encoding="utf8",
+    )
+    print(f"\nwrote {out}")
+    shutil.rmtree(base, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -83,7 +83,9 @@ def main() -> None:
         f"{'regime':<14}{'seconds':>10}{'req/s':>10}{'DPs':>6}",
     ]
 
-    with DiffServer(store, ReproConfig(backend="serial")) as server:
+    with DiffServer(
+        store, ReproConfig(backend="serial", log_format="off")
+    ) as server:
         fresh_client = RemoteWorkspace(server.url)
 
         cold_seconds = sweep(fresh_client, pairs)
@@ -100,7 +102,8 @@ def main() -> None:
 
         matrix_cold_store = build_corpus(base / "matrix", n_runs)
         with DiffServer(
-            matrix_cold_store, ReproConfig(backend="serial")
+            matrix_cold_store,
+            ReproConfig(backend="serial", log_format="off"),
         ) as matrix_server:
             matrix_client = RemoteWorkspace(matrix_server.url)
             matrix_cold, _ = timed(matrix_client.matrix, spec="PA")

@@ -86,6 +86,12 @@ from repro.interchange import (
     export_script_document,
     import_document,
 )
+from repro.obs import (
+    MetricsRegistry,
+    RunMetadata,
+    configure_logging,
+    get_logger,
+)
 from repro.pdiffview.session import DiffView
 from repro.service import DiffServer, serve
 from repro.query.aggregate import (
@@ -116,7 +122,7 @@ from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 from repro.workspace import Workspace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Legacy entry points, kept importable as deprecated shims.  Each maps
 #: to ``(defining module, attribute, workspace replacement)``; accessing
@@ -192,6 +198,11 @@ __all__ = [
     # -- the HTTP diff service -------------------------------------------
     "DiffServer",
     "serve",
+    # -- observability --------------------------------------------------
+    "MetricsRegistry",
+    "RunMetadata",
+    "configure_logging",
+    "get_logger",
     # -- execution backends --------------------------------------------
     "ExecutorBackend",
     "SerialBackend",

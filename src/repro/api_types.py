@@ -52,6 +52,13 @@ from repro.errors import ReproError
 #: any incompatible field change; ``from_dict`` rejects other versions.
 WIRE_VERSION = 1
 
+#: :class:`StatsSnapshot` carries its own version: v2 added the
+#: ``derived`` block (hit ratios, contention totals).  ``from_dict``
+#: accepts both versions — a v1 payload is simply a snapshot with no
+#: derived values — so new clients read old servers and vice versa.
+STATS_WIRE_VERSION = 2
+_STATS_COMPATIBLE_VERSIONS = (1, STATS_WIRE_VERSION)
+
 
 def _require_version(payload: Any, what: str) -> dict:
     """Validate the common envelope of a wire payload."""
@@ -302,6 +309,13 @@ class QueryFilter:
     max_cost: Optional[float] = None
     min_ops: Optional[int] = None
     max_ops: Optional[int] = None
+    #: Operational-metadata clauses (OR-ed within, AND-ed with the
+    #: rest): restrict the corpus to run pairs whose *both* runs were
+    #: ingested by one of these users / on one of these hosts (see
+    #: :mod:`repro.obs.runmeta`).  Runs without metadata never match a
+    #: non-empty clause.
+    users: Tuple[str, ...] = ()
+    hosts: Tuple[str, ...] = ()
 
     def is_empty(self) -> bool:
         """True when no clause is set (the match-everything filter)."""
@@ -312,6 +326,8 @@ class QueryFilter:
             or self.max_cost is not None
             or self.min_ops is not None
             or self.max_ops is not None
+            or self.users
+            or self.hosts
         )
 
     def to_predicate(self):
@@ -339,7 +355,12 @@ class QueryFilter:
     def describe(self) -> str:
         """Human-readable form, matching the predicate's own wording."""
         predicate = self.to_predicate()
-        return "*" if predicate is None else predicate.describe()
+        parts = [] if predicate is None else [predicate.describe()]
+        if self.users:
+            parts.append("user in {" + ", ".join(self.users) + "}")
+        if self.hosts:
+            parts.append("host in {" + ", ".join(self.hosts) + "}")
+        return " and ".join(parts) if parts else "*"
 
     def to_dict(self) -> dict:
         """JSON-safe representation (the ``filter`` member of a query)."""
@@ -351,6 +372,8 @@ class QueryFilter:
             "max_cost": self.max_cost,
             "min_ops": self.min_ops,
             "max_ops": self.max_ops,
+            "users": list(self.users),
+            "hosts": list(self.hosts),
         }
 
     @classmethod
@@ -372,6 +395,12 @@ class QueryFilter:
                 max_cost=_opt_number(payload.get("max_cost"), float),
                 min_ops=_opt_number(payload.get("min_ops"), int),
                 max_ops=_opt_number(payload.get("max_ops"), int),
+                users=tuple(
+                    str(user) for user in payload.get("users", ())
+                ),
+                hosts=tuple(
+                    str(host) for host in payload.get("hosts", ())
+                ),
             )
         except (TypeError, ValueError) as exc:
             raise ReproError(
@@ -451,40 +480,70 @@ class QueryPage:
 class StatsSnapshot:
     """A point-in-time snapshot of a workspace's service counters.
 
-    ``counters`` carries the corpus service's cache/DP statistics
-    (``memory_hits``, ``disk_hits``, ``computed_pairs``, ``script_*``,
-    ...); ``source`` records where the snapshot was taken (``"local"``
-    or the remote base URL) so aggregated dashboards can attribute it.
+    ``counters`` carries the corpus service's integral cache/DP
+    statistics (``memory_hits``, ``disk_hits``, ``computed_pairs``,
+    ``script_*``, ...); ``derived`` (schema v2) carries the float-valued
+    derived quantities — per-tier hit ratios (``memory_hit_ratio``,
+    ``disk_hit_ratio``, ``script_hit_ratio``) and contention totals
+    (``lock_wait_seconds``); ``source`` records where the snapshot was
+    taken (``"local"`` or the remote base URL) so aggregated dashboards
+    can attribute it.
+
+    Versioning: snapshots serialise as :data:`STATS_WIRE_VERSION` (2);
+    :meth:`from_dict` also accepts v1 payloads (pre-observability
+    servers), which simply carry no ``derived`` block.
     """
 
     counters: Dict[str, int]
     source: str = "local"
+    derived: Dict[str, float] = field(default_factory=dict)
 
-    def __getitem__(self, name: str) -> int:
-        return self.counters[name]
+    def __getitem__(self, name: str) -> float:
+        if name in self.counters:
+            return self.counters[name]
+        return self.derived[name]
 
-    def get(self, name: str, default: int = 0) -> int:
-        """A counter's value, defaulting like ``dict.get``."""
-        return self.counters.get(name, default)
+    def get(self, name: str, default: float = 0) -> float:
+        """A counter's (or derived value's) value, like ``dict.get``."""
+        if name in self.counters:
+            return self.counters[name]
+        return self.derived.get(name, default)
 
     def to_dict(self) -> dict:
         """JSON-safe representation of the snapshot."""
         return {
-            "v": WIRE_VERSION,
+            "v": STATS_WIRE_VERSION,
             "source": self.source,
             "counters": dict(self.counters),
+            "derived": dict(self.derived),
         }
 
     @classmethod
     def from_dict(cls, payload: Any) -> "StatsSnapshot":
-        """Rebuild a snapshot from :meth:`to_dict` output."""
-        payload = _require_version(payload, "StatsSnapshot")
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        Accepts every version in the snapshot's compatibility window
+        (currently v1 and v2) — v1 payloads decode with an empty
+        ``derived`` block.
+        """
+        if not isinstance(payload, dict):
+            raise ReproError("StatsSnapshot payload must be a JSON object")
+        if payload.get("v") not in _STATS_COMPATIBLE_VERSIONS:
+            raise ReproError(
+                f"unsupported StatsSnapshot schema version "
+                f"{payload.get('v')!r} (this client speaks "
+                f"v{STATS_WIRE_VERSION} and reads v1)"
+            )
         counters = payload.get("counters")
         if not isinstance(counters, dict):
+            raise ReproError("malformed StatsSnapshot payload")
+        derived = payload.get("derived", {})
+        if not isinstance(derived, dict):
             raise ReproError("malformed StatsSnapshot payload")
         return cls(
             counters={str(k): int(v) for k, v in counters.items()},
             source=str(payload.get("source", "local")),
+            derived={str(k): float(v) for k, v in derived.items()},
         )
 
 
@@ -582,9 +641,14 @@ class ErrorEnvelope:
     type: str
     message: str
     status: int
+    request_id: Optional[str] = None
 
     @classmethod
-    def from_exception(cls, exc: BaseException) -> "ErrorEnvelope":
+    def from_exception(
+        cls,
+        exc: BaseException,
+        request_id: Optional[str] = None,
+    ) -> "ErrorEnvelope":
         """Classify an exception into an envelope (and its status)."""
         if isinstance(exc, ReproError):
             name = type(exc).__name__
@@ -593,15 +657,26 @@ class ErrorEnvelope:
                 if klass.__name__ in STATUS_BY_ERROR_TYPE:
                     status = STATUS_BY_ERROR_TYPE[klass.__name__]
                     break
-            return cls(type=name, message=str(exc), status=status)
+            return cls(
+                type=name,
+                message=str(exc),
+                status=status,
+                request_id=request_id,
+            )
         return cls(
             type=INTERNAL_ERROR_TYPE,
             message=f"internal server error: {type(exc).__name__}",
             status=500,
+            request_id=request_id,
         )
 
     def to_exception(self) -> ReproError:
-        """The :class:`ReproError` (subclass) this envelope denotes."""
+        """The :class:`ReproError` (subclass) this envelope denotes.
+
+        The server's correlation ID (when the envelope carries one) is
+        attached to the raised error as a ``request_id`` attribute so
+        callers can quote it when filing reports against server logs.
+        """
         import repro.errors as _errors
 
         klass = getattr(_errors, self.type, None)
@@ -609,17 +684,20 @@ class ErrorEnvelope:
             isinstance(klass, type) and issubclass(klass, ReproError)
         ):
             klass = ReproError
-        return klass(self.message)
+        error = klass(self.message)
+        error.request_id = self.request_id
+        return error
 
     def to_dict(self) -> dict:
-        """The wire shape: ``{"error": {type, message, status}}``."""
-        return {
-            "error": {
-                "type": self.type,
-                "message": self.message,
-                "status": self.status,
-            }
+        """The wire shape: ``{"error": {type, message, status[, request_id]}}``."""
+        error: Dict[str, Any] = {
+            "type": self.type,
+            "message": self.message,
+            "status": self.status,
         }
+        if self.request_id is not None:
+            error["request_id"] = self.request_id
+        return {"error": error}
 
     @classmethod
     def from_payload(cls, payload: Any) -> Optional["ErrorEnvelope"]:
@@ -631,10 +709,14 @@ class ErrorEnvelope:
         if not isinstance(error, dict):
             return None
         try:
+            request_id = error.get("request_id")
             return cls(
                 type=str(error["type"]),
                 message=str(error["message"]),
                 status=int(error["status"]),
+                request_id=(
+                    None if request_id is None else str(request_id)
+                ),
             )
         except (KeyError, TypeError, ValueError):
             return None

@@ -19,6 +19,8 @@ Subcommands over a store directory (the layout
     repro export STORE SPEC RUN [--output FILE] [--script RUN_B]
     repro serve  STORE [--host H] [--port N]
                  [--backend serial|thread|process] [--jobs N]
+                 [--log-level L] [--log-format json|text|off]
+                 [--drain-timeout S]
 
 Every subcommand is a thin shell over the
 :class:`repro.api_types.WorkspaceAPI` protocol: a local
@@ -58,6 +60,7 @@ from repro.config import ReproConfig
 from repro.costs.base import CostModel
 from repro.costs.standard import UnitCost, cost_from_spec
 from repro.errors import CostModelError, ReproError
+from repro.obs.logging import LOG_FORMATS, LOG_LEVELS
 from repro.workspace import Workspace
 
 #: What a subcommand operates on: local store or remote endpoint.
@@ -114,11 +117,13 @@ def _workspace(args: argparse.Namespace) -> AnyWorkspace:
         raise ReproError(
             "a STORE directory is required (or pass --remote URL)"
         )
+    # Environment (``REPRO_*``) fills whatever the flags left unset;
+    # explicit flags always win (from_env skips None overrides).
     return Workspace(
         store,
-        ReproConfig(
+        ReproConfig.from_env(
             cost=args.cost,
-            backend=getattr(args, "backend", "thread"),
+            backend=getattr(args, "backend", None),
             jobs=getattr(args, "jobs", None),
         ),
     )
@@ -290,24 +295,68 @@ def _import_remote(
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: host a store over HTTP until interrupted."""
+    """``repro serve``: host a store over HTTP until stopped.
+
+    SIGTERM and SIGINT trigger a graceful drain: the listener stops
+    accepting, in-flight requests get ``--drain-timeout`` seconds to
+    finish, and a final stats line is logged.  A second signal hard
+    exits immediately.
+    """
+    import os
+    import signal
+    import threading
+
     from repro.service.server import DiffServer
 
     server = DiffServer(
         args.store,
-        ReproConfig(
-            cost=args.cost, backend=args.backend, jobs=args.jobs
+        ReproConfig.from_env(
+            cost=args.cost,
+            backend=args.backend,
+            jobs=args.jobs,
+            log_level=args.log_level,
+            log_format=args.log_format,
         ),
         host=args.host,
         port=args.port,
     )
-    print(f"serving {args.store} at {server.url} (Ctrl-C to stop)")
+    stop_threads: List[threading.Thread] = []
+    signals_seen = {"count": 0}
+
+    def _drain(signum, frame):
+        signals_seen["count"] += 1
+        if signals_seen["count"] > 1:
+            # Second signal: the operator means it.  Skip the drain.
+            os._exit(1)
+        # stop() must not run on this (the serving) thread: shutdown()
+        # would deadlock against the serve_forever loop it waits on.
+        worker = threading.Thread(
+            target=server.stop,
+            args=(args.drain_timeout,),
+            name="repro-drain",
+            daemon=True,
+        )
+        stop_threads.append(worker)
+        worker.start()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(
+        f"serving {args.store} at {server.url} "
+        "(SIGTERM/Ctrl-C drains and stops)"
+    )
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - non-main-thread sig
         print("shutting down")
     finally:
-        server.httpd.server_close()
+        server.stop(args.drain_timeout)
+        for worker in stop_threads:
+            worker.join(timeout=args.drain_timeout + 5)
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     return 0
 
 
@@ -383,9 +432,9 @@ def _parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--backend",
             choices=list(BACKEND_NAMES),
-            default="thread",
-            help="where cold diff batches execute (default thread; "
-            "process uses every core)",
+            default=None,
+            help="where cold diff batches execute (default thread, or "
+            "REPRO_BACKEND; process uses every core)",
         )
         sub.add_argument(
             "--jobs",
@@ -541,10 +590,32 @@ def _parser() -> argparse.ArgumentParser:
     srv.add_argument(
         "--cost",
         type=_cost_model,
-        default=UnitCost(),
-        help="server-side default cost model (default unit)",
+        default=None,
+        help="server-side default cost model "
+        "(default unit, or REPRO_COST)",
     )
     backend_flags(srv)
+    srv.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default=None,
+        help="logging threshold (default info, or REPRO_LOG_LEVEL)",
+    )
+    srv.add_argument(
+        "--log-format",
+        choices=list(LOG_FORMATS),
+        default=None,
+        help="log output format (default text, or REPRO_LOG_FORMAT; "
+        "json emits one object per line, off silences)",
+    )
+    srv.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds to wait for in-flight requests on shutdown "
+        "(default 10)",
+    )
     srv.set_defaults(func=_cmd_serve)
     return parser
 

@@ -70,6 +70,7 @@ from repro.costs.base import CostModel
 from repro.costs.standard import cost_to_spec
 from repro.errors import ReproError
 from repro.io.xml_io import specification_from_xml, specification_to_xml
+from repro.obs.logging import current_request_id, new_request_id
 from repro.workflow.execution import ExecutionParams, execute_workflow
 from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
@@ -138,8 +139,15 @@ class RemoteWorkspace:
         url = self.base_url + path
         if query:
             url += "?" + urllib.parse.urlencode(query)
+        all_headers = dict(headers or {})
+        # Correlation: reuse an already-bound ID (e.g. when a server
+        # proxies through a RemoteWorkspace) or mint one per request,
+        # so client and server logs join on the same token.
+        all_headers.setdefault(
+            "X-Request-Id", current_request_id() or new_request_id()
+        )
         request = urllib.request.Request(
-            url, data=body, method=method, headers=dict(headers or {})
+            url, data=body, method=method, headers=all_headers
         )
         try:
             with urllib.request.urlopen(

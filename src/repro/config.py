@@ -13,12 +13,20 @@ Configs are plain frozen dataclasses: build variants with
 never holds live resources (the backend is constructed on demand by
 :meth:`ReproConfig.make_backend`, unless the caller supplies an
 instance to share).
+
+Deployments configure through the environment instead of code:
+:meth:`ReproConfig.from_env` reads the ``REPRO_*`` variables
+(``REPRO_COST``, ``REPRO_BACKEND``, ``REPRO_JOBS``,
+``REPRO_CACHE_SIZE``, ``REPRO_LOG_LEVEL``, ``REPRO_LOG_FORMAT``,
+``REPRO_METRICS``), with keyword overrides — the CLI's flags — taking
+precedence over the environment.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 from repro.backends.base import (
     BACKEND_NAMES,
@@ -26,8 +34,35 @@ from repro.backends.base import (
     make_backend,
 )
 from repro.costs.base import CostModel
-from repro.costs.standard import UnitCost
+from repro.costs.standard import UnitCost, cost_from_spec
 from repro.errors import ReproError
+from repro.obs.logging import LOG_FORMATS, LOG_LEVELS
+
+#: Truthy/falsy spellings accepted by boolean ``REPRO_*`` variables.
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _env_bool(name: str, raw: str) -> bool:
+    word = raw.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ReproError(
+        f"{name} must be a boolean "
+        f"(one of {', '.join(sorted(_TRUE_WORDS | _FALSE_WORDS))}), "
+        f"got {raw!r}"
+    )
+
+
+def _env_int(name: str, raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -56,6 +91,18 @@ class ReproConfig:
     record_intermediates:
         Whether :meth:`Workspace.view` diffs keep per-operation graph
         snapshots (needed for stepping through intermediate states).
+    log_level:
+        Threshold of the ``repro`` logger hierarchy (``debug`` ..
+        ``critical``); applied by :class:`~repro.service.server.DiffServer`
+        through :func:`repro.obs.logging.configure_logging`.
+    log_format:
+        Log output format: ``json`` (structured, one object per line),
+        ``text`` (human-readable), or ``off`` (silent — the test
+        fixtures' setting).
+    metrics:
+        Whether the workspace collects metrics.  ``False`` hands the
+        stack a disabled :class:`~repro.obs.metrics.MetricsRegistry`
+        whose updates are no-ops.
     """
 
     cost: CostModel = field(default_factory=UnitCost)
@@ -64,8 +111,21 @@ class ReproConfig:
     cache_size: int = 4096
     persistent: bool = True
     record_intermediates: bool = True
+    log_level: str = "info"
+    log_format: str = "text"
+    metrics: bool = True
 
     def __post_init__(self):
+        if str(self.log_format).strip().lower() not in LOG_FORMATS:
+            raise ReproError(
+                f"unknown log format {self.log_format!r} "
+                f"(expected one of {', '.join(LOG_FORMATS)})"
+            )
+        if str(self.log_level).strip().lower() not in LOG_LEVELS:
+            raise ReproError(
+                f"unknown log level {self.log_level!r} "
+                f"(expected one of {', '.join(LOG_LEVELS)})"
+            )
         if self.jobs is not None and self.jobs < 1:
             raise ReproError(
                 f"ReproConfig.jobs must be >= 1, got {self.jobs}"
@@ -89,3 +149,46 @@ class ReproConfig:
     def make_backend(self) -> ExecutorBackend:
         """Resolve :attr:`backend`/:attr:`jobs` to a live backend."""
         return make_backend(self.backend, self.jobs)
+
+    @classmethod
+    def from_env(
+        cls,
+        env: Optional[Mapping[str, str]] = None,
+        **overrides,
+    ) -> "ReproConfig":
+        """A config from ``REPRO_*`` environment variables.
+
+        ``env`` defaults to :data:`os.environ`; keyword ``overrides``
+        (the CLI's explicit flags) win over the environment, which wins
+        over the dataclass defaults.  Malformed values raise
+        :class:`~repro.errors.ReproError` naming the variable — a
+        typo'd deployment must fail at startup, not fall back silently.
+        """
+        source = os.environ if env is None else env
+        values: dict = {}
+        if source.get("REPRO_COST"):
+            values["cost"] = cost_from_spec(source["REPRO_COST"])
+        if source.get("REPRO_BACKEND"):
+            values["backend"] = source["REPRO_BACKEND"].strip().lower()
+        if source.get("REPRO_JOBS"):
+            values["jobs"] = _env_int("REPRO_JOBS", source["REPRO_JOBS"])
+        if source.get("REPRO_CACHE_SIZE"):
+            values["cache_size"] = _env_int(
+                "REPRO_CACHE_SIZE", source["REPRO_CACHE_SIZE"]
+            )
+        if source.get("REPRO_LOG_LEVEL"):
+            values["log_level"] = (
+                source["REPRO_LOG_LEVEL"].strip().lower()
+            )
+        if source.get("REPRO_LOG_FORMAT"):
+            values["log_format"] = (
+                source["REPRO_LOG_FORMAT"].strip().lower()
+            )
+        if source.get("REPRO_METRICS"):
+            values["metrics"] = _env_bool(
+                "REPRO_METRICS", source["REPRO_METRICS"]
+            )
+        for key, value in overrides.items():
+            if value is not None:
+                values[key] = value
+        return cls(**values)

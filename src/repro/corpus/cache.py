@@ -33,9 +33,12 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.io.store import atomic_write
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 import json
 
@@ -119,6 +122,11 @@ class TwoTierCache:
     Subclasses override :meth:`_decode` to validate values read from
     disk (return ``None`` to reject — a rejected value is a miss) and
     :meth:`_encode` to canonicalise values on write.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is supplied the
+    cache also feeds the shared ``cache_*`` metric families, labelled
+    with its ``name`` (``distance``, ``script``, ...) so one registry
+    can carry every cache tier side by side.
     """
 
     def __init__(
@@ -126,15 +134,48 @@ class TwoTierCache:
         path: Optional[Path] = None,
         maxsize: int = 4096,
         stats: Optional[CacheStats] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+        name: str = "cache",
     ):
         self.path = path
         self.maxsize = maxsize
+        self.name = name
         self.stats = stats if stats is not None else CacheStats()
         self._memory = LRUCache(self.maxsize)
         self._disk: Dict[str, Any] = {}
         self._dirty: Dict[str, Any] = {}
         self._loaded = False
         self._lock = threading.RLock()
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=False)
+        # Collected, not event-driven: :class:`CacheStats` already
+        # tallies every lookup under the cache lock, so the scrape
+        # reads those exact numbers via callbacks and the hot path
+        # pays nothing per hit.
+        lookups = metrics.counter(
+            "cache_lookups_total",
+            "Cache lookups by cache tier and result.",
+        )
+        stats = self.stats
+        lookups.set_function(
+            lambda: stats.memory_hits,
+            cache=self.name, result="memory_hit",
+        )
+        lookups.set_function(
+            lambda: stats.disk_hits,
+            cache=self.name, result="disk_hit",
+        )
+        lookups.set_function(
+            lambda: stats.misses, cache=self.name, result="miss"
+        )
+        metrics.counter(
+            "cache_puts_total", "Values written into a cache."
+        ).set_function(lambda: stats.puts, cache=self.name)
+        metrics.counter(
+            "cache_flushes_total", "Cold-tier flushes per cache."
+        ).set_function(lambda: stats.flushes, cache=self.name)
 
     # -- value schema hooks ---------------------------------------------
     def _decode(self, raw: Any) -> Optional[Any]:

@@ -34,9 +34,20 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.io.store import WorkflowStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
 
 INDEX_NAME = "postings"
 INDEX_NAMESPACE = "query"
@@ -79,7 +90,12 @@ class ScriptIndex:
     cache at all.
     """
 
-    def __init__(self, store: WorkflowStore, persistent: bool = True):
+    def __init__(
+        self,
+        store: WorkflowStore,
+        persistent: bool = True,
+        metrics: Optional["MetricsRegistry"] = None,
+    ):
         self.store = store
         self.persistent = persistent
         self._postings: Dict[str, Set[str]] = {}
@@ -89,6 +105,18 @@ class ScriptIndex:
         # write holds this re-entrant lock so concurrent request
         # threads can never observe a half-updated index.
         self._lock = threading.RLock()
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry(enabled=False)
+        self._indexed_metric = metrics.counter(
+            "script_index_additions_total",
+            "Edit scripts newly indexed (first-time keys only).",
+        )
+        metrics.gauge(
+            "script_index_size",
+            "Distinct edit scripts currently indexed.",
+        ).set_function(self.__len__)
         if persistent:
             self._ingest(
                 store.load_index(INDEX_NAME, namespace=INDEX_NAMESPACE)
@@ -166,6 +194,7 @@ class ScriptIndex:
                 len(record["ops"]),
             )
             self._dirty = True
+            self._indexed_metric.inc()
 
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:

@@ -41,6 +41,8 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backends.base import (
@@ -76,10 +78,20 @@ from repro.costs.base import CostModel
 from repro.costs.standard import UnitCost
 from repro.errors import ConflictError, NotFoundError
 from repro.io.store import WorkflowStore
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runmeta import capture_run_metadata
 from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 
 DISTANCES_INDEX_FILE = "distances.json"
+
+#: Batch-size histogram buckets: powers of two up to a full matrix
+#: sweep of a mid-sized corpus.
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                  512.0, 1024.0)
+
+logger = get_logger("corpus.service")
 
 
 class DiffService:
@@ -116,9 +128,13 @@ class DiffService:
         cache_size: int = 4096,
         persistent: bool = True,
         backend=None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.store = (
             store if isinstance(store, WorkflowStore) else WorkflowStore(store)
+        )
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
         )
         self.max_workers = max_workers
         if backend is None:
@@ -136,7 +152,12 @@ class DiffService:
             if persistent
             else None
         )
-        self.cache = DistanceCache(path=cache_path, maxsize=cache_size)
+        self.cache = DistanceCache(
+            path=cache_path,
+            maxsize=cache_size,
+            metrics=self.metrics,
+            name="distance",
+        )
         script_path = (
             self.store.index_path(
                 SCRIPTS_CACHE_NAME, namespace=QUERY_NAMESPACE
@@ -145,9 +166,14 @@ class DiffService:
             else None
         )
         self.script_cache = ScriptCache(
-            path=script_path, maxsize=cache_size
+            path=script_path,
+            maxsize=cache_size,
+            metrics=self.metrics,
+            name="script",
         )
-        self.script_index = ScriptIndex(self.store, persistent=persistent)
+        self.script_index = ScriptIndex(
+            self.store, persistent=persistent, metrics=self.metrics
+        )
         self.computed_pairs = 0
         self.computed_scripts = 0
         self._specs: Dict[str, WorkflowSpecification] = {}
@@ -156,10 +182,63 @@ class DiffService:
         # nest (edit_script → edit_scripts → cached_script) and the
         # analytics call the matrix path while already inside.
         self._lock = threading.RLock()
+        # Contention accounting: plain floats guarded by the monitor
+        # itself (updated only after a successful acquire), mirrored
+        # into the registry for /metrics.
+        self.lock_acquisitions = 0
+        self.lock_wait_seconds = 0.0
+        # Collected at scrape time from the plain attributes above —
+        # the monitor pays two clock reads and two adds per
+        # acquisition, never a metric-table update.
+        self.metrics.counter(
+            "lock_wait_seconds_total",
+            "Seconds callers spent waiting on the service monitor.",
+        ).set_function(lambda: self.lock_wait_seconds)
+        self.metrics.counter(
+            "lock_acquisitions_total",
+            "Acquisitions of the service monitor.",
+        ).set_function(lambda: self.lock_acquisitions)
+        self._dp_metric = self.metrics.counter(
+            "dp_invocations_total",
+            "Edit-distance DP kernel invocations by kind.",
+        )
+        self._batch_metric = self.metrics.histogram(
+            "dp_batch_size",
+            "Cold DP tasks dispatched per backend batch.",
+            buckets=_BATCH_BUCKETS,
+        )
+        self._backend_tasks_metric = self.metrics.counter(
+            "backend_tasks_total",
+            "Tasks handed to the execution backend.",
+        )
+        self._backend_busy_metric = self.metrics.counter(
+            "backend_busy_seconds_total",
+            "Wall-clock seconds spent inside backend batch dispatch.",
+        )
+
+    @contextmanager
+    def _monitor(self):
+        """Acquire the monitor, accounting for time spent waiting.
+
+        Re-entrant acquisitions (the batch methods nest) are counted
+        but wait ~0s — only genuine cross-thread contention accrues
+        meaningful wait time, which is exactly what the
+        ``lock_wait_seconds_total`` metric is for.
+        """
+        started = time.perf_counter()
+        self._lock.acquire()
+        waited = time.perf_counter() - started
+        # We hold the monitor here, so the plain += updates are safe.
+        self.lock_acquisitions += 1
+        self.lock_wait_seconds += waited
+        try:
+            yield
+        finally:
+            self._lock.release()
 
     # -- resolution -----------------------------------------------------
     def specification(self, spec_name: str) -> WorkflowSpecification:
-        with self._lock:
+        with self._monitor():
             if spec_name not in self._specs:
                 self._specs[spec_name] = self.store.load_specification(
                     spec_name
@@ -176,7 +255,7 @@ class DiffService:
         stale.  Cached *distances* need no invalidation; they are keyed
         by content, and the new fingerprints simply miss.
         """
-        with self._lock:
+        with self._monitor():
             self._specs.pop(spec_name, None)
             self.index.forget_spec(spec_name)
 
@@ -212,7 +291,7 @@ class DiffService:
         name pairs onto content-addressed cache/index keys through this.
         ``runs=None`` covers every stored run of the specification.
         """
-        with self._lock:
+        with self._monitor():
             names = (
                 list(runs) if runs is not None else self.runs(spec_name)
             )
@@ -257,7 +336,7 @@ class DiffService:
         :class:`~repro.backends.work.DistanceTask` payloads, so its
         workers receive ready trees and never touch the store.
         """
-        with self._lock:
+        with self._monitor():
             return self._compute_pairs_locked(
                 spec, pairs, fingerprints, cost
             )
@@ -322,6 +401,12 @@ class DiffService:
                     cost=cost,
                 )
 
+            backend_name = type(self.backend).__name__
+            self._batch_metric.observe(len(directed))
+            self._backend_tasks_metric.inc(
+                len(directed), backend=backend_name
+            )
+            dispatch_started = time.perf_counter()
             if self.backend.requires_pickling:
                 # Resolve every run here: workers get ready trees.
                 distances = self.backend.map(
@@ -332,6 +417,16 @@ class DiffService:
                 distances = self.backend.map(
                     lambda pair: compute_distance(task(pair)), directed
                 )
+            self._backend_busy_metric.inc(
+                time.perf_counter() - dispatch_started,
+                backend=backend_name,
+            )
+            self._dp_metric.inc(len(directed), kind="distance")
+            logger.debug(
+                "computed %d cold distance pairs", len(directed),
+                extra={"batch_size": len(directed),
+                       "backend": backend_name},
+            )
 
             for (key, group), value in zip(ordered, distances):
                 self.computed_pairs += 1
@@ -346,7 +441,7 @@ class DiffService:
         return results
 
     def _flush(self) -> None:
-        with self._lock:
+        with self._monitor():
             if self.persistent:
                 self.cache.flush()
                 self.script_cache.flush()
@@ -449,7 +544,7 @@ class DiffService:
         file can outlive a deleted index file) — any path that touches a
         script keeps the index complete.
         """
-        with self._lock:
+        with self._monitor():
             raw = self.script_cache.get(key)
             if raw is None:
                 return None
@@ -503,7 +598,7 @@ class DiffService:
         payloads on the configured backend — batch script generation
         parallelises exactly like the distance sweeps.
         """
-        with self._lock:
+        with self._monitor():
             return self._edit_scripts_locked(
                 spec_name, pairs, cost, flush
             )
@@ -554,6 +649,12 @@ class DiffService:
                     cost=cost,
                 )
 
+            backend_name = type(self.backend).__name__
+            self._batch_metric.observe(len(ordered))
+            self._backend_tasks_metric.inc(
+                len(ordered), backend=backend_name
+            )
+            dispatch_started = time.perf_counter()
             if self.backend.requires_pickling:
                 outcomes = self.backend.map(
                     compute_script,
@@ -563,6 +664,16 @@ class DiffService:
                 outcomes = self.backend.map(
                     lambda item: compute_script(task(item[1])), ordered
                 )
+            self._backend_busy_metric.inc(
+                time.perf_counter() - dispatch_started,
+                backend=backend_name,
+            )
+            self._dp_metric.inc(len(ordered), kind="script")
+            logger.debug(
+                "computed %d cold edit scripts", len(ordered),
+                extra={"batch_size": len(ordered),
+                       "backend": backend_name},
+            )
             for (_, group), (distance, operations) in zip(
                 ordered, outcomes
             ):
@@ -614,6 +725,7 @@ class DiffService:
         self,
         run: WorkflowRun,
         cost: Optional[CostModel] = None,
+        meta=None,
     ) -> Dict[Tuple[str, str], float]:
         """Persist ``run`` and compute only its distances to the corpus.
 
@@ -621,12 +733,16 @@ class DiffService:
         pairs pairing the new run with each existing one); the existing
         ``N x (N-1) / 2`` matrix is untouched.  Returns the new pairs as
         ``{(existing_name, new_name): distance}``.
+
+        ``meta`` is the run's operational account
+        (:class:`~repro.obs.runmeta.RunMetadata`); omitted, the current
+        context is captured at save time.
         """
-        with self._lock:
-            return self._add_run_locked(run, cost)
+        with self._monitor():
+            return self._add_run_locked(run, cost, meta)
 
     def _add_run_locked(
-        self, run: WorkflowRun, cost: Optional[CostModel]
+        self, run: WorkflowRun, cost: Optional[CostModel], meta=None
     ) -> Dict[Tuple[str, str], float]:
         """:meth:`add_run` body; caller holds the monitor."""
         cost = cost or UnitCost()
@@ -654,7 +770,7 @@ class DiffService:
         existing = [
             name for name in self.runs(spec.name) if name != run.name
         ]
-        self.store.save_run(run)
+        self.store.save_run(run, meta=meta)
         self.index.record(run)
         fingerprints = {run.name: self.index.fingerprint(spec, run.name)}
         for name in existing:
@@ -682,11 +798,19 @@ class DiffService:
         native ones.  Returns ``(import_result, new_pair_distances)``.
         """
         from repro.interchange.convert import import_document
+        from repro.obs.runmeta import _utc_now
 
+        started = _utc_now()
         result = import_document(
             source, run_name=run_name, spec_name=spec_name
         )
-        distances = self.add_run(result.run, cost=cost)
+        distances = self.add_run(
+            result.run,
+            cost=cost,
+            meta=capture_run_metadata(
+                origin="prov-import", started=started
+            ),
+        )
         return result, distances
 
     # -- analytics ---------------------------------------------------------
@@ -713,8 +837,8 @@ class DiffService:
 
     # -- introspection ------------------------------------------------------
     @property
-    def stats(self) -> Dict[str, int]:
-        """Cache statistics plus the total DP/diff counts this service paid.
+    def stats_counters(self) -> Dict[str, int]:
+        """The integral counters alone (the ``StatsSnapshot`` payload).
 
         Distance-cache counters keep their historical flat names
         (``memory_hits``, ``disk_hits``, ...); the edit-script cache's
@@ -727,4 +851,41 @@ class DiffService:
         merged["computed_pairs"] = self.computed_pairs
         merged["computed_scripts"] = self.computed_scripts
         merged["indexed_scripts"] = len(self.script_index)
+        merged["lock_acquisitions"] = self.lock_acquisitions
+        return merged
+
+    @property
+    def derived_stats(self) -> Dict[str, float]:
+        """Float-valued derived statistics: hit ratios and contention.
+
+        Every ratio guards its denominator — a freshly constructed
+        service (zero lookups) reports ``0.0``, never a division error.
+        """
+
+        def ratio(hits: int, lookups: int) -> float:
+            return hits / lookups if lookups else 0.0
+
+        distance = self.cache.stats
+        script = self.script_cache.stats
+        return {
+            "memory_hit_ratio": ratio(
+                distance.memory_hits, distance.lookups
+            ),
+            "disk_hit_ratio": ratio(
+                distance.disk_hits, distance.lookups
+            ),
+            "script_hit_ratio": ratio(script.hits, script.lookups),
+            "lock_wait_seconds": self.lock_wait_seconds,
+        }
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Counters plus derived statistics, one flat mapping.
+
+        The integral counters (see :attr:`stats_counters`) come first;
+        the derived ratios/totals (:attr:`derived_stats`) ride
+        alongside as floats.
+        """
+        merged: Dict[str, float] = dict(self.stats_counters)
+        merged.update(self.derived_stats)
         return merged

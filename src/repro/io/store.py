@@ -32,9 +32,12 @@ import os
 import json
 import tempfile
 from pathlib import Path
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import ConflictError, NotFoundError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.runmeta import RunMetadata
 from repro.io.xml_io import (
     run_from_xml,
     run_to_xml,
@@ -195,12 +198,54 @@ class WorkflowStore:
             self.root / "runs" / _safe_name(spec_name), run_name
         )
 
-    def save_run(self, run: WorkflowRun) -> Path:
-        """Persist a run under its specification's directory."""
+    def save_run(
+        self,
+        run: WorkflowRun,
+        meta: Optional["RunMetadata"] = None,
+    ) -> Path:
+        """Persist a run under its specification's directory.
+
+        ``meta`` is the operational account of the ingest
+        (:class:`~repro.obs.runmeta.RunMetadata`); when omitted the
+        current context is captured automatically.  It lands in a
+        ``<stem>.meta.json`` sidecar next to the run document —
+        listings glob ``*.xml``, so sidecars never pollute run names.
+        """
+        from repro.obs.runmeta import capture_run_metadata
+
         path = self.run_path(run.spec.name, run.name)
         _record_name(path.parent, path.stem, run.name)  # sidecar first
+        if meta is None:
+            meta = capture_run_metadata()
+        atomic_write(
+            path.parent / f"{path.stem}.meta.json",
+            json.dumps(meta.to_dict(), sort_keys=True),
+        )
         atomic_write(path, run_to_xml(run))
         return path
+
+    def run_metadata(
+        self, spec_name: str, run_name: str
+    ) -> Optional["RunMetadata"]:
+        """The operational metadata of a stored run, or ``None``.
+
+        Metadata is best-effort: a run without a sidecar (written by an
+        older version) or with a corrupt one is simply a run with no
+        metadata.
+        """
+        from repro.obs.runmeta import RunMetadata
+
+        path = self.locate_run(spec_name, run_name)
+        if path is None:
+            return None
+        sidecar = path.parent / f"{path.stem}.meta.json"
+        if not sidecar.exists():
+            return None
+        try:
+            payload = json.loads(sidecar.read_text(encoding="utf8"))
+        except (OSError, ValueError):
+            return None
+        return RunMetadata.from_dict(payload)
 
     def load_run(
         self, spec: WorkflowSpecification, name: str
@@ -236,7 +281,9 @@ class WorkflowStore:
         """
         from repro.corpus.fingerprint import spec_fingerprint
         from repro.interchange.convert import import_document
+        from repro.obs.runmeta import _utc_now, capture_run_metadata
 
+        started = _utc_now()
         result = import_document(
             source, run_name=run_name, spec_name=spec_name
         )
@@ -254,7 +301,12 @@ class WorkflowStore:
                     "the old specification first"
                 )
         self.save_specification(result.spec)
-        self.save_run(result.run)
+        self.save_run(
+            result.run,
+            meta=capture_run_metadata(
+                origin="prov-import", started=started
+            ),
+        )
         return result
 
     # -- derived indexes (corpus/query subsystems) ----------------------

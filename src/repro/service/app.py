@@ -47,6 +47,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 from urllib.parse import unquote
@@ -61,12 +63,23 @@ from repro.corpus.fingerprint import cost_model_key, script_key
 from repro.costs.standard import cost_from_spec
 from repro.errors import NotFoundError, ReproError
 from repro.io.xml_io import specification_from_xml, specification_to_xml
+from repro.obs.logging import (
+    bound_request_id,
+    current_request_id,
+    new_request_id,
+)
 from repro.workspace import Workspace
 
 #: Content types the service speaks.
 JSON_TYPE = "application/json"
 PROV_JSON_TYPE = "application/prov+json"
 XML_TYPE = "application/xml"
+
+#: Content type of the Prometheus text exposition face of ``/metrics``.
+PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Correlation header: honoured inbound, always present outbound.
+REQUEST_ID_HEADER = "X-Request-Id"
 
 
 def _package_version() -> str:
@@ -188,6 +201,7 @@ def _status_error(message: str, status: int) -> HttpResponse:
             ),
             message=message,
             status=status,
+            request_id=current_request_id(),
         )
     )
 
@@ -204,28 +218,132 @@ class WorkspaceApp:
     def __init__(self, workspace: Workspace):
         self.workspace = workspace
         #: Request counters surfaced under ``/stats`` (``server_*``).
+        #: Guarded by ``_counter_lock`` — the threading server drives
+        #: one thread per request, and ``+= 1`` alone is not atomic.
         self.requests = 0
         self.not_modified = 0
         self.errors = 0
+        self._in_flight = 0
+        self._counter_lock = threading.Lock()
+        metrics = workspace.metrics
+        self._requests_metric = metrics.counter(
+            "server_requests_total",
+            "HTTP requests handled, by route, method and status.",
+        )
+        self._latency_metric = metrics.histogram(
+            "server_request_seconds",
+            "HTTP request handling latency in seconds, by route.",
+        )
+        self._errors_metric = metrics.counter(
+            "server_errors_total",
+            "Requests that left as error envelopes, by error type.",
+        )
+        self._not_modified_metric = metrics.counter(
+            "server_not_modified_total",
+            "Diff reads answered by ETag revalidation (304).",
+        )
+        metrics.gauge(
+            "server_in_flight",
+            "Requests currently being handled.",
+        ).set_function(self.in_flight)
+
+    # -- in-flight accounting -------------------------------------------
+    def begin_request(self) -> None:
+        """Mark one request in flight (the transport calls this)."""
+        with self._counter_lock:
+            self._in_flight += 1
+
+    def end_request(self) -> None:
+        """The paired decrement — called after the response is written."""
+        with self._counter_lock:
+            self._in_flight -= 1
+
+    def in_flight(self) -> int:
+        """Requests currently between begin/end (drain watches this)."""
+        with self._counter_lock:
+            return self._in_flight
 
     # -- entry point ----------------------------------------------------
     def handle(self, request: HttpRequest) -> HttpResponse:
-        """Dispatch one request; every failure becomes an envelope."""
-        self.requests += 1
+        """Dispatch one request; every failure becomes an envelope.
+
+        Every request runs under a bound correlation ID — honoured from
+        an inbound ``X-Request-Id`` header, freshly minted otherwise —
+        which the response echoes back, every log record carries, and
+        every error envelope embeds.
+        """
+        request_id = (
+            request.header(REQUEST_ID_HEADER).strip() or new_request_id()
+        )
+        with bound_request_id(request_id):
+            response = self._handle_bound(request)
+        response.headers.setdefault(REQUEST_ID_HEADER, request_id)
+        return response
+
+    def _handle_bound(self, request: HttpRequest) -> HttpResponse:
+        """:meth:`handle` body, with the correlation ID already bound."""
+        with self._counter_lock:
+            self.requests += 1
+        started = time.perf_counter()
         try:
             response = self._route(request)
         except ReproError as exc:
-            self.errors += 1
-            response = _error_response(ErrorEnvelope.from_exception(exc))
+            with self._counter_lock:
+                self.errors += 1
+            envelope = ErrorEnvelope.from_exception(
+                exc, request_id=current_request_id()
+            )
+            self._errors_metric.inc(type=envelope.type)
+            response = _error_response(envelope)
         except Exception as exc:  # pragma: no cover - defensive
             # Unknown failures must still leave as structured 500s:
             # the envelope names the exception type, never the
             # traceback or its message (which could leak paths).
-            self.errors += 1
-            response = _error_response(ErrorEnvelope.from_exception(exc))
+            with self._counter_lock:
+                self.errors += 1
+            envelope = ErrorEnvelope.from_exception(
+                exc, request_id=current_request_id()
+            )
+            self._errors_metric.inc(type=envelope.type)
+            response = _error_response(envelope)
         if response.status == 304:
-            self.not_modified += 1
+            with self._counter_lock:
+                self.not_modified += 1
+            self._not_modified_metric.inc()
+        route = self._route_name(request)
+        self._latency_metric.observe(
+            time.perf_counter() - started, route=route
+        )
+        self._requests_metric.inc(
+            route=route,
+            method=request.method.upper(),
+            status=str(response.status),
+        )
         return response
+
+    @staticmethod
+    def _route_name(request: HttpRequest) -> str:
+        """The request's route *template* (bounds label cardinality).
+
+        Metrics label by route shape (``/diff/{a}/{b}``), never by the
+        raw path — otherwise every distinct run name would mint a new
+        sample series.
+        """
+        parts = request.segments
+        if len(parts) == 1 and parts[0] in (
+            "healthz", "stats", "metrics", "specs", "runs",
+            "matrix", "query",
+        ):
+            return f"/{parts[0]}"
+        if len(parts) == 2 and parts[0] == "specs":
+            return "/specs/{name}"
+        if len(parts) == 2 and parts[0] == "runs":
+            return "/runs/{name}"
+        if len(parts) == 3 and parts[0] == "diff":
+            return "/diff/{a}/{b}"
+        if parts == ["prov", "import"]:
+            return "/prov/import"
+        return "<unmatched>"
 
     def _route(self, request: HttpRequest) -> HttpResponse:
         """Match ``(method, segments)`` to a resource handler."""
@@ -235,6 +353,8 @@ class WorkspaceApp:
             return self._healthz()
         if parts == ["stats"] and method == "GET":
             return self._stats()
+        if parts == ["metrics"] and method == "GET":
+            return self._metrics(request)
         if parts == ["specs"] and method == "GET":
             return self._specs_list()
         if len(parts) == 2 and parts[0] == "specs":
@@ -302,10 +422,36 @@ class WorkspaceApp:
     def _stats(self) -> HttpResponse:
         snapshot = self.workspace.stats_snapshot()
         snapshot.source = "server"
-        snapshot.counters["server_requests"] = self.requests
-        snapshot.counters["server_not_modified"] = self.not_modified
-        snapshot.counters["server_errors"] = self.errors
+        with self._counter_lock:
+            snapshot.counters["server_requests"] = self.requests
+            snapshot.counters["server_not_modified"] = self.not_modified
+            snapshot.counters["server_errors"] = self.errors
+            snapshot.counters["server_in_flight"] = self._in_flight
         return HttpResponse.json(snapshot.to_dict())
+
+    def _metrics(self, request: HttpRequest) -> HttpResponse:
+        """The registry's scrape face: Prometheus text, or JSON.
+
+        ``?format=json`` (or ``Accept: application/json``) selects the
+        JSON rendering; everything else gets text exposition 0.0.4.
+        """
+        registry = self.workspace.metrics
+        format_param = request.query.get("format", "").strip().lower()
+        if format_param not in ("", "json", "prometheus", "text"):
+            raise ReproError(
+                f"unknown metrics format {format_param!r} "
+                "(expected 'prometheus' or 'json')"
+            )
+        wants_json = format_param == "json" or (
+            not format_param and JSON_TYPE in request.header("accept")
+        )
+        if wants_json:
+            return HttpResponse.json(
+                {"v": WIRE_VERSION, "metrics": registry.snapshot()}
+            )
+        return HttpResponse.text(
+            registry.render_prometheus(), PROMETHEUS_TYPE
+        )
 
     # -- specifications -------------------------------------------------
     def _specs_list(self) -> HttpResponse:

@@ -17,18 +17,37 @@ Two driving styles:
 
 ``port=0`` asks the OS for a free port (the test fixtures' default),
 reported through :attr:`DiffServer.port`.
+
+Observability: constructing a server configures the ``repro`` logger
+hierarchy from its config (``log_level``/``log_format``), every handled
+request emits one structured access-log record on ``repro.access``
+(method, path, status, duration, correlation ID), and :meth:`stop`
+drains gracefully — the listener closes first, in-flight requests get
+``drain_timeout`` seconds to finish, and a final stats line is logged.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.config import ReproConfig
-from repro.service.app import HttpRequest, WorkspaceApp
+from repro.obs.logging import configure_logging, get_logger
+from repro.service.app import (
+    REQUEST_ID_HEADER,
+    HttpRequest,
+    WorkspaceApp,
+)
 from repro.workspace import Workspace
+
+#: Default seconds :meth:`DiffServer.stop` waits for in-flight requests.
+DEFAULT_DRAIN_TIMEOUT = 10.0
+
+access_log = get_logger("access")
+logger = get_logger("service.server")
 
 
 def _make_handler(app: WorkspaceApp):
@@ -41,6 +60,14 @@ def _make_handler(app: WorkspaceApp):
         protocol_version = "HTTP/1.1"
 
         def _dispatch(self) -> None:
+            app.begin_request()
+            try:
+                self._handle_one()
+            finally:
+                app.end_request()
+
+        def _handle_one(self) -> None:
+            started = time.perf_counter()
             parsed = urlsplit(self.path)
             query = {
                 key: values[-1]
@@ -73,6 +100,23 @@ def _make_handler(app: WorkspaceApp):
             self.end_headers()
             if response.body:
                 self.wfile.write(response.body)
+            access_log.info(
+                "%s %s %d",
+                self.command,
+                parsed.path,
+                response.status,
+                extra={
+                    "method": self.command,
+                    "path": parsed.path,
+                    "status": response.status,
+                    "duration_ms": round(
+                        (time.perf_counter() - started) * 1000.0, 3
+                    ),
+                    "request_id": response.headers.get(
+                        REQUEST_ID_HEADER
+                    ),
+                },
+            )
 
         do_GET = _dispatch
         do_PUT = _dispatch
@@ -80,8 +124,9 @@ def _make_handler(app: WorkspaceApp):
         do_DELETE = _dispatch
 
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
-            """Silence per-request stderr logging (servers log via
-            ``/stats``; tests would otherwise spam the console)."""
+            """Silence ``http.server``'s raw stderr lines — the access
+            log above replaces them (structured, correlation-ID'd, and
+            governed by ``log_format`` so tests can turn it off)."""
 
     return Handler
 
@@ -97,7 +142,8 @@ class DiffServer:
         :class:`Workspace` to share.
     config:
         The :class:`ReproConfig` for a workspace built from a path
-        (ignored when ``root`` is already a workspace).
+        (ignored when ``root`` is already a workspace — except that its
+        logging knobs still apply when given).
     host / port:
         Bind address.  ``port=0`` picks a free port.
     """
@@ -114,11 +160,22 @@ class DiffServer:
             if isinstance(root, Workspace)
             else Workspace(root, config)
         )
+        self.config = config or self.workspace.config
+        configure_logging(
+            level=self.config.log_level,
+            format=self.config.log_format,
+        )
         self.app = WorkspaceApp(self.workspace)
         self.httpd = ThreadingHTTPServer(
             (host, port), _make_handler(self.app)
         )
+        # Handler threads are daemonic: after a drain timeout the
+        # process may exit with stragglers still running — the
+        # documented hard-exit fallback.
+        self.httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
+        self._stop_lock = threading.Lock()
+        self._stopped = False
 
     @property
     def host(self) -> str:
@@ -137,6 +194,10 @@ class DiffServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`stop` (blocking)."""
+        logger.info(
+            "serving %s", self.url,
+            extra={"host": self.host, "port": self.port},
+        )
         self.httpd.serve_forever()
 
     def start(self) -> "DiffServer":
@@ -150,9 +211,43 @@ class DiffServer:
             self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+    def stop(
+        self, drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
+    ) -> None:
+        """Drain and stop: accept no more, finish in-flight, release.
+
+        The accept loop stops first (no new connections), then
+        in-flight requests get up to ``drain_timeout`` seconds to
+        complete before the socket closes; stragglers beyond the
+        deadline are abandoned to their daemon threads.  Idempotent —
+        signal handlers and ``finally`` blocks may race onto it.
+        """
+        with self._stop_lock:
+            if self._stopped:
+                return
+            self._stopped = True
         self.httpd.shutdown()
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        while self.app.in_flight() > 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        remaining = self.app.in_flight()
+        if remaining:
+            logger.warning(
+                "drain timeout: abandoning %d in-flight request(s)",
+                remaining,
+                extra={"in_flight": remaining},
+            )
+        stats = self.workspace.service.stats_counters
+        logger.info(
+            "server stopped",
+            extra={
+                "requests": self.app.requests,
+                "errors": self.app.errors,
+                "not_modified": self.app.not_modified,
+                "computed_pairs": stats["computed_pairs"],
+                "computed_scripts": stats["computed_scripts"],
+            },
+        )
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)

@@ -63,6 +63,7 @@ from repro.corpus.service import DiffService
 from repro.costs.base import CostModel
 from repro.errors import NotFoundError, ReproError
 from repro.io.store import WorkflowStore
+from repro.obs.metrics import MetricsRegistry
 from repro.pdiffview.session import DiffView
 from repro.query.engine import QueryEngine, ScriptDoc
 from repro.query.predicates import Predicate
@@ -103,11 +104,16 @@ class Workspace:
             root if isinstance(root, WorkflowStore) else WorkflowStore(root)
         )
         self.backend = self.config.make_backend()
+        # One registry per workspace (not per process): parallel
+        # workspaces in one test process never pollute each other's
+        # counts, and a disabled registry makes every update a no-op.
+        self.metrics = MetricsRegistry(enabled=self.config.metrics)
         self.service = DiffService(
             self.store,
             cache_size=self.config.cache_size,
             persistent=self.config.persistent,
             backend=self.backend,
+            metrics=self.metrics,
         )
         self.engine = QueryEngine(self.service)
         self._specs: Dict[str, WorkflowSpecification] = {}
@@ -398,6 +404,35 @@ class Workspace:
         )
 
     # -- querying ----------------------------------------------------------
+    def _runs_matching_metadata(
+        self,
+        spec_name: str,
+        filter: QueryFilter,
+        runs: Optional[Sequence[str]],
+    ) -> Optional[Sequence[str]]:
+        """Restrict a run listing by the filter's user/host clauses.
+
+        A pair matches a ``users``/``hosts`` clause only when *both*
+        runs' operational metadata does, so the restriction applies to
+        the run set before pairing.  Runs without metadata (written by
+        older versions) never match a non-empty clause — slicing is
+        opt-in and conservative.
+        """
+        if not filter.users and not filter.hosts:
+            return runs
+        names = list(runs) if runs is not None else self.runs(spec_name)
+        matched = []
+        for name in names:
+            meta = self.store.run_metadata(spec_name, name)
+            if meta is None:
+                continue
+            if filter.users and meta.user not in filter.users:
+                continue
+            if filter.hosts and meta.host not in filter.hosts:
+                continue
+            matched.append(name)
+        return matched
+
     def query(
         self,
         predicate: Optional[Union[Predicate, QueryFilter]] = None,
@@ -417,6 +452,9 @@ class Workspace:
             ws.query(Q.op_kind("path-deletion") & Q.touches("getGOAnnot"))
         """
         if isinstance(predicate, QueryFilter):
+            runs = self._runs_matching_metadata(
+                self._spec_name(spec), predicate, runs
+            )
             predicate = predicate.to_predicate()
         return list(
             self.engine.select(
@@ -446,6 +484,7 @@ class Workspace:
         filter = filter if filter is not None else QueryFilter()
         cost = cost or self.config.cost
         spec_name = self._spec_name(spec)
+        runs = self._runs_matching_metadata(spec_name, filter, runs)
         docs = list(
             self.engine.select(
                 spec_name,
@@ -586,13 +625,17 @@ class Workspace:
 
     # -- introspection ------------------------------------------------------
     @property
-    def stats(self) -> Dict[str, int]:
-        """Cache/DP counters of the underlying corpus service."""
+    def stats(self) -> Dict[str, float]:
+        """Cache/DP counters (plus derived ratios) of the service."""
         return self.service.stats
 
     def stats_snapshot(self) -> StatsSnapshot:
         """The service counters as a typed, transportable snapshot."""
-        return StatsSnapshot(counters=dict(self.stats), source="local")
+        return StatsSnapshot(
+            counters=dict(self.service.stats_counters),
+            source="local",
+            derived=dict(self.service.derived_stats),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (

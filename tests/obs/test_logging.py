@@ -1,0 +1,108 @@
+"""Structured logging: formats, request-ID binding, the off switch."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    bound_request_id,
+    configure_logging,
+    current_request_id,
+    get_logger,
+    new_request_id,
+)
+
+
+@pytest.fixture(autouse=True)
+def _silence_after():
+    """Leave the global ``repro`` logger silenced after every test."""
+    yield
+    configure_logging(format="off")
+
+
+def capture(level="info", format="text"):
+    stream = io.StringIO()
+    configure_logging(level=level, format=format, stream=stream)
+    return stream
+
+
+class TestRequestIds:
+    def test_fresh_ids_are_short_hex_and_unique(self):
+        first, second = new_request_id(), new_request_id()
+        assert first != second
+        assert len(first) == 16
+        int(first, 16)  # hex or raise
+
+    def test_binding_scopes_to_the_with_block(self):
+        assert current_request_id() is None
+        with bound_request_id("abc123"):
+            assert current_request_id() == "abc123"
+            with bound_request_id("nested"):
+                assert current_request_id() == "nested"
+            assert current_request_id() == "abc123"
+        assert current_request_id() is None
+
+
+class TestJsonFormat:
+    def test_record_is_one_json_object(self):
+        stream = capture(format="json")
+        get_logger("test").info("hello %s", "world", extra={"n": 3})
+        record = json.loads(stream.getvalue())
+        assert record["message"] == "hello world"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["n"] == 3
+        assert "request_id" not in record
+
+    def test_bound_request_id_lands_in_payload(self):
+        stream = capture(format="json")
+        with bound_request_id("feedc0de00000000"):
+            get_logger("test").warning("slow")
+        record = json.loads(stream.getvalue())
+        assert record["request_id"] == "feedc0de00000000"
+
+    def test_unserialisable_extra_degrades_to_repr(self):
+        stream = capture(format="json")
+        get_logger("test").info("x", extra={"obj": object()})
+        record = json.loads(stream.getvalue())
+        assert record["obj"].startswith("<object object")
+
+
+class TestTextFormat:
+    def test_line_carries_level_logger_and_extras(self):
+        stream = capture(format="text")
+        with bound_request_id("cafe"):
+            get_logger("test").error("boom", extra={"route": "/x"})
+        line = stream.getvalue()
+        assert "ERROR" in line
+        assert "repro.test" in line
+        assert "boom" in line
+        assert "request_id=cafe" in line
+        assert "route=/x" in line
+
+
+class TestConfiguration:
+    def test_level_threshold_applies(self):
+        stream = capture(level="warning")
+        get_logger("test").info("quiet")
+        get_logger("test").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_off_silences_everything(self):
+        configure_logging(format="off")
+        logger = get_logger("test")
+        assert not logger.isEnabledFor(logging.CRITICAL)
+
+    def test_unknown_format_and_level_raise(self):
+        with pytest.raises(ValueError):
+            configure_logging(format="xml")
+        with pytest.raises(ValueError):
+            configure_logging(level="chatty")
+
+    def test_root_logger_left_alone(self):
+        before = list(logging.getLogger().handlers)
+        capture(format="json")
+        assert logging.getLogger().handlers == before

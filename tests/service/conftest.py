@@ -48,7 +48,7 @@ def local_ws(corpus_root) -> Workspace:
 def server(corpus_root):
     """A live diff server over the fixture corpus (in-thread)."""
     with DiffServer(
-        corpus_root, ReproConfig(backend="serial")
+        corpus_root, ReproConfig(backend="serial", log_format="off")
     ) as live:
         yield live
 

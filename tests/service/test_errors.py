@@ -45,8 +45,16 @@ def request(app, method, path, query=None, body=b"", headers=None):
 def envelope_of(response):
     payload = response.json_payload()
     assert set(payload) == {"error"}
-    assert set(payload["error"]) == {"type", "message", "status"}
+    assert set(payload["error"]) == {
+        "type", "message", "status", "request_id",
+    }
     assert payload["error"]["status"] == response.status
+    # Every server-minted envelope carries the correlation ID that the
+    # response headers echo.
+    assert (
+        payload["error"]["request_id"]
+        == response.headers["X-Request-Id"]
+    )
     return payload["error"]
 
 
