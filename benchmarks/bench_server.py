@@ -12,16 +12,19 @@ regimes:
 * **revalidated** — the client sends ``If-None-Match`` and the server
   304s off the fingerprint index: two ``stat`` calls and an empty body.
 
-Also times a cold vs warm ``POST /matrix`` and reports the server's own
-counters as a cross-check (cold DPs must equal the pair count; warm and
-revalidated runs must add zero).  Emits
-``benchmarks/results/BENCH_server.json``.
+Also times a cold vs warm ``POST /matrix``, runs a **mixed workload**
+(streaming ingestion on ``POST /stream/events`` interleaved with
+``GET /diff`` read traffic, checking readers are not starved while a
+run streams in), and reports the server's own counters as a
+cross-check (cold DPs must equal the pair count; warm and revalidated
+runs must add zero).  Emits ``benchmarks/results/BENCH_server.json``.
 
 Scale with ``REPRO_BENCH_SCALE`` or pass ``--quick`` for CI smoke.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import shutil
 import sys
@@ -66,6 +69,51 @@ def sweep(client: RemoteWorkspace, pairs) -> float:
     return time.perf_counter() - start
 
 
+def mixed_workload(client: RemoteWorkspace, pairs, seed: int) -> dict:
+    """Stream one run in while reading diffs between every event.
+
+    Models the live-campaign scenario: ingestion traffic on
+    ``POST /stream/events`` must not starve ``GET /diff`` readers.
+    Returns the interleaved diff latencies alongside the streaming
+    rate.
+    """
+    spec = client.specification("PA")
+    run = execute_workflow(spec, PARAMS, seed=seed, name="mixed-in")
+    labels = run.graph.labels()
+    reads = itertools.cycle(pairs)
+    diff_latencies = []
+    events = 0
+
+    def read_one():
+        a, b = next(reads)
+        started = time.perf_counter()
+        client.diff(a, b, spec="PA")
+        diff_latencies.append(time.perf_counter() - started)
+
+    started = time.perf_counter()
+    with client.stream("PA", "mixed-in", batch_size=8) as stream:
+        for node in run.graph.nodes():
+            stream.activity(node, labels[node])
+            events += 1
+            read_one()
+        for src, dst, _key in run.graph.edges():
+            stream.edge(src, dst)
+            events += 1
+            read_one()
+        stream.close_run()
+        events += 2  # run_open + run_close
+    elapsed = time.perf_counter() - started
+    diff_latencies.sort()
+    return {
+        "seconds": elapsed,
+        "events": events,
+        "events_per_second": events / elapsed if elapsed else 0.0,
+        "interleaved_diffs": len(diff_latencies),
+        "diff_p50_ms": 1000 * diff_latencies[len(diff_latencies) // 2],
+        "diff_max_ms": 1000 * diff_latencies[-1],
+    }
+
+
 def main() -> None:
     quick = "--quick" in sys.argv[1:]
     n_runs = scaled(6 if quick else 12, minimum=4)
@@ -100,6 +148,11 @@ def main() -> None:
         final = fresh_client.stats
         warm_dps = final["computed_scripts"] - cold_dps
 
+        # Mixed workload: streaming ingest interleaved with warm reads.
+        mixed = mixed_workload(
+            RemoteWorkspace(server.url), pairs, seed=n_runs + 1
+        )
+
         matrix_cold_store = build_corpus(base / "matrix", n_runs)
         with DiffServer(
             matrix_cold_store,
@@ -128,6 +181,14 @@ def main() -> None:
         "cold_seconds": matrix_cold,
         "warm_seconds": matrix_warm,
     }
+    results["mixed"] = mixed
+    lines.append(
+        f"mixed: {mixed['events']} stream events @ "
+        f"{mixed['events_per_second']:.0f}/s with "
+        f"{mixed['interleaved_diffs']} interleaved diffs "
+        f"(p50 {mixed['diff_p50_ms']:.1f}ms, "
+        f"max {mixed['diff_max_ms']:.1f}ms)"
+    )
     results["revalidated_304s"] = revalidated_304s
     results["warm_speedup_vs_cold"] = (
         cold_seconds / warm_seconds if warm_seconds else float("inf")

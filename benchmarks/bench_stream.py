@@ -1,0 +1,175 @@
+"""Streaming-ingestion benchmark: events/sec and time-to-first-flag.
+
+Boots an in-process :class:`~repro.service.server.DiffServer` over a
+generated protein-annotation corpus and measures:
+
+* **ingest throughput** — events/sec streaming executed runs through
+  ``POST /stream/events`` (HTTP, batched NDJSON) and through the
+  in-process :meth:`Workspace.stream` transport (same codec, no
+  socket).  The ``run_close`` step — validation plus pricing the
+  newcomer against the corpus — is timed separately, since it pays
+  the O(|E|³) differencing DPs that event ingestion never does;
+* **time-to-first-divergence-flag** — wall-clock seconds and event
+  count from ``run_open`` until the live label-surplus bound crosses
+  the session threshold and the server flags the run as diverging
+  (batch size 1: every event is one acknowledged round trip).
+
+Cross-checks assert the hub's counters tell the same story.  Emits
+``benchmarks/results/BENCH_stream.json``.
+
+Scale with ``REPRO_BENCH_SCALE`` or pass ``--quick`` for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from _workloads import RESULTS_DIR, emit, scaled
+
+from repro.client import RemoteWorkspace
+from repro.config import ReproConfig
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+from repro.service.server import DiffServer
+from repro.workspace import Workspace
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.8,
+    max_fork=4,
+    prob_fork=0.7,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+SPEC = "PA"
+
+
+def build_corpus(root: Path, n_runs: int) -> Workspace:
+    workspace = Workspace(root, ReproConfig(backend="serial"))
+    workspace.register(protein_annotation())
+    for seed in range(1, n_runs + 1):
+        workspace.generate_run(
+            f"r{seed:03d}", params=PARAMS, seed=seed
+        )
+    return workspace
+
+
+def stream_runs(api, runs, prefix):
+    """Stream each run; returns (events, ingest_seconds, close_seconds)."""
+    events = 0
+    ingest_seconds = 0.0
+    close_seconds = 0.0
+    for index, run in enumerate(runs):
+        labels = run.graph.labels()
+        started = time.perf_counter()
+        with api.stream(SPEC, f"{prefix}{index}") as stream:
+            for node in run.graph.nodes():
+                stream.activity(node, labels[node])
+            for src, dst, _key in run.graph.edges():
+                stream.edge(src, dst)
+            stream.flush()
+            ingest_seconds += time.perf_counter() - started
+            events += 1 + run.graph.num_nodes + run.graph.num_edges
+            started = time.perf_counter()
+            ack = stream.close_run()
+            close_seconds += time.perf_counter() - started
+            events += 1
+            assert ack.status == "closed", ack.status
+    return events, ingest_seconds, close_seconds
+
+
+def time_to_first_flag(api, threshold=2.0):
+    """Stream alien activities one ack'd event at a time until flagged."""
+    started = time.perf_counter()
+    with api.stream(
+        SPEC, "diverging", threshold=threshold, batch_size=1
+    ) as stream:
+        for number in range(1, 1000):
+            stream.activity(f"ex:alien{number}", "alien")
+            status = stream.status()
+            if status is not None and status.flagged:
+                elapsed = time.perf_counter() - started
+                assert status.flagged_at_seq is not None
+                return number, elapsed
+    raise AssertionError("divergence flag never fired")
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    n_corpus = scaled(4 if quick else 8, minimum=3)
+    n_streamed = scaled(3 if quick else 6, minimum=2)
+    base = Path(tempfile.mkdtemp(prefix="bench-stream-"))
+
+    workspace = build_corpus(base / "corpus", n_corpus)
+    spec = workspace.specification(SPEC)
+    streamed = [
+        execute_workflow(spec, PARAMS, seed=100 + i, name=f"s{i}")
+        for i in range(2 * n_streamed)
+    ]
+
+    results = {"corpus_runs": n_corpus, "streamed_runs": n_streamed}
+    lines = [
+        f"streaming ingestion (protein annotation, {n_corpus} corpus "
+        f"runs, {n_streamed} streamed runs per transport)",
+        f"{'transport':<12}{'events':>8}{'ingest s':>10}"
+        f"{'events/s':>10}{'close s':>9}",
+    ]
+
+    with DiffServer(
+        workspace, ReproConfig(backend="serial", log_format="off")
+    ) as server:
+        remote = RemoteWorkspace(server.url)
+        for transport, api, runs in [
+            ("http", remote, streamed[:n_streamed]),
+            ("inprocess", workspace, streamed[n_streamed:]),
+        ]:
+            events, ingest_s, close_s = stream_runs(
+                api, runs, prefix=f"{transport}-"
+            )
+            rate = events / ingest_s if ingest_s else float("inf")
+            results[transport] = {
+                "events": events,
+                "ingest_seconds": ingest_s,
+                "events_per_second": rate,
+                "close_seconds": close_s,
+            }
+            lines.append(
+                f"{transport:<12}{events:>8}{ingest_s:>10.4f}"
+                f"{rate:>10.0f}{close_s:>9.3f}"
+            )
+
+        flag_events, flag_seconds = time_to_first_flag(remote)
+        results["first_flag"] = {
+            "threshold": 2.0,
+            "events_to_flag": flag_events,
+            "seconds_to_flag": flag_seconds,
+        }
+        lines.append(
+            f"time to first divergence flag: {flag_seconds:.4f}s "
+            f"({flag_events} events, threshold 2.0, one ack per event)"
+        )
+
+        # Cross-check: the hub's own accounting must agree.
+        summary = workspace.stream_hub.summary()
+        assert summary.runs_closed == 2 * n_streamed, summary
+        assert summary.flagged == 1, summary
+        assert summary.open_sessions == 1, summary  # the flagged one
+
+    emit("BENCH_stream", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_stream.json"
+    out.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n",
+        encoding="utf8",
+    )
+    print(f"\nwrote {out}")
+    shutil.rmtree(base, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Streaming ingestion: a run enters the corpus while it executes.
+
+Boots a :class:`~repro.service.DiffServer` over a small
+protein-annotation corpus, then streams two "live" runs into it over
+HTTP as append-only event sequences (``run_open`` / ``activity`` /
+``edge`` / ``run_close``):
+
+* a **conforming** run — an executed run of the registered
+  specification, streamed event by event; on ``run_close`` the server
+  validates it and prices it against the corpus exactly as an import
+  would;
+* a **diverging** run — one that starts executing modules the
+  specification has never seen.  The server maintains a label-surplus
+  lower bound against every corpus run as events arrive, and flags the
+  run as diverging **before** its ``run_close`` — the monitoring
+  scenario: kill a runaway campaign while it is still burning CPU.
+
+Also shows the live session view (``GET /stream/live``, what
+``repro tail`` renders) and the resume contract: every batch is
+acknowledged with the contiguous applied prefix, so a client that
+loses its connection replays from the last ack and nothing is
+ingested twice.
+"""
+
+import tempfile
+
+from repro import DiffServer, RemoteWorkspace, ReproConfig, Workspace, protein_annotation
+from repro.workflow.execution import ExecutionParams, execute_workflow
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="stream-ingest-")
+    workspace = Workspace(root, ReproConfig(backend="serial"))
+    workspace.register(protein_annotation())
+    for seed in (1, 2, 3):
+        workspace.generate_run(f"r{seed:02d}", params=PARAMS, seed=seed)
+
+    with DiffServer(workspace) as server:
+        print(f"diff server listening at {server.url}")
+        remote = RemoteWorkspace(server.url)
+        spec = remote.specification("PA")
+
+        # -- a conforming run, streamed while it "executes" ------------
+        run = execute_workflow(spec, PARAMS, seed=9, name="live-ok")
+        labels = run.graph.labels()
+        with remote.stream("PA", "live-ok", threshold=6.0) as stream:
+            for node in run.graph.nodes():
+                stream.activity(node, labels[node])
+            for src, dst, _key in run.graph.edges():
+                stream.edge(src, dst)
+            status = stream.status()
+            print(
+                f"live-ok mid-stream: {status.activities} activities, "
+                f"nearest corpus run {status.nearest_run} "
+                f"(bound {status.nearest_bound:g}), flagged: "
+                f"{status.flagged}"
+            )
+            ack = stream.close_run()
+        print(
+            f"live-ok closed: priced against "
+            f"{len(ack.result.new_pairs)} corpus runs"
+        )
+        for (a, b), distance in sorted(ack.result.new_pairs.items()):
+            print(f"  delta({a}, {b}) = {distance:g}")
+
+        # -- a diverging run, flagged before it closes -----------------
+        with remote.stream("PA", "live-bad", threshold=2.0) as stream:
+            for step in range(1, 6):
+                stream.activity(f"ex:rogue{step}", "rogueModule")
+                status = stream.status()  # one acked batch per event
+                marker = "⚑ DIVERGING" if status.flagged else "ok"
+                print(
+                    f"live-bad event {step}: bound "
+                    f"{status.nearest_bound:g} vs threshold "
+                    f"{status.threshold:g} -> {marker}"
+                )
+                if status.flagged:
+                    break
+            assert status.flagged and status.flagged_at_seq is not None
+            print(
+                "flagged at seq "
+                f"{status.flagged_at_seq}, before run_close — the "
+                "campaign can be killed while it still runs"
+            )
+            # The run never closes: nothing half-ingested is visible.
+            print(f"runs on the server: {remote.runs(spec='PA')}")
+
+        # The abandoned session is still visible live (and resumable).
+        for status in remote.stream_live():
+            print(
+                f"open session {status.session!r}: run "
+                f"{status.run_name!r}, seq {status.seq}, "
+                f"flagged: {status.flagged}"
+            )
+
+
+if __name__ == "__main__":
+    main()

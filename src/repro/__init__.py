@@ -38,6 +38,7 @@ from repro.api_types import (
     QueryFilter,
     QueryPage,
     StatsSnapshot,
+    StreamSummary,
     WorkspaceAPI,
 )
 from repro.backends.base import (
@@ -94,6 +95,13 @@ from repro.obs import (
 )
 from repro.pdiffview.session import DiffView
 from repro.service import DiffServer, serve
+from repro.stream import (
+    IncrementalNormalizer,
+    LiveStatus,
+    StreamAck,
+    StreamHub,
+    StreamSession,
+)
 from repro.query.aggregate import (
     GroupDivergence,
     ModuleChurn,
@@ -122,7 +130,7 @@ from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 from repro.workspace import Workspace
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Legacy entry points, kept importable as deprecated shims.  Each maps
 #: to ``(defining module, attribute, workspace replacement)``; accessing
@@ -198,6 +206,13 @@ __all__ = [
     # -- the HTTP diff service -------------------------------------------
     "DiffServer",
     "serve",
+    # -- streaming ingestion ---------------------------------------------
+    "StreamSession",
+    "StreamHub",
+    "StreamAck",
+    "StreamSummary",
+    "LiveStatus",
+    "IncrementalNormalizer",
     # -- observability --------------------------------------------------
     "MetricsRegistry",
     "RunMetadata",

@@ -614,12 +614,77 @@ class ImportSummary:
             ) from None
 
 
+# -- streaming-ingestion summaries --------------------------------------
+@dataclass
+class StreamSummary:
+    """Aggregate counters of a workspace's streaming-ingestion hub.
+
+    The ``/stats`` face of :class:`repro.stream.hub.StreamHub` — the
+    same numbers the ``stream_*`` metric families expose on
+    ``/metrics``, so the two surfaces stay in agreement.  All counters
+    are lifetime totals except ``open_sessions`` (a point-in-time
+    gauge).
+    """
+
+    open_sessions: int = 0
+    sessions_opened: int = 0
+    events_ingested: int = 0
+    runs_closed: int = 0
+    resumed: int = 0
+    duplicates: int = 0
+    rejected_frames: int = 0
+    flagged: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation of the summary."""
+        return {
+            "v": WIRE_VERSION,
+            "open_sessions": self.open_sessions,
+            "sessions_opened": self.sessions_opened,
+            "events_ingested": self.events_ingested,
+            "runs_closed": self.runs_closed,
+            "resumed": self.resumed,
+            "duplicates": self.duplicates,
+            "rejected_frames": self.rejected_frames,
+            "flagged": self.flagged,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "StreamSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        payload = _require_version(payload, "StreamSummary")
+        try:
+            return cls(
+                open_sessions=int(payload.get("open_sessions", 0)),
+                sessions_opened=int(payload.get("sessions_opened", 0)),
+                events_ingested=int(payload.get("events_ingested", 0)),
+                runs_closed=int(payload.get("runs_closed", 0)),
+                resumed=int(payload.get("resumed", 0)),
+                duplicates=int(payload.get("duplicates", 0)),
+                rejected_frames=int(payload.get("rejected_frames", 0)),
+                flagged=int(payload.get("flagged", 0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ReproError(
+                f"malformed StreamSummary payload: {exc}"
+            ) from None
+
+    def as_counters(self, prefix: str = "stream_") -> Dict[str, int]:
+        """The summary as flat ``/stats`` counters (``stream_*``)."""
+        return {
+            prefix + key: value
+            for key, value in self.to_dict().items()
+            if key != "v"
+        }
+
+
 # -- error envelopes ----------------------------------------------------
 #: HTTP status for each error type; anything else derived from
 #: :class:`ReproError` is a 400 (client error), everything else a 500.
 STATUS_BY_ERROR_TYPE = {
     "NotFoundError": 404,
     "ConflictError": 409,
+    "PayloadTooLargeError": 413,
 }
 
 #: Envelope type used for non-:class:`ReproError` server failures; the
@@ -833,4 +898,20 @@ class WorkspaceAPI(Protocol):
 
     def stats_snapshot(self) -> StatsSnapshot:
         """The service counters as a typed :class:`StatsSnapshot`."""
+        ...
+
+    def stream(
+        self,
+        spec: str,
+        run: str,
+        session: Optional[str] = None,
+        threshold: Optional[float] = None,
+    ):
+        """An open :class:`repro.stream.client.StreamSession` for one
+        run, ingested live event by event."""
+        ...
+
+    def stream_live(self) -> List[Any]:
+        """Live analytics snapshots of every open streaming session
+        (:class:`repro.stream.events.LiveStatus` items)."""
         ...

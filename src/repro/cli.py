@@ -17,10 +17,11 @@ Subcommands over a store directory (the layout
                  [--histogram] [--churn] [--json]
     repro import STORE DOC.json [--name RUN] [--spec-name NAME] [--json]
     repro export STORE SPEC RUN [--output FILE] [--script RUN_B]
+    repro tail   STORE [--follow] [--interval S] [--json]
     repro serve  STORE [--host H] [--port N]
                  [--backend serial|thread|process] [--jobs N]
                  [--log-level L] [--log-format json|text|off]
-                 [--drain-timeout S]
+                 [--drain-timeout S] [--max-body-bytes N]
 
 Every subcommand is a thin shell over the
 :class:`repro.api_types.WorkspaceAPI` protocol: a local
@@ -36,7 +37,10 @@ batches execute (``process`` runs the O(|E|³) DP on every core).
 with a report of any forced serialisations) and computes the new run's
 distances to the corpus; ``export`` writes a stored run — or, with
 ``--script``, the edit script between two runs — back out as
-PROV-JSON.
+PROV-JSON.  ``tail`` shows the live analytics of every *open*
+streaming-ingestion session (nearest run, medoid distance bound,
+outlier score, divergence flags) — snapshot by default, ``--follow``
+to refresh until interrupted.
 
 Exit codes are stable: ``0`` on success, ``1`` for any
 :class:`~repro.errors.ReproError` (missing run, malformed document,
@@ -294,6 +298,59 @@ def _import_remote(
     return 0
 
 
+def _render_live(status) -> str:
+    """One open session as a human-readable ``tail`` line."""
+    flag = ""
+    if status.flagged:
+        flag = f"  ⚑ DIVERGING (since seq {status.flagged_at_seq})"
+    elif status.threshold is not None:
+        flag = f"  (threshold {status.threshold:g})"
+    nearest = (
+        f"nearest {status.nearest_run} >= {status.nearest_bound:g}"
+        if status.nearest_run
+        else "no corpus baseline"
+    )
+    medoid = (
+        f", medoid {status.medoid_run} >= {status.medoid_bound:g}"
+        if status.medoid_run
+        else ""
+    )
+    return (
+        f"{status.session}: {status.spec_name}/{status.run_name} "
+        f"[{status.mode}] seq {status.seq}, "
+        f"{status.activities} activities / {status.edges} edges — "
+        f"{nearest}{medoid}, outlier {status.outlier_score:g}{flag}"
+    )
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    """``repro tail``: live view of open streaming sessions."""
+    import time as _time
+
+    workspace = _workspace(args)
+    while True:
+        sessions = workspace.stream_live()
+        if args.json:
+            print(
+                json.dumps(
+                    [status.to_dict() for status in sessions],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        elif not sessions:
+            print("no open streaming sessions")
+        else:
+            for status in sessions:
+                print(_render_live(status))
+        if not args.follow:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: host a store over HTTP until stopped.
 
@@ -316,6 +373,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             log_level=args.log_level,
             log_format=args.log_format,
+            max_body_bytes=args.max_body_bytes,
         ),
         host=args.host,
         port=args.port,
@@ -566,6 +624,41 @@ def _parser() -> argparse.ArgumentParser:
     )
     exp.set_defaults(func=_cmd_export)
 
+    tail = commands.add_parser(
+        "tail",
+        help="live analytics of open streaming-ingestion sessions",
+    )
+    tail.add_argument(
+        "store",
+        type=_store_dir,
+        nargs="?",
+        default=None,
+        help="workflow store directory (omit with --remote)",
+    )
+    tail.add_argument(
+        "--remote",
+        metavar="URL",
+        default=None,
+        help="watch a running `repro serve` endpoint instead",
+    )
+    tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep refreshing until interrupted",
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between refreshes with --follow (default 2)",
+    )
+    tail.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    tail.set_defaults(func=_cmd_tail, cost=None)
+
     srv = commands.add_parser(
         "serve",
         help="serve a workflow store over HTTP (the diff service)",
@@ -615,6 +708,14 @@ def _parser() -> argparse.ArgumentParser:
         metavar="S",
         help="seconds to wait for in-flight requests on shutdown "
         "(default 10)",
+    )
+    srv.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="refuse request bodies larger than N bytes with a 413 "
+        "(default 64 MiB, or REPRO_MAX_BODY_BYTES)",
     )
     srv.set_defaults(func=_cmd_serve)
     return parser

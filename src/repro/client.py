@@ -68,7 +68,7 @@ from repro.corpus.analytics import outliers as _outliers
 from repro.corpus.fingerprint import cost_model_key
 from repro.costs.base import CostModel
 from repro.costs.standard import cost_to_spec
-from repro.errors import ReproError
+from repro.errors import ReproError, TransportError
 from repro.io.xml_io import specification_from_xml, specification_to_xml
 from repro.obs.logging import current_request_id, new_request_id
 from repro.workflow.execution import ExecutionParams, execute_workflow
@@ -175,7 +175,7 @@ class RemoteWorkspace:
                 f"server returned HTTP {exc.code} for {method} {path}"
             ) from None
         except urllib.error.URLError as exc:
-            raise ReproError(
+            raise TransportError(
                 f"cannot reach diff server at {self.base_url}: "
                 f"{exc.reason}"
             ) from None
@@ -597,6 +597,61 @@ class RemoteWorkspace:
         return ImportSummary.from_dict(
             json.loads(raw.decode("utf8"))
         )
+
+    # -- streaming ingestion ----------------------------------------------
+    def stream(
+        self,
+        spec: str,
+        run: str,
+        session: Optional[str] = None,
+        threshold: Optional[float] = None,
+        mode: str = "auto",
+        batch_size: int = 64,
+        max_retries: int = 3,
+    ):
+        """Open a :class:`~repro.stream.client.StreamSession` over HTTP.
+
+        Event batches go out as NDJSON on ``POST /stream/events``; the
+        session retries transport failures and resumes from the last
+        acknowledged sequence number (replayed frames are acknowledged
+        idempotently server-side), so a flaky network costs retries,
+        never duplicate ingestion.
+        """
+        from repro.stream.client import StreamSession
+        from repro.stream.events import StreamAck
+
+        def send(data: bytes) -> StreamAck:
+            _, _, raw = self._request(
+                "POST",
+                "/stream/events",
+                body=data,
+                headers={"Content-Type": "application/x-ndjson"},
+            )
+            return StreamAck.from_dict(
+                json.loads(raw.decode("utf8"))
+            )
+
+        return StreamSession(
+            send=send,
+            spec_name=spec,
+            run_name=run,
+            session_id=session,
+            threshold=threshold,
+            mode=mode,
+            batch_size=batch_size,
+            max_retries=max_retries,
+        )
+
+    def stream_live(self):
+        """Live analytics of the server's open streaming sessions
+        (``GET /stream/live``)."""
+        from repro.stream.events import LiveStatus
+
+        _, payload = self._json("GET", "/stream/live")
+        return [
+            LiveStatus.from_dict(entry)
+            for entry in payload.get("sessions", [])
+        ]
 
     @staticmethod
     def _document_text(source) -> str:

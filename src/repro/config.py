@@ -18,8 +18,8 @@ Deployments configure through the environment instead of code:
 :meth:`ReproConfig.from_env` reads the ``REPRO_*`` variables
 (``REPRO_COST``, ``REPRO_BACKEND``, ``REPRO_JOBS``,
 ``REPRO_CACHE_SIZE``, ``REPRO_LOG_LEVEL``, ``REPRO_LOG_FORMAT``,
-``REPRO_METRICS``), with keyword overrides — the CLI's flags — taking
-precedence over the environment.
+``REPRO_METRICS``, ``REPRO_MAX_BODY_BYTES``), with keyword overrides
+— the CLI's flags — taking precedence over the environment.
 """
 
 from __future__ import annotations
@@ -103,6 +103,11 @@ class ReproConfig:
         Whether the workspace collects metrics.  ``False`` hands the
         stack a disabled :class:`~repro.obs.metrics.MetricsRegistry`
         whose updates are no-ops.
+    max_body_bytes:
+        Ceiling on an HTTP request body the diff server will accept
+        (both ``Content-Length`` and chunked transfers); larger bodies
+        are refused with a structured ``413`` envelope *without being
+        read*.  Default 64 MiB.
     """
 
     cost: CostModel = field(default_factory=UnitCost)
@@ -114,6 +119,7 @@ class ReproConfig:
     log_level: str = "info"
     log_format: str = "text"
     metrics: bool = True
+    max_body_bytes: int = 64 * 1024 * 1024
 
     def __post_init__(self):
         if str(self.log_format).strip().lower() not in LOG_FORMATS:
@@ -129,6 +135,11 @@ class ReproConfig:
         if self.jobs is not None and self.jobs < 1:
             raise ReproError(
                 f"ReproConfig.jobs must be >= 1, got {self.jobs}"
+            )
+        if self.max_body_bytes < 1:
+            raise ReproError(
+                "ReproConfig.max_body_bytes must be >= 1, "
+                f"got {self.max_body_bytes}"
             )
         if isinstance(self.backend, ExecutorBackend):
             # Enforce the documented contract at construction, where
@@ -187,6 +198,10 @@ class ReproConfig:
         if source.get("REPRO_METRICS"):
             values["metrics"] = _env_bool(
                 "REPRO_METRICS", source["REPRO_METRICS"]
+            )
+        if source.get("REPRO_MAX_BODY_BYTES"):
+            values["max_body_bytes"] = _env_int(
+                "REPRO_MAX_BODY_BYTES", source["REPRO_MAX_BODY_BYTES"]
             )
         for key, value in overrides.items():
             if value is not None:

@@ -95,3 +95,36 @@ class ConflictError(ReproError):
     orphan every run stored under the old content.  The HTTP service
     layer maps this to a 409 response.
     """
+
+
+class PayloadTooLargeError(ReproError):
+    """A request body exceeds the server's configured size ceiling.
+
+    Raised by the HTTP server before reading an oversized body into
+    memory (``Content-Length`` above ``max_body_bytes``, or a chunked
+    stream crossing it mid-read).  The service layer maps this to a
+    413 response.
+    """
+
+
+class TransportError(ReproError):
+    """The HTTP client could not reach the server at all.
+
+    Distinct from every server-reported failure: no response arrived,
+    so the request may or may not have been applied.  Streaming clients
+    treat this (and only this) as retryable — they re-handshake with
+    ``run_open`` and resume from the last acknowledged sequence number,
+    relying on idempotent replay for exactly-once ingestion.
+    """
+
+
+class StreamProtocolError(ReproError):
+    """A streaming-ingestion frame violates the event protocol.
+
+    Raised for malformed NDJSON frames, unknown event kinds, sequence
+    numbers that skip ahead of the session's contiguous prefix, events
+    addressed to unknown or already-closed sessions, and ``run_open``
+    replays whose payload differs from the original.  The HTTP service
+    layer maps this to a 400 response; clients resume by re-sending
+    from the last acknowledged sequence number.
+    """

@@ -21,6 +21,8 @@ GET       ``/diff/{a}/{b}?spec&cost`` priced diff (DiffOutcome, ETag'd)
 POST      ``/matrix``                 all-pairs distances (MatrixResult)
 POST      ``/query``                  paged query (QueryFilter → QueryPage)
 POST      ``/prov/import``            ingest a PROV document (ImportSummary)
+POST      ``/stream/events``          streaming ingestion batch (StreamAck)
+GET       ``/stream/live``            open streaming sessions (LiveStatus)
 ========  ==========================  =====================================
 
 Path segments are percent-decoded, so names containing ``/`` and other
@@ -77,6 +79,9 @@ XML_TYPE = "application/xml"
 
 #: Content type of the Prometheus text exposition face of ``/metrics``.
 PROMETHEUS_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Content type of NDJSON event batches on ``POST /stream/events``.
+NDJSON_TYPE = "application/x-ndjson"
 
 #: Correlation header: honoured inbound, always present outbound.
 REQUEST_ID_HEADER = "X-Request-Id"
@@ -246,6 +251,10 @@ class WorkspaceApp:
             "server_in_flight",
             "Requests currently being handled.",
         ).set_function(self.in_flight)
+        # Touch the streaming hub so its ``stream_*`` metric families
+        # exist (at zero) from the first scrape, not from the first
+        # streamed event.
+        workspace.stream_hub
 
     # -- in-flight accounting -------------------------------------------
     def begin_request(self) -> None:
@@ -343,6 +352,10 @@ class WorkspaceApp:
             return "/diff/{a}/{b}"
         if parts == ["prov", "import"]:
             return "/prov/import"
+        if parts == ["stream", "events"]:
+            return "/stream/events"
+        if parts == ["stream", "live"]:
+            return "/stream/live"
         return "<unmatched>"
 
     def _route(self, request: HttpRequest) -> HttpResponse:
@@ -383,6 +396,10 @@ class WorkspaceApp:
             return self._query(request)
         if parts == ["prov", "import"] and method == "POST":
             return self._prov_import(request)
+        if parts == ["stream", "events"] and method == "POST":
+            return self._stream_events(request)
+        if parts == ["stream", "live"] and method == "GET":
+            return self._stream_live()
         return _status_error(
             f"no route for {method} {request.path}", 404
         )
@@ -427,6 +444,12 @@ class WorkspaceApp:
             snapshot.counters["server_not_modified"] = self.not_modified
             snapshot.counters["server_errors"] = self.errors
             snapshot.counters["server_in_flight"] = self._in_flight
+        # The streaming hub's counters ride along (``stream_*``), from
+        # the same numbers the ``stream_*`` metric families export —
+        # ``/stats`` and ``/metrics`` always agree.
+        snapshot.counters.update(
+            self.workspace.stream_hub.summary().as_counters()
+        )
         return HttpResponse.json(snapshot.to_dict())
 
     def _metrics(self, request: HttpRequest) -> HttpResponse:
@@ -671,3 +694,60 @@ class WorkspaceApp:
             new_pairs=dict(distances),
         )
         return HttpResponse.json(summary.to_dict(), status=201)
+
+    # -- streaming ingestion ----------------------------------------------
+    def _stream_events(self, request: HttpRequest) -> HttpResponse:
+        """One NDJSON event batch in, one :class:`StreamAck` out.
+
+        A malformed frame, a sequencing violation, or a failed close
+        leaves as the ordinary structured error envelope; the applied
+        prefix stays acknowledged and the client resumes by replaying
+        ``run_open`` plus its unacknowledged suffix.
+        """
+        from repro.stream.events import decode_events
+
+        events = decode_events(request.body)
+        ack = self.workspace.stream_hub.apply_batch(events)
+        return HttpResponse.json(ack.to_dict())
+
+    def _stream_live(self) -> HttpResponse:
+        """Live analytics of every open streaming session."""
+        sessions = self.workspace.stream_hub.live()
+        return HttpResponse.json(
+            {
+                "v": WIRE_VERSION,
+                "sessions": [status.to_dict() for status in sessions],
+            }
+        )
+
+    # -- transport-level rejections ---------------------------------------
+    def reject(
+        self, exc: ReproError, method: str, path: str
+    ) -> HttpResponse:
+        """An error envelope for a request the transport refused.
+
+        The HTTP server calls this *instead of* :meth:`handle` when it
+        cannot responsibly produce an :class:`HttpRequest` at all — an
+        oversized body it refuses to read (413), or chunked framing it
+        cannot decode (400).  Counters, metrics and the correlation
+        header behave exactly as for routed errors.
+        """
+        request_id = new_request_id()
+        with self._counter_lock:
+            self.requests += 1
+            self.errors += 1
+        envelope = ErrorEnvelope.from_exception(
+            exc, request_id=request_id
+        )
+        self._errors_metric.inc(type=envelope.type)
+        route = self._route_name(
+            HttpRequest(method=method, path=path)
+        )
+        self._requests_metric.inc(
+            route=route,
+            method=method.upper(),
+            status=str(envelope.status),
+        )
+        response = _error_response(envelope)
+        response.headers.setdefault(REQUEST_ID_HEADER, request_id)
+        return response

@@ -35,6 +35,7 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.config import ReproConfig
+from repro.errors import PayloadTooLargeError, ReproError
 from repro.obs.logging import configure_logging, get_logger
 from repro.service.app import (
     REQUEST_ID_HEADER,
@@ -50,7 +51,11 @@ access_log = get_logger("access")
 logger = get_logger("service.server")
 
 
-def _make_handler(app: WorkspaceApp):
+class _BodyTooLarge(Exception):
+    """Internal: a request body crossed the configured ceiling."""
+
+
+def _make_handler(app: WorkspaceApp, max_body_bytes: int):
     """A request-handler class bound to one app instance."""
 
     class Handler(BaseHTTPRequestHandler):
@@ -66,6 +71,79 @@ def _make_handler(app: WorkspaceApp):
             finally:
                 app.end_request()
 
+        def _read_chunked(self, limit: int) -> bytes:
+            """Decode a ``Transfer-Encoding: chunked`` body, capped.
+
+            Raises :class:`_BodyTooLarge` the moment the running total
+            crosses ``limit`` (without reading the rest), and
+            :class:`ValueError` on malformed framing.
+            """
+            total = 0
+            chunks = []
+            while True:
+                size_line = self.rfile.readline(65536)
+                if not size_line.endswith(b"\n"):
+                    raise ValueError("truncated chunk-size line")
+                size = int(size_line.split(b";", 1)[0].strip(), 16)
+                if size < 0:
+                    raise ValueError("negative chunk size")
+                if size == 0:
+                    break
+                total += size
+                if total > limit:
+                    raise _BodyTooLarge()
+                chunk = self.rfile.read(size)
+                if len(chunk) != size:
+                    raise ValueError("truncated chunk payload")
+                if self.rfile.read(2) != b"\r\n":
+                    raise ValueError("chunk payload not CRLF-terminated")
+                chunks.append(chunk)
+            # Trailer section: discard header lines up to the blank.
+            while True:
+                line = self.rfile.readline(65536)
+                if line in (b"", b"\n", b"\r\n"):
+                    break
+            return b"".join(chunks)
+
+        def _read_body(self) -> bytes:
+            """The request body, enforcing ``config.max_body_bytes``.
+
+            An oversized declared ``Content-Length`` is refused without
+            reading a single body byte; a chunked transfer is refused
+            at the first chunk that crosses the ceiling.  Either way
+            the connection closes (the unread remainder poisons it for
+            keep-alive) after the structured ``413`` envelope is sent.
+            """
+            limit = max_body_bytes
+            transfer = (
+                self.headers.get("Transfer-Encoding") or ""
+            ).lower()
+            if "chunked" in transfer:
+                try:
+                    return self._read_chunked(limit)
+                except _BodyTooLarge:
+                    self.close_connection = True
+                    raise PayloadTooLargeError(
+                        "chunked request body exceeds the server's "
+                        f"limit of {limit} bytes"
+                    ) from None
+                except ValueError as exc:
+                    self.close_connection = True
+                    raise ReproError(
+                        f"malformed chunked request body: {exc}"
+                    ) from None
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                length = 0
+            if length > limit:
+                self.close_connection = True
+                raise PayloadTooLargeError(
+                    f"request body of {length} bytes exceeds the "
+                    f"server's limit of {limit} bytes"
+                )
+            return self.rfile.read(length) if length > 0 else b""
+
         def _handle_one(self) -> None:
             started = time.perf_counter()
             parsed = urlsplit(self.path)
@@ -76,21 +154,24 @@ def _make_handler(app: WorkspaceApp):
                 ).items()
             }
             try:
-                length = int(self.headers.get("Content-Length") or 0)
-            except ValueError:
-                length = 0
-            body = self.rfile.read(length) if length > 0 else b""
-            request = HttpRequest(
-                method=self.command,
-                path=parsed.path,
-                query=query,
-                headers={
-                    key.lower(): value
-                    for key, value in self.headers.items()
-                },
-                body=body,
-            )
-            response = app.handle(request)
+                body = self._read_body()
+            except ReproError as exc:
+                # The body was never (fully) read: the app cannot see
+                # this request, so the rejection is built at the
+                # transport boundary — same envelope, same accounting.
+                response = app.reject(exc, self.command, parsed.path)
+            else:
+                request = HttpRequest(
+                    method=self.command,
+                    path=parsed.path,
+                    query=query,
+                    headers={
+                        key.lower(): value
+                        for key, value in self.headers.items()
+                    },
+                    body=body,
+                )
+                response = app.handle(request)
             self.send_response(response.status)
             if response.body:
                 self.send_header("Content-Type", response.content_type)
@@ -167,7 +248,8 @@ class DiffServer:
         )
         self.app = WorkspaceApp(self.workspace)
         self.httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(self.app)
+            (host, port),
+            _make_handler(self.app, self.config.max_body_bytes),
         )
         # Handler threads are daemonic: after a drain timeout the
         # process may exit with stragglers still running — the

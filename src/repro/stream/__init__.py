@@ -1,0 +1,53 @@
+"""Streaming ingestion: live provenance events over open sessions.
+
+The subsystem has four layers:
+
+* :mod:`repro.stream.events` — the versioned event model (``run_open``,
+  ``activity``, ``edge``, ``run_close``), NDJSON framing, acks and the
+  live analytics snapshot;
+* :mod:`repro.stream.incremental` — incremental SP-ization: the
+  normaliser state (depths, reachability, dedup accounting) extended
+  per event instead of rebuilt per batch;
+* :mod:`repro.stream.hub` — the server side: per-session state,
+  sequencing/idempotent replay/resume, online nearest/medoid/outlier
+  bounds against the frozen corpus, and corpus entry on ``run_close``;
+* :mod:`repro.stream.client` — the buffering, retrying
+  :class:`StreamSession` client shared by the in-process and HTTP
+  transports.
+
+See ``docs/STREAMING.md`` for the protocol contract.
+"""
+
+from repro.stream.events import (
+    STREAM_WIRE_VERSION,
+    ActivityEvent,
+    EdgeEvent,
+    LiveStatus,
+    RunClose,
+    RunOpen,
+    StreamAck,
+    decode_events,
+    encode_events,
+    event_from_dict,
+    events_from_document,
+)
+from repro.stream.incremental import IncrementalNormalizer
+from repro.stream.hub import StreamHub
+from repro.stream.client import StreamSession
+
+__all__ = [
+    "STREAM_WIRE_VERSION",
+    "ActivityEvent",
+    "EdgeEvent",
+    "IncrementalNormalizer",
+    "LiveStatus",
+    "RunClose",
+    "RunOpen",
+    "StreamAck",
+    "StreamHub",
+    "StreamSession",
+    "decode_events",
+    "encode_events",
+    "event_from_dict",
+    "events_from_document",
+]

@@ -1,0 +1,230 @@
+"""The streaming client: buffer, flush, retry, resume.
+
+:class:`StreamSession` is transport-agnostic: it is constructed with a
+``send`` callable that takes one NDJSON-framed batch (bytes) and
+returns the server's :class:`~repro.stream.events.StreamAck` — either
+the in-process hub (:meth:`Workspace.stream`) or an HTTP POST
+(:meth:`RemoteWorkspace.stream`).  Everything protocol-shaped lives
+here, once:
+
+* **sequence numbering** — events are stamped with contiguous sequence
+  numbers as they are recorded;
+* **buffering** — events accumulate in an outbox and go out in batches
+  of ``batch_size`` (or on an explicit :meth:`flush`);
+* **retry and resume** — a :class:`~repro.errors.TransportError` (the
+  server was unreachable; nothing is known about what it applied)
+  triggers a bounded retry that re-handshakes with the session's
+  ``run_open`` frame and replays the unacknowledged suffix.  The
+  server acknowledges replayed frames idempotently, so at-least-once
+  delivery lands as exactly-once ingestion.
+
+Application errors (an :class:`~repro.errors.ReproError` decoded from
+a structured error envelope, or raised directly by the in-process hub)
+are **not** retried — the server is telling the client its stream is
+wrong, and repeating it will not help.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable, List, Optional
+
+from repro.errors import ReproError, TransportError
+from repro.stream.events import (
+    ActivityEvent,
+    EdgeEvent,
+    LiveStatus,
+    RunClose,
+    RunOpen,
+    StreamAck,
+    StreamEvent,
+    encode_events,
+)
+
+#: Process-wide source of distinct default session ids.
+_session_ids = itertools.count(1)
+_session_id_lock = threading.Lock()
+
+
+def _default_session_id(spec_name: str, run_name: str) -> str:
+    with _session_id_lock:
+        number = next(_session_ids)
+    return f"{spec_name}/{run_name}#{number}"
+
+
+class StreamSession:
+    """One open run, streamed event by event.
+
+    Use as a context manager::
+
+        with workspace.stream("PA", "r05", threshold=4.0) as stream:
+            stream.activity("a1", "align")
+            stream.edge("a1", "a2")
+            ...
+            summary = stream.close_run()
+
+    ``close_run`` flushes, closes the session and returns the final
+    :class:`~repro.stream.events.StreamAck` (whose ``result`` carries
+    the import summary and the newcomer's corpus distances).  Leaving
+    the ``with`` block without closing flushes the outbox but leaves
+    the session open server-side — a later session object with the
+    same ``session_id`` may resume it.
+    """
+
+    def __init__(
+        self,
+        send: Callable[[bytes], StreamAck],
+        spec_name: str,
+        run_name: str,
+        session_id: Optional[str] = None,
+        threshold: Optional[float] = None,
+        mode: str = "auto",
+        batch_size: int = 64,
+        max_retries: int = 3,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self._send = send
+        self.spec_name = spec_name
+        self.run_name = run_name
+        self.session_id = session_id or _default_session_id(
+            spec_name, run_name
+        )
+        self.threshold = threshold
+        self.mode = mode
+        self.batch_size = batch_size
+        self.max_retries = max_retries
+        self._open_event = RunOpen(
+            session=self.session_id,
+            spec_name=spec_name,
+            run_name=run_name,
+            threshold=threshold,
+            mode=mode,
+        )
+        #: Events recorded but not yet acknowledged (the run_open
+        #: handshake rides along until its ack arrives).
+        self._outbox: List[StreamEvent] = [self._open_event]
+        self._next_seq = 2
+        self._last_ack: Optional[StreamAck] = None
+        self.closed = False
+        #: Transport retries that actually happened (for tests/benchmarks).
+        self.retries = 0
+
+    # -- recording events --------------------------------------------------
+    def _record(self, event: StreamEvent) -> None:
+        if self.closed:
+            raise ReproError(
+                f"stream session {self.session_id!r} is closed"
+            )
+        self._outbox.append(event)
+        if len(self._outbox) >= self.batch_size:
+            self.flush()
+
+    def activity(self, node: str, label: str = "") -> None:
+        """Record one module invocation."""
+        self._record(
+            ActivityEvent(
+                session=self.session_id,
+                seq=self._next_seq,
+                node=node,
+                label=label,
+            )
+        )
+        self._next_seq += 1
+
+    def edge(self, src: str, dst: str) -> None:
+        """Record one dependency: ``src`` executed before ``dst``."""
+        self._record(
+            EdgeEvent(
+                session=self.session_id,
+                seq=self._next_seq,
+                src=src,
+                dst=dst,
+            )
+        )
+        self._next_seq += 1
+
+    # -- wire I/O ----------------------------------------------------------
+    def flush(self) -> Optional[StreamAck]:
+        """Send the outbox; returns the latest ack (None before any I/O).
+
+        Retries up to ``max_retries`` times on transport failure, each
+        time re-handshaking with the session's ``run_open`` frame and
+        replaying everything the server has not acknowledged.
+        """
+        if not self._outbox:
+            return self._last_ack
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            batch = list(self._outbox)
+            if attempt > 0 and not isinstance(batch[0], RunOpen):
+                # Resume handshake: replay run_open so a server that
+                # lost us (or that we lost mid-batch) re-anchors the
+                # session before the unacknowledged suffix.
+                batch.insert(0, self._open_event)
+            try:
+                ack = self._send(encode_events(batch))
+            except TransportError:
+                if attempt + 1 == attempts:
+                    raise
+                self.retries += 1
+                continue
+            self._last_ack = ack
+            self._outbox = [
+                event
+                for event in self._outbox
+                if event.seq > ack.acked_seq
+            ]
+            return ack
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(self) -> Optional[LiveStatus]:
+        """Flush, then return the server's live analytics snapshot."""
+        ack = self.flush()
+        return None if ack is None else ack.live
+
+    @property
+    def acked_seq(self) -> int:
+        """The contiguous prefix the server has acknowledged."""
+        return 0 if self._last_ack is None else self._last_ack.acked_seq
+
+    @property
+    def pending(self) -> int:
+        """Events recorded but not yet acknowledged."""
+        return len(self._outbox)
+
+    def close_run(self) -> StreamAck:
+        """Close the run: the server validates/normalises and prices it.
+
+        Returns the final ack; ``ack.result`` is the
+        :class:`~repro.api_types.ImportSummary` with the newcomer's
+        corpus distances.
+        """
+        if self.closed:
+            raise ReproError(
+                f"stream session {self.session_id!r} is already closed"
+            )
+        self._record(
+            RunClose(session=self.session_id, seq=self._next_seq)
+        )
+        self._next_seq += 1
+        ack = self.flush()
+        assert ack is not None
+        if ack.status != "closed":
+            raise ReproError(
+                f"server did not close session {self.session_id!r}: "
+                f"ack status {ack.status!r}"
+            )
+        self.closed = True
+        return ack
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self.closed:
+            self.flush()

@@ -1,0 +1,532 @@
+"""The streaming-ingestion event model and NDJSON framing.
+
+A run enters the workspace *while it executes* as an append-only
+sequence of four event kinds, all addressed to one **session** (one
+session = one open run):
+
+========== =========================================================
+kind       meaning
+========== =========================================================
+run_open   start (or resume) a session: spec name, run name, optional
+           divergence threshold.  Always sequence number 1.
+activity   one module invocation: node id plus display label.
+edge       one dependency: ``src`` executed before ``dst``.
+run_close  the run is complete — validate/normalise, enter the corpus.
+========== =========================================================
+
+Sequence numbers are **monotonic and contiguous** per session, starting
+at 1 with ``run_open``.  Replayed frames (``seq`` at or below the acked
+prefix) are acknowledged idempotently, frames that skip ahead are
+rejected — which makes at-least-once delivery over a lossy transport
+behave as exactly-once ingestion.  The resume contract and backpressure
+semantics are documented in ``docs/STREAMING.md``.
+
+Events travel as NDJSON (one JSON object per line) over
+``POST /stream/events``; the server answers with one
+:class:`StreamAck` per session, carrying the acknowledged sequence
+number, a :class:`LiveStatus` analytics snapshot while the run is open,
+and an :class:`~repro.api_types.ImportSummary` once it closes.
+
+Everything here follows the :mod:`repro.api_types` conventions:
+versioned payloads (``"v"``), strict ``from_dict`` raising
+:class:`~repro.errors.StreamProtocolError` on malformed frames, and
+deterministic ``to_dict`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api_types import ImportSummary, WIRE_VERSION
+from repro.errors import StreamProtocolError
+
+#: Schema version of every streaming payload (events, acks, live view).
+STREAM_WIRE_VERSION = WIRE_VERSION
+
+KIND_RUN_OPEN = "run_open"
+KIND_ACTIVITY = "activity"
+KIND_EDGE = "edge"
+KIND_RUN_CLOSE = "run_close"
+
+#: Every event kind, in protocol order.
+EVENT_KINDS = (KIND_RUN_OPEN, KIND_ACTIVITY, KIND_EDGE, KIND_RUN_CLOSE)
+
+#: Session modes a ``run_open`` may request (see
+#: :mod:`repro.stream.hub`): ``auto`` validates when the specification
+#: is registered and derives otherwise.
+SESSION_MODES = ("auto", "validated", "derive")
+
+
+def _frame_error(message: str, line: Optional[int] = None) -> StreamProtocolError:
+    prefix = f"frame {line}: " if line is not None else ""
+    return StreamProtocolError(prefix + message)
+
+
+def _require_str(payload: dict, key: str, line: Optional[int]) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise _frame_error(
+            f"event field {key!r} must be a non-empty string, "
+            f"got {value!r}",
+            line,
+        )
+    return value
+
+
+def _require_seq(payload: dict, line: Optional[int]) -> int:
+    value = payload.get("seq")
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise _frame_error(
+            f"event field 'seq' must be a positive integer, got {value!r}",
+            line,
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RunOpen:
+    """Open (or resume) a streaming session.  Always ``seq == 1``.
+
+    ``threshold`` arms the live divergence flag: once the session's
+    label-surplus lower bound to its *nearest* corpus run exceeds it,
+    the run is flagged — before ``run_close``, while it still executes.
+    ``None`` leaves flagging disarmed (the bounds are still reported).
+
+    ``mode`` picks how ``run_close`` enters the corpus: ``validated``
+    (the streamed graph must be a run of the registered specification),
+    ``derive`` (the incremental normaliser's derived specification, as
+    a whole-document import would), or ``auto`` — validated when the
+    specification is registered, derive otherwise.  Streams aimed at a
+    corpus whose specification was itself *derived* by earlier imports
+    should say ``derive`` explicitly.
+    """
+
+    session: str
+    spec_name: str
+    run_name: str
+    seq: int = 1
+    threshold: Optional[float] = None
+    mode: str = "auto"
+    kind: str = field(default=KIND_RUN_OPEN, init=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "v": STREAM_WIRE_VERSION,
+            "kind": KIND_RUN_OPEN,
+            "session": self.session,
+            "seq": self.seq,
+            "spec": self.spec_name,
+            "run": self.run_name,
+            "threshold": self.threshold,
+            "mode": self.mode,
+        }
+
+
+@dataclass(frozen=True)
+class ActivityEvent:
+    """One module invocation: node ``id`` plus display ``label``.
+
+    An empty label defaults to the id's local name, exactly as the
+    whole-document importer labels undeclared activities.
+    """
+
+    session: str
+    seq: int
+    node: str
+    label: str = ""
+    kind: str = field(default=KIND_ACTIVITY, init=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "v": STREAM_WIRE_VERSION,
+            "kind": KIND_ACTIVITY,
+            "session": self.session,
+            "seq": self.seq,
+            "id": self.node,
+            "label": self.label,
+        }
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One dependency: activity ``src`` executed before ``dst``."""
+
+    session: str
+    seq: int
+    src: str
+    dst: str
+    kind: str = field(default=KIND_EDGE, init=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "v": STREAM_WIRE_VERSION,
+            "kind": KIND_EDGE,
+            "session": self.session,
+            "seq": self.seq,
+            "src": self.src,
+            "dst": self.dst,
+        }
+
+
+@dataclass(frozen=True)
+class RunClose:
+    """The run is complete: validate/normalise and enter the corpus."""
+
+    session: str
+    seq: int
+    kind: str = field(default=KIND_RUN_CLOSE, init=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "v": STREAM_WIRE_VERSION,
+            "kind": KIND_RUN_CLOSE,
+            "session": self.session,
+            "seq": self.seq,
+        }
+
+
+#: Any streaming event.
+StreamEvent = Union[RunOpen, ActivityEvent, EdgeEvent, RunClose]
+
+
+def event_from_dict(
+    payload: Any, line: Optional[int] = None
+) -> StreamEvent:
+    """Decode one event frame; strict, with the frame number in errors.
+
+    Raises :class:`~repro.errors.StreamProtocolError` on anything that
+    is not a well-formed event of a known kind and version — malformed
+    frames must fail loudly, never half-apply.
+    """
+    if not isinstance(payload, dict):
+        raise _frame_error(
+            f"event frame must be a JSON object, got {type(payload).__name__}",
+            line,
+        )
+    if payload.get("v") != STREAM_WIRE_VERSION:
+        raise _frame_error(
+            f"unsupported stream schema version {payload.get('v')!r} "
+            f"(this peer speaks v{STREAM_WIRE_VERSION})",
+            line,
+        )
+    kind = payload.get("kind")
+    session = _require_str(payload, "session", line)
+    seq = _require_seq(payload, line)
+    if kind == KIND_RUN_OPEN:
+        if seq != 1:
+            raise _frame_error(
+                f"run_open must carry seq 1, got {seq}", line
+            )
+        threshold = payload.get("threshold")
+        if threshold is not None:
+            if isinstance(threshold, bool) or not isinstance(
+                threshold, (int, float)
+            ):
+                raise _frame_error(
+                    f"run_open 'threshold' must be a number or null, "
+                    f"got {threshold!r}",
+                    line,
+                )
+            threshold = float(threshold)
+        mode = payload.get("mode", "auto")
+        if mode not in SESSION_MODES:
+            raise _frame_error(
+                f"run_open 'mode' must be one of "
+                f"{', '.join(SESSION_MODES)}, got {mode!r}",
+                line,
+            )
+        return RunOpen(
+            session=session,
+            spec_name=_require_str(payload, "spec", line),
+            run_name=_require_str(payload, "run", line),
+            seq=seq,
+            threshold=threshold,
+            mode=mode,
+        )
+    if kind == KIND_ACTIVITY:
+        label = payload.get("label", "")
+        if not isinstance(label, str):
+            raise _frame_error(
+                f"activity 'label' must be a string, got {label!r}", line
+            )
+        return ActivityEvent(
+            session=session,
+            seq=seq,
+            node=_require_str(payload, "id", line),
+            label=label,
+        )
+    if kind == KIND_EDGE:
+        return EdgeEvent(
+            session=session,
+            seq=seq,
+            src=_require_str(payload, "src", line),
+            dst=_require_str(payload, "dst", line),
+        )
+    if kind == KIND_RUN_CLOSE:
+        return RunClose(session=session, seq=seq)
+    raise _frame_error(
+        f"unknown event kind {kind!r} "
+        f"(expected one of {', '.join(EVENT_KINDS)})",
+        line,
+    )
+
+
+# -- NDJSON framing -----------------------------------------------------
+def encode_events(events: List[StreamEvent]) -> bytes:
+    """Frame events as NDJSON: one compact JSON object per line."""
+    return b"".join(
+        json.dumps(
+            event.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf8")
+        + b"\n"
+        for event in events
+    )
+
+
+def decode_events(data: bytes) -> List[StreamEvent]:
+    """Parse an NDJSON body into events; 1-based frame numbers in errors.
+
+    Blank lines are permitted (a trailing newline is the normal case).
+    The first malformed frame aborts the whole parse — the transport
+    applies *nothing* from a batch it could not fully decode ahead of
+    sequencing, so a framing bug never half-ingests.
+    """
+    try:
+        text = data.decode("utf8")
+    except UnicodeDecodeError as exc:
+        raise StreamProtocolError(
+            f"stream body is not valid UTF-8: {exc}"
+        ) from None
+    events: List[StreamEvent] = []
+    for number, raw_line in enumerate(text.split("\n"), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            raise _frame_error(
+                f"not valid JSON: {exc}", number
+            ) from None
+        events.append(event_from_dict(payload, line=number))
+    if not events:
+        raise StreamProtocolError(
+            "stream body contains no event frames"
+        )
+    return events
+
+
+# -- live analytics snapshots -------------------------------------------
+@dataclass
+class LiveStatus:
+    """One open session's analytics against the frozen corpus.
+
+    The bounds are **label-surplus lower bounds**: for every corpus run
+    ``R``, ``sum(max(0, open[l] - R[l]))`` over labels ``l`` — every
+    instance the open run has already streamed beyond ``R``'s label
+    multiset must be removed by some path operation.  Under the length
+    cost model this is a sound lower bound on the final edit distance
+    however the run completes (each deletion/contraction of a path
+    with ``k`` surplus interior instances costs at least ``k``); under
+    unit cost it is a divergence heuristic.  The bound is monotone
+    non-decreasing as events arrive, so a threshold crossing is final.
+    """
+
+    session: str
+    spec_name: str
+    run_name: str
+    seq: int
+    activities: int
+    edges: int
+    mode: str  #: ``validated`` (spec known) or ``derive`` (foreign)
+    nearest_run: Optional[str] = None
+    nearest_bound: float = 0.0
+    medoid_run: Optional[str] = None
+    medoid_bound: float = 0.0
+    outlier_score: float = 0.0  #: mean bound over the corpus
+    threshold: Optional[float] = None
+    flagged: bool = False
+    flagged_at_seq: Optional[int] = None
+    #: The partial normalisation report of the incrementally maintained
+    #: SP-tree (``was_series_parallel``, forced serialisations so far).
+    sp_report: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "v": STREAM_WIRE_VERSION,
+            "session": self.session,
+            "spec": self.spec_name,
+            "run": self.run_name,
+            "seq": self.seq,
+            "activities": self.activities,
+            "edges": self.edges,
+            "mode": self.mode,
+            "nearest_run": self.nearest_run,
+            "nearest_bound": self.nearest_bound,
+            "medoid_run": self.medoid_run,
+            "medoid_bound": self.medoid_bound,
+            "outlier_score": self.outlier_score,
+            "threshold": self.threshold,
+            "flagged": self.flagged,
+            "flagged_at_seq": self.flagged_at_seq,
+            "sp_report": dict(self.sp_report),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "LiveStatus":
+        if not isinstance(payload, dict) or payload.get("v") != (
+            STREAM_WIRE_VERSION
+        ):
+            raise StreamProtocolError(
+                "malformed LiveStatus payload (bad envelope)"
+            )
+        try:
+            return cls(
+                session=str(payload["session"]),
+                spec_name=str(payload["spec"]),
+                run_name=str(payload["run"]),
+                seq=int(payload["seq"]),
+                activities=int(payload["activities"]),
+                edges=int(payload["edges"]),
+                mode=str(payload["mode"]),
+                nearest_run=payload.get("nearest_run"),
+                nearest_bound=float(payload.get("nearest_bound", 0.0)),
+                medoid_run=payload.get("medoid_run"),
+                medoid_bound=float(payload.get("medoid_bound", 0.0)),
+                outlier_score=float(payload.get("outlier_score", 0.0)),
+                threshold=(
+                    None
+                    if payload.get("threshold") is None
+                    else float(payload["threshold"])
+                ),
+                flagged=bool(payload.get("flagged", False)),
+                flagged_at_seq=(
+                    None
+                    if payload.get("flagged_at_seq") is None
+                    else int(payload["flagged_at_seq"])
+                ),
+                sp_report=dict(payload.get("sp_report", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamProtocolError(
+                f"malformed LiveStatus payload: {exc}"
+            ) from None
+
+
+# -- acknowledgements ---------------------------------------------------
+@dataclass
+class StreamAck:
+    """The server's answer to a batch of one session's events.
+
+    ``acked_seq`` is the contiguous prefix the server has applied — the
+    client may drop every buffered event at or below it, and resumes
+    from ``acked_seq + 1`` after a transport failure.  ``duplicates``
+    counts idempotently replayed frames in the batch.  While the
+    session is open, ``live`` carries the analytics snapshot; once
+    closed, ``result`` carries the import summary (normalisation
+    report plus the newcomer's corpus distances).
+    """
+
+    session: str
+    acked_seq: int
+    status: str  #: ``open`` or ``closed``
+    resumed: bool = False
+    duplicates: int = 0
+    live: Optional[LiveStatus] = None
+    result: Optional[ImportSummary] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "v": STREAM_WIRE_VERSION,
+            "session": self.session,
+            "acked_seq": self.acked_seq,
+            "status": self.status,
+            "resumed": self.resumed,
+            "duplicates": self.duplicates,
+            "live": None if self.live is None else self.live.to_dict(),
+            "result": (
+                None if self.result is None else self.result.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "StreamAck":
+        if not isinstance(payload, dict) or payload.get("v") != (
+            STREAM_WIRE_VERSION
+        ):
+            raise StreamProtocolError(
+                "malformed StreamAck payload (bad envelope)"
+            )
+        try:
+            return cls(
+                session=str(payload["session"]),
+                acked_seq=int(payload["acked_seq"]),
+                status=str(payload["status"]),
+                resumed=bool(payload.get("resumed", False)),
+                duplicates=int(payload.get("duplicates", 0)),
+                live=(
+                    None
+                    if payload.get("live") is None
+                    else LiveStatus.from_dict(payload["live"])
+                ),
+                result=(
+                    None
+                    if payload.get("result") is None
+                    else ImportSummary.from_dict(payload["result"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StreamProtocolError(
+                f"malformed StreamAck payload: {exc}"
+            ) from None
+
+
+def events_from_document(
+    doc,
+    session: str,
+    spec_name: str,
+    run_name: str,
+    threshold: Optional[float] = None,
+    mode: str = "auto",
+) -> List[StreamEvent]:
+    """Event-ize a :class:`~repro.interchange.prov_json.ProvDocument`.
+
+    The canonical whole-document → event-stream embedding: activities
+    in :meth:`~repro.interchange.prov_json.ProvDocument.activity_ids`
+    order (labels resolved the way the importer would), then one edge
+    event per deduplicated dependency pair in
+    :meth:`~repro.interchange.prov_json.ProvDocument.dependency_pairs`
+    order.  Streaming these events ingests bit-identically to importing
+    the document whole — the property the Hypothesis suite pins down.
+    """
+    from repro.interchange.prov_json import activity_label
+
+    events: List[StreamEvent] = [
+        RunOpen(
+            session=session,
+            spec_name=spec_name,
+            run_name=run_name,
+            threshold=threshold,
+            mode=mode,
+        )
+    ]
+    seq = 1
+    for activity in doc.activity_ids():
+        seq += 1
+        events.append(
+            ActivityEvent(
+                session=session,
+                seq=seq,
+                node=activity,
+                label=activity_label(doc, activity),
+            )
+        )
+    for src, dst in doc.dependency_pairs():
+        seq += 1
+        events.append(
+            EdgeEvent(session=session, seq=seq, src=src, dst=dst)
+        )
+    events.append(RunClose(session=session, seq=seq + 1))
+    return events

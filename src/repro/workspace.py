@@ -120,6 +120,23 @@ class Workspace:
         # Guards the session spec memo; the heavyweight state below it
         # (service, caches, indexes) carries its own lock discipline.
         self._spec_lock = threading.RLock()
+        self._stream_hub = None
+        self._stream_hub_lock = threading.Lock()
+
+    @property
+    def stream_hub(self):
+        """The workspace's streaming-ingestion hub (built on demand).
+
+        One hub per workspace: the in-process :meth:`stream` transport
+        and the HTTP ``/stream/*`` routes share it, so both faces see
+        the same session namespace and the same ``stream_*`` counters.
+        """
+        with self._stream_hub_lock:
+            if self._stream_hub is None:
+                from repro.stream.hub import StreamHub
+
+                self._stream_hub = StreamHub(self)
+            return self._stream_hub
 
     # -- specification management ---------------------------------------
     def register(self, spec: WorkflowSpecification) -> None:
@@ -557,6 +574,43 @@ class Workspace:
         from repro.interchange.convert import export_run_json
 
         return export_run_json(self.run(run_name, spec=spec))
+
+    # -- streaming ingestion -----------------------------------------------
+    def stream(
+        self,
+        spec: str,
+        run: str,
+        session: Optional[str] = None,
+        threshold: Optional[float] = None,
+        mode: str = "auto",
+        batch_size: int = 64,
+    ):
+        """Open a :class:`~repro.stream.client.StreamSession` in process.
+
+        Events go straight into this workspace's :attr:`stream_hub`
+        (through the NDJSON codec, so the in-process path exercises the
+        exact wire protocol).  ``threshold`` arms the live divergence
+        flag; ``run`` must not already exist in the corpus — nothing is
+        persisted until the session's ``run_close``.
+        """
+        from repro.stream.client import StreamSession
+        from repro.stream.events import decode_events
+
+        hub = self.stream_hub
+        return StreamSession(
+            send=lambda data: hub.apply_batch(decode_events(data)),
+            spec_name=spec,
+            run_name=run,
+            session_id=session,
+            threshold=threshold,
+            mode=mode,
+            batch_size=batch_size,
+        )
+
+    def stream_live(self):
+        """Live analytics of every open streaming session
+        (:class:`~repro.stream.events.LiveStatus` objects)."""
+        return self.stream_hub.live()
 
     def export_script(
         self,

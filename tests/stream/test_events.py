@@ -1,0 +1,177 @@
+"""The streaming event model: codec strictness and round trips.
+
+Malformed frames must fail loudly with
+:class:`~repro.errors.StreamProtocolError` naming the offending frame —
+never half-apply, never traceback.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api_types import ImportSummary
+from repro.errors import StreamProtocolError
+from repro.interchange.prov_json import parse_prov_json
+from repro.stream.events import (
+    STREAM_WIRE_VERSION,
+    ActivityEvent,
+    EdgeEvent,
+    LiveStatus,
+    RunClose,
+    RunOpen,
+    StreamAck,
+    decode_events,
+    encode_events,
+    event_from_dict,
+    events_from_document,
+)
+from repro.workflow.generators import random_prov_document
+
+EVENTS = [
+    RunOpen(session="s", spec_name="S", run_name="r", threshold=2.5),
+    ActivityEvent(session="s", seq=2, node="ex:a1", label="align"),
+    EdgeEvent(session="s", seq=3, src="ex:a1", dst="ex:a2"),
+    RunClose(session="s", seq=4),
+]
+
+
+def test_ndjson_round_trip_preserves_every_field():
+    decoded = decode_events(encode_events(EVENTS))
+    assert decoded == EVENTS
+
+
+def test_encoding_is_one_compact_json_object_per_line():
+    lines = encode_events(EVENTS).decode("utf8").splitlines()
+    assert len(lines) == len(EVENTS)
+    for line, event in zip(lines, EVENTS):
+        payload = json.loads(line)
+        assert payload == event.to_dict()
+        assert payload["v"] == STREAM_WIRE_VERSION
+        assert ": " not in line and ", " not in line
+
+
+def test_blank_lines_are_permitted_between_frames():
+    body = encode_events(EVENTS[:2]) + b"\n\n" + encode_events(EVENTS[2:])
+    assert decode_events(body) == EVENTS
+
+
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda p: p.update(v=99), "version"),
+        (lambda p: p.update(kind="nope"), "unknown event kind"),
+        (lambda p: p.update(seq=0), "'seq'"),
+        (lambda p: p.update(seq="1"), "'seq'"),
+        (lambda p: p.update(session=""), "'session'"),
+        (lambda p: p.pop("session"), "'session'"),
+    ],
+)
+def test_malformed_frames_are_refused(mutate, fragment):
+    payload = ActivityEvent(
+        session="s", seq=2, node="ex:a", label="x"
+    ).to_dict()
+    mutate(payload)
+    with pytest.raises(StreamProtocolError) as err:
+        event_from_dict(payload)
+    assert fragment in str(err.value)
+
+
+def test_run_open_must_carry_seq_one():
+    payload = RunOpen(session="s", spec_name="S", run_name="r").to_dict()
+    payload["seq"] = 7
+    with pytest.raises(StreamProtocolError, match="seq 1"):
+        event_from_dict(payload)
+
+
+def test_run_open_threshold_and_mode_are_validated():
+    payload = RunOpen(session="s", spec_name="S", run_name="r").to_dict()
+    payload["threshold"] = "big"
+    with pytest.raises(StreamProtocolError, match="threshold"):
+        event_from_dict(payload)
+    payload = RunOpen(session="s", spec_name="S", run_name="r").to_dict()
+    payload["mode"] = "chaotic"
+    with pytest.raises(StreamProtocolError, match="mode"):
+        event_from_dict(payload)
+
+
+def test_decode_reports_the_offending_frame_number():
+    body = encode_events(EVENTS[:2]) + b"{not json}\n"
+    with pytest.raises(StreamProtocolError, match="frame 3"):
+        decode_events(body)
+
+
+def test_decode_refuses_non_utf8_and_empty_bodies():
+    with pytest.raises(StreamProtocolError, match="UTF-8"):
+        decode_events(b"\xff\xfe")
+    with pytest.raises(StreamProtocolError, match="no event frames"):
+        decode_events(b"\n\n")
+
+
+def test_ack_and_live_status_round_trip():
+    live = LiveStatus(
+        session="s",
+        spec_name="S",
+        run_name="r",
+        seq=9,
+        activities=4,
+        edges=3,
+        mode="derive",
+        nearest_run="r01",
+        nearest_bound=2.0,
+        medoid_run="r02",
+        medoid_bound=3.0,
+        outlier_score=2.5,
+        threshold=1.5,
+        flagged=True,
+        flagged_at_seq=7,
+        sp_report={"was_series_parallel": False},
+    )
+    ack = StreamAck(
+        session="s",
+        acked_seq=9,
+        status="closed",
+        resumed=True,
+        duplicates=2,
+        live=live,
+        result=ImportSummary(
+            spec_name="S",
+            run_name="r",
+            origin="stream",
+            nodes=4,
+            edges=3,
+            new_pairs={("r01", "r"): 2.0},
+        ),
+    )
+    rebuilt = StreamAck.from_dict(
+        json.loads(json.dumps(ack.to_dict()))
+    )
+    assert rebuilt == ack
+
+
+def test_ack_from_dict_is_strict():
+    with pytest.raises(StreamProtocolError):
+        StreamAck.from_dict({"v": 99})
+    with pytest.raises(StreamProtocolError):
+        StreamAck.from_dict({"v": STREAM_WIRE_VERSION})  # no fields
+    with pytest.raises(StreamProtocolError):
+        LiveStatus.from_dict({"v": STREAM_WIRE_VERSION, "session": "s"})
+
+
+def test_events_from_document_is_contiguous_and_complete():
+    doc = parse_prov_json(
+        random_prov_document(
+            num_activities=9, edge_probability=0.4, seed=5
+        )
+    )
+    events = events_from_document(doc, "s", "S", "r", threshold=1.0)
+    assert isinstance(events[0], RunOpen)
+    assert isinstance(events[-1], RunClose)
+    assert [event.seq for event in events] == list(
+        range(1, len(events) + 1)
+    )
+    activities = [e for e in events if isinstance(e, ActivityEvent)]
+    edges = [e for e in events if isinstance(e, EdgeEvent)]
+    assert [a.node for a in activities] == doc.activity_ids()
+    assert [(e.src, e.dst) for e in edges] == doc.dependency_pairs()

@@ -1,0 +1,179 @@
+"""The streaming bit-identity property.
+
+Event-streamed ingestion must be indistinguishable from whole-document
+import: same normalised run (node-for-node, edge-for-edge), same
+derived specification, same forced-serialisation report, same pairwise
+corpus distances.  Exercised over random foreign documents (routinely
+non-series-parallel, with fan-outs and fan-ins) via Hypothesis, and
+over executed runs of a real specification (forks and loops) in
+validated mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ReproConfig
+from repro.corpus.fingerprint import run_fingerprint, spec_fingerprint
+from repro.interchange.prov_json import activity_label, parse_prov_json
+from repro.stream.events import events_from_document
+from repro.workflow.execution import execute_workflow
+from repro.workflow.generators import random_prov_document
+from repro.workspace import Workspace
+
+from _fixture import SPEC_NAME, VARIED, build_corpus  # noqa: E402
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_dirs = itertools.count(1)
+
+
+def _fresh_ws(tmp_path_factory) -> Workspace:
+    return Workspace(
+        tmp_path_factory.mktemp(f"prop-ws{next(_dirs)}"),
+        ReproConfig(backend="serial"),
+    )
+
+
+def _assert_bit_identical(run_a, run_b):
+    """Node-for-node, edge-for-edge, label-for-label equality."""
+    assert list(run_a.graph.nodes()) == list(run_b.graph.nodes())
+    assert run_a.graph.labels() == run_b.graph.labels()
+    assert list(run_a.graph.edges()) == list(run_b.graph.edges())
+    assert run_fingerprint(run_a) == run_fingerprint(run_b)
+
+
+@SETTINGS
+@given(
+    num_activities=st.integers(min_value=2, max_value=14),
+    edge_probability=st.floats(min_value=0.0, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_streamed_run_is_bit_identical_to_whole_import(
+    tmp_path_factory, num_activities, edge_probability, seed
+):
+    text = random_prov_document(
+        num_activities=num_activities,
+        edge_probability=edge_probability,
+        seed=seed,
+    )
+    doc = parse_prov_json(text)
+
+    ws_stream = _fresh_ws(tmp_path_factory)
+    with ws_stream.stream("S", "r", batch_size=3) as stream:
+        for node in doc.activity_ids():
+            stream.activity(node, activity_label(doc, node))
+        for src, dst in doc.dependency_pairs():
+            stream.edge(src, dst)
+        ack = stream.close_run()
+
+    ws_whole = _fresh_ws(tmp_path_factory)
+    summary = ws_whole.import_prov(text, name="r", spec_name="S")
+
+    run_a = ws_stream.run("r", spec="S")
+    run_b = ws_whole.run("r", spec="S")
+    _assert_bit_identical(run_a, run_b)
+    assert spec_fingerprint(
+        ws_stream.specification("S")
+    ) == spec_fingerprint(ws_whole.specification("S"))
+    assert ack.result.report == summary.report.to_dict()
+    assert ack.result.nodes == run_b.graph.num_nodes
+    assert ack.result.edges == run_b.graph.num_edges
+
+
+@SETTINGS
+@given(
+    num_activities=st.integers(min_value=2, max_value=10),
+    edge_probability=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_streamed_distances_match_whole_import_distances(
+    tmp_path_factory, num_activities, edge_probability, seed
+):
+    """Derive-mode close prices the newcomer exactly like import_prov."""
+    text = random_prov_document(
+        num_activities=num_activities,
+        edge_probability=edge_probability,
+        seed=seed,
+    )
+    doc = parse_prov_json(text)
+
+    ws_stream = _fresh_ws(tmp_path_factory)
+    ws_stream.import_prov(text, name="r1", spec_name="S")
+    events = events_from_document(
+        doc, "prop-d", "S", "r2", mode="derive"
+    )
+    ack = ws_stream.stream_hub.apply_batch(events)
+
+    ws_whole = _fresh_ws(tmp_path_factory)
+    ws_whole.import_prov(text, name="r1", spec_name="S")
+    _, distances = ws_whole.import_prov(
+        text, name="r2", spec_name="S", diff=True
+    )
+
+    assert ack.result.new_pairs == dict(distances)
+    _assert_bit_identical(
+        ws_stream.run("r2", spec="S"), ws_whole.run("r2", spec="S")
+    )
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13])
+def test_validated_stream_prices_forks_and_loops_identically(
+    corpus_root, tmp_path_factory, seed
+):
+    """Streaming an executed run (forks, loops) in validated mode yields
+    the same corpus distances as adding the run directly."""
+    mirror_root = tmp_path_factory.mktemp("stream-mirror")
+    ws_stream = Workspace(corpus_root, ReproConfig(backend="serial"))
+    ws_direct = build_corpus(mirror_root)
+
+    # Keep the two corpora in lock-step across the parametrized seeds:
+    # earlier seeds' runs are already in both stores (same names, same
+    # fingerprints), so the distance sets stay comparable.
+    for prior in (11, 12, 13):
+        if prior == seed:
+            break
+        name = f"pr{prior}"
+        if name not in ws_direct.runs(spec=SPEC_NAME):
+            run = execute_workflow(
+                ws_direct.specification(SPEC_NAME),
+                VARIED,
+                seed=prior,
+                name=name,
+            )
+            ws_direct.service.add_run(
+                run, cost=ws_direct.config.cost
+            )
+
+    name = f"pr{seed}"
+    run = execute_workflow(
+        ws_direct.specification(SPEC_NAME), VARIED, seed=seed, name=name
+    )
+
+    with ws_stream.stream(SPEC_NAME, name) as stream:
+        labels = run.graph.labels()
+        for node in run.graph.nodes():
+            stream.activity(str(node), labels[node])
+        for src, dst, _key in run.graph.edges():
+            stream.edge(str(src), str(dst))
+        ack = stream.close_run()
+    assert ack.status == "closed"
+    assert ack.result.run_name == name
+
+    direct_distances = ws_direct.service.add_run(
+        run, cost=ws_direct.config.cost
+    )
+
+    assert ack.result.new_pairs == dict(direct_distances)
+    _assert_bit_identical(
+        ws_stream.run(name, spec=SPEC_NAME),
+        ws_direct.run(name, spec=SPEC_NAME),
+    )
