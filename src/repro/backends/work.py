@@ -12,15 +12,26 @@ objects and the cost model; a chunked process dispatch pickles each
 chunk as one unit, so the shared specification object serialises once
 per chunk, not once per pair (both runs of a pair — and usually the
 whole corpus — reference the same spec).
+
+Table sharing: in-process backends receive one
+:class:`~repro.core.memo.SharedTables` from the service per batch.
+Process workers cannot share the parent's memo (it is not picklable and
+would not help across address spaces anyway); they keep a module-level
+per-worker memo instead, keyed by cost-model identity.  Because a chunk
+unpickles as one unit, the runs of a chunk alias each other's trees and
+the chunk's pairs share tables exactly like the in-process path; the
+memo holds strong references (no id reuse while an entry lives) and
+dies with the worker — pools are created fresh per dispatch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.api import diff_runs, distance_only
 from repro.core.edit_script import PathOperation
+from repro.core.memo import SharedTables
 from repro.costs.base import CostModel
 from repro.workflow.run import WorkflowRun
 
@@ -33,11 +44,18 @@ class DistanceTask:
     DP direction — the corpus layer orders them before dispatch so a
     cached value stays bit-identical to a fresh listing-order
     computation regardless of backend.
+
+    ``kernel`` is the *resolved* convolution kernel for the batch;
+    ``assume_aligned`` asserts that both runs are annotated against the
+    same specification object, letting the worker skip the per-pair
+    alignment check (the service loads batches through one spec).
     """
 
     run_a: WorkflowRun
     run_b: WorkflowRun
     cost: CostModel
+    kernel: str = "python"
+    assume_aligned: bool = False
 
 
 @dataclass
@@ -47,18 +65,65 @@ class ScriptTask:
     run_a: WorkflowRun
     run_b: WorkflowRun
     cost: CostModel
+    kernel: str = "python"
 
 
-def compute_distance(task: DistanceTask) -> float:
-    """Worker: the distance-only fast path for one pair."""
-    return distance_only(task.run_a, task.run_b, cost=task.cost)
+#: Per-worker table memo (process backend): cost identity → shared
+#: tables.  Strong references keep ``id`` stable; cleared with the
+#: worker process (pools are fresh per dispatch).
+_WORKER_TABLES: Dict[Tuple[int, str], Tuple[CostModel, SharedTables]] = {}
+
+
+#: Retire a worker memo entry once it holds this many run trees — a
+#: backstop for long-lived processes calling the workers directly (the
+#: intended users are short-lived pool workers, bounded by one batch).
+_WORKER_TABLE_LIMIT = 512
+
+
+def _worker_shared(cost: CostModel, kernel: str) -> SharedTables:
+    key = (id(cost), kernel)
+    entry = _WORKER_TABLES.get(key)
+    if (
+        entry is not None
+        and entry[0] is cost
+        and len(entry[1]) < _WORKER_TABLE_LIMIT
+    ):
+        return entry[1]
+    shared = SharedTables(cost, kernel=kernel)
+    _WORKER_TABLES[key] = (cost, shared)
+    return shared
+
+
+def compute_distance(task: DistanceTask, shared: Optional[SharedTables] = None) -> float:
+    """Worker: the distance-only fast path for one pair.
+
+    ``shared`` is supplied by in-process backends; process workers fall
+    back to the module-level per-worker memo.
+    """
+    if shared is None:
+        shared = _worker_shared(task.cost, task.kernel)
+    return distance_only(
+        task.run_a,
+        task.run_b,
+        cost=task.cost,
+        assume_aligned=task.assume_aligned,
+        shared=shared,
+        kernel=task.kernel,
+    )
 
 
 def compute_script(
-    task: ScriptTask,
+    task: ScriptTask, shared: Optional[SharedTables] = None
 ) -> Tuple[float, List[PathOperation]]:
     """Worker: one full diff, returned as ``(distance, operations)``."""
+    if shared is None:
+        shared = _worker_shared(task.cost, task.kernel)
     result = diff_runs(
-        task.run_a, task.run_b, cost=task.cost, with_script=True
+        task.run_a,
+        task.run_b,
+        cost=task.cost,
+        with_script=True,
+        shared=shared,
+        kernel=task.kernel,
     )
     return result.distance, list(result.script.operations)

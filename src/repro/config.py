@@ -18,8 +18,9 @@ Deployments configure through the environment instead of code:
 :meth:`ReproConfig.from_env` reads the ``REPRO_*`` variables
 (``REPRO_COST``, ``REPRO_BACKEND``, ``REPRO_JOBS``,
 ``REPRO_CACHE_SIZE``, ``REPRO_LOG_LEVEL``, ``REPRO_LOG_FORMAT``,
-``REPRO_METRICS``, ``REPRO_MAX_BODY_BYTES``), with keyword overrides
-— the CLI's flags — taking precedence over the environment.
+``REPRO_METRICS``, ``REPRO_MAX_BODY_BYTES``, ``REPRO_KERNEL``), with
+keyword overrides — the CLI's flags — taking precedence over the
+environment.
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ from repro.backends.base import (
     ExecutorBackend,
     make_backend,
 )
+from repro.core.kernel import KERNEL_NAMES
 from repro.costs.base import CostModel
 from repro.costs.standard import UnitCost, cost_from_spec
 from repro.errors import ReproError
@@ -108,6 +110,11 @@ class ReproConfig:
         (both ``Content-Length`` and chunked transfers); larger bodies
         are refused with a structured ``413`` envelope *without being
         read*.  Default 64 MiB.
+    kernel:
+        DP convolution kernel (:data:`repro.core.kernel.KERNEL_NAMES`):
+        ``"auto"`` (numpy when importable, pure Python otherwise),
+        ``"python"`` (the bit-identical oracle), or ``"numpy"``
+        (vectorised; an error when numpy is absent).
     """
 
     cost: CostModel = field(default_factory=UnitCost)
@@ -120,6 +127,7 @@ class ReproConfig:
     log_format: str = "text"
     metrics: bool = True
     max_body_bytes: int = 64 * 1024 * 1024
+    kernel: str = "auto"
 
     def __post_init__(self):
         if str(self.log_format).strip().lower() not in LOG_FORMATS:
@@ -140,6 +148,11 @@ class ReproConfig:
             raise ReproError(
                 "ReproConfig.max_body_bytes must be >= 1, "
                 f"got {self.max_body_bytes}"
+            )
+        if str(self.kernel).strip().lower() not in KERNEL_NAMES:
+            raise ReproError(
+                f"unknown kernel {self.kernel!r} "
+                f"(expected one of {', '.join(KERNEL_NAMES)})"
             )
         if isinstance(self.backend, ExecutorBackend):
             # Enforce the documented contract at construction, where
@@ -203,6 +216,8 @@ class ReproConfig:
             values["max_body_bytes"] = _env_int(
                 "REPRO_MAX_BODY_BYTES", source["REPRO_MAX_BODY_BYTES"]
             )
+        if source.get("REPRO_KERNEL"):
+            values["kernel"] = source["REPRO_KERNEL"].strip().lower()
         for key, value in overrides.items():
             if value is not None:
                 values[key] = value

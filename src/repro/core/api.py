@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.core.edit_distance import EditDistanceComputation
 from repro.core.edit_script import EditScript, generate_script
+from repro.core.memo import SharedTables
 from repro.core.mapping import (
     NodeCorrespondence,
     WellFormedMapping,
@@ -108,6 +109,8 @@ def diff_runs(
     with_script: bool = True,
     record_intermediates: bool = False,
     validate_intermediates: bool = False,
+    shared: Optional[SharedTables] = None,
+    kernel: str = "python",
 ) -> DiffResult:
     """Compute the edit distance and minimum-cost edit script (O(|E|³)).
 
@@ -124,6 +127,12 @@ def diff_runs(
         the benchmarks measure both configurations).
     record_intermediates / validate_intermediates:
         Keep (and structurally validate) a graph snapshot per operation.
+    shared:
+        Optional per-batch :class:`~repro.core.memo.SharedTables` so one
+        run's deletion tables are built once across a batch of pairs.
+    kernel:
+        Convolution kernel for freshly built tables (ignored when
+        ``shared`` provides them).
 
     Returns
     -------
@@ -131,11 +140,12 @@ def diff_runs(
         With ``distance``, the optimal ``mapping``, and (optionally) the
         ``script`` whose total cost equals ``distance``.
     """
-    cost = cost or UnitCost()
+    if cost is None:
+        cost = shared.cost if shared is not None else UnitCost()
     run2 = _align_specs(run1, run2)
 
     computation = EditDistanceComputation(
-        run1.spec, run1.tree, run2.tree, cost
+        run1.spec, run1.tree, run2.tree, cost, shared=shared, kernel=kernel
     )
     mapping = extract_mapping(computation)
     script = None
@@ -157,20 +167,41 @@ def diff_runs(
 
 
 def distance_only(
-    run1: WorkflowRun, run2: WorkflowRun, cost: Optional[CostModel] = None
+    run1: WorkflowRun,
+    run2: WorkflowRun,
+    cost: Optional[CostModel] = None,
+    assume_aligned: bool = False,
+    shared: Optional[SharedTables] = None,
+    kernel: str = "python",
 ) -> float:
     """Compute ``δ(run1, run2)`` without mapping or script extraction.
 
     The fast path for corpus-scale sweeps (distance matrices, nearest-run
-    queries, cache fills): it runs the edit-distance DP only, skipping the
-    optimal-mapping backtrace and script generation that
-    :func:`diff_runs` always pays for.  Workers in
-    :class:`repro.corpus.service.DiffService` call this per pair.
+    queries, cache fills): it runs the edit-distance DP only — lazily, with
+    the ``≡``-shortcut enabled — skipping the optimal-mapping backtrace
+    and script generation that :func:`diff_runs` always pays for.
+    Workers in :class:`repro.corpus.service.DiffService` call this per
+    pair.
+
+    ``assume_aligned=True`` skips the per-pair specification alignment
+    check entirely; callers assert that both runs were annotated against
+    the *same* specification object (the corpus layer guarantees this by
+    loading every run of a batch through one spec).  ``shared`` reuses
+    per-batch deletion/spec tables; ``kernel`` selects the convolution
+    implementation for freshly built tables.
     """
-    cost = cost or UnitCost()
-    run2 = _align_specs(run1, run2)
+    if cost is None:
+        cost = shared.cost if shared is not None else UnitCost()
+    if not assume_aligned:
+        run2 = _align_specs(run1, run2)
     return EditDistanceComputation(
-        run1.spec, run1.tree, run2.tree, cost
+        run1.spec,
+        run1.tree,
+        run2.tree,
+        cost,
+        shared=shared,
+        distance_only=True,
+        kernel=kernel,
     ).distance
 
 

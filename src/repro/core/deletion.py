@@ -30,6 +30,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.kernel import resolve_kernel, series_convolve
 from repro.costs.base import CostModel
 from repro.errors import EditScriptError
 from repro.sptree.nodes import NodeType, SPTree
@@ -64,11 +65,21 @@ class ReductionStep:
 
 
 class DeletionTables:
-    """X/Y tables for one annotated run tree under a cost model."""
+    """X/Y tables for one annotated run tree under a cost model.
 
-    def __init__(self, tree: SPTree, cost: CostModel):
+    ``kernel`` selects the S-node convolution implementation (see
+    :mod:`repro.core.kernel`); the default pure-Python loops are the
+    bit-identical oracle.  Tables are immutable once built, so one
+    instance is safely shared across every DP pairing ``tree`` within
+    a batch (:class:`~repro.core.memo.SharedTables`).
+    """
+
+    def __init__(
+        self, tree: SPTree, cost: CostModel, kernel: str = "python"
+    ):
         self.tree = tree
         self.cost = cost
+        self.kernel = resolve_kernel(kernel)
         # Dense Y arrays indexed by leaf count (index 0 unused -> INF).
         self._y: Dict[int, List[float]] = {}
         self._x: Dict[int, float] = {}
@@ -144,20 +155,13 @@ class DeletionTables:
     def _compute_series(self, node: SPTree) -> None:
         prefix = [0.0]  # Z for zero children: exactly zero leaves, cost 0.
         for child in node.children:
-            child_y = self._y[id(child)]
-            new_size = len(prefix) - 1 + self._max_leaves[id(child)] + 1
-            merged = [INF] * new_size
-            for base in range(len(prefix)):
-                if math.isinf(prefix[base]):
-                    continue
-                base_cost = prefix[base]
-                for leaves in range(1, len(child_y)):
-                    if math.isinf(child_y[leaves]):
-                        continue
-                    total = base_cost + child_y[leaves]
-                    if total < merged[base + leaves]:
-                        merged[base + leaves] = total
-            prefix = merged
+            # The O(|E|³) knapsack convolution (the paper's Fig. 12
+            # bottleneck) runs on the selected kernel; both kernels
+            # evaluate the identical candidate set with identical
+            # float64 adds, so the tables are bit-identical.
+            prefix = series_convolve(
+                prefix, self._y[id(child)], self.kernel
+            )
         self._max_leaves[id(node)] = len(prefix) - 1
         self._y[id(node)] = prefix
         self._finalise_x(node, prefix)

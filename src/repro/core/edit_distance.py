@@ -17,6 +17,25 @@ the minimum mapping cost ``γ(M(v1, v2))``:
   ordered iterations (Algorithm 6).
 
 The total work is O(|E|³) as analysed in Section V-D.
+
+Cells are computed **lazily**: :meth:`decision` memoises on demand from
+the root pair down, so only reachable homologous pairs are ever priced.
+Two fast-path options trim the reachable set further without changing a
+single bit of any produced value:
+
+* ``shared=`` reuses per-run :class:`DeletionTables` and the per-spec
+  :class:`SpecCostTables` across the pairs of a batch
+  (:class:`~repro.core.memo.SharedTables`) — the tables are pure
+  functions of ``(tree, cost)``, sharing merely avoids rebuilding them;
+* ``distance_only=True`` enables the ``≡``-shortcut: a homologous pair
+  whose subtrees agree on the *origin-annotated* structure key maps at
+  cost exactly ``0.0`` (induction over the recurrences: every branch
+  bottoms out in same-origin Q pairs, and all intermediate sums/minima
+  are sums and minima of exact ``0.0``s), so the whole subtree product
+  is skipped.  The returned cell carries no ``matched`` list, which is
+  why the shortcut is confined to distance-only use — mapping and
+  script extraction need the lists and must construct the computation
+  without it.
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.deletion import DeletionTables
+from repro.core.memo import SharedTables
 from repro.core.spec_costs import SpecCostTables
 from repro.costs.base import CostModel
 from repro.errors import EditScriptError
@@ -51,50 +71,127 @@ class PairDecision:
 
 
 class EditDistanceComputation:
-    """Bottom-up DP over homologous node pairs of two annotated run trees."""
+    """Demand-driven DP over homologous node pairs of two annotated run
+    trees.
 
-    def __init__(self, spec, tree1: SPTree, tree2: SPTree, cost: CostModel):
+    Parameters
+    ----------
+    spec, tree1, tree2, cost:
+        The specification, the two annotated run trees, and ``γ``.
+    shared:
+        An optional :class:`~repro.core.memo.SharedTables` carrying
+        memoised deletion/spec tables for a batch; must be bound to the
+        same cost model object.
+    distance_only:
+        Enables the ``≡``-shortcut (see the module docstring).  The
+        resulting cells are unfit for mapping extraction.
+    kernel:
+        Convolution kernel for freshly built tables
+        (:mod:`repro.core.kernel`); ignored when ``shared`` provides
+        them.
+    """
+
+    def __init__(
+        self,
+        spec,
+        tree1: SPTree,
+        tree2: SPTree,
+        cost: CostModel,
+        shared: Optional[SharedTables] = None,
+        distance_only: bool = False,
+        kernel: str = "python",
+    ):
         self.spec = spec
         self.tree1 = tree1
         self.tree2 = tree2
         self.cost = cost
-        self.deletions1 = DeletionTables(tree1, cost)
-        self.deletions2 = DeletionTables(tree2, cost)
-        self.spec_tables = SpecCostTables(spec, cost)
+        if shared is not None:
+            if shared.cost is not cost:
+                raise EditScriptError(
+                    "shared tables are bound to a different cost model "
+                    "object; build one SharedTables per (batch, cost)"
+                )
+            self.deletions1 = shared.deletions(tree1)
+            self.deletions2 = shared.deletions(tree2)
+            self.spec_tables = shared.spec_tables(spec)
+        else:
+            self.deletions1 = DeletionTables(tree1, cost, kernel=kernel)
+            self.deletions2 = DeletionTables(tree2, cost, kernel=kernel)
+            self.spec_tables = SpecCostTables(spec, cost)
+        self._distance_only = distance_only
         self._pairs: Dict[Tuple[int, int], PairDecision] = {}
-        self._nodes1 = self._group_by_origin(tree1)
-        self._nodes2 = self._group_by_origin(tree2)
-        self._run()
+        # ``≡``-shortcut state: per-node interned origin-structure keys
+        # (equal ids ⇔ equal (origin, structure) recursively).
+        if shared is not None:
+            # Batch-shared interning: each tree's keys are built once
+            # per batch, not once per pair.  The merged map covers every
+            # node of both trees, so ``_origin_id`` never falls through
+            # to the (empty) per-instance intern table.  The walk also
+            # validated the origins.
+            merged = dict(shared.origin_ids(tree1))
+            merged.update(shared.origin_ids(tree2))
+            self._origin_ids = merged
+            self._key_intern: Dict[tuple, int] = {}
+        else:
+            self._origin_ids = {}
+            self._key_intern = {}
+            self._validate_origins(tree1)
+            self._validate_origins(tree2)
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _group_by_origin(tree: SPTree) -> Dict[int, List[SPTree]]:
-        groups: Dict[int, List[SPTree]] = {}
+    def _validate_origins(tree: SPTree) -> None:
         for node in tree.iter_nodes("pre"):
             if node.origin is None:
                 raise EditScriptError(
                     "run tree node lacks an origin; build trees via "
                     "annotate_run_tree or the executor"
                 )
-            groups.setdefault(id(node.origin), []).append(node)
-        return groups
 
-    def _run(self) -> None:
-        for spec_node in self.spec.tree.iter_nodes("post"):
-            left = self._nodes1.get(id(spec_node), [])
-            right = self._nodes2.get(id(spec_node), [])
-            for v1 in left:
-                for v2 in right:
-                    self._pairs[(id(v1), id(v2))] = self._decide(v1, v2)
+    def _origin_id(self, node: SPTree) -> int:
+        """Interned origin-annotated structure key of a subtree.
+
+        Equal ids certify that two subtrees are ``≡`` *and* pair up
+        origin-for-origin — the condition under which the DP's optimal
+        mapping cost is exactly ``0.0`` (not merely close to it).
+        """
+        memo = self._origin_ids
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if node.kind is NodeType.Q:
+            key: tuple = ("Q", id(node.origin))
+        else:
+            child_ids = [self._origin_id(c) for c in node.children]
+            if node.kind in (NodeType.P, NodeType.F):
+                child_ids.sort()
+            key = (node.kind.value, id(node.origin), tuple(child_ids))
+        interned = self._key_intern.setdefault(
+            key, len(self._key_intern)
+        )
+        memo[id(node)] = interned
+        return interned
 
     # ------------------------------------------------------------------
     def decision(self, v1: SPTree, v2: SPTree) -> PairDecision:
-        """The DP cell for a homologous pair."""
-        return self._pairs[(id(v1), id(v2))]
+        """The DP cell for a homologous pair (computed on demand)."""
+        key = (id(v1), id(v2))
+        cell = self._pairs.get(key)
+        if cell is None:
+            if self._distance_only and self._origin_id(
+                v1
+            ) == self._origin_id(v2):
+                # ``≡``-shortcut: exact 0.0, no matched list (see the
+                # module docstring for why this is distance-only).
+                cell = PairDecision(0.0)
+            else:
+                cell = self._decide(v1, v2)
+            self._pairs[key] = cell
+        return cell
 
     def pair_cost(self, v1: SPTree, v2: SPTree) -> float:
         """``γ(M(v1, v2))`` — minimum mapping cost for the pair."""
-        return self._pairs[(id(v1), id(v2))].cost
+        return self.decision(v1, v2).cost
 
     @property
     def distance(self) -> float:

@@ -1,0 +1,129 @@
+"""DP kernel selection: the pure-Python oracle and the numpy fast path.
+
+The O(|E|³) bottleneck of the edit-distance pipeline is the S-node
+min-plus convolution inside :class:`~repro.core.deletion.DeletionTables`
+(Algorithm 3, measured in the paper's Fig. 12).  This module provides
+two interchangeable implementations of that inner sweep:
+
+* ``"python"`` — the reference loops, the **bit-identical oracle**
+  every other configuration is checked against;
+* ``"numpy"`` — the same candidate set evaluated with vectorised
+  float64 adds and element-wise minima.
+
+Bit-identity is by construction, not by tolerance: every candidate is
+one IEEE-754 addition of the same two ``float64`` operands in the same
+operand order, and the minimum over an identical candidate set of
+non-negative values (no NaNs, no ``-0.0``) is bitwise stable regardless
+of evaluation order.  A Hypothesis property
+(``tests/property/test_kernel_equivalence.py``) enforces the equality
+end to end.
+
+Selection goes through :func:`resolve_kernel`: ``"auto"`` (the config
+default) picks numpy when it is importable and silently falls back to
+the pure-Python loops when it is not — the library never *requires*
+numpy.  Asking for ``"numpy"`` explicitly on a machine without it is an
+error, not a silent downgrade.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+INF = math.inf
+
+#: The names :func:`resolve_kernel` (and ``REPRO_KERNEL``) accept.
+KERNEL_NAMES = ("auto", "python", "numpy")
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy kernel can run in this interpreter."""
+    return _np is not None
+
+
+def resolve_kernel(name: Optional[str]) -> str:
+    """Resolve a kernel spec to a concrete kernel name.
+
+    ``None`` and ``"auto"`` pick ``"numpy"`` when numpy is importable
+    and ``"python"`` otherwise.  An explicit ``"numpy"`` request on an
+    interpreter without numpy raises :class:`~repro.errors.ReproError`
+    — a deployment that pinned the fast kernel must fail loudly, not
+    quietly compute on the slow one.
+    """
+    word = "auto" if name is None else str(name).strip().lower()
+    if word not in KERNEL_NAMES:
+        raise ReproError(
+            f"unknown kernel {name!r} "
+            f"(expected one of {', '.join(KERNEL_NAMES)})"
+        )
+    if word == "auto":
+        return "numpy" if numpy_available() else "python"
+    if word == "numpy" and not numpy_available():
+        raise ReproError(
+            "kernel 'numpy' requested but numpy is not importable; "
+            "install numpy or use kernel='python'"
+        )
+    return word
+
+
+def series_convolve_python(
+    prefix: List[float], child_y: List[float]
+) -> List[float]:
+    """One S-node convolution step: ``Z' = Z ⊕ Y(child)`` (min-plus).
+
+    ``prefix[b]`` is the cost of distributing ``b`` leaves over the
+    children consumed so far; ``child_y[l]`` the child's reduction cost
+    to ``l`` leaves (index 0 unused, ``INF``).  Returns the merged
+    table of size ``len(prefix) + len(child_y) - 2``.
+    """
+    new_size = len(prefix) - 1 + len(child_y) - 1 + 1
+    merged = [INF] * new_size
+    for base in range(len(prefix)):
+        if math.isinf(prefix[base]):
+            continue
+        base_cost = prefix[base]
+        for leaves in range(1, len(child_y)):
+            if math.isinf(child_y[leaves]):
+                continue
+            total = base_cost + child_y[leaves]
+            if total < merged[base + leaves]:
+                merged[base + leaves] = total
+    return merged
+
+
+def series_convolve_numpy(
+    prefix: List[float], child_y: List[float]
+) -> List[float]:
+    """The numpy sweep over the same candidate set as the python loops.
+
+    ``merged[b + l] = min(prefix[b] + child_y[l])`` — each candidate is
+    one float64 add of the same operands in the same order
+    (``prefix[b] + child_y[l]``), so the result is bit-identical to
+    :func:`series_convolve_python`.
+    """
+    prefix_arr = _np.asarray(prefix, dtype=_np.float64)
+    new_size = len(prefix) - 1 + len(child_y) - 1 + 1
+    merged = _np.full(new_size, INF, dtype=_np.float64)
+    for leaves in range(1, len(child_y)):
+        value = child_y[leaves]
+        if math.isinf(value):
+            continue
+        window = merged[leaves:leaves + len(prefix)]
+        _np.minimum(window, prefix_arr + value, out=window)
+    return merged.tolist()
+
+
+def series_convolve(
+    prefix: List[float], child_y: List[float], kernel: str
+) -> List[float]:
+    """Dispatch one convolution step to the named (resolved) kernel."""
+    if kernel == "numpy":
+        return series_convolve_numpy(prefix, child_y)
+    return series_convolve_python(prefix, child_y)

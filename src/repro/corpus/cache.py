@@ -93,6 +93,10 @@ class LRUCache:
         self._data.move_to_end(key)
         return self._data[key]
 
+    def peek(self, key: str) -> Optional[Any]:
+        """Return the cached value without touching recency order."""
+        return self._data.get(key)
+
     def put(self, key: str, value: Any) -> None:
         """Insert/refresh a value, evicting the LRU entry when full."""
         if key in self._data:
@@ -248,6 +252,24 @@ class TwoTierCache:
                 return value
             self.stats.misses += 1
             return None
+
+    def peek(self, key: str) -> Optional[Any]:
+        """A *non-counting* lookup: no stat updates, no LRU promotion.
+
+        For opportunistic probes — the corpus service's triangle-bound
+        pivots ask "do we happen to know this distance?" dozens of
+        times per queried pair, and those probes must neither skew the
+        hit/miss ratios operators alert on nor churn the hot tier's
+        recency order.
+        """
+        with self._lock:
+            value = self._memory.peek(key)
+            if value is not None:
+                return value
+            self._load_disk()
+            if key in self._dirty:
+                return self._dirty[key]
+            return self._disk.get(key)
 
     def put(self, key: str, value: Any) -> None:
         """Record a freshly computed value in both tiers (disk lazily)."""

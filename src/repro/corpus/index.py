@@ -36,6 +36,12 @@ import os
 import threading
 from typing import Dict, Optional, Tuple
 
+from repro.core.bounds import (
+    LeafProfile,
+    decode_profile,
+    encode_profile,
+    leaf_profile,
+)
 from repro.corpus.fingerprint import run_fingerprint, spec_fingerprint
 from repro.io.store import WorkflowStore
 from repro.workflow.run import WorkflowRun
@@ -168,7 +174,13 @@ class FingerprintIndex:
         name = as_name or run.name
         digest = run_fingerprint(run, self.spec_digest(run.spec))
         stamp = _file_stamp(self.store.locate_run(run.spec.name, name))
-        entry = {"fingerprint": digest}
+        # The leaf profile rides along for free: the run is in hand,
+        # counting leaf edges is linear, and persisting it lets warm
+        # bound checks skip the XML parse entirely.
+        entry = {
+            "fingerprint": digest,
+            "profile": encode_profile(leaf_profile(run.tree)),
+        }
         if stamp is not None:
             entry["size"], entry["mtime_ns"] = stamp
         with self._lock:
@@ -176,6 +188,37 @@ class FingerprintIndex:
             self._runs[(run.spec.name, name)] = run
             self._dirty = True
         return digest
+
+    def profile(
+        self, spec: WorkflowSpecification, run_name: str
+    ) -> LeafProfile:
+        """The run's leaf profile (Q-leaf label-pair counts).
+
+        Served from the persisted index entry when present — index
+        files written before profiles existed simply lack the field,
+        in which case the run is loaded (through the memo) and the
+        entry backfilled.  Freshness rides on :meth:`fingerprint`'s
+        stamp validation: a stale entry is refreshed there first, and
+        :meth:`record` always writes the profile alongside.
+        """
+        self.fingerprint(spec, run_name)
+        with self._lock:
+            entry = self._section(spec)["runs"].get(run_name)
+            decoded = (
+                decode_profile(entry.get("profile"))
+                if entry is not None
+                else None
+            )
+        if decoded is not None:
+            return decoded
+        run = self.load_run(spec, run_name)
+        profile = leaf_profile(run.tree)
+        with self._lock:
+            entry = self._section(spec)["runs"].get(run_name)
+            if entry is not None:
+                entry["profile"] = encode_profile(profile)
+                self._dirty = True
+        return profile
 
     def forget(self, spec_name: str, run_name: str) -> None:
         """Drop a run's index entry and memoised object (if any)."""

@@ -25,7 +25,24 @@ engine over a :class:`~repro.io.store.WorkflowStore`:
 
 Runs whose fingerprints coincide are ``≡``-equivalent, so their
 distance is 0 by the identity axiom — the service short-circuits such
-pairs without any DP at all.
+pairs without any DP at all (and seeds the cache under the canonical
+pair key, so the zero persists like any computed value).
+
+Three further layers keep corpus-scale distance work off the DP:
+
+* **packing lower bounds** (:mod:`repro.core.bounds`) priced from
+  persisted leaf profiles let :meth:`nearest_runs` / :meth:`medoid` /
+  :meth:`lower_bounds` discard candidates that provably cannot matter;
+* **triangle-inequality bounds** over already-cached distances tighten
+  those floors (and give :meth:`outliers` its ceilings) before any DP;
+* one :class:`~repro.core.memo.SharedTables` per cold batch builds each
+  run's deletion tables once instead of once per pair, and the
+  ``kernel`` knob swaps the convolution inner loop for the vectorised
+  numpy sweep — every layer bit-identical to the plain per-pair
+  pure-Python evaluation.
+
+``dp_skipped_by_bound`` / ``dp_pruned_by_triangle`` count the DPs these
+layers avoided (exposed via :attr:`stats_counters` and ``/metrics``).
 
 The service is a **coarse-grained monitor**: one re-entrant lock
 serialises every compute-and-cache section (``_compute_pairs``,
@@ -56,7 +73,16 @@ from repro.backends.work import (
     compute_distance,
     compute_script,
 )
-from repro.corpus.analytics import k_nearest, medoid, outliers
+from repro.core.bounds import (
+    distance_lower_bound,
+    is_sound_for,
+    spec_max_op_leaves,
+    triangle_lower_bound,
+    triangle_upper_bound,
+)
+from repro.core.kernel import resolve_kernel
+from repro.core.memo import SharedTables
+from repro.corpus.analytics import medoid, outliers
 from repro.corpus.cache import DistanceCache
 from repro.corpus.fingerprint import (
     cost_model_key,
@@ -85,6 +111,13 @@ from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 
 DISTANCES_INDEX_FILE = "distances.json"
+
+#: How many pivot runs a triangle-bound probe may consult per pair.
+#: Probes are dict lookups against already-known distances — cheap, but
+#: a query over N candidates must stay O(N · pivots), not O(N²).
+_TRIANGLE_PIVOT_CAP = 8
+
+_INF = float("inf")
 
 #: Batch-size histogram buckets: powers of two up to a full matrix
 #: sweep of a mid-sized corpus.
@@ -119,6 +152,11 @@ class DiffService:
         :class:`~repro.backends.base.ExecutorBackend` instance.
         Defaults to the thread backend (the historical behaviour);
         ``"process"`` runs the DP itself on every core.
+    kernel:
+        Convolution kernel for the DP's deletion tables — a name from
+        :data:`repro.core.kernel.KERNEL_NAMES`.  The default ``"auto"``
+        uses numpy when importable and the bit-identical pure-Python
+        loops otherwise.
     """
 
     def __init__(
@@ -129,6 +167,7 @@ class DiffService:
         persistent: bool = True,
         backend=None,
         metrics: Optional[MetricsRegistry] = None,
+        kernel: Optional[str] = "auto",
     ):
         self.store = (
             store if isinstance(store, WorkflowStore) else WorkflowStore(store)
@@ -145,6 +184,7 @@ class DiffService:
             self.backend = backend
         else:
             self.backend = make_backend(backend, max_workers)
+        self.kernel = resolve_kernel(kernel)
         self.persistent = persistent
         self.index = FingerprintIndex(self.store)
         cache_path = (
@@ -176,7 +216,13 @@ class DiffService:
         )
         self.computed_pairs = 0
         self.computed_scripts = 0
+        # DPs the fast path avoided: decided by the packing lower
+        # bound alone, or needing a triangle-inequality bound on top.
+        self.dp_skipped_by_bound = 0
+        self.dp_pruned_by_triangle = 0
         self._specs: Dict[str, WorkflowSpecification] = {}
+        #: Memoised ``L`` (max elementary-op leaf count) per spec name.
+        self._max_op_leaves: Dict[str, int] = {}
         # The monitor: every compute-and-cache path acquires it (see
         # the module docstring).  Re-entrant, because the batch methods
         # nest (edit_script → edit_scripts → cached_script) and the
@@ -202,6 +248,14 @@ class DiffService:
             "dp_invocations_total",
             "Edit-distance DP kernel invocations by kind.",
         )
+        self.metrics.counter(
+            "dp_skipped_by_bound_total",
+            "DP invocations avoided by the packing lower bound.",
+        ).set_function(lambda: self.dp_skipped_by_bound)
+        self.metrics.counter(
+            "dp_pruned_by_triangle_total",
+            "DP invocations avoided by triangle-inequality bounds.",
+        ).set_function(lambda: self.dp_pruned_by_triangle)
         self._batch_metric = self.metrics.histogram(
             "dp_batch_size",
             "Cold DP tasks dispatched per backend batch.",
@@ -316,6 +370,162 @@ class DiffService:
             )
         return run
 
+    # -- lower bounds -----------------------------------------------------
+    def _spec_op_ceiling(self, spec: WorkflowSpecification) -> int:
+        """Memoised ``L``: the longest elementary path an edit op moves."""
+        value = self._max_op_leaves.get(spec.name)
+        if value is None:
+            value = spec_max_op_leaves(spec)
+            self._max_op_leaves[spec.name] = value
+        return value
+
+    def _packing_bounds(
+        self,
+        spec: WorkflowSpecification,
+        pairs: Sequence[Tuple[str, str]],
+        cost: CostModel,
+    ) -> Dict[Tuple[str, str], float]:
+        """Packing lower bounds per pair (empty when ``cost`` is outside
+        the power family — every bound would be the vacuous 0.0)."""
+        if not is_sound_for(cost):
+            return {}
+        ceiling = self._spec_op_ceiling(spec)
+        profiles = {}
+        for pair in pairs:
+            for name in pair:
+                if name not in profiles:
+                    profiles[name] = self.index.profile(spec, name)
+        return {
+            (a, b): distance_lower_bound(
+                profiles[a], profiles[b], ceiling, cost
+            )
+            for a, b in pairs
+        }
+
+    def lower_bounds(
+        self,
+        spec_name: str,
+        pairs: Sequence[Tuple[str, str]],
+        cost: Optional[CostModel] = None,
+    ) -> Dict[Tuple[str, str], float]:
+        """Cheap, never-overestimating lower bounds on ``δ`` per pair.
+
+        No DP runs: bounds come from persisted leaf profiles and the
+        specification's op-length ceiling (:mod:`repro.core.bounds`).
+        Pairs the module cannot reason about get the vacuous ``0.0``.
+        The query engine gates script computation on these against
+        predicate cost ceilings.
+        """
+        cost = cost or UnitCost()
+        pair_list = [(a, b) for a, b in pairs]
+        with self._monitor():
+            spec = self.specification(spec_name)
+            packing = self._packing_bounds(spec, pair_list, cost)
+            if self.persistent:
+                self.index.flush()  # profile backfills
+        return {pair: packing.get(pair, 0.0) for pair in pair_list}
+
+    def note_bound_skips(self, count: int) -> None:
+        """Credit ``count`` DPs avoided via :meth:`lower_bounds`.
+
+        The query engine gates cold script computation on packing
+        bounds; those skips happen outside this service's own pruned
+        paths, so the engine reports them here to keep the
+        ``dp_skipped_by_bound`` counter the single ledger of
+        bound-avoided DPs.
+        """
+        if count > 0:
+            with self._monitor():
+                self.dp_skipped_by_bound += count
+
+    def _peek_exact(
+        self,
+        fingerprints: Dict[str, str],
+        cost_key: Optional[str],
+        a: str,
+        b: str,
+    ) -> Optional[float]:
+        """An already-known exact distance, or ``None`` — non-counting.
+
+        Bound probes ask this dozens of times per queried pair; they
+        must not skew the hit/miss ratios operators alert on (the
+        pairs a query actually returns still go through the counting
+        cache path).
+        """
+        if a == b or fingerprints[a] == fingerprints[b]:
+            return 0.0
+        if cost_key is None:
+            return None
+        value = self.cache.peek(
+            pair_key(fingerprints[a], fingerprints[b], cost_key)
+        )
+        return value if isinstance(value, float) else None
+
+    @staticmethod
+    def _known_adjacency(
+        known: Dict[Tuple[str, str], float]
+    ) -> Dict[str, Dict[str, float]]:
+        """``{run: {neighbour: exact distance}}`` over known pairs."""
+        adjacency: Dict[str, Dict[str, float]] = {}
+        for (a, b), value in known.items():
+            adjacency.setdefault(a, {})[b] = value
+            adjacency.setdefault(b, {})[a] = value
+        return adjacency
+
+    @staticmethod
+    def _triangle_floor(
+        adjacency: Dict[str, Dict[str, float]], a: str, c: str
+    ) -> float:
+        """Best triangle *lower* bound on ``δ(a, c)`` via known pivots."""
+        near_a = adjacency.get(a)
+        near_c = adjacency.get(c)
+        if not near_a or not near_c:
+            return 0.0
+        if len(near_c) < len(near_a):
+            near_a, near_c = near_c, near_a
+        best = 0.0
+        probes = 0
+        for pivot, first in near_a.items():
+            second = near_c.get(pivot)
+            if second is None:
+                continue
+            candidate = triangle_lower_bound(first, second)
+            if candidate > best:
+                best = candidate
+            probes += 1
+            if probes >= _TRIANGLE_PIVOT_CAP:
+                break
+        return best
+
+    @staticmethod
+    def _triangle_ceiling(
+        adjacency: Dict[str, Dict[str, float]], a: str, c: str
+    ) -> float:
+        """Best triangle *upper* bound on ``δ(a, c)`` via known pivots.
+
+        ``inf`` when no pivot knows both legs — an unbounded pair can
+        never be pruned away by an upper-bound argument.
+        """
+        near_a = adjacency.get(a)
+        near_c = adjacency.get(c)
+        if not near_a or not near_c:
+            return _INF
+        if len(near_c) < len(near_a):
+            near_a, near_c = near_c, near_a
+        best = _INF
+        probes = 0
+        for pivot, first in near_a.items():
+            second = near_c.get(pivot)
+            if second is None:
+                continue
+            candidate = triangle_upper_bound(first, second)
+            if candidate < best:
+                best = candidate
+            probes += 1
+            if probes >= _TRIANGLE_PIVOT_CAP:
+                break
+        return best
+
     # -- batch computation ----------------------------------------------
     def _compute_pairs(
         self,
@@ -352,14 +562,35 @@ class DiffService:
         cost_key = cost_model_key(cost)
         results: Dict[Tuple[str, str], float] = {}
         pending: Dict[str, List[Tuple[str, str]]] = {}
+        seeded = False
         for a, b in pairs:
-            if a == b or fingerprints[a] == fingerprints[b]:
+            if a == b:
+                results[(a, b)] = 0.0
+                continue
+            if fingerprints[a] == fingerprints[b]:
+                # ≡-equivalent runs: 0 by the identity axiom, no DP.
+                # Seed the canonical pair key too — historically this
+                # short-circuit bypassed the cache entirely, so the
+                # zero never persisted, the lookup never counted, and
+                # a later direct key probe (warm analytics, another
+                # process) missed and re-derived it.
+                if cost_key is not None:
+                    key = pair_key(
+                        fingerprints[a], fingerprints[b], cost_key
+                    )
+                    if self.cache.get(key) is None:
+                        self.cache.put(key, 0.0)
+                        seeded = True
                 results[(a, b)] = 0.0
                 continue
             if cost_key is None:
-                # Uncacheable cost model: key by name pair, no dedup
-                # across pairs, no cache traffic.
-                pending.setdefault(f"{a}\x00{b}", []).append((a, b))
+                # Uncacheable cost model: no cache traffic — but the
+                # DP is symmetric-deterministic, so dedupe by the
+                # *unordered* name pair within the batch (keying the
+                # raw (a, b) ordering used to cost (a, b) and (b, a)
+                # two DPs for one value).
+                group = "\x00".join(sorted((a, b)))
+                pending.setdefault(group, []).append((a, b))
                 continue
             key = pair_key(fingerprints[a], fingerprints[b], cost_key)
             cached = self.cache.get(key)
@@ -395,10 +626,19 @@ class DiffService:
 
             def task(pair) -> DistanceTask:
                 a, b = pair
+                run_a = self._load_run(spec, a)
+                run_b = self._load_run(spec, b)
                 return DistanceTask(
-                    run_a=self._load_run(spec, a),
-                    run_b=self._load_run(spec, b),
+                    run_a=run_a,
+                    run_b=run_b,
                     cost=cost,
+                    kernel=self.kernel,
+                    # Alignment hoisted out of the per-pair worker
+                    # (S3): both runs of a batch load through one spec
+                    # object, which the identity check certifies — a
+                    # run annotated elsewhere falls back to the old
+                    # per-pair alignment.
+                    assume_aligned=run_a.spec is run_b.spec,
                 )
 
             backend_name = type(self.backend).__name__
@@ -408,14 +648,20 @@ class DiffService:
             )
             dispatch_started = time.perf_counter()
             if self.backend.requires_pickling:
-                # Resolve every run here: workers get ready trees.
+                # Resolve every run here: workers get ready trees
+                # (and per-worker table memos — a chunk unpickles as
+                # one unit, so its pairs alias and share tables).
                 distances = self.backend.map(
                     compute_distance, [task(pair) for pair in directed]
                 )
             else:
                 # Resolve inside the workers: threads overlap parsing.
+                # One SharedTables for the whole batch — each run's
+                # deletion tables are built once, not once per pair.
+                shared = SharedTables(cost, kernel=self.kernel)
                 distances = self.backend.map(
-                    lambda pair: compute_distance(task(pair)), directed
+                    lambda pair: compute_distance(task(pair), shared),
+                    directed,
                 )
             self._backend_busy_metric.inc(
                 time.perf_counter() - dispatch_started,
@@ -434,6 +680,9 @@ class DiffService:
                     self.cache.put(key, value)
                 for a, b in group:
                     results[(a, b)] = value
+            self._flush()
+        elif seeded:
+            # No cold DPs, but ≡ short-circuits seeded cache entries.
             self._flush()
         elif self.persistent:
             # Even an all-warm query may have refreshed fingerprints.
@@ -522,7 +771,16 @@ class DiffService:
         """One-vs-many: ``run_name``'s neighbours by ascending distance.
 
         Computes (or recalls) only the ``N - 1`` distances involving
-        ``run_name`` — never the full matrix.
+        ``run_name`` — never the full matrix — and, when ``k`` asks for
+        a strict subset of the corpus, prunes candidates that provably
+        cannot enter the top ``k``: a candidate whose lower bound
+        (packing bound from leaf profiles, tightened by the triangle
+        inequality over already-known distances) strictly exceeds the
+        current ``k``-th best distance is skipped without a DP.  The
+        returned ranking is bit-identical to the unpruned computation:
+        skipped candidates sort strictly after position ``k``, and
+        surviving candidates' distances come from the very same
+        cache-or-DP path.
         """
         cost = cost or UnitCost()
         names = self.runs(spec_name)
@@ -531,10 +789,99 @@ class DiffService:
                 f"no stored run {run_name!r} for specification "
                 f"{spec_name!r}"
             )
-        spec, fingerprints = self._resolve(spec_name, names)
-        pairs = [(run_name, other) for other in names if other != run_name]
-        distances = self._compute_pairs(spec, pairs, fingerprints, cost)
-        return k_nearest(distances, run_name, k=k, names=names)
+        others = [other for other in names if other != run_name]
+        pairs = [(run_name, other) for other in others]
+        with self._monitor():
+            spec, fingerprints = self._resolve(spec_name, names)
+            survivors = pairs
+            if k is not None and 0 < k < len(others):
+                survivors = self._prune_nearest(
+                    spec, fingerprints, run_name, pairs, k, cost
+                )
+            distances = self._compute_pairs_locked(
+                spec, survivors, fingerprints, cost
+            )
+        ranked = sorted(
+            ((other, distances[(run_name, other)]) for _, other in survivors),
+            key=lambda item: (item[1], item[0]),
+        )
+        return ranked[:k] if k is not None else ranked
+
+    def _prune_nearest(
+        self,
+        spec: WorkflowSpecification,
+        fingerprints: Dict[str, str],
+        run_name: str,
+        pairs: List[Tuple[str, str]],
+        k: int,
+        cost: CostModel,
+    ) -> List[Tuple[str, str]]:
+        """The query pairs that might make the top ``k`` (caller holds
+        the monitor).
+
+        Non-counting probes split the pairs into already-known and
+        unknown; with at least ``k`` known distances the ``k``-th best
+        becomes the pruning threshold ``τ``, and every unknown pair
+        whose lower bound *strictly* exceeds ``τ`` is dropped (its true
+        distance is ≥ the bound > τ ≥ the final ``k``-th distance, so
+        it cannot enter the ranking, not even on a tie).  The survivors
+        keep the original listing order — and the known pairs re-enter
+        through the ordinary counting cache path, so hit statistics
+        match the unpruned query's.
+        """
+        cost_key = cost_model_key(cost)
+        known: Dict[Tuple[str, str], float] = {}
+        unknown: List[Tuple[str, str]] = []
+        for pair in pairs:
+            exact = self._peek_exact(
+                fingerprints, cost_key, pair[0], pair[1]
+            )
+            if exact is None:
+                unknown.append(pair)
+            else:
+                known[pair] = exact
+        if len(known) < k or not unknown:
+            return pairs
+        tau = sorted(known.values())[k - 1]
+        packing = self._packing_bounds(spec, unknown, cost)
+        adjacency: Optional[Dict[str, Dict[str, float]]] = None
+        dropped = set()
+        for pair in unknown:
+            bound = packing.get(pair, 0.0)
+            if bound > tau:
+                self.dp_skipped_by_bound += 1
+                dropped.add(pair)
+                continue
+            if adjacency is None:
+                # Pivot adjacency over *everything* already known —
+                # cheap cache peeks, built once per query on demand.
+                adjacency = self._known_pair_graph(
+                    fingerprints, cost_key, list(fingerprints)
+                )
+            floor = self._triangle_floor(adjacency, pair[0], pair[1])
+            if floor > tau:
+                self.dp_pruned_by_triangle += 1
+                dropped.add(pair)
+        if not dropped:
+            return pairs
+        return [pair for pair in pairs if pair not in dropped]
+
+    def _known_pair_graph(
+        self,
+        fingerprints: Dict[str, str],
+        cost_key: Optional[str],
+        names: Sequence[str],
+    ) -> Dict[str, Dict[str, float]]:
+        """Adjacency of every already-known exact distance among
+        ``names`` (non-counting peeks only; no DP, no stat traffic)."""
+        known: Dict[Tuple[str, str], float] = {}
+        ordered = list(names)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1:]:
+                exact = self._peek_exact(fingerprints, cost_key, a, b)
+                if exact is not None:
+                    known[(a, b)] = exact
+        return self._known_adjacency(known)
 
     # -- edit scripts -----------------------------------------------------
     def cached_script(self, key: str) -> Optional[ScriptRecord]:
@@ -647,6 +994,7 @@ class DiffService:
                     run_a=self._load_run(spec, group[0][0]),
                     run_b=self._load_run(spec, group[0][1]),
                     cost=cost,
+                    kernel=self.kernel,
                 )
 
             backend_name = type(self.backend).__name__
@@ -661,8 +1009,10 @@ class DiffService:
                     [task(group) for _, group in ordered],
                 )
             else:
+                shared = SharedTables(cost, kernel=self.kernel)
                 outcomes = self.backend.map(
-                    lambda item: compute_script(task(item[1])), ordered
+                    lambda item: compute_script(task(item[1]), shared),
+                    ordered,
                 )
             self._backend_busy_metric.inc(
                 time.perf_counter() - dispatch_started,
@@ -763,6 +1113,14 @@ class DiffService:
         if spec.name not in self._specs:
             # Adopt the run's spec object so later loads agree with it.
             self._specs[spec.name] = spec
+        elif self._specs[spec.name] is not spec:
+            # Same content, different object (the fingerprints matched
+            # above): re-annotate against the adopted spec so every
+            # memoised run of a corpus shares one spec object — the
+            # invariant that lets batch workers skip per-pair
+            # alignment and share subtree identities.
+            spec = self._specs[spec.name]
+            run = WorkflowRun(spec, run.graph, name=run.name)
         if not self.store.has_specification(spec.name):
             # First run of a never-stored spec: persist the spec too,
             # or the corpus would be unreadable to other processes.
@@ -817,12 +1175,98 @@ class DiffService:
     def medoid(
         self, spec_name: str, cost: Optional[CostModel] = None
     ) -> Tuple[str, float]:
-        """The corpus's most central run, ``(name, mean distance)``."""
+        """The corpus's most central run, ``(name, mean distance)``.
+
+        When the cost model supports lower bounds, candidates whose
+        bounded mean distance strictly exceeds the best exact mean seen
+        so far are skipped without computing their row of the matrix —
+        the winner (including its exact mean and the lexicographic tie
+        break) is bit-identical to the full-matrix evaluation, because
+        a skipped candidate's true mean strictly exceeds the returned
+        one.
+        """
+        cost = cost or UnitCost()
         # One listing snapshot for both matrix and analytics, so a run
         # saved concurrently can't appear in one but not the other.
         names = self.runs(spec_name)
-        matrix = self.distance_matrix(spec_name, cost=cost, runs=names)
-        return medoid(matrix, names=names)
+        with self._monitor():
+            if len(names) < 3 or not is_sound_for(cost):
+                matrix = self.distance_matrix(
+                    spec_name, cost=cost, runs=names
+                )
+                return medoid(matrix, names=names)
+            spec, fingerprints = self._resolve(spec_name, names)
+            cost_key = cost_model_key(cost)
+            adjacency = self._known_pair_graph(
+                fingerprints, cost_key, names
+            )
+            unknown = [
+                (a, b)
+                for i, a in enumerate(names)
+                for b in names[i + 1:]
+                if b not in adjacency.get(a, {})
+            ]
+            packing = self._packing_bounds(spec, unknown, cost)
+
+            def pair_floor(a: str, b: str) -> Tuple[float, bool]:
+                """(lower bound, needed triangle?) for one pair."""
+                exact = adjacency.get(a, {}).get(b)
+                if exact is not None:
+                    return exact, False
+                key = (a, b) if (a, b) in packing else (b, a)
+                bound = packing.get(key, 0.0)
+                floor = self._triangle_floor(adjacency, a, b)
+                return max(bound, floor), floor > bound
+
+            # Mean bounds in mean_distances' exact arithmetic (same
+            # summation order, same division) — float addition is
+            # monotone, so a sum of per-pair lower bounds stays a
+            # lower bound of the identically-ordered sum of distances.
+            floors: Dict[str, float] = {}
+            used_triangle: Dict[str, bool] = {}
+            for name in names:
+                others = [o for o in names if o != name]
+                parts = [pair_floor(name, o) for o in others]
+                floors[name] = sum(p[0] for p in parts) / len(others)
+                used_triangle[name] = any(p[1] for p in parts)
+
+            best: Optional[Tuple[float, str]] = None
+            skipped: Dict[str, bool] = {}
+            for name in sorted(names, key=lambda n: (floors[n], n)):
+                if best is not None and floors[name] > best[0]:
+                    skipped[name] = used_triangle[name]
+                    continue
+                others = [o for o in names if o != name]
+                row = self._compute_pairs_locked(
+                    spec,
+                    [(name, o) for o in others],
+                    fingerprints,
+                    cost,
+                )
+                mean = sum(row[(name, o)] for o in others) / len(others)
+                if best is None or (mean, name) < best:
+                    best = (mean, name)
+            self._count_avoided_pairs(unknown, skipped)
+            assert best is not None  # names is non-empty here
+            return best[1], best[0]
+
+    def _count_avoided_pairs(
+        self,
+        unknown: Sequence[Tuple[str, str]],
+        skipped: Dict[str, bool],
+    ) -> None:
+        """Attribute never-computed pairs to the skip counters.
+
+        A pair is avoided when *both* endpoints' candidate evaluations
+        were skipped; it lands on the triangle counter when either
+        skip needed a triangle bound, on the packing counter otherwise.
+        """
+        for a, b in unknown:
+            if a in skipped and b in skipped:
+                if skipped[a] or skipped[b]:
+                    self.dp_pruned_by_triangle += 1
+                else:
+                    self.dp_skipped_by_bound += 1
 
     def outliers(
         self,
@@ -830,10 +1274,79 @@ class DiffService:
         cost: Optional[CostModel] = None,
         top: Optional[int] = None,
     ) -> List[Tuple[str, float]]:
-        """Runs ranked by descending mean distance to the corpus."""
+        """Runs ranked by descending mean distance to the corpus.
+
+        With ``top`` given, candidates whose triangle *upper* bound on
+        the mean falls strictly below the ``top``-th best exact mean
+        are skipped without computing their matrix row; the returned
+        head of the ranking is bit-identical to the full evaluation
+        (a skipped candidate's true mean is strictly below every
+        returned one, so it cannot enter the head, not even on a tie).
+        Upper bounds need no cost-model support — the triangle
+        inequality holds for any edit-script cost — but they do need
+        known distances to pivot through, so a cold corpus computes
+        the full matrix exactly as before.
+        """
+        cost = cost or UnitCost()
         names = self.runs(spec_name)
-        matrix = self.distance_matrix(spec_name, cost=cost, runs=names)
-        return outliers(matrix, names=names, top=top)
+        with self._monitor():
+            if top is None or top <= 0 or top >= len(names) or len(names) < 3:
+                matrix = self.distance_matrix(
+                    spec_name, cost=cost, runs=names
+                )
+                return outliers(matrix, names=names, top=top)
+            spec, fingerprints = self._resolve(spec_name, names)
+            cost_key = cost_model_key(cost)
+            adjacency = self._known_pair_graph(
+                fingerprints, cost_key, names
+            )
+            unknown = [
+                (a, b)
+                for i, a in enumerate(names)
+                for b in names[i + 1:]
+                if b not in adjacency.get(a, {})
+            ]
+
+            def pair_ceiling(a: str, b: str) -> float:
+                exact = adjacency.get(a, {}).get(b)
+                if exact is not None:
+                    return exact
+                return self._triangle_ceiling(adjacency, a, b)
+
+            ceilings: Dict[str, float] = {}
+            for name in names:
+                others = [o for o in names if o != name]
+                ceilings[name] = sum(
+                    pair_ceiling(name, o) for o in others
+                ) / len(others)
+
+            means: Dict[str, float] = {}
+            skipped: Dict[str, bool] = {}
+            # Largest ceiling first: once the top-th exact mean
+            # exceeds a ceiling, every later candidate's does too.
+            for name in sorted(
+                names, key=lambda n: (-ceilings[n], n)
+            ):
+                if len(means) >= top:
+                    tau = sorted(means.values(), reverse=True)[top - 1]
+                    if ceilings[name] < tau:
+                        skipped[name] = True
+                        continue
+                others = [o for o in names if o != name]
+                row = self._compute_pairs_locked(
+                    spec,
+                    [(name, o) for o in others],
+                    fingerprints,
+                    cost,
+                )
+                means[name] = sum(
+                    row[(name, o)] for o in others
+                ) / len(others)
+            self._count_avoided_pairs(unknown, skipped)
+            ranked = sorted(
+                means.items(), key=lambda item: (-item[1], item[0])
+            )
+            return ranked[:top]
 
     # -- introspection ------------------------------------------------------
     @property
@@ -852,6 +1365,8 @@ class DiffService:
         merged["computed_scripts"] = self.computed_scripts
         merged["indexed_scripts"] = len(self.script_index)
         merged["lock_acquisitions"] = self.lock_acquisitions
+        merged["dp_skipped_by_bound"] = self.dp_skipped_by_bound
+        merged["dp_pruned_by_triangle"] = self.dp_pruned_by_triangle
         return merged
 
     @property

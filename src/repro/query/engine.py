@@ -165,11 +165,32 @@ class QueryEngine:
             for a, b in pairs
         }
         index = self.service.script_index
+        # Cost-ceiling gate: a pair whose packing lower bound exceeds
+        # the predicate's ceiling has true distance above it too, so it
+        # cannot match — drop it before the top-up prices it.  Exact,
+        # not approximate: the bound never overestimates, and matches()
+        # would have returned False.  Only cold pairs count as skipped
+        # DPs (a warm pair's script already exists; nothing was saved).
+        ceiling = predicate.cost_ceiling()
+        if ceiling is not None:
+            bounds = self.service.lower_bounds(spec_name, pairs, cost)
+            kept = []
+            skipped_cold = 0
+            for pair in pairs:
+                if bounds.get(pair, 0.0) > ceiling:
+                    if not index.has(keys[pair]):
+                        skipped_cold += 1
+                    continue
+                kept.append(pair)
+            pairs = kept
+            self.service.note_bound_skips(skipped_cold)
+            if not pairs:
+                return
         # Incremental top-up: index (and cache) whatever this corpus
         # view hasn't seen yet, *before* asking the index to prune.
         # One batch call — one flush — however many pairs are cold.
         missing = [
-            pair for pair, key in keys.items() if not index.has(key)
+            pair for pair in pairs if not index.has(keys[pair])
         ]
         if missing:
             self.service.edit_scripts(spec_name, missing, cost)

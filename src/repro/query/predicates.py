@@ -40,6 +40,19 @@ class Predicate:
         """Index-derived superset of matching script keys (None = all)."""
         return None
 
+    def cost_ceiling(self) -> Optional[float]:
+        """A distance above which this predicate *cannot* match.
+
+        ``None`` means no ceiling.  A non-``None`` ceiling ``c`` is a
+        promise: every doc with ``distance > c`` fails :meth:`matches`.
+        The query engine pairs ceilings with the never-overestimating
+        lower bounds of :mod:`repro.core.bounds` to rule out pairs
+        before pricing them — a pair whose bound exceeds the ceiling
+        has true distance above it too, so skipping is exact, not
+        approximate.
+        """
+        return None
+
     def __and__(self, other: "Predicate") -> "Predicate":
         return And(self, other)
 
@@ -87,6 +100,15 @@ class And(Predicate):
             result &= candidate
         return result
 
+    def cost_ceiling(self) -> Optional[float]:
+        """Tightest child ceiling: all parts must match, so exceeding
+        any one part's ceiling already rules the doc out."""
+        ceilings = [
+            c for c in (p.cost_ceiling() for p in self.parts)
+            if c is not None
+        ]
+        return min(ceilings) if ceilings else None
+
     def describe(self) -> str:
         return "(" + " & ".join(p.describe() for p in self.parts) + ")"
 
@@ -108,6 +130,17 @@ class Or(Predicate):
                 return None
             result |= candidate
         return result
+
+    def cost_ceiling(self) -> Optional[float]:
+        """Loosest child ceiling — and only when *every* part has one
+        (an uncapped part could match at any distance)."""
+        ceilings = []
+        for part in self.parts:
+            ceiling = part.cost_ceiling()
+            if ceiling is None:
+                return None
+            ceilings.append(ceiling)
+        return max(ceilings) if ceilings else None
 
     def describe(self) -> str:
         return "(" + " | ".join(p.describe() for p in self.parts) + ")"
@@ -209,6 +242,9 @@ class Cost(Predicate):
 
     def candidates(self, index) -> Optional[Set[str]]:
         return index.candidates_for_cost(self.minimum, self.maximum)
+
+    def cost_ceiling(self) -> Optional[float]:
+        return self.maximum
 
     def describe(self) -> str:
         bounds = []

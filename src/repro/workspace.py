@@ -114,6 +114,7 @@ class Workspace:
             persistent=self.config.persistent,
             backend=self.backend,
             metrics=self.metrics,
+            kernel=self.config.kernel,
         )
         self.engine = QueryEngine(self.service)
         self._specs: Dict[str, WorkflowSpecification] = {}

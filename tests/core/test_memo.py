@@ -1,0 +1,153 @@
+"""Shared DP tables (:mod:`repro.core.memo`) and the alignment hoist.
+
+Sharing tables across a batch's pairs must be invisible in the
+results — the tables are pure functions of ``(tree, cost)``, so a
+shared computation returns the *bit-identical* distance of an unshared
+one, just without rebuilding anything.  The alignment hoist
+(``assume_aligned``) likewise skips per-pair work that the corpus
+layer has already done once, without touching the DP's inputs.
+"""
+
+import pytest
+
+from repro.core import api as core_api
+from repro.core import deletion as core_deletion
+from repro.core.api import diff_runs, distance_only
+from repro.core.memo import SharedTables
+from repro.errors import EditScriptError
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+
+VARIED = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+def _corpus(n):
+    spec = protein_annotation()
+    return spec, [
+        execute_workflow(spec, VARIED, seed=seed, name=f"r{seed}")
+        for seed in range(1, n + 1)
+    ]
+
+
+def _pairs(runs):
+    return [
+        (a, b) for i, a in enumerate(runs) for b in runs[i + 1:]
+    ]
+
+
+class TestSharedTables:
+    @pytest.mark.parametrize(
+        "cost", [UnitCost(), LengthCost(), PowerCost(0.5)]
+    )
+    def test_shared_distances_are_bit_identical(self, cost):
+        spec, runs = _corpus(4)
+        shared = SharedTables(cost)
+        for run_a, run_b in _pairs(runs):
+            alone = distance_only(run_a, run_b, cost=cost)
+            together = distance_only(
+                run_a, run_b, cost=cost, shared=shared
+            )
+            assert together == alone  # ==, not approx: same bits
+
+    def test_shared_scripts_are_identical(self):
+        spec, runs = _corpus(3)
+        cost = UnitCost()
+        shared = SharedTables(cost)
+        for run_a, run_b in _pairs(runs):
+            alone = diff_runs(run_a, run_b, cost=cost)
+            together = diff_runs(
+                run_a, run_b, cost=cost, shared=shared
+            )
+            assert together.distance == alone.distance
+            assert [
+                str(op) for op in together.script.operations
+            ] == [str(op) for op in alone.script.operations]
+
+    def test_tables_built_once_per_run(self, monkeypatch):
+        spec, runs = _corpus(4)
+        built = {"count": 0}
+        original = core_deletion.DeletionTables
+
+        class Counting(original):
+            def __init__(self, *args, **kwargs):
+                built["count"] += 1
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(
+            core_deletion, "DeletionTables", Counting
+        )
+        # SharedTables resolves the class through its module import;
+        # patch there too so either resolution path is counted.
+        import repro.core.memo as memo_module
+
+        monkeypatch.setattr(memo_module, "DeletionTables", Counting)
+        cost = UnitCost()  # sharing binds to this exact object
+        shared = SharedTables(cost)
+        for run_a, run_b in _pairs(runs):
+            distance_only(run_a, run_b, cost=cost, shared=shared)
+        # 6 pairs x 2 trees = 12 unshared builds; shared builds 4.
+        assert built["count"] == len(runs)
+        assert len(shared) == len(runs)
+
+    def test_mismatched_cost_model_refused(self):
+        spec, runs = _corpus(2)
+        shared = SharedTables(UnitCost())
+        with pytest.raises(EditScriptError, match="cost model"):
+            distance_only(
+                runs[0], runs[1], cost=LengthCost(), shared=shared
+            )
+
+    def test_shared_supplies_the_default_cost(self):
+        spec, runs = _corpus(2)
+        cost = LengthCost()
+        shared = SharedTables(cost)
+        assert distance_only(
+            runs[0], runs[1], shared=shared
+        ) == distance_only(runs[0], runs[1], cost=cost)
+
+
+class TestAlignmentHoist:
+    def test_assume_aligned_skips_the_per_pair_check(self, monkeypatch):
+        spec, runs = _corpus(3)
+        calls = {"count": 0}
+        original = core_api._align_specs
+
+        def counting(run1, run2):
+            calls["count"] += 1
+            return original(run1, run2)
+
+        monkeypatch.setattr(core_api, "_align_specs", counting)
+        baseline = [
+            distance_only(a, b, cost=UnitCost())
+            for a, b in _pairs(runs)
+        ]
+        assert calls["count"] == len(_pairs(runs))
+        calls["count"] = 0
+        hoisted = [
+            distance_only(
+                a, b, cost=UnitCost(), assume_aligned=True
+            )
+            for a, b in _pairs(runs)
+        ]
+        assert calls["count"] == 0
+        assert hoisted == baseline  # bit-identical results
+
+    def test_unaligned_default_still_checks(self):
+        spec, runs = _corpus(2)
+        other_spec = protein_annotation()
+        from repro.workflow.run import WorkflowRun
+
+        foreign = WorkflowRun(
+            other_spec, runs[1].graph, name=runs[1].name
+        )
+        # Default path re-annotates; same distance either way.
+        assert distance_only(
+            runs[0], foreign, cost=UnitCost()
+        ) == distance_only(runs[0], runs[1], cost=UnitCost())

@@ -56,6 +56,10 @@ class TestEnvironment:
         config = ReproConfig.from_env(env={"REPRO_COST": "unit"})
         assert config.cost.name == "UnitCost"
 
+    def test_kernel_round_trip(self):
+        config = ReproConfig.from_env(env={"REPRO_KERNEL": "PYTHON"})
+        assert config.kernel == "python"
+
     def test_blank_values_are_unset(self):
         config = ReproConfig.from_env(
             env={"REPRO_BACKEND": "", "REPRO_JOBS": ""}
@@ -112,3 +116,16 @@ class TestMalformedValues:
     def test_invalid_backend_rejected(self):
         with pytest.raises(ReproError, match="backend"):
             ReproConfig.from_env(env={"REPRO_BACKEND": "gpu"})
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ReproError, match="kernel"):
+            ReproConfig.from_env(env={"REPRO_KERNEL": "fortran"})
+
+    def test_kernel_default_is_auto(self):
+        assert ReproConfig().kernel == "auto"
+
+    def test_kernel_flag_beats_environment(self):
+        config = ReproConfig.from_env(
+            env={"REPRO_KERNEL": "auto"}, kernel="python"
+        )
+        assert config.kernel == "python"

@@ -1,0 +1,128 @@
+"""Property: the numpy kernel is bit-identical to the pure-Python DP.
+
+The numpy series convolution evaluates exactly the candidates the
+reference loops evaluate — one IEEE-754 float64 add of the same
+operands per candidate, one min over the same non-negative set — so
+its tables, and every distance derived from them, must equal the
+pure-Python oracle's with ``==`` on floats, never ``approx``.  These
+tests are the enforcement of that claim; they skip (not pass) when
+numpy is absent, and a separate CI job runs the suite without numpy
+to prove the fallback path stands alone.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import diff_runs, distance_only
+from repro.core.kernel import (
+    KERNEL_NAMES,
+    numpy_available,
+    resolve_kernel,
+    series_convolve,
+    series_convolve_python,
+)
+from repro.costs.standard import LengthCost, PowerCost, UnitCost
+from repro.errors import ReproError
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.generators import random_specification
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+VARIED = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+COSTS = [UnitCost(), LengthCost(), PowerCost(0.5), PowerCost(-0.5)]
+
+
+class TestResolution:
+    def test_known_names_resolve(self):
+        assert resolve_kernel("python") == "python"
+        assert resolve_kernel("auto") in ("python", "numpy")
+        assert set(KERNEL_NAMES) == {"auto", "python", "numpy"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="kernel"):
+            resolve_kernel("fortran")
+
+    def test_auto_prefers_numpy_when_available(self):
+        expected = "numpy" if numpy_available() else "python"
+        assert resolve_kernel("auto") == expected
+
+    @requires_numpy
+    def test_explicit_numpy_resolves(self):
+        assert resolve_kernel("numpy") == "numpy"
+
+
+@requires_numpy
+class TestConvolutionEquivalence:
+    @given(
+        prefix=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e9, allow_nan=False
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        child=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e9, allow_nan=False
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_numpy_convolution_matches_reference(self, prefix, child):
+        reference = series_convolve_python(prefix, child)
+        vectorised = series_convolve(prefix, child, "numpy")
+        assert vectorised == reference  # bitwise, not approx
+
+    def test_infinities_survive(self):
+        inf = float("inf")
+        prefix = [0.0, inf, 3.0]
+        child = [inf, 1.0]
+        assert series_convolve(prefix, child, "numpy") == (
+            series_convolve_python(prefix, child)
+        )
+
+
+@requires_numpy
+@given(
+    spec_seed=st.integers(min_value=0, max_value=40),
+    run_seed=st.integers(min_value=0, max_value=1000),
+    cost_index=st.integers(min_value=0, max_value=len(COSTS) - 1),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_cross_kernel_distances_bit_identical(
+    spec_seed, run_seed, cost_index
+):
+    """End to end: numpy-kerneled DP == pure-Python oracle, bit for bit."""
+    cost = COSTS[cost_index]
+    spec = random_specification(
+        10 + spec_seed % 6,
+        1.0,
+        num_forks=spec_seed % 3,
+        num_loops=spec_seed % 2,
+        seed=spec_seed,
+        name="rand",
+    )
+    run_a = execute_workflow(spec, VARIED, seed=run_seed, name="a")
+    run_b = execute_workflow(spec, VARIED, seed=run_seed + 1, name="b")
+    oracle = distance_only(run_a, run_b, cost=cost, kernel="python")
+    fast = distance_only(run_a, run_b, cost=cost, kernel="numpy")
+    assert fast == oracle
+    # Scripts ride on the same tables; their costs agree too.
+    scripted = diff_runs(run_a, run_b, cost=cost, kernel="numpy")
+    assert scripted.distance == oracle

@@ -1,0 +1,119 @@
+"""Cost-ceiling gating: predicates prune DPs through lower bounds.
+
+A predicate with a cost ceiling (``Q.cost(max=...)`` and conjunctions
+containing one) lets :meth:`QueryEngine.select` discard pairs whose
+never-overestimating lower bound already exceeds the ceiling — before
+pricing them.  The gate must be invisible in the results (``select``
+still agrees with the brute-force ``scan``) and visible in the work
+(cold gated pairs are neither diffed nor indexed, and land on the
+``dp_skipped_by_bound`` counter).
+"""
+
+import pytest
+
+from repro.core import api as core_api
+from repro.costs.standard import LengthCost
+from repro.query.predicates import MatchAll, Q
+
+from tests.query.conftest import populate_store
+
+
+@pytest.fixture
+def dp_counter(monkeypatch):
+    """Count every edit-distance DP construction, however reached."""
+    counter = {"count": 0}
+    original = core_api.EditDistanceComputation
+
+    class CountingComputation(original):
+        def __init__(self, *args, **kwargs):
+            counter["count"] += 1
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(
+        core_api, "EditDistanceComputation", CountingComputation
+    )
+    return counter
+
+
+class TestCostCeiling:
+    def test_cost_max_is_the_ceiling(self):
+        assert Q.cost(max=3.0).cost_ceiling() == 3.0
+        assert Q.cost(min=1.0).cost_ceiling() is None
+
+    def test_conjunction_takes_the_tightest(self):
+        combined = Q.cost(max=5.0) & Q.cost(max=2.0) & Q.op_count(min=1)
+        assert combined.cost_ceiling() == 2.0
+
+    def test_disjunction_needs_every_branch_capped(self):
+        capped = Q.cost(max=2.0) | Q.cost(max=5.0)
+        assert capped.cost_ceiling() == 5.0
+        uncapped = Q.cost(max=2.0) | Q.op_count(min=1)
+        assert uncapped.cost_ceiling() is None
+
+    def test_negation_and_others_have_none(self):
+        assert (~Q.cost(max=2.0)).cost_ceiling() is None
+        assert MatchAll().cost_ceiling() is None
+        assert Q.op_count(max=3).cost_ceiling() is None
+
+
+class TestSelectGating:
+    def test_unreachable_ceiling_skips_every_cold_dp(
+        self, engine, diff_counter, dp_counter
+    ):
+        # LengthCost bounds equal the leaf-profile delta — strictly
+        # positive for any two distinct varied runs — so a ceiling
+        # of 0.0 gates every cold pair before any DP runs.
+        results = list(
+            engine.select(
+                "PA", Q.cost(max=0.0), cost=LengthCost()
+            )
+        )
+        assert results == []
+        assert diff_counter["count"] == 0
+        assert dp_counter["count"] == 0
+        assert engine.service.dp_skipped_by_bound > 0
+
+    def test_gated_select_agrees_with_scan(self, engine):
+        cost = LengthCost()
+        # A mid-range ceiling: some pairs gate, some survive.
+        distances = sorted(
+            engine.service.lower_bounds(
+                "PA",
+                [
+                    (a, b)
+                    for i, a in enumerate(engine.service.runs("PA"))
+                    for b in engine.service.runs("PA")[i + 1:]
+                ],
+                cost,
+            ).values()
+        )
+        ceiling = distances[len(distances) // 2]
+        predicate = Q.cost(max=ceiling)
+        selected = [
+            (doc.pair, doc.distance, doc.op_count)
+            for doc in engine.select("PA", predicate, cost=cost)
+        ]
+        scanned = [
+            (doc.pair, doc.distance, doc.op_count)
+            for doc in engine.scan("PA", predicate, cost=cost)
+        ]
+        assert selected == scanned
+
+    def test_warm_pairs_do_not_count_as_skips(self, engine):
+        cost = LengthCost()
+        # Price everything first: the corpus is fully warm.
+        engine.build("PA", cost=cost)
+        before = engine.service.dp_skipped_by_bound
+        list(engine.select("PA", Q.cost(max=0.0), cost=cost))
+        # Gated pairs were already indexed; nothing was avoided.
+        assert engine.service.dp_skipped_by_bound == before
+
+    def test_uncapped_predicates_price_everything(
+        self, engine, diff_counter
+    ):
+        names = engine.service.runs("PA")
+        expected_pairs = len(names) * (len(names) - 1) // 2
+        results = list(engine.select("PA", Q.op_count(min=0)))
+        assert len(results) == expected_pairs
+        assert diff_counter["count"] == expected_pairs
+        assert engine.service.dp_skipped_by_bound == 0

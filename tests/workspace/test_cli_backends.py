@@ -67,6 +67,26 @@ class TestBackendFlags:
                 "query", store_root, "PA", "--backend", "serial",
             ])
 
+    def test_kernel_flag_round_trips(self, store_root, capsys):
+        """Both kernels price the matrix identically from the CLI."""
+        payloads = {}
+        for kernel in ("python", "auto"):
+            code, out, _ = run_cli(
+                capsys, "matrix", store_root, "PA", "--json",
+                "--backend", "serial", "--kernel", kernel,
+            )
+            assert code == 0
+            payloads[kernel] = json.loads(out)["distances"]
+        assert payloads["python"] == payloads["auto"]
+
+    def test_unknown_kernel_rejected_by_argparse(
+        self, store_root, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main([
+                "matrix", store_root, "PA", "--kernel", "fortran",
+            ])
+
     def test_flags_share_the_persistent_cache(
         self, store_root, capsys, ws
     ):
