@@ -1,0 +1,246 @@
+"""Cluster serving benchmark: single-thread vs threaded vs sharded.
+
+Measures cold ``GET /diff/{a}/{b}`` throughput over the same generated
+corpus in three serving regimes:
+
+* **single-thread** — one client, one single-process server: the
+  baseline the paper's service layer was measured at;
+* **threaded** — ``T`` client threads against one single-process
+  server: request handling overlaps, but every DP still runs in one
+  interpreter (the GIL bounds the speedup);
+* **cluster** — the same ``T`` client threads against
+  ``repro serve --workers W``: pair-sharded worker processes run DPs
+  on separate cores behind the routing parent.
+
+Each regime gets its own freshly generated store (identical seeds →
+identical corpora, all caches cold) so the sweeps are comparable.
+Also demonstrates the cluster's single-flight guarantee: ``K``
+concurrent identical cold diffs against a fresh cluster perform
+exactly **one** DP, proven from the merged ``/metrics`` scrape.
+
+The issue's ≥2x cluster-vs-single criterion only holds on a multi-core
+box; ``cpu_cores`` is recorded alongside the numbers so a 1-core CI
+result reads honestly.  Emits ``benchmarks/results/BENCH_cluster.json``.
+
+Scale with ``REPRO_BENCH_SCALE`` or pass ``--quick`` for CI smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from _workloads import RESULTS_DIR, emit, scaled
+
+from repro.client import RemoteWorkspace
+from repro.cluster.server import ClusterServer
+from repro.config import ReproConfig
+from repro.io.store import WorkflowStore
+from repro.service.server import DiffServer
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+
+PARAMS = ExecutionParams(
+    prob_parallel=0.8,
+    max_fork=4,
+    prob_fork=0.7,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+WORKERS = 2
+CLIENT_THREADS = 4
+COALESCE_K = 8
+
+
+def build_corpus(root: Path, n_runs: int) -> WorkflowStore:
+    store = WorkflowStore(root)
+    spec = protein_annotation()
+    store.save_specification(spec)
+    for seed in range(1, n_runs + 1):
+        store.save_run(
+            execute_workflow(spec, PARAMS, seed=seed, name=f"r{seed:03d}")
+        )
+    return store
+
+
+def sweep_single(url: str, pairs) -> float:
+    """Seconds for one client to fetch every pair's diff sequentially."""
+    client = RemoteWorkspace(url)
+    start = time.perf_counter()
+    for a, b in pairs:
+        client.diff(a, b, spec="PA")
+    return time.perf_counter() - start
+
+
+def sweep_threaded(url: str, pairs, threads: int) -> float:
+    """Seconds for ``threads`` clients to fetch a partition each."""
+    chunks = [pairs[i::threads] for i in range(threads)]
+    errors = []
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(chunk):
+        client = RemoteWorkspace(url)
+        try:
+            barrier.wait(timeout=60)
+            for a, b in chunk:
+                client.diff(a, b, spec="PA")
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=worker, args=(chunk,))
+        for chunk in chunks
+    ]
+    for thread in pool:
+        thread.start()
+    barrier.wait(timeout=60)
+    start = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def coalescing_proof(url: str, pair) -> dict:
+    """Fire K identical cold diffs at once; count DPs from /metrics."""
+    a, b = pair
+    barrier = threading.Barrier(COALESCE_K)
+    statuses = []
+    lock = threading.Lock()
+
+    def fire():
+        barrier.wait(timeout=60)
+        with urllib.request.urlopen(
+            f"{url}/diff/{a}/{b}?spec=PA", timeout=120
+        ) as reply:
+            status = reply.status
+            reply.read()
+        with lock:
+            statuses.append(status)
+
+    pool = [threading.Thread(target=fire) for _ in range(COALESCE_K)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    with urllib.request.urlopen(
+        f"{url}/metrics?format=json", timeout=60
+    ) as reply:
+        snapshot = json.loads(reply.read())
+    dps = sum(
+        sample["value"]
+        for sample in snapshot["metrics"]
+        .get("dp_invocations_total", {"samples": []})["samples"]
+    )
+    assert statuses == [200] * COALESCE_K, statuses
+    return {"concurrent_requests": COALESCE_K, "dp_invocations": dps}
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    n_runs = scaled(6 if quick else 10, minimum=4)
+    base = Path(tempfile.mkdtemp(prefix="bench-cluster-"))
+    names = [f"r{seed:03d}" for seed in range(1, n_runs + 1)]
+    pairs = [
+        (a, b) for i, a in enumerate(names) for b in names[i + 1:]
+    ]
+    cores = os.cpu_count() or 1
+    config = ReproConfig(backend="serial", log_format="off")
+
+    results = {
+        "corpus_runs": n_runs,
+        "diff_requests": len(pairs),
+        "cpu_cores": cores,
+        "workers": WORKERS,
+        "client_threads": CLIENT_THREADS,
+    }
+    lines = [
+        f"Cluster serving (protein annotation, {n_runs} runs, "
+        f"{len(pairs)} cold diff requests, {cores} cpu core(s))",
+        f"{'regime':<16}{'seconds':>10}{'req/s':>10}",
+    ]
+
+    # Single-thread and threaded sweeps: one process each, own store.
+    store = build_corpus(base / "single", n_runs)
+    with DiffServer(store, config) as server:
+        single_seconds = sweep_single(server.url, pairs)
+
+    store = build_corpus(base / "threaded", n_runs)
+    with DiffServer(store, config) as server:
+        threaded_seconds = sweep_threaded(
+            server.url, pairs, CLIENT_THREADS
+        )
+
+    # Cluster sweep: same client threads, sharded worker processes.
+    # (Workers re-open the store from its path in their own processes.)
+    build_corpus(base / "cluster", n_runs)
+    with ClusterServer(
+        base / "cluster", config, workers=WORKERS
+    ) as cluster:
+        cluster_seconds = sweep_threaded(
+            cluster.url, pairs, CLIENT_THREADS
+        )
+
+    # Single-flight proof on a fresh (cold) cluster.
+    build_corpus(base / "coalesce", 2)
+    with ClusterServer(
+        base / "coalesce", config, workers=WORKERS
+    ) as cluster:
+        coalescing = coalescing_proof(cluster.url, ("r001", "r002"))
+
+    for regime, seconds in [
+        ("single-thread", single_seconds),
+        ("threaded", threaded_seconds),
+        ("cluster", cluster_seconds),
+    ]:
+        rate = len(pairs) / seconds if seconds else float("inf")
+        results[regime.replace("-", "_")] = {
+            "seconds": seconds,
+            "requests_per_second": rate,
+        }
+        lines.append(f"{regime:<16}{seconds:>10.4f}{rate:>10.1f}")
+
+    results["coalescing"] = coalescing
+    results["cluster_speedup_vs_single_thread"] = (
+        single_seconds / cluster_seconds
+        if cluster_seconds
+        else float("inf")
+    )
+    lines.append(
+        f"cluster is "
+        f"{results['cluster_speedup_vs_single_thread']:.2f}x the "
+        f"single-thread sweep ({WORKERS} workers on {cores} core(s))"
+    )
+    lines.append(
+        f"coalescing: {coalescing['concurrent_requests']} concurrent "
+        f"identical cold diffs performed "
+        f"{coalescing['dp_invocations']:.0f} DP(s)"
+    )
+
+    # The single-flight guarantee is hardware-independent: exactly one
+    # DP, however the threads interleaved.
+    assert coalescing["dp_invocations"] == 1, coalescing
+
+    emit("BENCH_cluster", lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_cluster.json"
+    out.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n",
+        encoding="utf8",
+    )
+    print(f"\nwrote {out}")
+    shutil.rmtree(base, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

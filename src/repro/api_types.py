@@ -685,6 +685,7 @@ STATUS_BY_ERROR_TYPE = {
     "NotFoundError": 404,
     "ConflictError": 409,
     "PayloadTooLargeError": 413,
+    "ServiceUnavailableError": 503,
 }
 
 #: Envelope type used for non-:class:`ReproError` server failures; the

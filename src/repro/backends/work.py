@@ -49,6 +49,17 @@ class DistanceTask:
     ``assume_aligned`` asserts that both runs are annotated against the
     same specification object, letting the worker skip the per-pair
     alignment check (the service loads batches through one spec).
+
+    ``bound``/``cutoff`` ship the parent's packing lower bound (priced
+    from persisted leaf profiles) and pruning threshold ``τ`` into the
+    worker, so bound gating also prunes *inside* process-parallel
+    batches: a worker whose ``bound`` strictly exceeds ``cutoff``
+    returns ``inf`` without running the DP — the same strict
+    inequality the parent-side gate uses, so the ranking the caller
+    assembles is bit-identical to the ungated evaluation (a gated
+    pair's true distance is ≥ bound > τ, so it can never enter the
+    top-``k``, not even on a tie).  ``cutoff=None`` (the default)
+    disables the gate.
     """
 
     run_a: WorkflowRun
@@ -56,6 +67,8 @@ class DistanceTask:
     cost: CostModel
     kernel: str = "python"
     assume_aligned: bool = False
+    bound: float = 0.0
+    cutoff: Optional[float] = None
 
 
 @dataclass
@@ -100,6 +113,12 @@ def compute_distance(task: DistanceTask, shared: Optional[SharedTables] = None) 
     ``shared`` is supplied by in-process backends; process workers fall
     back to the module-level per-worker memo.
     """
+    if task.cutoff is not None and task.bound > task.cutoff:
+        # Worker-side bound gate: provably outside the caller's
+        # top-k, skip the DP entirely.  ``inf`` is the sentinel the
+        # service translates into a ``dp_skipped_by_bound`` credit —
+        # it is never cached and never enters a returned ranking.
+        return float("inf")
     if shared is None:
         shared = _worker_shared(task.cost, task.kernel)
     return distance_only(

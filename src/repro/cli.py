@@ -18,7 +18,7 @@ Subcommands over a store directory (the layout
     repro import STORE DOC.json [--name RUN] [--spec-name NAME] [--json]
     repro export STORE SPEC RUN [--output FILE] [--script RUN_B]
     repro tail   STORE [--follow] [--interval S] [--json]
-    repro serve  STORE [--host H] [--port N]
+    repro serve  STORE [--host H] [--port N] [--workers N]
                  [--backend serial|thread|process] [--jobs N]
                  [--log-level L] [--log-format json|text|off]
                  [--drain-timeout S] [--max-body-bytes N]
@@ -365,22 +365,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
 
-    from repro.service.server import DiffServer
-
-    server = DiffServer(
-        args.store,
-        ReproConfig.from_env(
-            cost=args.cost,
-            backend=args.backend,
-            jobs=args.jobs,
-            kernel=getattr(args, "kernel", None),
-            log_level=args.log_level,
-            log_format=args.log_format,
-            max_body_bytes=args.max_body_bytes,
-        ),
-        host=args.host,
-        port=args.port,
+    config = ReproConfig.from_env(
+        cost=args.cost,
+        backend=args.backend,
+        jobs=args.jobs,
+        kernel=getattr(args, "kernel", None),
+        log_level=args.log_level,
+        log_format=args.log_format,
+        max_body_bytes=args.max_body_bytes,
+        workers=getattr(args, "workers", None),
     )
+    if config.workers >= 1:
+        from repro.cluster.server import ClusterServer
+
+        server = ClusterServer(
+            args.store, config, host=args.host, port=args.port
+        )
+    else:
+        from repro.service.server import DiffServer
+
+        server = DiffServer(
+            args.store, config, host=args.host, port=args.port
+        )
     stop_threads: List[threading.Thread] = []
     signals_seen = {"count": 0}
 
@@ -710,6 +716,15 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="log output format (default text, or REPRO_LOG_FORMAT; "
         "json emits one object per line, off silences)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve through N sharded worker processes behind a "
+        "routing parent (default 0 = single process, or "
+        "REPRO_WORKERS)",
     )
     srv.add_argument(
         "--drain-timeout",

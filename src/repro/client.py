@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -79,6 +80,13 @@ from repro.workflow.specification import WorkflowSpecification
 JSON_TYPE = "application/json"
 PROV_JSON_TYPE = "application/prov+json"
 XML_TYPE = "application/xml"
+
+#: Methods safe to retry after a connection-level failure (the request
+#: either never reached the server or may be repeated without effect).
+_IDEMPOTENT_METHODS = frozenset({"GET", "HEAD", "PUT", "DELETE"})
+
+#: Backoff schedule between idempotent retries, in seconds.
+_RETRY_DELAYS = (0.1, 0.3)
 
 
 def _quote(name: str) -> str:
@@ -149,36 +157,49 @@ class RemoteWorkspace:
         request = urllib.request.Request(
             url, data=body, method=method, headers=all_headers
         )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                return (
-                    response.status,
-                    dict(response.headers),
-                    response.read(),
-                )
-        except urllib.error.HTTPError as exc:
-            if exc.code == 304:
-                # Not an error: the revalidation answer.
-                return 304, dict(exc.headers), b""
-            raw = exc.read()
+        # Idempotent requests retry transient connection failures — a
+        # cluster parent restarting a crashed worker refuses or resets
+        # connections for a beat; two short backoffs ride it out
+        # without masking a genuinely down server for long.  POSTs
+        # (imports, stream batches) are never retried: the first
+        # attempt may have been applied.
+        retries = _RETRY_DELAYS if method in _IDEMPOTENT_METHODS else ()
+        last_reason: object = None
+        for attempt in range(len(retries) + 1):
+            if attempt:
+                time.sleep(retries[attempt - 1])
             try:
-                envelope = ErrorEnvelope.from_payload(
-                    json.loads(raw.decode("utf8"))
-                )
-            except (UnicodeDecodeError, ValueError):
-                envelope = None
-            if envelope is not None:
-                raise envelope.to_exception() from None
-            raise ReproError(
-                f"server returned HTTP {exc.code} for {method} {path}"
-            ) from None
-        except urllib.error.URLError as exc:
-            raise TransportError(
-                f"cannot reach diff server at {self.base_url}: "
-                f"{exc.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return (
+                        response.status,
+                        dict(response.headers),
+                        response.read(),
+                    )
+            except urllib.error.HTTPError as exc:
+                if exc.code == 304:
+                    # Not an error: the revalidation answer.
+                    return 304, dict(exc.headers), b""
+                raw = exc.read()
+                try:
+                    envelope = ErrorEnvelope.from_payload(
+                        json.loads(raw.decode("utf8"))
+                    )
+                except (UnicodeDecodeError, ValueError):
+                    envelope = None
+                if envelope is not None:
+                    raise envelope.to_exception() from None
+                raise ReproError(
+                    f"server returned HTTP {exc.code} for "
+                    f"{method} {path}"
+                ) from None
+            except urllib.error.URLError as exc:
+                last_reason = exc.reason
+        raise TransportError(
+            f"cannot reach diff server at {self.base_url}: "
+            f"{last_reason}"
+        ) from None
 
     def _json(
         self,

@@ -1,0 +1,74 @@
+"""Append-only results log with copy-on-write snapshots.
+
+The read-mostly half of the cluster design: computed distances are
+*appended* by writers and *read* through an immutable snapshot dict
+that is swapped atomically.  Readers never take the writer lock — they
+load the current snapshot reference (a single attribute read, atomic
+under the GIL) and look keys up in a dict no writer will ever mutate.
+Writers build ``new = dict(old); new.update(batch)`` under a small
+lock and publish by reference assignment.
+
+This trades writer cost (O(n) copy per publish, amortised by batching
+whole backend dispatches into one publish) for zero reader
+synchronisation — the right trade for a diff server whose traffic is
+overwhelmingly warm-cache reads.  The persistent
+:class:`~repro.corpus.cache.DistanceCache` stays authoritative for
+durability and stats; the log is a lock-free front tier over it.
+"""
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["ResultsLog"]
+
+
+class ResultsLog:
+    """Lock-free-read mapping built from an append-only entry log."""
+
+    def __init__(self):
+        self._write_lock = threading.Lock()
+        #: Immutable published snapshot.  Never mutated in place —
+        #: replaced wholesale under ``_write_lock``.
+        self._snapshot: Dict[Any, Any] = {}
+        #: Append-only history of (key, value) publishes, for
+        #: observability (``entries`` feeds drain logging and tests).
+        self._log: List[Tuple[Any, Any]] = []
+
+    # -- readers (no lock) ---------------------------------------------
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Current value for ``key`` — never blocks on writers."""
+        return self._snapshot.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._snapshot
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+    def snapshot(self) -> Mapping[Any, Any]:
+        """The current immutable snapshot (safe to iterate freely)."""
+        return self._snapshot
+
+    # -- writers -------------------------------------------------------
+    def append(self, key: Any, value: Any) -> None:
+        """Publish one entry (copy-on-write swap)."""
+        self.extend([(key, value)])
+
+    def extend(self, entries: Iterable[Tuple[Any, Any]]) -> None:
+        """Publish a batch of entries in one snapshot swap.
+
+        Batching an entire backend dispatch into one ``extend`` keeps
+        the O(n) copy amortised: one copy per *batch*, not per pair.
+        """
+        materialised = list(entries)
+        if not materialised:
+            return
+        with self._write_lock:
+            new_snapshot = dict(self._snapshot)
+            new_snapshot.update(materialised)
+            self._log.extend(materialised)
+            self._snapshot = new_snapshot
+
+    def entries(self) -> int:
+        """Total publishes ever appended (monotonic)."""
+        return len(self._log)

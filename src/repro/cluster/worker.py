@@ -1,0 +1,78 @@
+"""The cluster worker entry point: one sharded diff server process.
+
+:func:`worker_main` is the function a
+:class:`~repro.cluster.supervisor.WorkerSupervisor` spawns (via the
+``spawn`` multiprocessing context, so it must be importable by name and
+its arguments picklable).  Each worker is a complete, ordinary
+:class:`~repro.service.server.DiffServer` over the *shared* store
+directory — the sharding lives entirely in the routing parent, which
+only sends a worker the requests (and scatter sub-requests carrying a
+``shard`` body parameter) its shard owns.
+
+Workers run with ``persistent=False``: derived state (distance/script
+caches, fingerprint and script indexes) stays in worker memory, so N
+processes never contend for — or corrupt — the single on-disk index the
+store directory could hold.  The store's *primary* artefacts (spec and
+run XML, metadata) are still written: distinct runs land in distinct
+files, which is safe across processes.  The trade-off is documented in
+``docs/SCALING.md``: a restarted worker re-derives its shard's caches
+from the primary artefacts instead of reloading them.
+
+Shutdown: SIGTERM triggers the server's own graceful drain (finish
+in-flight, abort coalesced waiters with 503, close), exactly the
+single-process ``repro serve`` behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import threading
+
+from repro.config import ReproConfig
+
+__all__ = ["worker_main"]
+
+
+def worker_main(
+    index: int,
+    count: int,
+    root: str,
+    config: ReproConfig,
+    host: str,
+    port: int,
+    conn,
+) -> None:
+    """Run one worker: build a server, report readiness, serve.
+
+    ``conn`` is the parent's pipe end; the worker sends one
+    ``{"index", "pid", "port"}`` dict once its socket is bound (the
+    parent blocks on this to learn the OS-assigned port under
+    ``port=0``) and then closes its end.
+    """
+    from repro.service.server import DiffServer
+
+    worker_config = dataclasses.replace(
+        config, persistent=False, workers=0
+    )
+    server = DiffServer(root, worker_config, host=host, port=port)
+
+    def _drain(signum, frame):
+        # stop() must not run on the serving thread: shutdown() would
+        # deadlock against the serve_forever loop it waits on.
+        threading.Thread(
+            target=server.stop,
+            name=f"repro-worker-drain:{index}",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    conn.send({"index": index, "pid": os.getpid(), "port": server.port})
+    conn.close()
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()

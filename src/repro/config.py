@@ -18,7 +18,8 @@ Deployments configure through the environment instead of code:
 :meth:`ReproConfig.from_env` reads the ``REPRO_*`` variables
 (``REPRO_COST``, ``REPRO_BACKEND``, ``REPRO_JOBS``,
 ``REPRO_CACHE_SIZE``, ``REPRO_LOG_LEVEL``, ``REPRO_LOG_FORMAT``,
-``REPRO_METRICS``, ``REPRO_MAX_BODY_BYTES``, ``REPRO_KERNEL``), with
+``REPRO_METRICS``, ``REPRO_MAX_BODY_BYTES``, ``REPRO_KERNEL``,
+``REPRO_WORKERS``), with
 keyword overrides — the CLI's flags — taking precedence over the
 environment.
 """
@@ -115,6 +116,12 @@ class ReproConfig:
         ``"auto"`` (numpy when importable, pure Python otherwise),
         ``"python"`` (the bit-identical oracle), or ``"numpy"``
         (vectorised; an error when numpy is absent).
+    workers:
+        Server worker processes for ``repro serve``.  ``0`` (the
+        default) serves single-process; ``N >= 1`` pre-forks ``N``
+        sharded worker processes behind a routing parent
+        (:class:`~repro.cluster.server.ClusterServer`).  Ignored by
+        non-serving workspaces.
     """
 
     cost: CostModel = field(default_factory=UnitCost)
@@ -128,6 +135,7 @@ class ReproConfig:
     metrics: bool = True
     max_body_bytes: int = 64 * 1024 * 1024
     kernel: str = "auto"
+    workers: int = 0
 
     def __post_init__(self):
         if str(self.log_format).strip().lower() not in LOG_FORMATS:
@@ -148,6 +156,10 @@ class ReproConfig:
             raise ReproError(
                 "ReproConfig.max_body_bytes must be >= 1, "
                 f"got {self.max_body_bytes}"
+            )
+        if self.workers < 0:
+            raise ReproError(
+                f"ReproConfig.workers must be >= 0, got {self.workers}"
             )
         if str(self.kernel).strip().lower() not in KERNEL_NAMES:
             raise ReproError(
@@ -218,6 +230,10 @@ class ReproConfig:
             )
         if source.get("REPRO_KERNEL"):
             values["kernel"] = source["REPRO_KERNEL"].strip().lower()
+        if source.get("REPRO_WORKERS"):
+            values["workers"] = _env_int(
+                "REPRO_WORKERS", source["REPRO_WORKERS"]
+            )
         for key, value in overrides.items():
             if value is not None:
                 values[key] = value

@@ -44,14 +44,30 @@ Three further layers keep corpus-scale distance work off the DP:
 ``dp_skipped_by_bound`` / ``dp_pruned_by_triangle`` count the DPs these
 layers avoided (exposed via :attr:`stats_counters` and ``/metrics``).
 
-The service is a **coarse-grained monitor**: one re-entrant lock
-serialises every compute-and-cache section (``_compute_pairs``,
-``edit_scripts``, ``add_run``), so concurrent callers — the HTTP
-service layer runs one thread per request — can never compute the same
-cold pair twice or interleave half-written cache state.  Parallelism
-lives *inside* a batch (the execution backend fans a cold batch's DPs
-out across threads or processes while the monitor is held), not across
-callers; warm calls pass through the monitor in microseconds.
+Concurrency is **read-mostly with single-flight coalescing** (the HTTP
+service layer runs one thread per request):
+
+* warm reads never touch the service lock — the caches carry their own
+  fine-grained locks, and non-counting probes resolve through a
+  lock-free copy-on-write :class:`~repro.cluster.results_log.ResultsLog`
+  snapshot, so readers never block on a writer's DP batch;
+* cold work is coalesced through a keyed
+  :class:`~repro.cluster.singleflight.SingleFlight` table: concurrent
+  callers needing the same content-addressed pair elect one *leader*
+  whose single DP feeds every *follower* — a thundering herd on one
+  cold ``GET /diff/{a}/{b}`` costs exactly one computation;
+* the re-entrant service lock survives only as a **narrow** critical
+  section around metadata (spec memo, fingerprint backfills) and
+  result publishing (cache puts, counters) — it is never held across a
+  backend dispatch or a flight wait, so a slow cold batch cannot stall
+  warm traffic.
+
+Deadlock discipline: a thread computes every flight it leads in one
+backend batch (publishing all results) *before* waiting on any flight
+it follows, and flights are never awaited while the service lock is
+held.  ``abort_inflight`` lets a draining server fail pending flights
+deterministically (followers surface a 503) instead of hanging past
+the drain deadline.
 """
 
 from __future__ import annotations
@@ -73,6 +89,8 @@ from repro.backends.work import (
     compute_distance,
     compute_script,
 )
+from repro.cluster.results_log import ResultsLog
+from repro.cluster.singleflight import SingleFlight
 from repro.core.bounds import (
     distance_lower_bound,
     is_sound_for,
@@ -223,11 +241,23 @@ class DiffService:
         self._specs: Dict[str, WorkflowSpecification] = {}
         #: Memoised ``L`` (max elementary-op leaf count) per spec name.
         self._max_op_leaves: Dict[str, int] = {}
-        # The monitor: every compute-and-cache path acquires it (see
-        # the module docstring).  Re-entrant, because the batch methods
-        # nest (edit_script → edit_scripts → cached_script) and the
-        # analytics call the matrix path while already inside.
+        # The narrow service lock (see the module docstring): guards
+        # metadata (spec memo, fingerprint backfills) and result
+        # publishing (counters, cache puts) — never held across a
+        # backend dispatch or a single-flight wait.  Re-entrant,
+        # because brief sections nest (edit paths touch cached_script
+        # while publishing).
         self._lock = threading.RLock()
+        # Single-flight table: coalesces concurrent identical cold
+        # computations onto one leader DP (keys are content-derived:
+        # ("distance"|"script", content key)).
+        self._flights = SingleFlight()
+        # Copy-on-write results log: every published distance lands
+        # here too, so non-counting probes (bound pivots, leader
+        # double-checks) read lock-free.
+        self._results_log = ResultsLog()
+        #: Requests served from another caller's in-flight computation.
+        self.coalesced_requests = 0
         # Contention accounting: plain floats guarded by the monitor
         # itself (updated only after a successful acquire), mirrored
         # into the registry for /metrics.
@@ -256,6 +286,14 @@ class DiffService:
             "dp_pruned_by_triangle_total",
             "DP invocations avoided by triangle-inequality bounds.",
         ).set_function(lambda: self.dp_pruned_by_triangle)
+        self.metrics.counter(
+            "singleflight_coalesced_total",
+            "Requests served from another caller's in-flight DP.",
+        ).set_function(lambda: self.coalesced_requests)
+        self.metrics.counter(
+            "results_log_entries_total",
+            "Distances published to the copy-on-write results log.",
+        ).set_function(self._results_log.entries)
         self._batch_metric = self.metrics.histogram(
             "dp_batch_size",
             "Cold DP tasks dispatched per backend batch.",
@@ -289,6 +327,22 @@ class DiffService:
             yield
         finally:
             self._lock.release()
+
+    def abort_inflight(self, error: BaseException) -> int:
+        """Fail every pending coalesced computation with ``error``.
+
+        The graceful-drain hook: a stopping server calls this after
+        its drain deadline so single-flight followers blocked on a
+        leader that will never publish raise immediately (the HTTP
+        layer maps :class:`~repro.errors.ServiceUnavailableError` to a
+        deterministic 503) instead of hanging.  Returns the number of
+        flights aborted.
+        """
+        return self._flights.abort(error)
+
+    def inflight_computations(self) -> int:
+        """Currently pending coalesced computations (drain logging)."""
+        return self._flights.in_flight()
 
     # -- resolution -----------------------------------------------------
     def specification(self, spec_name: str) -> WorkflowSpecification:
@@ -456,9 +510,13 @@ class DiffService:
             return 0.0
         if cost_key is None:
             return None
-        value = self.cache.peek(
-            pair_key(fingerprints[a], fingerprints[b], cost_key)
-        )
+        key = pair_key(fingerprints[a], fingerprints[b], cost_key)
+        # Results-log snapshot first: a lock-free dict read, so bound
+        # probes resolve without touching any cache lock a concurrent
+        # writer might hold mid-batch.
+        value = self._results_log.get(key)
+        if value is None:
+            value = self.cache.peek(key)
         return value if isinstance(value, float) else None
 
     @staticmethod
@@ -533,6 +591,8 @@ class DiffService:
         pairs: Sequence[Tuple[str, str]],
         fingerprints: Dict[str, str],
         cost: CostModel,
+        bounds: Optional[Dict[Tuple[str, str], float]] = None,
+        cutoff: Optional[float] = None,
     ) -> Dict[Tuple[str, str], float]:
         """Cache-aware distances for name pairs; cold pairs fan out.
 
@@ -545,21 +605,24 @@ class DiffService:
         backend gets pre-resolved, picklable
         :class:`~repro.backends.work.DistanceTask` payloads, so its
         workers receive ready trees and never touch the store.
-        """
-        with self._monitor():
-            return self._compute_pairs_locked(
-                spec, pairs, fingerprints, cost
-            )
 
-    def _compute_pairs_locked(
-        self,
-        spec: WorkflowSpecification,
-        pairs: Sequence[Tuple[str, str]],
-        fingerprints: Dict[str, str],
-        cost: CostModel,
-    ) -> Dict[Tuple[str, str], float]:
-        """:meth:`_compute_pairs` body; caller holds the monitor."""
+        Cold groups are coalesced through the single-flight table:
+        concurrent callers needing the same content key elect one
+        leader, whose batch computes the value once for everyone.  A
+        caller leads *all* its cold keys in one dispatch, publishes
+        them, and only then waits on keys other callers lead — the
+        ordering that makes cross-caller waits deadlock-free.
+
+        ``bounds``/``cutoff`` (from :meth:`nearest_runs`'s pruning
+        pass) ship per-pair packing bounds and the threshold ``τ``
+        into the workers; a worker whose bound strictly exceeds ``τ``
+        skips its DP and returns ``inf``, which is credited to
+        ``dp_skipped_by_bound``, never cached, and never coalesced
+        (cutoff batches bypass the flight table — a gated ``inf`` is
+        an answer to *this* query's ``τ``, not to the pair).
+        """
         cost_key = cost_model_key(cost)
+        use_flights = cost_key is not None and cutoff is None
         results: Dict[Tuple[str, str], float] = {}
         pending: Dict[str, List[Tuple[str, str]]] = {}
         seeded = False
@@ -580,6 +643,7 @@ class DiffService:
                     )
                     if self.cache.get(key) is None:
                         self.cache.put(key, 0.0)
+                        self._results_log.append(key, 0.0)
                         seeded = True
                 results[(a, b)] = 0.0
                 continue
@@ -588,7 +652,9 @@ class DiffService:
                 # DP is symmetric-deterministic, so dedupe by the
                 # *unordered* name pair within the batch (keying the
                 # raw (a, b) ordering used to cost (a, b) and (b, a)
-                # two DPs for one value).
+                # two DPs for one value).  No single-flight either:
+                # without a stable content key there is nothing for
+                # concurrent callers to rendezvous on.
                 group = "\x00".join(sorted((a, b)))
                 pending.setdefault(group, []).append((a, b))
                 continue
@@ -599,10 +665,35 @@ class DiffService:
             else:
                 pending.setdefault(key, []).append((a, b))
 
-        if pending:
-            ordered = list(pending.items())
+        # Split the cold groups into flights we lead (ours to compute)
+        # and flights another caller is already computing.
+        led: List[Tuple[str, object]] = []
+        followed: List[Tuple[str, object]] = []
+        compute_groups: List[Tuple[str, List[Tuple[str, str]]]] = []
+        for key, group in pending.items():
+            if not use_flights:
+                compute_groups.append((key, group))
+                continue
+            leader, flight = self._flights.begin(("distance", key))
+            if not leader:
+                followed.append((key, flight))
+                continue
+            # Double-check the results log: a prior leader may have
+            # published between our counting cache miss and begin().
+            # (Non-counting on purpose — the classification above is
+            # the one accounted lookup per pair.)
+            value = self._results_log.get(key)
+            if value is not None:
+                self._flights.finish(flight, value=value)
+                for name_pair in group:
+                    results[name_pair] = value
+                continue
+            led.append((key, flight))
+            compute_groups.append((key, group))
+
+        if compute_groups:
             directed = []
-            for _, group in ordered:
+            for key, group in compute_groups:
                 a, b = group[0]
                 # Canonical DP direction: δ is symmetric mathematically
                 # but the DP's float accumulation is not — δ(a, b) and
@@ -628,6 +719,9 @@ class DiffService:
                 a, b = pair
                 run_a = self._load_run(spec, a)
                 run_b = self._load_run(spec, b)
+                bound = 0.0
+                if bounds is not None:
+                    bound = bounds.get((a, b), bounds.get((b, a), 0.0))
                 return DistanceTask(
                     run_a=run_a,
                     run_b=run_b,
@@ -639,47 +733,78 @@ class DiffService:
                     # run annotated elsewhere falls back to the old
                     # per-pair alignment.
                     assume_aligned=run_a.spec is run_b.spec,
+                    bound=bound,
+                    cutoff=cutoff,
                 )
 
             backend_name = type(self.backend).__name__
-            self._batch_metric.observe(len(directed))
-            self._backend_tasks_metric.inc(
-                len(directed), backend=backend_name
-            )
-            dispatch_started = time.perf_counter()
-            if self.backend.requires_pickling:
-                # Resolve every run here: workers get ready trees
-                # (and per-worker table memos — a chunk unpickles as
-                # one unit, so its pairs alias and share tables).
-                distances = self.backend.map(
-                    compute_distance, [task(pair) for pair in directed]
+            try:
+                self._batch_metric.observe(len(directed))
+                self._backend_tasks_metric.inc(
+                    len(directed), backend=backend_name
                 )
-            else:
-                # Resolve inside the workers: threads overlap parsing.
-                # One SharedTables for the whole batch — each run's
-                # deletion tables are built once, not once per pair.
-                shared = SharedTables(cost, kernel=self.kernel)
-                distances = self.backend.map(
-                    lambda pair: compute_distance(task(pair), shared),
-                    directed,
+                dispatch_started = time.perf_counter()
+                if self.backend.requires_pickling:
+                    # Resolve every run here: workers get ready trees
+                    # (and per-worker table memos — a chunk unpickles
+                    # as one unit, so its pairs alias and share
+                    # tables).
+                    distances = self.backend.map(
+                        compute_distance,
+                        [task(pair) for pair in directed],
+                    )
+                else:
+                    # Resolve inside the workers: threads overlap
+                    # parsing.  One SharedTables for the whole batch —
+                    # each run's deletion tables are built once, not
+                    # once per pair.
+                    shared = SharedTables(cost, kernel=self.kernel)
+                    distances = self.backend.map(
+                        lambda pair: compute_distance(task(pair), shared),
+                        directed,
+                    )
+                self._backend_busy_metric.inc(
+                    time.perf_counter() - dispatch_started,
+                    backend=backend_name,
                 )
-            self._backend_busy_metric.inc(
-                time.perf_counter() - dispatch_started,
-                backend=backend_name,
-            )
-            self._dp_metric.inc(len(directed), kind="distance")
+            except BaseException as exc:
+                # A leader that cannot publish must land its flights
+                # with the failure, or followers hang forever.
+                for _, flight in led:
+                    self._flights.finish(flight, error=exc)
+                raise
+
+            # Publish: counters and cache puts under the narrow lock,
+            # one results-log swap for the whole batch.
+            flight_values: Dict[str, float] = {}
+            published: List[Tuple[str, float]] = []
+            performed = 0
+            with self._monitor():
+                for (key, group), value in zip(compute_groups, distances):
+                    if cutoff is not None and value == _INF:
+                        # The worker's bound gate skipped this DP.
+                        self.dp_skipped_by_bound += 1
+                        for name_pair in group:
+                            results[name_pair] = _INF
+                        continue
+                    performed += 1
+                    self.computed_pairs += 1
+                    if cost_key is not None:
+                        self.cache.put(key, value)
+                        published.append((key, value))
+                        flight_values[key] = value
+                    for name_pair in group:
+                        results[name_pair] = value
+                self._dp_metric.inc(performed, kind="distance")
+            if published:
+                self._results_log.extend(published)
+            for key, flight in led:
+                self._flights.finish(flight, value=flight_values[key])
             logger.debug(
-                "computed %d cold distance pairs", len(directed),
+                "computed %d cold distance pairs", performed,
                 extra={"batch_size": len(directed),
                        "backend": backend_name},
             )
-
-            for (key, group), value in zip(ordered, distances):
-                self.computed_pairs += 1
-                if cost_key is not None:
-                    self.cache.put(key, value)
-                for a, b in group:
-                    results[(a, b)] = value
             self._flush()
         elif seeded:
             # No cold DPs, but ≡ short-circuits seeded cache entries.
@@ -687,6 +812,16 @@ class DiffService:
         elif self.persistent:
             # Even an all-warm query may have refreshed fingerprints.
             self.index.flush()
+
+        if followed:
+            # Only after our own flights landed: wait on the leaders
+            # of everyone else's (the deadlock-free ordering).
+            with self._monitor():
+                self.coalesced_requests += len(followed)
+            for key, flight in followed:
+                value = flight.result()
+                for name_pair in pending[key]:
+                    results[name_pair] = value
         return results
 
     def _flush(self) -> None:
@@ -791,16 +926,21 @@ class DiffService:
             )
         others = [other for other in names if other != run_name]
         pairs = [(run_name, other) for other in others]
-        with self._monitor():
-            spec, fingerprints = self._resolve(spec_name, names)
-            survivors = pairs
-            if k is not None and 0 < k < len(others):
-                survivors = self._prune_nearest(
-                    spec, fingerprints, run_name, pairs, k, cost
+        spec, fingerprints = self._resolve(spec_name, names)
+        survivors, bounds, cutoff = pairs, None, None
+        if k is not None and 0 < k < len(others):
+            with self._monitor():
+                survivors, bounds, cutoff = self._prune_nearest(
+                    spec, fingerprints, run_name, pairs, k, cost,
+                    # Process workers apply the packing gate themselves
+                    # (the bound travels with the task); in-process
+                    # backends keep the cheaper parent-side drop.
+                    ship=self.backend.requires_pickling,
                 )
-            distances = self._compute_pairs_locked(
-                spec, survivors, fingerprints, cost
-            )
+        distances = self._compute_pairs(
+            spec, survivors, fingerprints, cost,
+            bounds=bounds, cutoff=cutoff,
+        )
         ranked = sorted(
             ((other, distances[(run_name, other)]) for _, other in survivors),
             key=lambda item: (item[1], item[0]),
@@ -815,19 +955,33 @@ class DiffService:
         pairs: List[Tuple[str, str]],
         k: int,
         cost: CostModel,
-    ) -> List[Tuple[str, str]]:
-        """The query pairs that might make the top ``k`` (caller holds
-        the monitor).
+        ship: bool = False,
+    ) -> Tuple[
+        List[Tuple[str, str]],
+        Optional[Dict[Tuple[str, str], float]],
+        Optional[float],
+    ]:
+        """``(survivors, bounds, cutoff)`` for a top-``k`` query
+        (caller holds the service lock).
 
         Non-counting probes split the pairs into already-known and
         unknown; with at least ``k`` known distances the ``k``-th best
         becomes the pruning threshold ``τ``, and every unknown pair
-        whose lower bound *strictly* exceeds ``τ`` is dropped (its true
-        distance is ≥ the bound > τ ≥ the final ``k``-th distance, so
-        it cannot enter the ranking, not even on a tie).  The survivors
-        keep the original listing order — and the known pairs re-enter
+        whose lower bound *strictly* exceeds ``τ`` cannot enter the
+        ranking (its true distance is ≥ the bound > τ ≥ the final
+        ``k``-th distance — not even on a tie).  The survivors keep
+        the original listing order, and the known pairs re-enter
         through the ordinary counting cache path, so hit statistics
         match the unpruned query's.
+
+        With ``ship=False`` packing-doomed pairs are dropped here and
+        credited to ``dp_skipped_by_bound`` immediately; with
+        ``ship=True`` (process backends) they *stay* in the batch and
+        the returned ``(bounds, τ)`` travel with the tasks so each
+        worker applies the same strict gate in its own address space —
+        the skip is credited when the worker's ``inf`` comes back.
+        Triangle pruning always happens parent-side: it needs the
+        adjacency of every known distance, which workers don't have.
         """
         cost_key = cost_model_key(cost)
         known: Dict[Tuple[str, str], float] = {}
@@ -841,14 +995,17 @@ class DiffService:
             else:
                 known[pair] = exact
         if len(known) < k or not unknown:
-            return pairs
+            return pairs, None, None
         tau = sorted(known.values())[k - 1]
         packing = self._packing_bounds(spec, unknown, cost)
+        shipping = ship and bool(packing)
         adjacency: Optional[Dict[str, Dict[str, float]]] = None
         dropped = set()
         for pair in unknown:
             bound = packing.get(pair, 0.0)
             if bound > tau:
+                if shipping:
+                    continue  # the worker-side gate skips its DP
                 self.dp_skipped_by_bound += 1
                 dropped.add(pair)
                 continue
@@ -862,9 +1019,11 @@ class DiffService:
             if floor > tau:
                 self.dp_pruned_by_triangle += 1
                 dropped.add(pair)
-        if not dropped:
-            return pairs
-        return [pair for pair in pairs if pair not in dropped]
+        if dropped:
+            pairs = [pair for pair in pairs if pair not in dropped]
+        if shipping:
+            return pairs, packing, tau
+        return pairs, None, None
 
     def _known_pair_graph(
         self,
@@ -943,21 +1102,13 @@ class DiffService:
         directed content key before dispatch), and the cold diffs of a
         batch fan out as :class:`~repro.backends.work.ScriptTask`
         payloads on the configured backend — batch script generation
-        parallelises exactly like the distance sweeps.
+        parallelises exactly like the distance sweeps.  Cold groups
+        coalesce through the single-flight table keyed on the directed
+        content key, so concurrent identical ``GET /diff`` requests
+        share one diff: the leader computes and publishes; followers
+        receive the same operations (as their own deep copies — script
+        records are mutable).
         """
-        with self._monitor():
-            return self._edit_scripts_locked(
-                spec_name, pairs, cost, flush
-            )
-
-    def _edit_scripts_locked(
-        self,
-        spec_name: str,
-        pairs: Sequence[Tuple[str, str]],
-        cost: Optional[CostModel],
-        flush: bool,
-    ) -> Dict[Tuple[str, str], ScriptRecord]:
-        """:meth:`edit_scripts` body; caller holds the monitor."""
         cost = cost or UnitCost()
         pair_list = [(a, b) for a, b in pairs]
         names = sorted({name for pair in pair_list for name in pair})
@@ -986,9 +1137,41 @@ class DiffService:
                 key if key is not None else (run_a, run_b), []
             ).append((run_a, run_b))
 
-        if cold:
-            ordered = list(cold.items())
+        # Lead-or-follow each cold group (content-keyed groups only —
+        # uncacheable costs have no rendezvous key, see above).
+        led: List[Tuple[object, object]] = []
+        followed: List[Tuple[object, object]] = []
+        ordered: List[Tuple[object, List[Tuple[str, str]]]] = []
+        for key, group in cold.items():
+            if cost_key is None:
+                ordered.append((key, group))
+                continue
+            leader, flight = self._flights.begin(("script", key))
+            if not leader:
+                followed.append((key, flight))
+                continue
+            # Double-check without counting: another leader may have
+            # landed between our cached_script miss and begin().
+            raw = self.script_cache.peek(key)
+            record = decode_script(raw) if raw is not None else None
+            if record is not None:
+                self._flights.finish(
+                    flight,
+                    value=(record.distance, record.operations),
+                )
+                for name_pair in group:
+                    results[name_pair] = ScriptRecord(
+                        distance=record.distance,
+                        operations=[
+                            dataclasses.replace(op)
+                            for op in record.operations
+                        ],
+                    )
+                continue
+            led.append((key, flight))
+            ordered.append((key, group))
 
+        if ordered:
             def task(group) -> ScriptTask:
                 return ScriptTask(
                     run_a=self._load_run(spec, group[0][0]),
@@ -998,74 +1181,105 @@ class DiffService:
                 )
 
             backend_name = type(self.backend).__name__
-            self._batch_metric.observe(len(ordered))
-            self._backend_tasks_metric.inc(
-                len(ordered), backend=backend_name
-            )
-            dispatch_started = time.perf_counter()
-            if self.backend.requires_pickling:
-                outcomes = self.backend.map(
-                    compute_script,
-                    [task(group) for _, group in ordered],
+            try:
+                self._batch_metric.observe(len(ordered))
+                self._backend_tasks_metric.inc(
+                    len(ordered), backend=backend_name
                 )
-            else:
-                shared = SharedTables(cost, kernel=self.kernel)
-                outcomes = self.backend.map(
-                    lambda item: compute_script(task(item[1]), shared),
-                    ordered,
+                dispatch_started = time.perf_counter()
+                if self.backend.requires_pickling:
+                    outcomes = self.backend.map(
+                        compute_script,
+                        [task(group) for _, group in ordered],
+                    )
+                else:
+                    shared = SharedTables(cost, kernel=self.kernel)
+                    outcomes = self.backend.map(
+                        lambda item: compute_script(task(item[1]), shared),
+                        ordered,
+                    )
+                self._backend_busy_metric.inc(
+                    time.perf_counter() - dispatch_started,
+                    backend=backend_name,
                 )
-            self._backend_busy_metric.inc(
-                time.perf_counter() - dispatch_started,
-                backend=backend_name,
-            )
+            except BaseException as exc:
+                for _, flight in led:
+                    self._flights.finish(flight, error=exc)
+                raise
             self._dp_metric.inc(len(ordered), kind="script")
             logger.debug(
                 "computed %d cold edit scripts", len(ordered),
                 extra={"batch_size": len(ordered),
                        "backend": backend_name},
             )
-            for (_, group), (distance, operations) in zip(
-                ordered, outcomes
-            ):
-                self.computed_scripts += 1
-                record = ScriptRecord(
-                    distance=distance, operations=list(operations)
-                )
-                for run_a, run_b in group:
-                    # Every pair gets its own record with its own
-                    # operation objects (PathOperation is a mutable
-                    # dataclass): deduped pairs must not alias any
-                    # mutable result state, matching the independent
-                    # per-pair decodes of the cache-hit path.
-                    results[(run_a, run_b)] = ScriptRecord(
-                        distance=record.distance,
-                        operations=[
-                            dataclasses.replace(op)
-                            for op in record.operations
-                        ],
+            flight_values: Dict[object, Tuple[float, list]] = {}
+            published: List[Tuple[str, float]] = []
+            with self._monitor():
+                for (group_key, group), (distance, operations) in zip(
+                    ordered, outcomes
+                ):
+                    self.computed_scripts += 1
+                    record = ScriptRecord(
+                        distance=distance, operations=list(operations)
                     )
-                run_a, run_b = group[0]
-                key = keys[(run_a, run_b)]
-                if key is not None:
-                    raw = encode_script(
-                        record.distance, record.operations
-                    )
-                    self.script_cache.put(key, raw)
-                    self.script_index.add(key, raw)
-                    if run_a <= run_b:
-                        # Seed the (undirected) distance cache only
-                        # from the canonical direction — the same one
-                        # ``_compute_pairs`` uses — so every cached
-                        # distance is bit-identical to a fresh
-                        # listing-order computation.
-                        self.cache.put(
-                            pair_key(
+                    for run_a, run_b in group:
+                        # Every pair gets its own record with its own
+                        # operation objects (PathOperation is a mutable
+                        # dataclass): deduped pairs must not alias any
+                        # mutable result state, matching the independent
+                        # per-pair decodes of the cache-hit path.
+                        results[(run_a, run_b)] = ScriptRecord(
+                            distance=record.distance,
+                            operations=[
+                                dataclasses.replace(op)
+                                for op in record.operations
+                            ],
+                        )
+                    run_a, run_b = group[0]
+                    key = keys[(run_a, run_b)]
+                    if key is not None:
+                        raw = encode_script(
+                            record.distance, record.operations
+                        )
+                        self.script_cache.put(key, raw)
+                        self.script_index.add(key, raw)
+                        flight_values[key] = (
+                            record.distance, record.operations
+                        )
+                        if run_a <= run_b:
+                            # Seed the (undirected) distance cache only
+                            # from the canonical direction — the same one
+                            # ``_compute_pairs`` uses — so every cached
+                            # distance is bit-identical to a fresh
+                            # listing-order computation.
+                            dist_key = pair_key(
                                 fingerprints[run_a],
                                 fingerprints[run_b],
                                 cost_key,
-                            ),
-                            record.distance,
-                        )
+                            )
+                            self.cache.put(dist_key, record.distance)
+                            published.append(
+                                (dist_key, record.distance)
+                            )
+            if published:
+                self._results_log.extend(published)
+            for key, flight in led:
+                self._flights.finish(flight, value=flight_values[key])
+
+        if followed:
+            # Our own flights are landed; now collect everyone else's.
+            with self._monitor():
+                self.coalesced_requests += len(followed)
+            for key, flight in followed:
+                distance, operations = flight.result()
+                for run_a, run_b in cold[key]:
+                    results[(run_a, run_b)] = ScriptRecord(
+                        distance=distance,
+                        operations=[
+                            dataclasses.replace(op)
+                            for op in operations
+                        ],
+                    )
         if flush:
             self._flush()
         return results
@@ -1088,14 +1302,20 @@ class DiffService:
         (:class:`~repro.obs.runmeta.RunMetadata`); omitted, the current
         context is captured at save time.
         """
-        with self._monitor():
-            return self._add_run_locked(run, cost, meta)
-
-    def _add_run_locked(
-        self, run: WorkflowRun, cost: Optional[CostModel], meta=None
-    ) -> Dict[Tuple[str, str], float]:
-        """:meth:`add_run` body; caller holds the monitor."""
         cost = cost or UnitCost()
+        # Setup (conflict check, spec adoption, save, fingerprinting)
+        # under the narrow lock; the distance batch itself runs
+        # unlocked so concurrent readers — and other ingests' DPs —
+        # proceed while this run's pairs compute.
+        with self._monitor():
+            spec, run, fingerprints, pairs = self._adopt_run(run, meta)
+        results = self._compute_pairs(spec, pairs, fingerprints, cost)
+        self._flush()
+        return results
+
+    def _adopt_run(self, run: WorkflowRun, meta=None):
+        """Persist ``run`` and return its spec, fingerprints, and the
+        new (existing, new) pairs; caller holds the service lock."""
         spec = run.spec
         known = self._specs.get(spec.name)
         if known is None and self.store.has_specification(spec.name):
@@ -1134,9 +1354,7 @@ class DiffService:
         for name in existing:
             fingerprints[name] = self.index.fingerprint(spec, name)
         pairs = [(name, run.name) for name in existing]
-        results = self._compute_pairs(spec, pairs, fingerprints, cost)
-        self._flush()
-        return results
+        return spec, run, fingerprints, pairs
 
     def add_prov_document(
         self,
@@ -1189,14 +1407,14 @@ class DiffService:
         # One listing snapshot for both matrix and analytics, so a run
         # saved concurrently can't appear in one but not the other.
         names = self.runs(spec_name)
+        if len(names) < 3 or not is_sound_for(cost):
+            matrix = self.distance_matrix(
+                spec_name, cost=cost, runs=names
+            )
+            return medoid(matrix, names=names)
+        spec, fingerprints = self._resolve(spec_name, names)
+        cost_key = cost_model_key(cost)
         with self._monitor():
-            if len(names) < 3 or not is_sound_for(cost):
-                matrix = self.distance_matrix(
-                    spec_name, cost=cost, runs=names
-                )
-                return medoid(matrix, names=names)
-            spec, fingerprints = self._resolve(spec_name, names)
-            cost_key = cost_model_key(cost)
             adjacency = self._known_pair_graph(
                 fingerprints, cost_key, names
             )
@@ -1208,47 +1426,48 @@ class DiffService:
             ]
             packing = self._packing_bounds(spec, unknown, cost)
 
-            def pair_floor(a: str, b: str) -> Tuple[float, bool]:
-                """(lower bound, needed triangle?) for one pair."""
-                exact = adjacency.get(a, {}).get(b)
-                if exact is not None:
-                    return exact, False
-                key = (a, b) if (a, b) in packing else (b, a)
-                bound = packing.get(key, 0.0)
-                floor = self._triangle_floor(adjacency, a, b)
-                return max(bound, floor), floor > bound
+        def pair_floor(a: str, b: str) -> Tuple[float, bool]:
+            """(lower bound, needed triangle?) for one pair."""
+            exact = adjacency.get(a, {}).get(b)
+            if exact is not None:
+                return exact, False
+            key = (a, b) if (a, b) in packing else (b, a)
+            bound = packing.get(key, 0.0)
+            floor = self._triangle_floor(adjacency, a, b)
+            return max(bound, floor), floor > bound
 
-            # Mean bounds in mean_distances' exact arithmetic (same
-            # summation order, same division) — float addition is
-            # monotone, so a sum of per-pair lower bounds stays a
-            # lower bound of the identically-ordered sum of distances.
-            floors: Dict[str, float] = {}
-            used_triangle: Dict[str, bool] = {}
-            for name in names:
-                others = [o for o in names if o != name]
-                parts = [pair_floor(name, o) for o in others]
-                floors[name] = sum(p[0] for p in parts) / len(others)
-                used_triangle[name] = any(p[1] for p in parts)
+        # Mean bounds in mean_distances' exact arithmetic (same
+        # summation order, same division) — float addition is
+        # monotone, so a sum of per-pair lower bounds stays a
+        # lower bound of the identically-ordered sum of distances.
+        floors: Dict[str, float] = {}
+        used_triangle: Dict[str, bool] = {}
+        for name in names:
+            others = [o for o in names if o != name]
+            parts = [pair_floor(name, o) for o in others]
+            floors[name] = sum(p[0] for p in parts) / len(others)
+            used_triangle[name] = any(p[1] for p in parts)
 
-            best: Optional[Tuple[float, str]] = None
-            skipped: Dict[str, bool] = {}
-            for name in sorted(names, key=lambda n: (floors[n], n)):
-                if best is not None and floors[name] > best[0]:
-                    skipped[name] = used_triangle[name]
-                    continue
-                others = [o for o in names if o != name]
-                row = self._compute_pairs_locked(
-                    spec,
-                    [(name, o) for o in others],
-                    fingerprints,
-                    cost,
-                )
-                mean = sum(row[(name, o)] for o in others) / len(others)
-                if best is None or (mean, name) < best:
-                    best = (mean, name)
+        best: Optional[Tuple[float, str]] = None
+        skipped: Dict[str, bool] = {}
+        for name in sorted(names, key=lambda n: (floors[n], n)):
+            if best is not None and floors[name] > best[0]:
+                skipped[name] = used_triangle[name]
+                continue
+            others = [o for o in names if o != name]
+            row = self._compute_pairs(
+                spec,
+                [(name, o) for o in others],
+                fingerprints,
+                cost,
+            )
+            mean = sum(row[(name, o)] for o in others) / len(others)
+            if best is None or (mean, name) < best:
+                best = (mean, name)
+        with self._monitor():
             self._count_avoided_pairs(unknown, skipped)
-            assert best is not None  # names is non-empty here
-            return best[1], best[0]
+        assert best is not None  # names is non-empty here
+        return best[1], best[0]
 
     def _count_avoided_pairs(
         self,
@@ -1289,64 +1508,65 @@ class DiffService:
         """
         cost = cost or UnitCost()
         names = self.runs(spec_name)
+        if top is None or top <= 0 or top >= len(names) or len(names) < 3:
+            matrix = self.distance_matrix(
+                spec_name, cost=cost, runs=names
+            )
+            return outliers(matrix, names=names, top=top)
+        spec, fingerprints = self._resolve(spec_name, names)
+        cost_key = cost_model_key(cost)
         with self._monitor():
-            if top is None or top <= 0 or top >= len(names) or len(names) < 3:
-                matrix = self.distance_matrix(
-                    spec_name, cost=cost, runs=names
-                )
-                return outliers(matrix, names=names, top=top)
-            spec, fingerprints = self._resolve(spec_name, names)
-            cost_key = cost_model_key(cost)
             adjacency = self._known_pair_graph(
                 fingerprints, cost_key, names
             )
-            unknown = [
-                (a, b)
-                for i, a in enumerate(names)
-                for b in names[i + 1:]
-                if b not in adjacency.get(a, {})
-            ]
+        unknown = [
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1:]
+            if b not in adjacency.get(a, {})
+        ]
 
-            def pair_ceiling(a: str, b: str) -> float:
-                exact = adjacency.get(a, {}).get(b)
-                if exact is not None:
-                    return exact
-                return self._triangle_ceiling(adjacency, a, b)
+        def pair_ceiling(a: str, b: str) -> float:
+            exact = adjacency.get(a, {}).get(b)
+            if exact is not None:
+                return exact
+            return self._triangle_ceiling(adjacency, a, b)
 
-            ceilings: Dict[str, float] = {}
-            for name in names:
-                others = [o for o in names if o != name]
-                ceilings[name] = sum(
-                    pair_ceiling(name, o) for o in others
-                ) / len(others)
+        ceilings: Dict[str, float] = {}
+        for name in names:
+            others = [o for o in names if o != name]
+            ceilings[name] = sum(
+                pair_ceiling(name, o) for o in others
+            ) / len(others)
 
-            means: Dict[str, float] = {}
-            skipped: Dict[str, bool] = {}
-            # Largest ceiling first: once the top-th exact mean
-            # exceeds a ceiling, every later candidate's does too.
-            for name in sorted(
-                names, key=lambda n: (-ceilings[n], n)
-            ):
-                if len(means) >= top:
-                    tau = sorted(means.values(), reverse=True)[top - 1]
-                    if ceilings[name] < tau:
-                        skipped[name] = True
-                        continue
-                others = [o for o in names if o != name]
-                row = self._compute_pairs_locked(
-                    spec,
-                    [(name, o) for o in others],
-                    fingerprints,
-                    cost,
-                )
-                means[name] = sum(
-                    row[(name, o)] for o in others
-                ) / len(others)
-            self._count_avoided_pairs(unknown, skipped)
-            ranked = sorted(
-                means.items(), key=lambda item: (-item[1], item[0])
+        means: Dict[str, float] = {}
+        skipped: Dict[str, bool] = {}
+        # Largest ceiling first: once the top-th exact mean
+        # exceeds a ceiling, every later candidate's does too.
+        for name in sorted(
+            names, key=lambda n: (-ceilings[n], n)
+        ):
+            if len(means) >= top:
+                tau = sorted(means.values(), reverse=True)[top - 1]
+                if ceilings[name] < tau:
+                    skipped[name] = True
+                    continue
+            others = [o for o in names if o != name]
+            row = self._compute_pairs(
+                spec,
+                [(name, o) for o in others],
+                fingerprints,
+                cost,
             )
-            return ranked[:top]
+            means[name] = sum(
+                row[(name, o)] for o in others
+            ) / len(others)
+        with self._monitor():
+            self._count_avoided_pairs(unknown, skipped)
+        ranked = sorted(
+            means.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:top]
 
     # -- introspection ------------------------------------------------------
     @property
@@ -1367,6 +1587,7 @@ class DiffService:
         merged["lock_acquisitions"] = self.lock_acquisitions
         merged["dp_skipped_by_bound"] = self.dp_skipped_by_bound
         merged["dp_pruned_by_triangle"] = self.dp_pruned_by_triangle
+        merged["coalesced_requests"] = self.coalesced_requests
         return merged
 
     @property

@@ -107,6 +107,17 @@ class PayloadTooLargeError(ReproError):
     """
 
 
+class ServiceUnavailableError(ReproError):
+    """The server is shutting down and cannot complete the request.
+
+    Raised when a draining server aborts requests that were waiting on
+    a coalesced in-flight computation (single-flight followers) whose
+    leader will not finish before the drain deadline.  The HTTP
+    service layer maps this to a 503 response; the work was never
+    applied, so clients may safely retry against a healthy server.
+    """
+
+
 class TransportError(ReproError):
     """The HTTP client could not reach the server at all.
 

@@ -615,6 +615,37 @@ class WorkspaceApp:
         )
         return HttpResponse.json(outcome.to_dict(), headers=headers)
 
+    @staticmethod
+    def _shard_param(body: dict, what: str):
+        """Validate an optional ``shard: {index, count}`` body object.
+
+        Cluster workers receive it from the routing parent so each
+        evaluates only the pairs its shard owns; single-process clients
+        simply omit it.
+        """
+        shard = body.get("shard")
+        if shard is None:
+            return None
+        if not isinstance(shard, dict):
+            raise ReproError(
+                f"{what} 'shard' must be an object with "
+                f"'index' and 'count', got {shard!r}"
+            )
+        index = shard.get("index")
+        count = shard.get("count")
+        for label, value in (("index", index), ("count", count)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ReproError(
+                    f"{what} shard {label!r} must be an integer, "
+                    f"got {value!r}"
+                )
+        if count <= 0 or not 0 <= index < count:
+            raise ReproError(
+                f"{what} shard requires 0 <= index < count, "
+                f"got index={index} count={count}"
+            )
+        return (index, count)
+
     def _matrix(self, request: HttpRequest) -> HttpResponse:
         body = request.json_body()
         if not isinstance(body, dict):
@@ -623,7 +654,10 @@ class WorkspaceApp:
         cost = self._cost_param(body.get("cost"))
         runs = _run_list(body.get("runs"), "matrix")
         result = self.workspace.matrix(
-            spec=spec, cost=cost, runs=runs
+            spec=spec,
+            cost=cost,
+            runs=runs,
+            shard=self._shard_param(body, "matrix"),
         )
         return HttpResponse.json(result.to_dict())
 
@@ -652,6 +686,7 @@ class WorkspaceApp:
             cursor=cursor,
             limit=limit,
             runs=_run_list(body.get("runs"), "query"),
+            shard=self._shard_param(body, "query"),
         )
         return HttpResponse.json(page.to_dict())
 

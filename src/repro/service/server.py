@@ -35,7 +35,11 @@ from typing import Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.config import ReproConfig
-from repro.errors import PayloadTooLargeError, ReproError
+from repro.errors import (
+    PayloadTooLargeError,
+    ReproError,
+    ServiceUnavailableError,
+)
 from repro.obs.logging import configure_logging, get_logger
 from repro.service.app import (
     REQUEST_ID_HEADER,
@@ -300,8 +304,15 @@ class DiffServer:
 
         The accept loop stops first (no new connections), then
         in-flight requests get up to ``drain_timeout`` seconds to
-        complete before the socket closes; stragglers beyond the
-        deadline are abandoned to their daemon threads.  Idempotent —
+        complete before the socket closes.  Requests still pending at
+        the deadline that are blocked on a coalesced in-flight
+        computation (single-flight followers waiting on a leader that
+        will not land in time) are *aborted deterministically*: every
+        pending flight fails with
+        :class:`~repro.errors.ServiceUnavailableError`, which the app
+        maps to a structured ``503`` — completed-or-503, never a hung
+        client.  Only stragglers that are neither finished nor
+        abortable are abandoned to their daemon threads.  Idempotent —
         signal handlers and ``finally`` blocks may race onto it.
         """
         with self._stop_lock:
@@ -312,6 +323,29 @@ class DiffServer:
         deadline = time.monotonic() + max(0.0, drain_timeout)
         while self.app.in_flight() > 0 and time.monotonic() < deadline:
             time.sleep(0.01)
+        if self.app.in_flight() > 0:
+            # Deadline passed with requests still pending: fail every
+            # coalesced waiter with a 503 envelope, then give the newly
+            # unblocked handlers a short grace period to write it out.
+            aborted = self.workspace.service.abort_inflight(
+                ServiceUnavailableError(
+                    "server is shutting down; retry against a healthy "
+                    "instance"
+                )
+            )
+            if aborted:
+                logger.warning(
+                    "drain timeout: aborted %d coalesced flight(s) "
+                    "with 503",
+                    aborted,
+                    extra={"aborted_flights": aborted},
+                )
+                grace = time.monotonic() + 1.0
+                while (
+                    self.app.in_flight() > 0
+                    and time.monotonic() < grace
+                ):
+                    time.sleep(0.01)
         remaining = self.app.in_flight()
         if remaining:
             logger.warning(

@@ -1,0 +1,61 @@
+"""Raw-HTTP helpers for the cluster suite.
+
+Deliberately not :class:`repro.client.RemoteWorkspace`: these tests
+assert the wire itself — status codes, relayed headers, byte-exact
+bodies — and the client would hide exactly the things under test.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+
+def http_get(
+    url: str,
+    headers: Optional[dict] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """``(status, headers, body_bytes)`` for a GET, errors included."""
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, dict(reply.headers), reply.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def http_post(
+    url: str,
+    payload: dict,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """``(status, headers, body_bytes)`` for a JSON POST."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, dict(reply.headers), reply.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def get_json(url: str, headers: Optional[dict] = None) -> dict:
+    """GET a URL that must answer 200 with a JSON body."""
+    status, _, body = http_get(url, headers=headers)
+    assert status == 200, body.decode("utf-8", "replace")
+    return json.loads(body)
+
+
+def metric_total(snapshot: dict, family: str) -> float:
+    """Sum every sample of ``family`` in a JSON ``/metrics`` snapshot."""
+    info = snapshot["metrics"].get(family)
+    if info is None:
+        return 0.0
+    return sum(sample["value"] for sample in info["samples"])

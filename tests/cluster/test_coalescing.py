@@ -1,0 +1,140 @@
+"""Service-level single-flight: K concurrent identical cold requests
+elect one leader, perform one DP, and the followers coalesce.
+
+The backend is wrapped so its batch dispatch *blocks* until the test
+has observed every follower joining the flight — making the
+assertions deterministic instead of a race the scheduler usually (but
+not always) loses.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.backends.base import ExecutorBackend, SerialBackend
+from repro.config import ReproConfig
+from repro.workflow.execution import ExecutionParams
+from repro.workflow.real_workflows import protein_annotation
+from repro.workspace import Workspace
+
+SPEC = "PA"
+VARIED = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+class GatedBackend(ExecutorBackend):
+    """Serial execution that holds every batch until released."""
+
+    name = "gated"
+
+    def __init__(self):
+        super().__init__(jobs=1)
+        self._inner = SerialBackend()
+        self.release = threading.Event()
+        self.dispatches = 0
+
+    def map(self, func, tasks):
+        self.dispatches += 1
+        assert self.release.wait(timeout=60), "batch never released"
+        return self._inner.map(func, tasks)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    workspace = Workspace(tmp_path, ReproConfig(backend="serial"))
+    workspace.register(protein_annotation())
+    for seed in (1, 2, 3):
+        workspace.generate_run(f"r{seed:02d}", params=VARIED, seed=seed)
+    return workspace
+
+
+def _await_waiters(service, expected: int) -> None:
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if service._flights.waiters() >= expected:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"only {service._flights.waiters()} followers joined "
+        f"(wanted {expected})"
+    )
+
+
+def test_concurrent_identical_distances_one_dp(workspace):
+    service = workspace.service
+    backend = GatedBackend()
+    service.backend = backend
+    k = 6
+    values = []
+    lock = threading.Lock()
+
+    def ask():
+        value = service.distance(SPEC, "r01", "r02")
+        with lock:
+            values.append(value)
+
+    threads = [threading.Thread(target=ask) for _ in range(k)]
+    for thread in threads:
+        thread.start()
+    # The leader is now blocked inside the backend; wait until every
+    # follower has joined its flight, then let the batch run.
+    _await_waiters(service, k - 1)
+    backend.release.set()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    assert len(values) == k
+    assert len(set(values)) == 1
+    assert backend.dispatches == 1
+    assert service.computed_pairs == 1
+    assert service.coalesced_requests == k - 1
+    assert service._dp_metric.value(kind="distance") == 1
+
+
+def test_concurrent_identical_scripts_one_dp(workspace):
+    service = workspace.service
+    backend = GatedBackend()
+    service.backend = backend
+    k = 5
+    outcomes = []
+    lock = threading.Lock()
+
+    def ask():
+        record = service.edit_script(SPEC, "r02", "r03")
+        with lock:
+            outcomes.append((record.distance, list(record.operations)))
+
+    threads = [threading.Thread(target=ask) for _ in range(k)]
+    for thread in threads:
+        thread.start()
+    _await_waiters(service, k - 1)
+    backend.release.set()
+    for thread in threads:
+        thread.join(timeout=60)
+
+    assert len(outcomes) == k
+    assert all(outcome == outcomes[0] for outcome in outcomes)
+    assert backend.dispatches == 1
+    assert service.computed_scripts == 1
+    assert service.coalesced_requests == k - 1
+    assert service._dp_metric.value(kind="script") == 1
+
+
+def test_different_pairs_do_not_coalesce(workspace):
+    service = workspace.service
+    backend = GatedBackend()
+    backend.release.set()  # no blocking needed here
+    service.backend = backend
+
+    service.distance(SPEC, "r01", "r02")
+    service.distance(SPEC, "r01", "r03")
+    assert service.computed_pairs == 2
+    assert service.coalesced_requests == 0

@@ -1,0 +1,82 @@
+"""Results log: copy-on-write snapshots, lock-free reads, append count."""
+
+import threading
+
+from repro.cluster.results_log import ResultsLog
+
+
+class TestBasics:
+    def test_get_and_contains(self):
+        log = ResultsLog()
+        assert log.get("k") is None
+        assert log.get("k", -1) == -1
+        log.append("k", 3.0)
+        assert "k" in log
+        assert log.get("k") == 3.0
+        assert len(log) == 1
+
+    def test_extend_batches_one_swap(self):
+        log = ResultsLog()
+        before = log.snapshot()
+        log.extend([("a", 1), ("b", 2)])
+        after = log.snapshot()
+        assert before is not after
+        assert dict(after) == {"a": 1, "b": 2}
+
+    def test_extend_empty_is_a_noop(self):
+        log = ResultsLog()
+        before = log.snapshot()
+        log.extend([])
+        assert log.snapshot() is before
+        assert log.entries() == 0
+
+    def test_last_write_wins(self):
+        log = ResultsLog()
+        log.append("k", 1)
+        log.append("k", 2)
+        assert log.get("k") == 2
+        assert len(log) == 1
+
+    def test_entries_is_monotonic_over_rewrites(self):
+        log = ResultsLog()
+        log.append("k", 1)
+        log.append("k", 2)
+        log.extend([("a", 1), ("b", 2)])
+        assert log.entries() == 4
+
+
+class TestSnapshotIsolation:
+    def test_old_snapshot_never_mutates(self):
+        log = ResultsLog()
+        log.append("a", 1)
+        held = log.snapshot()
+        log.append("b", 2)
+        assert dict(held) == {"a": 1}
+        assert dict(log.snapshot()) == {"a": 1, "b": 2}
+
+    def test_concurrent_readers_see_consistent_batches(self):
+        """Each extend publishes atomically: a reader observing key
+        ``i:a`` of batch ``i`` must also observe ``i:b``."""
+        log = ResultsLog()
+        stop = threading.Event()
+        torn = []
+
+        def read():
+            while not stop.is_set():
+                snap = log.snapshot()
+                for i in range(50):
+                    has_a = f"{i}:a" in snap
+                    has_b = f"{i}:b" in snap
+                    if has_a != has_b:
+                        torn.append(i)
+
+        readers = [threading.Thread(target=read) for _ in range(2)]
+        for reader in readers:
+            reader.start()
+        for i in range(50):
+            log.extend([(f"{i}:a", i), (f"{i}:b", i)])
+        stop.set()
+        for reader in readers:
+            reader.join(timeout=5)
+        assert torn == []
+        assert len(log) == 100

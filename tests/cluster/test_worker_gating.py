@@ -1,0 +1,146 @@
+"""Worker-side packing-bound gating (shipped bounds, satellite of the
+cluster PR): a :class:`DistanceTask` carries the parent's lower bound
+and pruning threshold, so process-pool workers skip provably-doomed
+DPs inside their own address space."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.backends.work import DistanceTask, compute_distance
+from repro.config import ReproConfig
+from repro.costs.standard import UnitCost
+from repro.workflow.execution import ExecutionParams, execute_workflow
+from repro.workflow.real_workflows import protein_annotation
+from repro.workspace import Workspace
+
+SPEC = "PA"
+VARIED = ExecutionParams(
+    prob_parallel=0.7,
+    max_fork=3,
+    prob_fork=0.6,
+    max_loop=2,
+    prob_loop=0.6,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    spec = protein_annotation()
+    return [
+        execute_workflow(spec, VARIED, seed=seed, name=f"r{seed:02d}")
+        for seed in (1, 2)
+    ]
+
+
+def _workspace(root, backend: str) -> Workspace:
+    workspace = Workspace(root, ReproConfig(backend=backend))
+    workspace.register(protein_annotation())
+    for seed in (1, 2, 3, 4, 5):
+        workspace.generate_run(f"r{seed:02d}", params=VARIED, seed=seed)
+    return workspace
+
+
+class TestWorkerGate:
+    def test_bound_above_cutoff_skips_the_dp(self, runs):
+        task = DistanceTask(
+            run_a=runs[0],
+            run_b=runs[1],
+            cost=UnitCost(),
+            bound=10.0,
+            cutoff=5.0,
+        )
+        assert compute_distance(task) == float("inf")
+
+    def test_bound_equal_to_cutoff_still_computes(self, runs):
+        """The gate is *strictly* ``bound > cutoff`` — a pair whose
+        bound ties τ may still tie into the ranking, so it runs."""
+        gated = DistanceTask(
+            run_a=runs[0],
+            run_b=runs[1],
+            cost=UnitCost(),
+            bound=5.0,
+            cutoff=5.0,
+        )
+        value = compute_distance(gated)
+        assert math.isfinite(value)
+
+    def test_no_cutoff_means_no_gate(self, runs):
+        task = DistanceTask(
+            run_a=runs[0], run_b=runs[1], cost=UnitCost(), bound=1e9
+        )
+        assert math.isfinite(compute_distance(task))
+
+
+class TestServiceCrediting:
+    def test_gated_inf_is_credited_and_never_cached(self, tmp_path):
+        workspace = _workspace(tmp_path, "serial")
+        service = workspace.service
+        cost = UnitCost()
+        spec, fingerprints = service._resolve(SPEC, ["r01", "r02"])
+
+        results = service._compute_pairs(
+            spec,
+            [("r01", "r02")],
+            fingerprints,
+            cost,
+            bounds={("r01", "r02"): 1e9},
+            cutoff=1.0,
+        )
+        assert results[("r01", "r02")] == float("inf")
+        assert service.dp_skipped_by_bound == 1
+        assert service.computed_pairs == 0
+
+        # The inf sentinel must not have been cached: an ungated ask
+        # for the same pair performs the real DP and gets a finite
+        # distance.
+        value = service.distance(SPEC, "r01", "r02", cost=cost)
+        assert math.isfinite(value)
+        assert service.computed_pairs == 1
+
+    def test_shipped_gate_fires_inside_process_workers(self, tmp_path):
+        """The bound/cutoff travel with the pickled task: a process
+        worker returns ``inf`` without a DP and the parent credits
+        ``dp_skipped_by_bound`` on arrival."""
+        workspace = _workspace(tmp_path, "process")
+        service = workspace.service
+        cost = UnitCost()
+        spec, fingerprints = service._resolve(SPEC, ["r01", "r02"])
+
+        results = service._compute_pairs(
+            spec,
+            [("r01", "r02")],
+            fingerprints,
+            cost,
+            bounds={("r01", "r02"): 1e9},
+            cutoff=1.0,
+        )
+        assert results[("r01", "r02")] == float("inf")
+        assert service.dp_skipped_by_bound == 1
+        assert service.computed_pairs == 0
+
+
+class TestBackendBitIdentity:
+    def test_nearest_identical_across_backends(self, tmp_path):
+        """``nearest_runs(k)`` under the process backend (shipped
+        bounds, worker-side gate) ranks bit-identically to the serial
+        backend (parent-side drop), warm caches and all."""
+        rankings = {}
+        skips = {}
+        for backend in ("serial", "process"):
+            workspace = _workspace(tmp_path / backend, backend)
+            service = workspace.service
+            # Warm a few distances so the top-k prune has known
+            # pivots (identically in both corpora — same seeds).
+            service.distance(SPEC, "r01", "r02")
+            service.distance(SPEC, "r01", "r03")
+            rankings[backend] = service.nearest_runs(
+                SPEC, "r01", k=2
+            )
+            skips[backend] = service.dp_skipped_by_bound
+        assert rankings["serial"] == rankings["process"]
+        # Both gates see the same bounds and the same τ, so they must
+        # make the same skip decisions — parent-side or worker-side.
+        assert skips["serial"] == skips["process"]

@@ -1,14 +1,16 @@
 """Fixtures for the diff-service suite: corpus, live server, both APIs.
 
 The ``api`` fixture is the heart of the protocol-conformance story: it
-is parametrized over the local :class:`Workspace` and the
+is parametrized over the local :class:`Workspace`, the
 :class:`RemoteWorkspace` (talking to a live in-thread server over the
-same store), so every test written against it proves the two
-implementations agree.
+same store), and a :class:`RemoteWorkspace` over a two-worker
+:class:`~repro.cluster.server.ClusterServer` — so every test written
+against it proves all three implementations agree, byte for byte.
 
 Setting ``REPRO_REMOTE_URL`` redirects the remote half at an external
 ``repro serve`` process instead (the CI job boots one over the corpus
-that ``_fixture.py`` builds); everything in ``_fixture.py`` is
+that ``_fixture.py`` builds); ``REPRO_CLUSTER_URL`` does the same for
+the cluster half.  Everything in ``_fixture.py`` is
 seed-deterministic, so cross-process comparisons remain bit-exact.
 """
 
@@ -72,10 +74,49 @@ def remote_ws(server_url) -> RemoteWorkspace:
     return RemoteWorkspace(server_url)
 
 
-@pytest.fixture(params=["local", "remote"])
-def api(request, local_ws, remote_ws):
-    """Either workspace implementation — the conformance pivot."""
-    return local_ws if request.param == "local" else remote_ws
+@pytest.fixture(scope="module")
+def cluster_server(corpus_root):
+    """A live two-worker cluster over the fixture corpus.
+
+    Yields ``None`` when ``REPRO_CLUSTER_URL`` points at an external
+    cluster (the CI job's ``repro serve --workers 2``).
+    """
+    if os.environ.get("REPRO_CLUSTER_URL"):
+        yield None
+        return
+    from repro.cluster.server import ClusterServer
+
+    with ClusterServer(
+        corpus_root,
+        ReproConfig(backend="serial", log_format="off"),
+        workers=2,
+    ) as live:
+        yield live
+
+
+@pytest.fixture(scope="module")
+def cluster_url(cluster_server) -> str:
+    """Base URL of the cluster the third conformance half talks to."""
+    external = os.environ.get("REPRO_CLUSTER_URL")
+    if external:
+        return external.rstrip("/")
+    return cluster_server.url
+
+
+@pytest.fixture(scope="module")
+def cluster_ws(cluster_url) -> RemoteWorkspace:
+    """A remote workspace client over the routing cluster parent."""
+    return RemoteWorkspace(cluster_url)
+
+
+@pytest.fixture(params=["local", "remote", "cluster"])
+def api(request, local_ws, remote_ws, cluster_ws):
+    """Any workspace implementation — the conformance pivot."""
+    return {
+        "local": local_ws,
+        "remote": remote_ws,
+        "cluster": cluster_ws,
+    }[request.param]
 
 
 @pytest.fixture

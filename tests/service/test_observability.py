@@ -242,3 +242,63 @@ class TestGracefulDrain:
             assert elapsed < 5  # gave up at the deadline, not hung
         finally:
             server.app.end_request()
+
+    def test_drain_aborts_coalesced_followers_with_503(self, tmp_path):
+        """A request blocked on another caller's in-flight computation
+        is completed deterministically at the drain deadline: the stop
+        path aborts the flight table and the follower answers 503
+        (retryable — no work was applied) instead of hanging."""
+        from _fixture import build_corpus
+
+        from repro.corpus.fingerprint import cost_model_key, script_key
+        from repro.costs.standard import UnitCost
+
+        # A private cold store: with the shared corpus the r01–r02
+        # script may already be in the persistent cache, and a cached
+        # answer never joins the flight this test needs to abort.
+        root = tmp_path / "drain-store"
+        build_corpus(root)
+        server = DiffServer(
+            root, ReproConfig(backend="serial", log_format="off")
+        ).start()
+        service = server.workspace.service
+        _, fingerprints = service._resolve("PA", ["r01", "r02"])
+        key = script_key(
+            fingerprints["r01"],
+            fingerprints["r02"],
+            cost_model_key(UnitCost()),
+        )
+        # Pose as a leader that will never publish: the incoming HTTP
+        # request below joins this flight as a follower and blocks.
+        leader, flight = service._flights.begin(("script", key))
+        assert leader
+        outcome = {}
+
+        def follow():
+            try:
+                outcome["response"] = fetch(
+                    server.url + "/diff/r01/r02?spec=PA"
+                )
+            except urllib.error.HTTPError as exc:
+                outcome["status"] = exc.code
+                outcome["body"] = json.loads(exc.read())
+
+        follower = threading.Thread(target=follow)
+        follower.start()
+        deadline = time.monotonic() + 10
+        while (
+            service._flights.waiters() == 0
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert service._flights.waiters() == 1, "follower never joined"
+
+        started = time.monotonic()
+        server.stop(drain_timeout=0.5)
+        follower.join(timeout=10)
+        assert not follower.is_alive()
+        assert time.monotonic() - started < 8
+        assert outcome.get("status") == 503
+        envelope = outcome["body"]["error"]
+        assert envelope["type"] == "ServiceUnavailableError"
+        assert "retry" in envelope["message"]

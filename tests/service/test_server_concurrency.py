@@ -4,15 +4,30 @@ The ``ThreadingHTTPServer`` spawns a thread per request; all of them
 funnel into one shared workspace.  Hammering the server from several
 client threads must produce identical payloads everywhere, no server
 errors, and no duplicate DPs beyond the cold misses.
+
+The same hammer runs against the two-worker routing cluster: sharding
+and single-flight coalescing must preserve every one of those
+guarantees — the summed per-worker counters still account for at most
+one computation per pair, cluster-wide.
 """
 
 import threading
 
+import pytest
+
 from repro.client import RemoteWorkspace
 
 
-def test_many_clients_hammering_one_server(server):
-    clients = [RemoteWorkspace(server.url) for _ in range(6)]
+@pytest.fixture(params=["single", "cluster"])
+def target_url(request, server, cluster_url):
+    """The base URL under bombardment: one process, then the cluster."""
+    if request.param == "single":
+        return server.url
+    return cluster_url
+
+
+def test_many_clients_hammering_one_server(target_url):
+    clients = [RemoteWorkspace(target_url) for _ in range(6)]
     expected = clients[0].matrix(spec="PA").to_dict()
     expected_diff = clients[0].diff("r01", "r02", spec="PA").to_dict()
 
@@ -45,6 +60,7 @@ def test_many_clients_hammering_one_server(server):
     stats = clients[0].stats
     assert stats["server_errors"] == 0
     # 4 fixture runs → 6 distance keys and (at most) the same number
-    # of directed script keys; nothing was ever computed twice.
+    # of directed script keys; nothing was ever computed twice —
+    # whether one process answered or two sharded workers did.
     assert stats["computed_pairs"] <= 6
     assert stats["computed_scripts"] <= 6
