@@ -130,7 +130,7 @@ from repro.workflow.run import WorkflowRun
 from repro.workflow.specification import WorkflowSpecification
 from repro.workspace import Workspace
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Legacy entry points, kept importable as deprecated shims.  Each maps
 #: to ``(defining module, attribute, workspace replacement)``; accessing

@@ -22,6 +22,10 @@ Subcommands over a store directory (the layout
                  [--backend serial|thread|process] [--jobs N]
                  [--log-level L] [--log-format json|text|off]
                  [--drain-timeout S] [--max-body-bytes N]
+    repro scale build STORE [--runs N] [--seed N] [--prefix P]
+                 [--matrix-runs N] [--json]
+    repro scale run   STORE [--prefix P] [--seed N] [--probe-runs N]
+                 [--query-repeats N] [--json]
 
 Every subcommand is a thin shell over the
 :class:`repro.api_types.WorkspaceAPI` protocol: a local
@@ -452,6 +456,94 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale_build(args: argparse.Namespace) -> int:
+    """``repro scale build``: materialise a seeded corpus.
+
+    Batched, resumable, progress-logged: interrupting and re-running
+    picks up where the build stopped, and a completed build re-runs as
+    a cheap skip-scan.  Works against a local store directory or (with
+    ``--remote``) a running diff server / cluster — every document
+    enters through ``import_prov`` / ``POST /prov/import``.
+    """
+    from repro.scale.build import BuildPlan, CorpusBuilder
+
+    workspace = _workspace(args)
+    plan = BuildPlan(
+        runs=args.runs,
+        seed=args.seed,
+        prefix=args.prefix,
+        matrix_runs=args.matrix_runs,
+        batch=args.batch,
+    )
+    report = CorpusBuilder(workspace, plan).build()
+    payload = report.to_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"built {payload['imported']} run(s) "
+        f"({payload['skipped']} already present) in "
+        f"{payload['seconds']:g}s — "
+        f"{payload['runs_per_second']:g} runs/s"
+    )
+    for family, count in payload["families"].items():
+        print(f"  {family}: {count} imported")
+    if payload["foreign_documents"]:
+        print(
+            f"  foreign documents: {payload['foreign_documents']} "
+            f"({payload['non_sp_documents']} non-SP, "
+            f"{payload['forced_serializations']} forced "
+            "serialisations)"
+        )
+    return 0
+
+
+def _cmd_scale_run(args: argparse.Namespace) -> int:
+    """``repro scale run``: drive ingest/matrix/query workloads.
+
+    Requires a corpus built by ``repro scale build`` with the same
+    ``--prefix``.  Prints throughput/latency results; ``--json`` emits
+    the full report (the shape ``bench_scale.py`` commits as
+    ``BENCH_scale.json``).
+    """
+    from repro.scale.drivers import DriverConfig, drive_workloads
+
+    workspace = _workspace(args)
+    config = DriverConfig(
+        prefix=args.prefix,
+        seed=args.seed,
+        probe_runs=args.probe_runs,
+        query_repeats=args.query_repeats,
+    )
+    report = drive_workloads(workspace, config)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    ingest = report["ingest"]
+    matrix = report["matrix"]
+    query = report["query"]
+    stats = report["stats"]
+    print(
+        f"ingest: {ingest['runs']} run(s) in {ingest['seconds']:g}s "
+        f"— {ingest['runs_per_second']:g} runs/s"
+    )
+    print(
+        f"matrix [{matrix['spec']}]: {matrix['runs']} runs / "
+        f"{matrix['pairs']} pairs — cold {matrix['cold_seconds']:g}s, "
+        f"warm {matrix['warm_seconds']:g}s"
+    )
+    print(
+        f"query  [{query['spec']}]: p50 {query['p50_ms']:g}ms, "
+        f"p95 {query['p95_ms']:g}ms over {query['repeats']} repeats"
+    )
+    print(
+        f"dp fast paths: {stats['dp_skipped_by_bound']} skipped by "
+        f"bound, {stats['dp_pruned_by_triangle']} pruned by triangle "
+        f"(skip ratio {stats['dp_skip_ratio']:g})"
+    )
+    return 0
+
+
 # -- wiring -------------------------------------------------------------
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -743,6 +835,100 @@ def _parser() -> argparse.ArgumentParser:
         "(default 64 MiB, or REPRO_MAX_BODY_BYTES)",
     )
     srv.set_defaults(func=_cmd_serve)
+
+    scale = commands.add_parser(
+        "scale",
+        help="build and drive 10³–10⁴-run benchmark corpora",
+    )
+    scale_commands = scale.add_subparsers(
+        dest="scale_command", required=True
+    )
+
+    def scale_common(sub: argparse.ArgumentParser) -> None:
+        # Created on demand, like `import`: building into a fresh
+        # directory is the normal first step.
+        sub.add_argument(
+            "store",
+            type=Path,
+            nargs="?",
+            default=None,
+            help="workflow store directory (created; omit with "
+            "--remote)",
+        )
+        sub.add_argument(
+            "--remote",
+            metavar="URL",
+            default=None,
+            help="target a running `repro serve` endpoint (single "
+            "process or cluster) instead of a local store",
+        )
+        sub.add_argument(
+            "--prefix",
+            default="scale",
+            help="corpus naming prefix (default 'scale')",
+        )
+        sub.add_argument(
+            "--seed",
+            type=int,
+            default=20090329,
+            metavar="N",
+            help="generator seed (same seed => byte-identical corpus)",
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="machine-readable output"
+        )
+
+    build = scale_commands.add_parser(
+        "build",
+        help="materialise a seeded corpus (batched, resumable)",
+    )
+    scale_common(build)
+    build.add_argument(
+        "--runs",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="corpus size across families (default 1000)",
+    )
+    build.add_argument(
+        "--matrix-runs",
+        type=int,
+        default=32,
+        metavar="N",
+        help="size of the dedicated matrix/query family (default 32)",
+    )
+    build.add_argument(
+        "--batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="progress-log every N imports (default 64)",
+    )
+    backend_flags(build)
+    build.set_defaults(func=_cmd_scale_build, cost=UnitCost())
+
+    run = scale_commands.add_parser(
+        "run",
+        help="drive ingest/matrix/query workloads against a corpus",
+    )
+    scale_common(run)
+    run.add_argument(
+        "--probe-runs",
+        type=int,
+        default=32,
+        metavar="N",
+        help="fresh documents per ingest probe (default 32)",
+    )
+    run.add_argument(
+        "--query-repeats",
+        type=int,
+        default=15,
+        metavar="N",
+        help="repeats per query shape for p50/p95 (default 15)",
+    )
+    backend_flags(run)
+    run.set_defaults(func=_cmd_scale_run, cost=UnitCost())
+
     return parser
 
 

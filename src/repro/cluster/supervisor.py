@@ -20,6 +20,7 @@ current incarnation of a shard's worker.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -78,7 +79,22 @@ class WorkerSupervisor:
             raise ReproError(
                 f"cluster needs at least one worker, got {count}"
             )
-        self.root = str(root)
+        # Accept what ClusterServer accepts: a path or an existing
+        # WorkflowStore/Workspace (unwrapped to its directory).  The
+        # old unconditional str(root) turned a passed-in store object
+        # into its repr — workers then mkdir'd a
+        # ``<...WorkflowStore object at 0x...>`` directory under CWD.
+        if isinstance(root, (str, os.PathLike)):
+            self.root = os.fspath(root)
+        else:
+            store_root = getattr(root, "store", root)  # Workspace
+            store_root = getattr(store_root, "root", None)  # store
+            if not isinstance(store_root, (str, os.PathLike)):
+                raise ReproError(
+                    "worker supervisor root must be a path or a "
+                    f"store, not {type(root).__name__}"
+                )
+            self.root = os.fspath(store_root)
         self.config = config
         self.count = count
         self.host = host

@@ -125,6 +125,16 @@ class WorkflowStore:
     """A directory-backed catalog of specifications and their runs."""
 
     def __init__(self, root):
+        # Only real path types.  Anything else (most notably another
+        # WorkflowStore, or a Workspace) would be str()-ed by Path into
+        # a repr-named directory that silently shadows the real store —
+        # exactly the class of bug that once committed a
+        # ``<...WorkflowStore object at 0x...>`` directory.
+        if not isinstance(root, (str, os.PathLike)):
+            raise ReproError(
+                "WorkflowStore root must be a path (str or "
+                f"os.PathLike), not {type(root).__name__}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / "specs").mkdir(exist_ok=True)

@@ -1,0 +1,56 @@
+"""Scale harness: realistic 10³–10⁴-run corpora as a regression gate.
+
+Three layers (ROADMAP item 4):
+
+* :mod:`repro.scale.workloads` — seeded, deterministic generators for
+  realistic provenance *families* (deep fan-out/fan-in pipelines,
+  adversarial non-SP shapes, evolving corpora where run ``k+1`` is a
+  bounded mutation of run ``k``, heterogeneous mixes), each emitting
+  PROV-JSON so corpora enter through the real interchange path;
+* :mod:`repro.scale.build` — the corpus builder: batched, resumable,
+  progress-logged materialisation of a 1k–10k-run store through
+  ``import_prov`` / ``POST /prov/import`` against any
+  :class:`~repro.api_types.WorkspaceAPI` target (local, remote, or
+  cluster);
+* :mod:`repro.scale.drivers` + :mod:`repro.scale.gate` — the three
+  workloads that matter (bulk ingest throughput, cold/warm
+  distance-matrix time, indexed query latency) and the regression-gate
+  arithmetic comparing a fresh ``BENCH_scale.json`` against the
+  committed baseline.
+
+CLI: ``repro scale build`` / ``repro scale run``; the standing gate is
+``benchmarks/bench_scale.py``.
+"""
+
+from repro.scale.build import BuildPlan, BuildReport, CorpusBuilder
+from repro.scale.drivers import DriverConfig, drive_workloads
+from repro.scale.gate import (
+    DEFAULT_THRESHOLDS,
+    GateFinding,
+    evaluate_gate,
+    gate_mode,
+)
+from repro.scale.workloads import (
+    WORKLOAD_FAMILIES,
+    GeneratedDocument,
+    WorkloadModel,
+    make_workload,
+    pipeline_specification,
+)
+
+__all__ = [
+    "BuildPlan",
+    "BuildReport",
+    "CorpusBuilder",
+    "DEFAULT_THRESHOLDS",
+    "DriverConfig",
+    "GateFinding",
+    "GeneratedDocument",
+    "WORKLOAD_FAMILIES",
+    "WorkloadModel",
+    "drive_workloads",
+    "evaluate_gate",
+    "gate_mode",
+    "make_workload",
+    "pipeline_specification",
+]

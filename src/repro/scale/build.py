@@ -1,0 +1,270 @@
+"""Batched, resumable corpus materialisation through the import path.
+
+The builder turns a :class:`BuildPlan` (total runs, family weights,
+seed) into a concrete store by pushing every generated document through
+``WorkspaceAPI.import_prov`` — locally that is
+:meth:`repro.workspace.Workspace.import_prov`, remotely it is
+``POST /prov/import``, so a corpus built against a cluster exercises
+the full wire path.  There is deliberately *no* direct store write
+anywhere in this module: the harness measures the system users get.
+
+Resumability: document identity is a pure function of
+``(plan.seed, family, index)``, and each document's destination
+``(spec_name, run_name)`` is computable without generating it.  The
+builder lists what the target already holds and skips those indices,
+so a build interrupted at run 6,000 of 10,000 resumes where it left
+off — and re-running a completed build is a cheap no-op scan.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import NotFoundError, ReproError
+from repro.obs.logging import get_logger
+from repro.scale.workloads import (
+    GeneratedDocument,
+    WorkloadModel,
+    make_workload,
+)
+
+logger = get_logger("repro.scale.build")
+
+#: Default corpus composition.  Weights are fractions of
+#: ``BuildPlan.runs``; pipeline dominates (as it does in real
+#: workflow corpora), with meaningful adversarial and drift minorities.
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "pipeline": 0.4,
+    "evolving": 0.25,
+    "adversarial": 0.2,
+    "mixed": 0.15,
+}
+
+
+@dataclass(frozen=True)
+class BuildPlan:
+    """What to build: size, composition, naming, batching."""
+
+    runs: int = 1000
+    seed: int = 20090329  # ICDE 2009 opened March 29.
+    prefix: str = "scale"
+    weights: Optional[Dict[str, float]] = None
+    #: Size of the dedicated bounded matrix/query spec (a pipeline
+    #: family of its own).  Kept small because the drivers time an
+    #: all-pairs matrix over it: 32 runs = 496 pairs.
+    matrix_runs: int = 32
+    batch: int = 64
+
+    def __post_init__(self):
+        if self.runs < 1:
+            raise ReproError("a build plan needs runs >= 1")
+        if self.batch < 1:
+            raise ReproError("a build plan needs batch >= 1")
+        weights = self.weights or DEFAULT_WEIGHTS
+        unknown = set(weights) - set(DEFAULT_WEIGHTS)
+        if unknown:
+            raise ReproError(
+                f"unknown workload families in weights: "
+                f"{', '.join(sorted(unknown))}"
+            )
+        total = sum(weights.values())
+        if total <= 0:
+            raise ReproError("family weights must sum to > 0")
+
+    def family_runs(self) -> Dict[str, int]:
+        """Per-family run counts (largest-remainder apportionment)."""
+        weights = self.weights or DEFAULT_WEIGHTS
+        total = sum(weights.values())
+        shares = {
+            family: self.runs * weight / total
+            for family, weight in weights.items()
+            if weight > 0
+        }
+        counts = {f: int(share) for f, share in shares.items()}
+        leftover = self.runs - sum(counts.values())
+        by_remainder = sorted(
+            shares,
+            key=lambda f: (counts[f] - shares[f], f),
+        )
+        for family in by_remainder[:leftover]:
+            counts[family] += 1
+        return {f: n for f, n in counts.items() if n > 0}
+
+    def workloads(self) -> List[WorkloadModel]:
+        """The workload instances this plan materialises, in order.
+
+        Includes the dedicated ``<prefix>-matrix`` pipeline family the
+        drivers time their distance matrix and queries against.
+        """
+        models: List[WorkloadModel] = []
+        for family, runs in sorted(self.family_runs().items()):
+            models.append(
+                make_workload(
+                    family,
+                    f"{self.prefix}-{family}",
+                    seed=self.seed,
+                    runs=runs,
+                )
+            )
+        if self.matrix_runs > 0:
+            models.append(
+                make_workload(
+                    "pipeline",
+                    f"{self.prefix}-matrix",
+                    seed=self.seed,
+                    runs=self.matrix_runs,
+                    stages=5,
+                    width=3,
+                )
+            )
+        return models
+
+
+@dataclass
+class BuildReport:
+    """What a build did: per-family counts, skips, rates, SP-izer load."""
+
+    plan_runs: int = 0
+    imported: int = 0
+    skipped: int = 0
+    seconds: float = 0.0
+    families: Dict[str, int] = field(default_factory=dict)
+    foreign_documents: int = 0
+    non_sp_documents: int = 0
+    forced_serializations: int = 0
+
+    @property
+    def runs_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.imported / self.seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "plan_runs": self.plan_runs,
+            "imported": self.imported,
+            "skipped": self.skipped,
+            "seconds": round(self.seconds, 3),
+            "runs_per_second": round(self.runs_per_second, 2),
+            "families": dict(sorted(self.families.items())),
+            "foreign_documents": self.foreign_documents,
+            "non_sp_documents": self.non_sp_documents,
+            "forced_serializations": self.forced_serializations,
+            "forced_serialization_ratio": (
+                round(
+                    self.non_sp_documents / self.foreign_documents, 4
+                )
+                if self.foreign_documents
+                else 0.0
+            ),
+        }
+
+
+def _report_fields(result) -> Tuple[bool, int]:
+    """(was_non_sp, forced_serialisation_count) from either import
+    return shape — the local ``ImportResult`` carries a live
+    ``NormalizationReport``; the remote ``ImportSummary`` its dict."""
+    report = getattr(result, "report", None)
+    if report is None:
+        return False, 0
+    if isinstance(report, dict):
+        forced = report.get("forced_serializations", [])
+        was_sp = report.get("was_series_parallel", True)
+        return (not was_sp), len(forced)
+    forced = getattr(report, "forced_serializations", [])
+    was_sp = getattr(report, "was_series_parallel", True)
+    return (not was_sp), len(forced)
+
+
+class CorpusBuilder:
+    """Materialise a :class:`BuildPlan` against any workspace target."""
+
+    def __init__(self, workspace, plan: BuildPlan):
+        self.workspace = workspace
+        self.plan = plan
+
+    # -- resume bookkeeping -------------------------------------------
+    def _existing_runs(self, spec_name: str) -> Set[str]:
+        try:
+            return set(self.workspace.runs(spec_name))
+        except NotFoundError:
+            return set()
+
+    def _known_specs(self) -> Set[str]:
+        return set(self.workspace.specifications())
+
+    # -- the build loop -----------------------------------------------
+    def build(self) -> BuildReport:
+        report = BuildReport(plan_runs=self.plan.runs)
+        started = time.monotonic()
+        specs = self._known_specs()
+        shared_runs: Dict[str, Set[str]] = {}
+        imported_since_log = 0
+        for model in self.plan.workloads():
+            family_imported = 0
+            for index in range(model.runs):
+                spec_name, run_name = model.location(index)
+                if spec_name not in shared_runs:
+                    shared_runs[spec_name] = (
+                        self._existing_runs(spec_name)
+                        if spec_name in specs
+                        else set()
+                    )
+                if run_name in shared_runs[spec_name]:
+                    report.skipped += 1
+                    continue
+                document = model.document(index)
+                self._import(document, report)
+                shared_runs[spec_name].add(run_name)
+                specs.add(spec_name)
+                family_imported += 1
+                imported_since_log += 1
+                if imported_since_log >= self.plan.batch:
+                    imported_since_log = 0
+                    elapsed = time.monotonic() - started
+                    logger.info(
+                        "scale build: %d imported, %d skipped "
+                        "(%.1f runs/s, family=%s)",
+                        report.imported,
+                        report.skipped,
+                        report.imported / elapsed if elapsed else 0.0,
+                        model.family,
+                    )
+            report.families[model.name] = family_imported
+        report.seconds = time.monotonic() - started
+        logger.info(
+            "scale build done: %d imported, %d skipped in %.1fs "
+            "(%.1f runs/s)",
+            report.imported,
+            report.skipped,
+            report.seconds,
+            report.runs_per_second,
+        )
+        return report
+
+    def _import(
+        self, document: GeneratedDocument, report: BuildReport
+    ) -> None:
+        # Foreign documents carry their own unique spec name (their
+        # derived specification is isomorphic to the run); embedded-plan
+        # documents name their family specification inside the plan.
+        spec_name = (
+            document.spec_name
+            if document.kind == "foreign"
+            else None
+        )
+        result = self.workspace.import_prov(
+            document.document,
+            name=document.run_name,
+            spec_name=spec_name,
+            diff=False,
+        )
+        report.imported += 1
+        if document.kind == "foreign":
+            report.foreign_documents += 1
+            non_sp, forced = _report_fields(result)
+            if non_sp:
+                report.non_sp_documents += 1
+            report.forced_serializations += forced

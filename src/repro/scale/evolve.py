@@ -1,0 +1,294 @@
+"""Choice-driven run materialisation with bounded, seeded mutation.
+
+:func:`~repro.workflow.execution.execute_workflow` samples every
+branching decision from one RNG stream, which makes "run ``k+1`` is a
+*bounded mutation* of run ``k``" impossible to express: changing a
+single early decision shifts the whole stream and the rest of the run
+drifts arbitrarily.  The evolving-corpus family (citation-graph /
+snowballing-like growth) needs drift that is *local*: a handful of
+branches flip, a fork gains a copy, a loop drops an iteration — and
+everything else stays byte-identical.
+
+This module reifies the executor's decisions into a
+:class:`DecisionMap` keyed by the *instance path* through the annotated
+specification tree.  A path is stable under mutation: the decision for
+"fork copies of stage 3's second branch inside loop iteration 1" keeps
+its key no matter what happens elsewhere, so
+
+* materialising a run consults (and records) one decision per key;
+* keys never consulted before default deterministically from the map's
+  seed (so a mutation that *opens* a new subtree fills it in
+  reproducibly);
+* :meth:`DecisionMap.mutated` changes at most ``budget`` recorded
+  decisions and leaves every other key untouched — the next run differs
+  from its parent only where the mutation landed.
+
+The traversal mirrors ``repro.workflow.execution._Executor`` exactly
+(same S/P/F/L realisation, same instance naming), so every materialised
+graph is a valid run of its specification by construction — and is
+revalidated by :class:`~repro.workflow.run.WorkflowRun` anyway.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SpecificationError
+from repro.graphs.flow_network import FlowNetwork
+from repro.sptree.nodes import EdgeRef, NodeType, SPTree
+from repro.workflow.execution import _suffix
+from repro.workflow.run import WorkflowRun
+
+#: One step of an instance path: ``(role, index)`` where role is the
+#: tree-child position ("c"), a fork copy ("f") or a loop iteration
+#: ("l").  Tuples of these form :class:`DecisionMap` keys.
+PathStep = Tuple[str, int]
+DecisionKey = Tuple[PathStep, ...]
+
+
+def _key_text(key: DecisionKey) -> str:
+    return "/".join(f"{role}{index}" for role, index in key)
+
+
+class DecisionMap:
+    """Every branching decision of one run, keyed by instance path.
+
+    ``seed`` feeds the deterministic defaults (``random.Random`` over a
+    string seed hashes with SHA-512, so defaults are stable across
+    processes and ``PYTHONHASHSEED`` values).  The sampling knobs mirror
+    :class:`~repro.workflow.execution.ExecutionParams`.
+    """
+
+    def __init__(
+        self,
+        seed: str,
+        prob_parallel: float = 0.9,
+        max_fork: int = 3,
+        prob_fork: float = 0.4,
+        max_loop: int = 3,
+        prob_loop: float = 0.4,
+        decisions: Optional[Dict[DecisionKey, object]] = None,
+    ):
+        if max_fork < 1 or max_loop < 1:
+            raise SpecificationError(
+                "max_fork and max_loop must be >= 1"
+            )
+        self.seed = seed
+        self.prob_parallel = prob_parallel
+        self.max_fork = max_fork
+        self.prob_fork = prob_fork
+        self.max_loop = max_loop
+        self.prob_loop = prob_loop
+        self.decisions: Dict[DecisionKey, object] = dict(
+            decisions or {}
+        )
+
+    # -- deterministic defaults ---------------------------------------
+    def _rng(self, kind: str, key: DecisionKey) -> random.Random:
+        return random.Random(f"{self.seed}|{kind}|{_key_text(key)}")
+
+    def _default_replication(
+        self, kind: str, key: DecisionKey, trials: int, prob: float
+    ) -> int:
+        rng = self._rng(kind, key)
+        count = sum(1 for _ in range(trials) if rng.random() < prob)
+        return max(1, count)
+
+    # -- decision lookups (recording) ---------------------------------
+    def parallel(self, key: DecisionKey, arity: int) -> Tuple[int, ...]:
+        """Indices of the P-block branches this run executes."""
+        value = self.decisions.get(key)
+        if value is None:
+            rng = self._rng("P", key)
+            chosen = tuple(
+                i
+                for i in range(arity)
+                if rng.random() < self.prob_parallel
+            )
+            if not chosen:
+                chosen = (rng.randrange(arity),)
+            value = chosen
+        # Clamp against the spec's actual arity so a decision map can
+        # outlive small spec edits without materialising invalid runs.
+        value = tuple(i for i in value if 0 <= i < arity) or (0,)
+        self.decisions[key] = value
+        return value
+
+    def fork(self, key: DecisionKey) -> int:
+        value = self.decisions.get(key)
+        if value is None:
+            value = self._default_replication(
+                "F", key, self.max_fork, self.prob_fork
+            )
+        value = max(1, min(int(value), self.max_fork))
+        self.decisions[key] = value
+        return value
+
+    def loop(self, key: DecisionKey) -> int:
+        value = self.decisions.get(key)
+        if value is None:
+            value = self._default_replication(
+                "L", key, self.max_loop, self.prob_loop
+            )
+        value = max(1, min(int(value), self.max_loop))
+        self.decisions[key] = value
+        return value
+
+    # -- evolution -----------------------------------------------------
+    def mutated(self, step: int, budget: int = 3) -> "DecisionMap":
+        """A child map differing in at most ``budget`` decisions.
+
+        ``step`` seeds the mutation choices, so the whole evolution
+        chain is a pure function of ``(seed, steps)``.  Fork and loop
+        counts drift by ±1 (clamped to their bounds); parallel subsets
+        toggle one branch in or out (never emptying the block).  Keys
+        not selected are copied verbatim — the bounded-drift contract.
+        """
+        child = DecisionMap(
+            seed=f"{self.seed}|step{step}",
+            prob_parallel=self.prob_parallel,
+            max_fork=self.max_fork,
+            prob_fork=self.prob_fork,
+            max_loop=self.max_loop,
+            prob_loop=self.prob_loop,
+            decisions=self.decisions,
+        )
+        keys = sorted(child.decisions, key=_key_text)
+        if not keys:
+            return child
+        rng = random.Random(f"{self.seed}|mutate|{step}")
+        for key in rng.sample(keys, min(budget, len(keys))):
+            value = child.decisions[key]
+            if isinstance(value, tuple):  # P subset
+                arity = max(value) + 1 if value else 1
+                candidates = list(range(max(arity, len(value) + 1)))
+                flip = rng.choice(candidates)
+                chosen = set(value)
+                if flip in chosen and len(chosen) > 1:
+                    chosen.discard(flip)
+                else:
+                    chosen.add(flip)
+                child.decisions[key] = tuple(sorted(chosen))
+            else:  # F/L replication count
+                delta = rng.choice((-1, 1))
+                child.decisions[key] = int(value) + delta
+        return child
+
+
+class _DecisionExecutor:
+    """``_Executor``'s realisation driven by a :class:`DecisionMap`.
+
+    Mirrors :class:`repro.workflow.execution._Executor` node for node —
+    the only difference is *where decisions come from*.  Kept separate
+    (rather than parametrising the executor) so the sampled and the
+    decision-driven paths stay independently readable and testable.
+    """
+
+    def __init__(self, spec, decisions: DecisionMap):
+        self.spec = spec
+        self.decisions = decisions
+        self.graph = FlowNetwork()
+        self._counters: Dict[str, int] = {}
+        self._used: set = set()
+
+    def fresh(self, label: str) -> str:
+        index = self._counters.get(label, 0)
+        while True:
+            node_id = f"{label}{_suffix(index)}"
+            index += 1
+            if node_id not in self._used:
+                break
+        self._counters[label] = index
+        self._used.add(node_id)
+        self.graph.add_node(node_id, label)
+        return node_id
+
+    def execute(
+        self, node: SPTree, source, sink, path: DecisionKey
+    ) -> SPTree:
+        if node.kind is NodeType.Q:
+            _, _, key = self.graph.add_edge(source, sink)
+            ref = EdgeRef(
+                source=source,
+                sink=sink,
+                source_label=node.source_label,
+                sink_label=node.sink_label,
+                key=key,
+            )
+            return SPTree(NodeType.Q, (), edge=ref, origin=node)
+
+        if node.kind is NodeType.S:
+            bounds = [source]
+            for child in node.children[:-1]:
+                bounds.append(self.fresh(child.sink_label))
+            bounds.append(sink)
+            children = tuple(
+                self.execute(
+                    child, bounds[i], bounds[i + 1], path + (("c", i),)
+                )
+                for i, child in enumerate(node.children)
+            )
+            return SPTree(NodeType.S, children, origin=node)
+
+        if node.kind is NodeType.P:
+            chosen = self.decisions.parallel(path, len(node.children))
+            children = tuple(
+                self.execute(
+                    node.children[i], source, sink, path + (("c", i),)
+                )
+                for i in chosen
+            )
+            return SPTree(NodeType.P, children, origin=node)
+
+        if node.kind is NodeType.F:
+            copies = self.decisions.fork(path)
+            children = tuple(
+                self.execute(
+                    node.children[0], source, sink, path + (("f", t),)
+                )
+                for t in range(copies)
+            )
+            return SPTree(NodeType.F, children, origin=node)
+
+        iterations = self.decisions.loop(path)
+        body = node.children[0]
+        children: List[SPTree] = []
+        iter_source = source
+        for index in range(iterations):
+            last = index == iterations - 1
+            iter_sink = (
+                sink if last else self.fresh(body.sink_label)
+            )
+            children.append(
+                self.execute(
+                    body, iter_source, iter_sink, path + (("l", index),)
+                )
+            )
+            if not last:
+                next_source = self.fresh(body.source_label)
+                self.graph.add_edge(iter_sink, next_source)
+                iter_source = next_source
+        return SPTree(NodeType.L, tuple(children), origin=node)
+
+    def run(self, name: str = "") -> WorkflowRun:
+        root = self.spec.tree
+        source = self.fresh(root.source_label)
+        sink = self.fresh(root.sink_label)
+        tree = self.execute(root, source, sink, ())
+        self.graph.name = name
+        if self.spec.has_ambiguous_branches:
+            tree = None
+        return WorkflowRun(self.spec, self.graph, tree=tree, name=name)
+
+
+def materialize_run(
+    spec, decisions: DecisionMap, name: str = ""
+) -> WorkflowRun:
+    """The run of ``spec`` that ``decisions`` describes.
+
+    Consulted decisions are recorded back into ``decisions`` (defaults
+    included), so after the call the map is the complete account of the
+    run — exactly what :meth:`DecisionMap.mutated` needs to drift it.
+    """
+    return _DecisionExecutor(spec, decisions).run(name=name)

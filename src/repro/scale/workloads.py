@@ -1,0 +1,612 @@
+"""Seeded workload models for realistic provenance corpora.
+
+Pipeline-centric provenance studies (Groth et al.; HyProv's workflow
+traces) show real scientific-workflow provenance is dominated by a few
+shapes the paper's six ~50-run workflows never stress at scale:
+
+* **pipeline** — deep staged DAGs with wide fan-out/fan-in per stage
+  (Montage mosaics, quantum-espresso runs): a serial backbone of
+  parallel stages, branches forking into replicated copies and looping
+  over convergence steps.  Emitted as embedded-plan PROV-JSON so every
+  run of a family lands under one shared specification — the shape the
+  distance matrix, analytics and query engine operate on.
+* **adversarial** — layered non-SP DAGs built around the N-shaped
+  forbidden minor (crossing fan-in between consecutive layers plus
+  skip-level edges).  Emitted as *foreign* PROV-JSON: each document
+  takes the normalisation path, stressing the SP-izer and its
+  forced-serialisation report.
+* **evolving** — a corpus where run ``k+1`` is a *bounded mutation* of
+  run ``k`` (citation-graph / snowballing-like drift), realised through
+  :class:`~repro.scale.evolve.DecisionMap` mutation chains.
+* **mixed** — a heterogeneous ingest stream interleaving
+  mixed-granularity pipeline runs with foreign adversarial documents,
+  the closest model of a production corpus boundary.
+
+Determinism contract: every generator is a pure function of
+``(family, name, seed, index)`` — the same seed yields *byte-identical*
+PROV-JSON, which is what makes corpus builds resumable and the
+regression gate reproducible.  All documents enter stores through
+``import_document`` / ``POST /prov/import``; nothing writes to a store
+directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError, SpecificationError
+from repro.graphs.flow_network import FlowNetwork
+from repro.interchange.convert import export_run_document
+from repro.scale.evolve import DecisionMap, materialize_run
+from repro.workflow.specification import WorkflowSpecification
+
+__all__ = [
+    "WORKLOAD_FAMILIES",
+    "GeneratedDocument",
+    "WorkloadModel",
+    "PipelineWorkload",
+    "AdversarialWorkload",
+    "EvolvingWorkload",
+    "MixedWorkload",
+    "make_workload",
+    "pipeline_specification",
+    "adversarial_document",
+]
+
+
+# ---------------------------------------------------------------------
+# Specification shapes
+# ---------------------------------------------------------------------
+def pipeline_specification(
+    name: str,
+    stages: int = 8,
+    width: int = 4,
+    chain: int = 2,
+    seed: int = 0,
+    fork_fraction: float = 0.35,
+    loop_fraction: float = 0.2,
+) -> WorkflowSpecification:
+    """A deep staged fan-out/fan-in SP specification (Montage-like).
+
+    A serial backbone of ``stages`` parallel blocks between gate nodes;
+    stage ``i`` fans out into up to ``width`` branches (occasionally
+    collapsing to a single-branch gather stage, the mosaic/coadd step),
+    each branch a serial chain of up to ``chain`` modules.  Chains of
+    length >= 2 become fork or loop elements with the given fractions,
+    so runs replicate branches in parallel (forks) and iterate
+    convergence steps in series (loops).  Deterministic for a fixed
+    ``(name, seed)``.
+    """
+    if stages < 1 or width < 1 or chain < 1:
+        raise SpecificationError(
+            "stages, width and chain must all be >= 1"
+        )
+    rng = random.Random(f"{seed}|spec|{name}")
+    graph = FlowNetwork(name=name)
+    gates = [f"g{i:02d}" for i in range(stages + 1)]
+    for gate in gates:
+        graph.add_node(gate)
+    forks: List[List[str]] = []
+    loops: List[List[str]] = []
+    for i in range(stages):
+        fan_out = (
+            1
+            if width > 1 and rng.random() < 0.2
+            else rng.randint(min(2, width), width)
+        )
+        for j in range(fan_out):
+            depth = rng.randint(1, chain)
+            labels = [
+                f"s{i:02d}b{j}n{k}" for k in range(depth)
+            ]
+            for label in labels:
+                graph.add_node(label)
+            previous = gates[i]
+            for label in labels:
+                graph.add_edge(previous, label)
+                previous = label
+            graph.add_edge(previous, gates[i + 1])
+            if depth >= 2:
+                roll = rng.random()
+                if roll < fork_fraction:
+                    forks.append(labels)
+                elif roll < fork_fraction + loop_fraction:
+                    loops.append(labels)
+    return WorkflowSpecification(
+        graph, forks=forks, loops=loops, name=name
+    )
+
+
+#: Mixed-granularity tiers: the same specification executed coarsely
+#: (minimal replication) through bushily (heavy fan-out), modelling
+#: corpora that mix smoke runs with production campaigns.
+GRANULARITY_TIERS: Dict[str, Dict[str, float]] = {
+    "sparse": {
+        "prob_parallel": 0.75,
+        "max_fork": 1,
+        "prob_fork": 0.0,
+        "max_loop": 1,
+        "prob_loop": 0.0,
+    },
+    "standard": {
+        "prob_parallel": 0.9,
+        "max_fork": 2,
+        "prob_fork": 0.35,
+        "max_loop": 2,
+        "prob_loop": 0.3,
+    },
+    "bushy": {
+        "prob_parallel": 0.98,
+        "max_fork": 4,
+        "prob_fork": 0.55,
+        "max_loop": 3,
+        "prob_loop": 0.45,
+    },
+}
+
+
+# ---------------------------------------------------------------------
+# Foreign (non-SP) document shapes
+# ---------------------------------------------------------------------
+def adversarial_document(
+    seed: str,
+    width: int = 4,
+    depth: int = 6,
+    skip_probability: float = 0.25,
+    entity_ratio: float = 0.5,
+) -> dict:
+    """A layered non-SP PROV-JSON document (normalisation stress).
+
+    ``width`` x ``depth`` activities; consecutive layers connect with
+    the crossing pattern ``i -> i`` and ``i -> i+1`` — every adjacent
+    column pair embeds the N-shaped forbidden minor, so the document is
+    never series-parallel for ``width >= 2`` — plus seeded skip-level
+    edges that deepen the layering conflicts the SP-izer must serialise.
+    Each dependency is expressed either directly (``wasInformedBy``) or
+    through a mediating entity (``wasGeneratedBy`` + ``used``), chosen
+    per edge, so both extraction channels of the importer run at scale.
+    """
+    if width < 1 or depth < 2:
+        raise ReproError(
+            "adversarial documents need width >= 1 and depth >= 2"
+        )
+    rng = random.Random(f"{seed}|doc")
+    layers = [
+        [f"ex:L{level:02d}n{i}" for i in range(width)]
+        for level in range(depth)
+    ]
+    edges: List[Tuple[str, str]] = []
+    for level in range(depth - 1):
+        for i in range(width):
+            edges.append((layers[level][i], layers[level + 1][i]))
+            if i + 1 < width:
+                edges.append(
+                    (layers[level][i], layers[level + 1][i + 1])
+                )
+    for level in range(depth - 2):
+        for i in range(width):
+            if rng.random() < skip_probability:
+                edges.append(
+                    (
+                        layers[level][i],
+                        layers[level + 2][rng.randrange(width)],
+                    )
+                )
+    document: dict = {
+        "prefix": {"ex": "urn:repro:scale:"},
+        "activity": {
+            node: {"prov:label": node.split(":", 1)[1]}
+            for layer in layers
+            for node in layer
+        },
+        "entity": {},
+        "used": {},
+        "wasGeneratedBy": {},
+        "wasInformedBy": {},
+    }
+    for index, (upstream, downstream) in enumerate(edges):
+        if rng.random() < entity_ratio:
+            entity = f"ex:d{index:04d}"
+            document["entity"][entity] = {}
+            document["wasGeneratedBy"][f"_:g{index}"] = {
+                "prov:entity": entity,
+                "prov:activity": upstream,
+            }
+            document["used"][f"_:u{index}"] = {
+                "prov:activity": downstream,
+                "prov:entity": entity,
+            }
+        else:
+            document["wasInformedBy"][f"_:w{index}"] = {
+                "prov:informed": downstream,
+                "prov:informant": upstream,
+            }
+    return document
+
+
+# ---------------------------------------------------------------------
+# Workload models
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class GeneratedDocument:
+    """One corpus entry: a PROV-JSON document plus its destination.
+
+    ``kind`` is ``"embedded-plan"`` (exact import under the shared
+    family specification) or ``"foreign"`` (normalisation path; the
+    builder passes ``spec_name`` to the importer so each foreign
+    document derives its own uniquely-named specification).
+    """
+
+    index: int
+    family: str
+    spec_name: str
+    run_name: str
+    kind: str
+    document: dict
+
+
+class WorkloadModel:
+    """Base contract: deterministic documents addressed by index.
+
+    ``location(index)`` is cheap (names only — what the resumable
+    builder checks against the store); ``document(index)`` generates.
+    Indices must be visited in ascending order — the evolving family
+    carries chain state forward.
+    """
+
+    family = "abstract"
+
+    def __init__(self, name: str, seed: int, runs: int):
+        if runs < 0:
+            raise ReproError("a workload cannot have negative runs")
+        self.name = name
+        self.seed = seed
+        self.runs = runs
+
+    def location(self, index: int) -> Tuple[str, str]:
+        raise NotImplementedError
+
+    def document(self, index: int) -> GeneratedDocument:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Knobs for reports and docs (stable, JSON-safe)."""
+        return {
+            "family": self.family,
+            "name": self.name,
+            "seed": self.seed,
+            "runs": self.runs,
+        }
+
+    def documents(
+        self, start: int = 0
+    ) -> Iterator[GeneratedDocument]:
+        for index in range(start, self.runs):
+            yield self.document(index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.runs:
+            raise ReproError(
+                f"{self.family} workload {self.name!r} has "
+                f"{self.runs} runs; index {index} is out of range"
+            )
+
+
+class PipelineWorkload(WorkloadModel):
+    """Deep staged pipelines under one shared specification."""
+
+    family = "pipeline"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        runs: int,
+        stages: int = 8,
+        width: int = 4,
+        chain: int = 2,
+        tiers: Optional[Tuple[str, ...]] = None,
+    ):
+        super().__init__(name, seed, runs)
+        self.stages = stages
+        self.width = width
+        self.chain = chain
+        self.tiers = tuple(tiers or tuple(GRANULARITY_TIERS))
+        for tier in self.tiers:
+            if tier not in GRANULARITY_TIERS:
+                raise ReproError(f"unknown granularity tier {tier!r}")
+        self.spec = pipeline_specification(
+            name,
+            stages=stages,
+            width=width,
+            chain=chain,
+            seed=seed,
+        )
+
+    def describe(self) -> dict:
+        base = super().describe()
+        base.update(
+            stages=self.stages,
+            width=self.width,
+            chain=self.chain,
+            tiers=list(self.tiers),
+            spec_edges=self.spec.num_edges,
+        )
+        return base
+
+    def location(self, index: int) -> Tuple[str, str]:
+        self._check_index(index)
+        return self.name, f"r{index:05d}"
+
+    def document(self, index: int) -> GeneratedDocument:
+        spec_name, run_name = self.location(index)
+        tier = self.tiers[
+            random.Random(f"{self.seed}|tier|{index}").randrange(
+                len(self.tiers)
+            )
+        ]
+        decisions = DecisionMap(
+            seed=f"{self.seed}|{self.name}|run|{index}",
+            **GRANULARITY_TIERS[tier],
+        )
+        run = materialize_run(self.spec, decisions, name=run_name)
+        return GeneratedDocument(
+            index=index,
+            family=self.family,
+            spec_name=spec_name,
+            run_name=run_name,
+            kind="embedded-plan",
+            document=export_run_document(run),
+        )
+
+
+class AdversarialWorkload(WorkloadModel):
+    """Foreign non-SP documents, one derived specification each."""
+
+    family = "adversarial"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        runs: int,
+        width: int = 4,
+        depth: int = 6,
+        skip_probability: float = 0.25,
+    ):
+        super().__init__(name, seed, runs)
+        self.width = width
+        self.depth = depth
+        self.skip_probability = skip_probability
+
+    def describe(self) -> dict:
+        base = super().describe()
+        base.update(
+            width=self.width,
+            depth=self.depth,
+            skip_probability=self.skip_probability,
+        )
+        return base
+
+    def location(self, index: int) -> Tuple[str, str]:
+        self._check_index(index)
+        return f"{self.name}-a{index:05d}", f"adv{index:05d}"
+
+    def document(self, index: int) -> GeneratedDocument:
+        spec_name, run_name = self.location(index)
+        rng = random.Random(f"{self.seed}|shape|{index}")
+        width = rng.randint(2, max(2, self.width))
+        depth = rng.randint(3, max(3, self.depth))
+        return GeneratedDocument(
+            index=index,
+            family=self.family,
+            spec_name=spec_name,
+            run_name=run_name,
+            kind="foreign",
+            document=adversarial_document(
+                f"{self.seed}|{self.name}|{index}",
+                width=width,
+                depth=depth,
+                skip_probability=self.skip_probability,
+            ),
+        )
+
+
+class EvolvingWorkload(WorkloadModel):
+    """A drift chain: run ``k+1`` mutates run ``k``'s decisions.
+
+    Models snowballing-style corpora where each campaign run is a
+    bounded edit of the previous one.  The chain is materialised
+    incrementally (ascending index access); resuming a build replays
+    the cheap decision chain without re-ingesting stored runs.
+    """
+
+    family = "evolving"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        runs: int,
+        stages: int = 6,
+        width: int = 3,
+        chain: int = 2,
+        mutation_budget: int = 3,
+    ):
+        super().__init__(name, seed, runs)
+        if mutation_budget < 1:
+            raise ReproError("mutation_budget must be >= 1")
+        self.mutation_budget = mutation_budget
+        self.spec = pipeline_specification(
+            name,
+            stages=stages,
+            width=width,
+            chain=chain,
+            seed=seed,
+        )
+        self._decisions = DecisionMap(
+            seed=f"{seed}|{name}|evolve",
+            **GRANULARITY_TIERS["standard"],
+        )
+        self._materialised = -1
+        self._current = None
+
+    def describe(self) -> dict:
+        base = super().describe()
+        base.update(
+            mutation_budget=self.mutation_budget,
+            spec_edges=self.spec.num_edges,
+        )
+        return base
+
+    def location(self, index: int) -> Tuple[str, str]:
+        self._check_index(index)
+        return self.name, f"e{index:05d}"
+
+    def _ensure(self, index: int) -> None:
+        if index < self._materialised:
+            # Random access backwards: replay the chain from scratch.
+            self._decisions = DecisionMap(
+                seed=f"{self.seed}|{self.name}|evolve",
+                **GRANULARITY_TIERS["standard"],
+            )
+            self._materialised = -1
+            self._current = None
+        while self._materialised < index:
+            step = self._materialised + 1
+            if step > 0:
+                self._decisions = self._decisions.mutated(
+                    step, budget=self.mutation_budget
+                )
+            self._current = materialize_run(
+                self.spec,
+                self._decisions,
+                name=self.location(step)[1],
+            )
+            self._materialised = step
+
+    def document(self, index: int) -> GeneratedDocument:
+        spec_name, run_name = self.location(index)
+        self._ensure(index)
+        return GeneratedDocument(
+            index=index,
+            family=self.family,
+            spec_name=spec_name,
+            run_name=run_name,
+            kind="embedded-plan",
+            document=export_run_document(self._current),
+        )
+
+
+class MixedWorkload(WorkloadModel):
+    """Heterogeneous ingest stream: pipeline runs + foreign documents.
+
+    Each index independently (seeded) lands either as a
+    mixed-granularity run of the workload's own pipeline specification
+    or as a foreign adversarial document, modelling the mixed corpus
+    boundary a production import endpoint actually sees.
+    """
+
+    family = "mixed"
+
+    def __init__(
+        self,
+        name: str,
+        seed: int,
+        runs: int,
+        foreign_ratio: float = 0.35,
+        stages: int = 6,
+        width: int = 3,
+        chain: int = 2,
+    ):
+        super().__init__(name, seed, runs)
+        if not 0.0 <= foreign_ratio <= 1.0:
+            raise ReproError("foreign_ratio must be in [0, 1]")
+        self.foreign_ratio = foreign_ratio
+        self.spec = pipeline_specification(
+            name,
+            stages=stages,
+            width=width,
+            chain=chain,
+            seed=seed,
+        )
+
+    def describe(self) -> dict:
+        base = super().describe()
+        base.update(
+            foreign_ratio=self.foreign_ratio,
+            spec_edges=self.spec.num_edges,
+        )
+        return base
+
+    def _is_foreign(self, index: int) -> bool:
+        return (
+            random.Random(f"{self.seed}|mix|{index}").random()
+            < self.foreign_ratio
+        )
+
+    def location(self, index: int) -> Tuple[str, str]:
+        self._check_index(index)
+        if self._is_foreign(index):
+            return f"{self.name}-f{index:05d}", f"mf{index:05d}"
+        return self.name, f"m{index:05d}"
+
+    def document(self, index: int) -> GeneratedDocument:
+        spec_name, run_name = self.location(index)
+        if self._is_foreign(index):
+            rng = random.Random(f"{self.seed}|mixshape|{index}")
+            return GeneratedDocument(
+                index=index,
+                family=self.family,
+                spec_name=spec_name,
+                run_name=run_name,
+                kind="foreign",
+                document=adversarial_document(
+                    f"{self.seed}|{self.name}|foreign|{index}",
+                    width=rng.randint(2, 4),
+                    depth=rng.randint(3, 6),
+                ),
+            )
+        tier_names = tuple(GRANULARITY_TIERS)
+        tier = tier_names[
+            random.Random(f"{self.seed}|mixtier|{index}").randrange(
+                len(tier_names)
+            )
+        ]
+        decisions = DecisionMap(
+            seed=f"{self.seed}|{self.name}|mixrun|{index}",
+            **GRANULARITY_TIERS[tier],
+        )
+        run = materialize_run(self.spec, decisions, name=run_name)
+        return GeneratedDocument(
+            index=index,
+            family=self.family,
+            spec_name=spec_name,
+            run_name=run_name,
+            kind="embedded-plan",
+            document=export_run_document(run),
+        )
+
+
+WORKLOAD_FAMILIES: Dict[str, type] = {
+    PipelineWorkload.family: PipelineWorkload,
+    AdversarialWorkload.family: AdversarialWorkload,
+    EvolvingWorkload.family: EvolvingWorkload,
+    MixedWorkload.family: MixedWorkload,
+}
+
+
+def make_workload(
+    family: str, name: str, seed: int, runs: int, **knobs
+) -> WorkloadModel:
+    """Instantiate a registered workload family by name."""
+    try:
+        factory = WORKLOAD_FAMILIES[family]
+    except KeyError:
+        raise ReproError(
+            f"unknown workload family {family!r}; available: "
+            f"{', '.join(sorted(WORKLOAD_FAMILIES))}"
+        ) from None
+    return factory(name, seed, runs, **knobs)

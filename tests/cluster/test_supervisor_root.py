@@ -1,0 +1,39 @@
+"""WorkerSupervisor must resolve its root to a real path string.
+
+The old ``str(root)`` coercion turned a passed-in store object into
+its repr; workers then created a repr-named directory under CWD.
+"""
+
+import pytest
+
+from repro import ReproConfig, Workspace
+from repro.cluster.supervisor import WorkerSupervisor
+from repro.errors import ReproError
+from repro.io.store import WorkflowStore
+
+CONFIG = ReproConfig(backend="serial")
+
+
+class TestSupervisorRoot:
+    def test_accepts_path(self, tmp_path):
+        supervisor = WorkerSupervisor(tmp_path, CONFIG, count=1)
+        assert supervisor.root == str(tmp_path)
+
+    def test_accepts_str(self, tmp_path):
+        supervisor = WorkerSupervisor(str(tmp_path), CONFIG, count=1)
+        assert supervisor.root == str(tmp_path)
+
+    def test_unwraps_store(self, tmp_path):
+        store = WorkflowStore(tmp_path / "s")
+        supervisor = WorkerSupervisor(store, CONFIG, count=1)
+        assert supervisor.root == str(tmp_path / "s")
+        assert "object at 0x" not in supervisor.root
+
+    def test_unwraps_workspace(self, tmp_path):
+        workspace = Workspace(tmp_path / "w", CONFIG)
+        supervisor = WorkerSupervisor(workspace, CONFIG, count=1)
+        assert supervisor.root == str(tmp_path / "w")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError, match="path or a store"):
+            WorkerSupervisor(12345, CONFIG, count=1)

@@ -1,0 +1,55 @@
+"""WorkflowStore roots must be real paths — never object reprs.
+
+Guards the bug that once committed a
+``benchmarks/<repro.io.store.WorkflowStore object at 0x...>/``
+directory: an object passed where a path belonged was silently
+str()-ed into a repr-named directory.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io.store import WorkflowStore
+
+
+class TestRootValidation:
+    def test_accepts_str(self, tmp_path):
+        store = WorkflowStore(str(tmp_path / "s"))
+        assert store.root == tmp_path / "s"
+
+    def test_accepts_pathlike(self, tmp_path):
+        assert WorkflowStore(tmp_path / "s").root == tmp_path / "s"
+
+        class CustomPath:
+            def __init__(self, path):
+                self._path = path
+
+            def __fspath__(self):
+                return str(self._path)
+
+        store = WorkflowStore(CustomPath(tmp_path / "custom"))
+        assert store.root == tmp_path / "custom"
+
+    @pytest.mark.parametrize(
+        "bad", [None, 7, ["dir"], {"root": "dir"}]
+    )
+    def test_rejects_non_paths(self, bad):
+        with pytest.raises(ReproError, match="must be a path"):
+            WorkflowStore(bad)
+
+    def test_rejects_store_instance(self, tmp_path):
+        """The exact historical failure: a store passed as a root."""
+        store = WorkflowStore(tmp_path / "s")
+        cwd = os.getcwd()
+        with pytest.raises(ReproError, match="WorkflowStore"):
+            WorkflowStore(store)
+        # And nothing repr-named appeared anywhere plausible.
+        for base in (Path(cwd), tmp_path):
+            assert not [
+                p
+                for p in base.iterdir()
+                if "object at 0x" in p.name
+            ]

@@ -1,0 +1,91 @@
+"""DecisionMap semantics: defaults, clamping, bounded mutation."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.scale.evolve import DecisionMap, materialize_run
+from repro.scale.workloads import pipeline_specification
+
+
+def record_all(spec, seed="s"):
+    decisions = DecisionMap(seed=seed)
+    run = materialize_run(spec, decisions, name="r")
+    return decisions, run
+
+
+class TestDefaults:
+    def test_defaults_deterministic(self):
+        spec = pipeline_specification("p", seed=1)
+        one, run_one = record_all(spec)
+        two, run_two = record_all(spec)
+        assert one.decisions == two.decisions
+        assert sorted(run_one.graph.labels()) == sorted(
+            run_two.graph.labels()
+        )
+
+    def test_materialised_run_validates(self):
+        # WorkflowRun's constructor validates the realisation against
+        # the specification; reaching here means it passed.
+        spec = pipeline_specification("p", seed=2)
+        _, run = record_all(spec)
+        assert run.num_edges >= spec.num_edges // 2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(SpecificationError):
+            DecisionMap(seed="s", max_fork=0)
+
+
+class TestClamping:
+    def test_parallel_clamps_to_arity(self):
+        decisions = DecisionMap(
+            seed="s", decisions={(("c", 0),): (0, 5, 9)}
+        )
+        assert decisions.parallel((("c", 0),), arity=3) == (0,)
+        # A fully out-of-range subset falls back to branch 0.
+        decisions.decisions[(("c", 1),)] = (7,)
+        assert decisions.parallel((("c", 1),), arity=3) == (0,)
+
+    def test_fork_and_loop_clamp(self):
+        decisions = DecisionMap(
+            seed="s",
+            max_fork=3,
+            max_loop=2,
+            decisions={(("f", 0),): 99, (("l", 0),): -4},
+        )
+        assert decisions.fork((("f", 0),)) == 3
+        assert decisions.loop((("l", 0),)) == 1
+
+
+class TestMutation:
+    def test_budget_bounds_changed_keys(self):
+        spec = pipeline_specification("p", seed=3)
+        parent, _ = record_all(spec)
+        child = parent.mutated(step=1, budget=2)
+        changed = [
+            key
+            for key in parent.decisions
+            if parent.decisions[key] != child.decisions[key]
+        ]
+        assert 0 < len(changed) <= 2
+        assert set(child.decisions) == set(parent.decisions)
+
+    def test_mutation_deterministic(self):
+        spec = pipeline_specification("p", seed=3)
+        parent, _ = record_all(spec)
+        again, _ = record_all(spec)
+        assert (
+            parent.mutated(step=4).decisions
+            == again.mutated(step=4).decisions
+        )
+
+    def test_mutated_child_still_materialises(self):
+        spec = pipeline_specification("p", seed=4)
+        decisions, _ = record_all(spec)
+        for step in range(1, 5):
+            decisions = decisions.mutated(step)
+            run = materialize_run(spec, decisions, name=f"r{step}")
+            assert run.num_edges > 0
+
+    def test_empty_map_mutates_to_empty(self):
+        child = DecisionMap(seed="s").mutated(step=1)
+        assert child.decisions == {}

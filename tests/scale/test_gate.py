@@ -1,0 +1,80 @@
+"""Regression-gate arithmetic: directions, floors, missing metrics."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scale.gate import (
+    DEFAULT_THRESHOLDS,
+    evaluate_gate,
+    gate_mode,
+)
+
+
+def report(ingest_rps=100.0, cold=10.0, warm=1.0, p50=20.0, p95=40.0):
+    return {
+        "ingest": {"runs_per_second": ingest_rps},
+        "matrix": {"cold_seconds": cold, "warm_seconds": warm},
+        "query": {"p50_ms": p50, "p95_ms": p95},
+    }
+
+
+class TestEvaluate:
+    def test_identical_reports_pass(self):
+        baseline = report()
+        assert evaluate_gate(baseline, baseline) == []
+
+    def test_min_direction_catches_throughput_collapse(self):
+        findings = evaluate_gate(
+            report(ingest_rps=40.0), report(ingest_rps=100.0)
+        )
+        assert [f.metric for f in findings] == [
+            "ingest.runs_per_second"
+        ]
+        assert "fell below" in findings[0].render()
+
+    def test_max_direction_catches_latency_blowup(self):
+        findings = evaluate_gate(report(p95=150.0), report(p95=40.0))
+        assert [f.metric for f in findings] == ["query.p95_ms"]
+        assert "exceeded" in findings[0].render()
+
+    def test_within_ratio_passes(self):
+        # 1.8x cold-matrix growth is under the 2.0 limit.
+        assert (
+            evaluate_gate(report(cold=18.0), report(cold=10.0)) == []
+        )
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        # A 0.4ms -> 1.9ms p95 swing is 4.75x but under the floor.
+        findings = evaluate_gate(
+            report(p95=1.9, p50=0.3), report(p95=0.4, p50=0.2)
+        )
+        assert findings == []
+
+    def test_missing_metric_skipped(self):
+        findings = evaluate_gate({}, report())
+        assert findings == []
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ReproError):
+            evaluate_gate(
+                report(), report(), {"query.p95_ms": ("sideways", 1.0)}
+            )
+
+    def test_default_thresholds_cover_the_three_workloads(self):
+        prefixes = {m.split(".")[0] for m in DEFAULT_THRESHOLDS}
+        assert prefixes == {"ingest", "matrix", "query"}
+
+
+class TestMode:
+    def test_default_advisory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE_GATE", raising=False)
+        assert gate_mode() == "advisory"
+
+    def test_hard(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE_GATE", "hard")
+        assert gate_mode() == "hard"
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE_GATE", "sometimes")
+        with pytest.raises(ReproError):
+            gate_mode()

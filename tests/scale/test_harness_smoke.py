@@ -1,0 +1,148 @@
+"""Tier-1 smoke: a 40-run corpus end to end on the serial backend.
+
+build -> ingest probe -> distance matrix -> indexed query, all through
+the public harness entry points — the miniature of what
+``benchmarks/bench_scale.py`` runs at 10³–10⁴.
+"""
+
+import json
+
+import pytest
+
+from repro import ReproConfig, Workspace
+from repro.cli import main
+from repro.scale.build import BuildPlan, CorpusBuilder
+from repro.scale.drivers import DriverConfig, drive_workloads
+from repro.scale.gate import evaluate_gate
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    workspace = Workspace(
+        tmp_path_factory.mktemp("scale") / "store",
+        ReproConfig(backend="serial"),
+    )
+    plan = BuildPlan(runs=40, matrix_runs=8, batch=16)
+    build = CorpusBuilder(workspace, plan).build()
+    report = drive_workloads(
+        workspace, DriverConfig(probe_runs=6, query_repeats=3)
+    )
+    return workspace, build, report
+
+
+class TestEndToEnd:
+    def test_build_materialised_all_families(self, harness):
+        _, build, _ = harness
+        assert build.imported == 40 + 8
+        assert set(build.families) == {
+            "scale-adversarial",
+            "scale-evolving",
+            "scale-matrix",
+            "scale-mixed",
+            "scale-pipeline",
+        }
+        assert build.non_sp_documents == build.foreign_documents > 0
+
+    def test_ingest_probe(self, harness):
+        _, _, report = harness
+        assert report["ingest"]["runs"] == 6
+        assert report["ingest"]["runs_per_second"] > 0
+
+    def test_matrix_cold_and_warm(self, harness):
+        _, _, report = harness
+        matrix = report["matrix"]
+        assert matrix["runs"] == 8
+        assert matrix["pairs"] == 8 * 7 // 2
+        assert matrix["warm_seconds"] <= matrix["cold_seconds"]
+
+    def test_query_latency_shape(self, harness):
+        _, _, report = harness
+        query = report["query"]
+        assert query["p50_ms"] <= query["p95_ms"]
+        assert set(query["shapes"]) == {"kind", "touch", "cost"}
+
+    def test_stats_counters_present(self, harness):
+        _, _, report = harness
+        stats = report["stats"]
+        assert stats["computed_pairs"] > 0
+        assert stats["dp_skipped_by_bound"] >= 0
+
+    def test_report_gates_cleanly_against_itself(self, harness):
+        _, _, report = harness
+        assert evaluate_gate(report, report) == []
+
+    def test_driver_pass_is_repeatable(self, harness):
+        """A second driver pass ingests *fresh* probe runs (epoch
+        advance) and still completes on the same store."""
+        workspace, _, first = harness
+        second = drive_workloads(
+            workspace, DriverConfig(probe_runs=6, query_repeats=2)
+        )
+        assert second["ingest"]["runs"] == 6
+        assert (
+            len(workspace.runs("scale-probe"))
+            == first["ingest"]["runs"] + 6
+        )
+
+
+class TestCli:
+    def test_cli_build_then_run(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "scale",
+                    "build",
+                    str(store),
+                    "--runs",
+                    "12",
+                    "--matrix-runs",
+                    "4",
+                    "--backend",
+                    "serial",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        build = json.loads(capsys.readouterr().out)
+        assert build["imported"] == 16
+
+        assert (
+            main(
+                [
+                    "scale",
+                    "run",
+                    str(store),
+                    "--probe-runs",
+                    "4",
+                    "--query-repeats",
+                    "2",
+                    "--backend",
+                    "serial",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["ingest"]["runs"] == 4
+        assert report["matrix"]["pairs"] == 6
+        assert report["query"]["p95_ms"] >= 0
+
+    def test_cli_run_without_corpus_errors(self, tmp_path, capsys):
+        store = tmp_path / "empty"
+        store.mkdir()
+        code = main(
+            [
+                "scale",
+                "run",
+                str(store),
+                "--probe-runs",
+                "2",
+                "--backend",
+                "serial",
+            ]
+        )
+        assert code == 1
+        assert "build the corpus first" in capsys.readouterr().err

@@ -1,0 +1,160 @@
+"""Workload-model contracts: determinism, shapes, import paths."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.interchange.convert import import_document
+from repro.scale.workloads import (
+    WORKLOAD_FAMILIES,
+    AdversarialWorkload,
+    EvolvingWorkload,
+    MixedWorkload,
+    PipelineWorkload,
+    adversarial_document,
+    make_workload,
+    pipeline_specification,
+)
+
+
+def canonical(document: dict) -> str:
+    return json.dumps(document, sort_keys=True)
+
+
+class TestDeterminism:
+    """Same seed => byte-identical PROV-JSON, per family."""
+
+    @pytest.mark.parametrize("family", sorted(WORKLOAD_FAMILIES))
+    def test_same_seed_byte_identical(self, family):
+        first = make_workload(family, "fam", seed=42, runs=4)
+        second = make_workload(family, "fam", seed=42, runs=4)
+        for index in range(4):
+            assert canonical(
+                first.document(index).document
+            ) == canonical(second.document(index).document)
+
+    @pytest.mark.parametrize("family", sorted(WORKLOAD_FAMILIES))
+    def test_different_seed_differs(self, family):
+        one = make_workload(family, "fam", seed=1, runs=1).document(0)
+        two = make_workload(family, "fam", seed=2, runs=1).document(0)
+        assert canonical(one.document) != canonical(two.document)
+
+    def test_location_matches_document(self):
+        for family in sorted(WORKLOAD_FAMILIES):
+            model = make_workload(family, "fam", seed=7, runs=3)
+            for index in range(3):
+                spec_name, run_name = model.location(index)
+                document = model.document(index)
+                assert document.spec_name == spec_name
+                assert document.run_name == run_name
+
+
+class TestPipelineSpecification:
+    def test_deterministic(self):
+        a = pipeline_specification("p", seed=3)
+        b = pipeline_specification("p", seed=3)
+        assert a.num_edges == b.num_edges
+        assert sorted(a.graph.labels()) == sorted(b.graph.labels())
+
+    def test_has_stage_structure(self):
+        spec = pipeline_specification("p", stages=4, width=3, seed=0)
+        labels = set(spec.graph.labels())
+        assert {f"g{i:02d}" for i in range(5)} <= labels
+
+    def test_rejects_degenerate_knobs(self):
+        with pytest.raises(ReproError):
+            pipeline_specification("p", stages=0)
+
+
+class TestPipelineWorkload:
+    def test_embedded_plan_imports_exactly(self):
+        document = PipelineWorkload("fam", seed=3, runs=2).document(0)
+        assert document.kind == "embedded-plan"
+        result = import_document(
+            document.document, run_name=document.run_name
+        )
+        assert result.origin == "embedded-plan"
+        assert result.spec.name == "fam"
+
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ReproError):
+            PipelineWorkload("fam", seed=0, runs=1, tiers=("nope",))
+
+
+class TestAdversarialWorkload:
+    def test_documents_are_non_sp(self):
+        model = AdversarialWorkload("adv", seed=5, runs=3)
+        for index in range(3):
+            document = model.document(index)
+            assert document.kind == "foreign"
+            result = import_document(
+                document.document,
+                run_name=document.run_name,
+                spec_name=document.spec_name,
+            )
+            assert not result.report.was_series_parallel
+            assert result.report.forced_serializations
+
+    def test_per_document_spec_names_unique(self):
+        model = AdversarialWorkload("adv", seed=5, runs=4)
+        names = {model.location(i)[0] for i in range(4)}
+        assert len(names) == 4
+
+    def test_degenerate_shape_rejected(self):
+        with pytest.raises(ReproError):
+            adversarial_document("s", width=0)
+
+
+class TestEvolvingWorkload:
+    def test_bounded_drift(self):
+        model = EvolvingWorkload(
+            "evo", seed=5, runs=3, mutation_budget=2
+        )
+        docs = [model.document(k) for k in range(3)]
+        # Consecutive runs differ, but not arbitrarily: the shared
+        # specification and most node instances persist.
+        for previous, current in zip(docs, docs[1:]):
+            assert canonical(previous.document) != canonical(
+                current.document
+            )
+            prev_nodes = set(previous.document["activity"])
+            curr_nodes = set(current.document["activity"])
+            union = prev_nodes | curr_nodes
+            assert len(prev_nodes & curr_nodes) > len(union) / 2
+
+    def test_random_access_replays_chain(self):
+        sequential = EvolvingWorkload("evo", seed=9, runs=4)
+        docs = [sequential.document(k) for k in range(4)]
+        fresh = EvolvingWorkload("evo", seed=9, runs=4)
+        assert canonical(fresh.document(3).document) == canonical(
+            docs[3].document
+        )
+        # Going backwards replays from scratch, same bytes.
+        assert canonical(fresh.document(1).document) == canonical(
+            docs[1].document
+        )
+
+
+class TestMixedWorkload:
+    def test_mixes_both_kinds(self):
+        model = MixedWorkload(
+            "mx", seed=11, runs=30, foreign_ratio=0.4
+        )
+        kinds = {model.document(k).kind for k in range(30)}
+        assert kinds == {"embedded-plan", "foreign"}
+
+    def test_ratio_validated(self):
+        with pytest.raises(ReproError):
+            MixedWorkload("mx", seed=0, runs=1, foreign_ratio=1.5)
+
+
+class TestRegistry:
+    def test_unknown_family(self):
+        with pytest.raises(ReproError, match="unknown workload family"):
+            make_workload("nope", "x", seed=0, runs=1)
+
+    def test_out_of_range_index(self):
+        model = make_workload("pipeline", "p", seed=0, runs=2)
+        with pytest.raises(ReproError, match="out of range"):
+            model.document(2)
